@@ -1,0 +1,55 @@
+// Reproduces §6.3 "Which strategies are successful in circumvention?":
+// from the in-country vantage points, fuzz requests toward the genuine
+// servers of censored domains and report which evading strategies also
+// fetch legitimate content (evasion vs circumvention).
+#include "bench_common.hpp"
+#include "cenfuzz/cenfuzz.hpp"
+
+using namespace bench;
+
+int main() {
+  header("6.3: evasion vs circumvention from in-country vantage points");
+
+  std::map<std::string, std::array<int, 2>> per_strategy;  // [evasions, circumventions]
+  std::map<std::string, std::array<int, 2>> per_domain;
+
+  for (scenario::Country c : scenario::all_countries()) {
+    scenario::CountryScenario s = scenario::make_country(c, scenario::Scale::kFull);
+    if (s.incountry_client == sim::kInvalidNode) continue;
+    fuzz::CenFuzz fuzzer(*s.network, s.incountry_client);
+    std::vector<std::string> all_domains = s.http_test_domains;
+    all_domains.insert(all_domains.end(), s.https_test_domains.begin(),
+                       s.https_test_domains.end());
+    for (std::size_t d = 0; d < all_domains.size(); ++d) {
+      fuzz::CenFuzzReport report =
+          fuzzer.run(s.foreign_endpoints[d], all_domains[d], s.control_domain);
+      for (const fuzz::FuzzMeasurement& m : report.measurements) {
+        if (m.outcome != fuzz::FuzzOutcome::kSuccessful) continue;
+        per_strategy[m.strategy][0]++;
+        per_domain[std::string(scenario::country_code(c)) + " " + all_domains[d]][0]++;
+        if (m.circumvented) {
+          per_strategy[m.strategy][1]++;
+          per_domain[std::string(scenario::country_code(c)) + " " + all_domains[d]][1]++;
+        }
+      }
+    }
+  }
+
+  std::printf("%-26s %9s %14s\n", "Strategy", "evasions", "circumventions");
+  rule();
+  for (const auto& [strategy, counts] : per_strategy) {
+    std::printf("%-26s %9d %14d\n", strategy.c_str(), counts[0], counts[1]);
+  }
+  rule();
+  std::printf("%-36s %9s %14s\n", "Vantage/domain", "evasions", "circumventions");
+  rule();
+  for (const auto& [domain, counts] : per_domain) {
+    std::printf("%-36s %9d %14d\n", domain.c_str(), counts[0], counts[1]);
+  }
+  rule();
+  std::printf("Paper: padding the SNI/hostname circumvents for pokerstars-like\n");
+  std::printf("tolerant servers; subdomain mutation circumvents where wildcard\n");
+  std::printf("vhosts exist (wiki.dailymotion.com); other servers answer 400/403/\n");
+  std::printf("301/505, so applicability varies by domain.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared plumbing for the reproduction benches: pipeline runners with
+// paper-scale defaults and small table-printing helpers.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/pipeline.hpp"
+
+namespace bench {
+
+using namespace cen;
+
+inline scenario::PipelineOptions default_options() {
+  scenario::PipelineOptions o;
+  o.centrace_repetitions = 11;  // the paper's path-variance repetition count
+  o.fuzz_max_endpoints = 40;    // sampled evenly across blocked endpoints
+  return o;
+}
+
+/// Run all four country pipelines at full scale.
+inline std::vector<scenario::PipelineResult> run_all_countries(
+    scenario::PipelineOptions options = default_options()) {
+  std::vector<scenario::PipelineResult> out;
+  for (scenario::Country c : scenario::all_countries()) {
+    scenario::CountryScenario s = scenario::make_country(c, scenario::Scale::kFull);
+    out.push_back(run_country_pipeline(s, options));
+  }
+  return out;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+inline std::string pct(double num, double den) {
+  if (den == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", 100.0 * num / den);
+  return buf;
+}
+
+}  // namespace bench

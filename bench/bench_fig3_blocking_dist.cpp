@@ -1,0 +1,42 @@
+// Reproduces Figure 3: distribution of blocked terminating-response type
+// (RST / TIMEOUT / FIN / HTTP) × blocking location with respect to the
+// client (C) and endpoint (E): Path(C->E), At E, No ICMP, Past E.
+#include "bench_common.hpp"
+#include "report/aggregate.hpp"
+
+using namespace bench;
+
+int main() {
+  header("Figure 3: blocking type and location per country");
+  scenario::PipelineOptions o = default_options();
+  o.run_fuzz = false;
+  o.run_banner = false;
+
+  std::printf("%-4s %-8s | %10s %6s %8s %7s | %5s\n", "Co.", "Type", "Path(C->E)",
+              "At E", "No ICMP", "Past E", "Total");
+  rule();
+  std::size_t grand_total = 0, grand_path = 0, grand_at_e = 0, grand_no_icmp = 0;
+  for (scenario::Country c : scenario::all_countries()) {
+    scenario::CountryScenario s = scenario::make_country(c, scenario::Scale::kFull);
+    scenario::PipelineResult r = run_country_pipeline(s, o);
+    report::BlockingDistribution dist = report::blocking_distribution(r.remote_traces);
+    for (const char* type : {"RST", "TIMEOUT", "FIN", "HTTP"}) {
+      auto& row = dist.counts[type];
+      std::printf("%-4s %-8s | %10d %6d %8d %7d | %5d\n",
+                  std::string(scenario::country_code(c)).c_str(), type,
+                  row["Path(C->E)"], row["At E"], row["No ICMP"], row["Past E"],
+                  dist.type_total(type));
+      grand_total += static_cast<std::size_t>(dist.type_total(type));
+      grand_path += static_cast<std::size_t>(row["Path(C->E)"]);
+      grand_at_e += static_cast<std::size_t>(row["At E"]);
+      grand_no_icmp += static_cast<std::size_t>(row["No ICMP"]);
+    }
+    rule();
+  }
+  std::printf("Totals: %zu blocked CTs; Path(C->E) %s, At E %s, No ICMP %zu\n",
+              grand_total, pct(double(grand_path), double(grand_total)).c_str(),
+              pct(double(grand_at_e), double(grand_total)).c_str(), grand_no_icmp);
+  std::printf("Paper: 73.97%% on the path, 16.19%% at the endpoint, 1 No-ICMP case;\n");
+  std::printf("drops+resets dominate (94.75%%); Past E appears only in RU.\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Microbenchmarks: wire codecs, DPI parsers, the packet-walk engine, and
+// full tool invocations — the costs behind every number in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "censor/dpi.hpp"
+#include "censor/vendors.hpp"
+#include "centrace/centrace.hpp"
+#include "ml/random_forest.hpp"
+#include "net/dns.hpp"
+#include "net/http.hpp"
+#include "net/tls.hpp"
+
+using namespace cen;
+
+static void BM_HttpSerialize(benchmark::State& state) {
+  net::HttpRequest req = net::HttpRequest::get("www.example.com");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(req.serialize());
+  }
+}
+BENCHMARK(BM_HttpSerialize);
+
+static void BM_ClientHelloSerialize(benchmark::State& state) {
+  net::ClientHello ch = net::ClientHello::make("www.example.com");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.serialize());
+  }
+}
+BENCHMARK(BM_ClientHelloSerialize);
+
+static void BM_ClientHelloParse(benchmark::State& state) {
+  Bytes bytes = net::ClientHello::make("www.example.com").serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::ClientHello::parse(bytes));
+  }
+}
+BENCHMARK(BM_ClientHelloParse);
+
+static void BM_DnsQuerySerializeParse(benchmark::State& state) {
+  for (auto _ : state) {
+    Bytes wire = net::make_dns_query("www.example.com").serialize_tcp();
+    benchmark::DoNotOptimize(net::DnsMessage::parse_tcp(wire));
+  }
+}
+BENCHMARK(BM_DnsQuerySerializeParse);
+
+static void BM_DpiHttp(benchmark::State& state) {
+  std::string raw = net::HttpRequest::get("www.blocked.example").serialize();
+  censor::HttpQuirks quirks;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(censor::dpi_parse_http(raw, quirks));
+  }
+}
+BENCHMARK(BM_DpiHttp);
+
+static void BM_DpiSni(benchmark::State& state) {
+  Bytes bytes = net::ClientHello::make("www.blocked.example").serialize();
+  censor::TlsQuirks quirks;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(censor::dpi_parse_sni(bytes, quirks));
+  }
+}
+BENCHMARK(BM_DpiSni);
+
+namespace {
+
+struct PerfNet {
+  PerfNet() {
+    sim::Topology topo;
+    client = topo.add_node("client", net::Ipv4Address(10, 0, 0, 1));
+    sim::NodeId prev = client;
+    for (int i = 0; i < 10; ++i) {
+      sim::NodeId r = topo.add_node(
+          "r", net::Ipv4Address(10, 0, 1, static_cast<uint8_t>(i + 1)));
+      topo.add_link(prev, r);
+      prev = r;
+    }
+    server = topo.add_node("server", net::Ipv4Address(10, 0, 9, 1));
+    topo.add_link(prev, server);
+    geo::IpMetadataDb db;
+    db.add_route(net::Ipv4Address(10, 0, 0, 0), 16, {64512, "PERF", "XX"});
+    net = std::make_unique<sim::Network>(std::move(topo), std::move(db));
+    sim::EndpointProfile p;
+    p.hosted_domains = {"www.example.org"};
+    net->add_endpoint(server, p);
+    censor::DeviceConfig cfg = censor::make_vendor_device("Cisco", "perf-device");
+    cfg.http_rules.add("blocked.example");
+    cfg.sni_rules.add("blocked.example");
+    net->attach_device(5, std::make_shared<censor::Device>(cfg));
+  }
+  sim::NodeId client, server;
+  std::unique_ptr<sim::Network> net;
+};
+
+}  // namespace
+
+static void BM_EnginePacketWalk(benchmark::State& state) {
+  PerfNet pn;
+  Bytes payload = net::HttpRequest::get("www.example.org").serialize_bytes();
+  for (auto _ : state) {
+    sim::Connection conn = pn.net->open_connection(pn.client, net::Ipv4Address(10, 0, 9, 1));
+    conn.connect();
+    benchmark::DoNotOptimize(conn.send(payload, 64));
+  }
+}
+BENCHMARK(BM_EnginePacketWalk);
+
+static void BM_CenTraceMeasurement(benchmark::State& state) {
+  PerfNet pn;
+  trace::CenTraceOptions opts;
+  opts.repetitions = 3;
+  trace::CenTrace tracer(*pn.net, pn.client, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracer.measure(net::Ipv4Address(10, 0, 9, 1),
+                                            "www.blocked.example", "www.example.org"));
+  }
+}
+BENCHMARK(BM_CenTraceMeasurement)->Unit(benchmark::kMillisecond);
+
+static void BM_DeviceInspect(benchmark::State& state) {
+  censor::DeviceConfig cfg = censor::make_vendor_device("Fortinet", "perf");
+  cfg.http_rules.add("blocked.example");
+  censor::Device dev(cfg);
+  net::Packet pkt = net::make_tcp_packet(
+      net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 9, 1), 40000, 80,
+      net::TcpFlags::kPsh | net::TcpFlags::kAck, 1, 1,
+      net::HttpRequest::get("www.blocked.example").serialize_bytes());
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += 200'000;  // stay clear of residual windows
+    benchmark::DoNotOptimize(dev.inspect(pkt, t));
+  }
+}
+BENCHMARK(BM_DeviceInspect);
+
+static void BM_RandomForestFit(benchmark::State& state) {
+  Rng rng(5);
+  ml::Matrix x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back({double(i % 4) * 5 + rng.real(), rng.real() * 10, rng.real()});
+    y.push_back(i % 4);
+  }
+  std::vector<std::size_t> idx(x.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  ml::ForestOptions opts;
+  opts.n_trees = 30;
+  for (auto _ : state) {
+    ml::RandomForest forest(opts);
+    forest.fit(x, y, idx, 4);
+    benchmark::DoNotOptimize(forest.mdi_importance());
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Reproduces §4.3 "Do devices sending ICMP errors quote sent packets?":
+// the RFC 792 / RFC 1812 quote split and in-flight header-rewrite rates.
+#include "bench_common.hpp"
+
+using namespace bench;
+
+int main() {
+  header("4.3: quoted packets in ICMP Time Exceeded responses");
+  scenario::PipelineOptions o = default_options();
+  o.centrace_repetitions = 5;
+  o.run_fuzz = false;
+  o.run_banner = false;
+
+  std::size_t quotes = 0, rfc792 = 0, full_tcp = 0, tos_changed = 0, flags_changed = 0;
+  for (scenario::Country c : scenario::all_countries()) {
+    scenario::CountryScenario s = scenario::make_country(c, scenario::Scale::kFull);
+    scenario::PipelineResult r = run_country_pipeline(s, o);
+    for (const auto& t : r.remote_traces) {
+      for (const trace::QuoteDiff& d : t.quote_diffs) {
+        if (!d.parse_ok) continue;
+        ++quotes;
+        if (d.rfc792_minimal) ++rfc792;
+        if (d.full_tcp_quoted) ++full_tcp;
+        if (d.tos_changed) ++tos_changed;
+        if (d.ip_flags_changed) ++flags_changed;
+      }
+    }
+  }
+  std::printf("quoted packets analysed:        %zu\n", quotes);
+  std::printf("RFC 792 minimal quotes:         %s   (paper: 57.6%%)\n",
+              pct(double(rfc792), double(quotes)).c_str());
+  std::printf("RFC 1812 fuller quotes:         %s   (paper: 42.4%%)\n",
+              pct(double(quotes - rfc792), double(quotes)).c_str());
+  std::printf("IP TOS differs from sent:       %s   (paper: 32.06%%)\n",
+              pct(double(tos_changed), double(quotes)).c_str());
+  std::printf("IP flags differ from sent:      %s   (paper: one packet)\n",
+              pct(double(flags_changed), double(quotes)).c_str());
+  std::printf("full TCP header recoverable:    %s\n",
+              pct(double(full_tcp), double(quotes)).c_str());
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "cenfuzz/cenfuzz.hpp"
+
+#include "censor/vendors.hpp"
+#include "core/strings.hpp"
+#include "net/http.hpp"
+#include "net/tls.hpp"
+
+namespace cen::fuzz {
+
+std::string_view fuzz_outcome_name(FuzzOutcome o) {
+  switch (o) {
+    case FuzzOutcome::kNotSuccessful: return "not-successful";
+    case FuzzOutcome::kSuccessful: return "successful";
+    case FuzzOutcome::kUntestable: return "untestable";
+  }
+  return "?";
+}
+
+bool request_blocked(RequestResult r) {
+  return r == RequestResult::kDropTimeout || r == RequestResult::kRst ||
+         r == RequestResult::kFin || r == RequestResult::kBlockpage;
+}
+
+CenFuzz::CenFuzz(sim::Network& network, sim::NodeId client, CenFuzzOptions options)
+    : network_(network), client_(client), options_(options) {}
+
+RequestResult CenFuzz::issue(net::Ipv4Address endpoint, const FuzzProbe& probe,
+                             std::string* response_body) {
+  const std::uint16_t port = probe.https ? 443 : 80;
+  for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+    sim::Connection conn = network_.open_connection(client_, endpoint, port);
+    if (conn.connect() != sim::ConnectResult::kEstablished) continue;
+    std::vector<sim::Event> events = conn.send(probe.payload, 64);
+    if (events.empty()) continue;
+
+    RequestResult result = RequestResult::kOk;
+    int best_rank = -1;
+    auto rank = [](RequestResult r) {
+      switch (r) {
+        case RequestResult::kBlockpage: return 4;
+        case RequestResult::kRst: return 3;
+        case RequestResult::kFin: return 2;
+        case RequestResult::kOk: return 1;
+        case RequestResult::kDropTimeout: return 0;
+      }
+      return 0;
+    };
+    for (const sim::Event& ev : events) {
+      const auto* tcp = std::get_if<sim::TcpEvent>(&ev);
+      if (tcp == nullptr) continue;
+      RequestResult r = RequestResult::kOk;
+      std::string body;
+      if (tcp->packet.tcp.has(net::TcpFlags::kRst)) {
+        r = RequestResult::kRst;
+      } else if (tcp->packet.tcp.has(net::TcpFlags::kFin)) {
+        r = RequestResult::kFin;
+      } else if (!tcp->packet.payload.empty()) {
+        std::string raw = to_string(tcp->packet.payload);
+        if (auto resp = net::HttpResponse::parse(raw)) {
+          if (censor::match_blockpage(resp->body)) {
+            r = RequestResult::kBlockpage;
+          } else {
+            body = "HTTP:" + std::to_string(resp->status) + ":" + resp->body;
+          }
+        } else if (auto sh = net::ServerHello::parse(tcp->packet.payload)) {
+          body = "TLSCERT:" + sh->certificate_domain;
+        } else if (net::TlsAlert::parse(tcp->packet.payload)) {
+          body = "TLSALERT";
+        }
+      }
+      if (rank(r) > best_rank) {
+        best_rank = rank(r);
+        result = r;
+        if (response_body != nullptr && r == RequestResult::kOk) *response_body = body;
+      }
+    }
+    return result;
+  }
+  return RequestResult::kDropTimeout;
+}
+
+bool CenFuzz::fetched_legit_content(const std::string& body, const std::string& test_domain,
+                                    bool https) const {
+  // Registrable part of the test domain (last two labels): content served
+  // for a sibling subdomain still counts as the intended resource (§6.3's
+  // wiki.dailymotion.com circumvention example).
+  std::vector<std::string> labels = split(test_domain, '.');
+  std::string registrable = test_domain;
+  if (labels.size() >= 2) {
+    registrable = labels[labels.size() - 2] + "." + labels.back();
+  }
+  if (https) {
+    if (!starts_with(body, "TLSCERT:")) return false;
+    std::string cert = body.substr(8);
+    return cert == registrable || ends_with(cert, "." + registrable) ||
+           ends_with(registrable, "." + cert) || cert == test_domain;
+  }
+  if (!starts_with(body, "HTTP:200:")) return false;
+  return body.find("legitimate content for") != std::string::npos &&
+         body.find(registrable) != std::string::npos;
+}
+
+CenFuzzReport CenFuzz::run(net::Ipv4Address endpoint, const std::string& test_domain,
+                           const std::string& control_domain) {
+  CenFuzzReport report;
+  report.endpoint = endpoint;
+  report.test_domain = test_domain;
+  report.control_domain = control_domain;
+
+  auto pace = [&](RequestResult r) {
+    network_.clock().advance(request_blocked(r) ? options_.wait_after_blocked
+                                                : options_.wait_after_ok);
+    ++report.total_requests;
+  };
+
+  auto run_protocol = [&](bool https) {
+    FuzzProbe normal_test =
+        https ? normal_tls_probe(test_domain) : normal_http_probe(test_domain);
+    FuzzProbe normal_control =
+        https ? normal_tls_probe(control_domain) : normal_http_probe(control_domain);
+
+    RequestResult normal_test_result = issue(endpoint, normal_test);
+    pace(normal_test_result);
+    RequestResult normal_control_result = issue(endpoint, normal_control);
+    pace(normal_control_result);
+
+    bool baseline_blocked =
+        request_blocked(normal_test_result) && !request_blocked(normal_control_result);
+    (https ? report.tls_baseline_blocked : report.http_baseline_blocked) = baseline_blocked;
+
+    // Record the Normal baseline as a pseudo-strategy (it appears in
+    // Fig. 5 / Fig. 9 as "Normal").
+    FuzzMeasurement normal_m;
+    normal_m.strategy = "Normal";
+    normal_m.permutation = https ? "ClientHello" : "GET";
+    normal_m.https = https;
+    normal_m.test_result = normal_test_result;
+    normal_m.control_result = normal_control_result;
+    normal_m.outcome =
+        baseline_blocked ? FuzzOutcome::kNotSuccessful : FuzzOutcome::kUntestable;
+    report.measurements.push_back(normal_m);
+
+    if (!baseline_blocked) return;  // nothing to fuzz on this protocol
+
+    std::vector<FuzzProbe> test_set =
+        https ? tls_probes(test_domain) : http_probes(test_domain);
+    std::vector<FuzzProbe> control_set =
+        https ? tls_probes(control_domain) : http_probes(control_domain);
+
+    for (std::size_t i = 0; i < test_set.size(); ++i) {
+      FuzzMeasurement m;
+      m.strategy = test_set[i].strategy;
+      m.permutation = test_set[i].permutation;
+      m.https = https;
+
+      std::string test_body;
+      m.test_result = issue(endpoint, test_set[i], &test_body);
+      pace(m.test_result);
+      m.control_result = issue(endpoint, control_set[i]);
+      pace(m.control_result);
+
+      if (request_blocked(m.control_result)) {
+        m.outcome = FuzzOutcome::kUntestable;
+      } else if (!request_blocked(m.test_result)) {
+        m.outcome = FuzzOutcome::kSuccessful;
+        m.circumvented = fetched_legit_content(test_body, test_domain, https);
+      } else {
+        m.outcome = FuzzOutcome::kNotSuccessful;
+      }
+      report.measurements.push_back(std::move(m));
+    }
+  };
+
+  if (options_.run_http) run_protocol(false);
+  if (options_.run_tls) run_protocol(true);
+  return report;
+}
+
+}  // namespace cen::fuzz

@@ -1,0 +1,94 @@
+// CenFuzz runner (paper §6.2): deterministic fuzzing of blocked connections.
+//
+// For each strategy permutation the runner issues four logical requests —
+// Normal Test, Normal Control, Permuted Test, Permuted Control — and
+// classifies the permutation:
+//   successful      Normal Test blocked, Permuted Test NOT blocked,
+//                   Permuted Control NOT blocked (the mutation evades);
+//   not successful  Normal Test blocked, Permuted Test blocked,
+//                   Permuted Control NOT blocked (the rule still fires);
+//   untestable      anything else (endpoint rejects the mutation outright,
+//                   control blocked, or no blocking to begin with).
+// A *circumvention* additionally requires the permuted Test request to
+// fetch legitimate content from the endpoint (§6.3's distinction between
+// evasion and circumvention).
+//
+// Blocking is judged conservatively exactly as in §4.1: repeated packet
+// drops, connection resets, or a known blockpage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cenfuzz/strategies.hpp"
+#include "core/clock.hpp"
+#include "netsim/engine.hpp"
+
+namespace cen::fuzz {
+
+enum class FuzzOutcome : std::uint8_t { kNotSuccessful, kSuccessful, kUntestable };
+std::string_view fuzz_outcome_name(FuzzOutcome o);
+
+/// How one request terminated.
+enum class RequestResult : std::uint8_t {
+  kOk,          // got an application response (any status / handshake / alert)
+  kDropTimeout, // repeated packet drops
+  kRst,
+  kFin,
+  kBlockpage,
+};
+bool request_blocked(RequestResult r);
+
+struct FuzzMeasurement {
+  std::string strategy;
+  std::string permutation;
+  bool https = false;
+  RequestResult test_result = RequestResult::kOk;
+  RequestResult control_result = RequestResult::kOk;
+  FuzzOutcome outcome = FuzzOutcome::kUntestable;
+  bool circumvented = false;
+};
+
+struct CenFuzzOptions {
+  int retries = 2;  // per-request retries before declaring a drop
+  SimTime wait_after_blocked = 120 * kSecond;
+  SimTime wait_after_ok = 3 * kSecond;
+  bool run_http = true;
+  bool run_tls = true;
+};
+
+struct CenFuzzReport {
+  net::Ipv4Address endpoint;
+  std::string test_domain;
+  std::string control_domain;
+  /// Baseline blocking state (if the Normal Test request isn't blocked
+  /// there is nothing to fuzz and `measurements` stays empty for that
+  /// protocol).
+  bool http_baseline_blocked = false;
+  bool tls_baseline_blocked = false;
+  std::vector<FuzzMeasurement> measurements;
+  std::size_t total_requests = 0;
+};
+
+class CenFuzz {
+ public:
+  CenFuzz(sim::Network& network, sim::NodeId client, CenFuzzOptions options = {});
+
+  /// Fuzz every strategy against one (endpoint, test domain) pair.
+  CenFuzzReport run(net::Ipv4Address endpoint, const std::string& test_domain,
+                    const std::string& control_domain);
+
+  /// Issue one request and classify its termination (exposed for tests).
+  RequestResult issue(net::Ipv4Address endpoint, const FuzzProbe& probe,
+                      std::string* response_body = nullptr);
+
+ private:
+  bool fetched_legit_content(const std::string& body, const std::string& test_domain,
+                             bool https) const;
+
+  sim::Network& network_;
+  sim::NodeId client_;
+  CenFuzzOptions options_;
+};
+
+}  // namespace cen::fuzz

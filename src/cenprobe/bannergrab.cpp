@@ -1,0 +1,35 @@
+#include "cenprobe/bannergrab.hpp"
+
+#include <algorithm>
+
+namespace cen::probe {
+
+const std::vector<std::string>& grab_protocols() {
+  static const std::vector<std::string> kProtocols = {"http",   "https", "ssh",
+                                                      "telnet", "ftp",   "smtp",
+                                                      "snmp"};
+  return kProtocols;
+}
+
+std::vector<BannerGrab> grab_banners(const sim::Network& network,
+                                     const PortScanResult& scan) {
+  std::vector<BannerGrab> out;
+  std::vector<censor::ServiceBanner> services = network.scan_services(scan.ip);
+  for (const censor::ServiceBanner& svc : services) {
+    // Only ports the scan found open, and only protocols the grabber speaks.
+    bool open = std::find(scan.open_ports.begin(), scan.open_ports.end(), svc.port) !=
+                scan.open_ports.end();
+    bool supported = std::find(grab_protocols().begin(), grab_protocols().end(),
+                               svc.protocol) != grab_protocols().end();
+    if (!open || !supported) continue;
+    BannerGrab grab;
+    grab.ip = scan.ip;
+    grab.port = svc.port;
+    grab.protocol = svc.protocol;
+    grab.banner = svc.banner;
+    out.push_back(std::move(grab));
+  }
+  return out;
+}
+
+}  // namespace cen::probe

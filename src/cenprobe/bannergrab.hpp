@@ -1,0 +1,27 @@
+// Application-layer banner grabs (paper §5.1): ZGrab-style handshakes on
+// HTTP(S), SSH, Telnet, FTP, SMTP and SNMP against a device's open ports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cenprobe/portscan.hpp"
+
+namespace cen::probe {
+
+struct BannerGrab {
+  net::Ipv4Address ip;
+  std::uint16_t port = 0;
+  std::string protocol;
+  std::string banner;
+};
+
+/// Protocols the grabber speaks (the paper's §5.1 list).
+const std::vector<std::string>& grab_protocols();
+
+/// Grab banners from every open port that speaks a supported protocol.
+std::vector<BannerGrab> grab_banners(const sim::Network& network,
+                                     const PortScanResult& scan);
+
+}  // namespace cen::probe

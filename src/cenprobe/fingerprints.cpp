@@ -1,0 +1,57 @@
+#include "cenprobe/fingerprints.hpp"
+
+#include "core/strings.hpp"
+
+namespace cen::probe {
+
+const std::vector<Fingerprint>& fingerprint_db() {
+  static const std::vector<Fingerprint> kDb = {
+      {"https", "fortigate", "Fortinet"},
+      {"ssh", "fortissh", "Fortinet"},
+      {"", "fortinet", "Fortinet"},
+      {"ssh", "cisco", "Cisco"},
+      {"telnet", "user access verification", "Cisco"},
+      {"", "kerio control", "Kerio"},
+      {"", "kerio", "Kerio"},
+      {"https", "pan-os", "PaloAlto"},
+      {"ssh", "paloalto", "PaloAlto"},
+      {"", "palo alto", "PaloAlto"},
+      {"http", "ddos-guard", "DDoSGuard"},
+      {"ftp", "mikrotik", "MikroTik"},
+      {"ssh", "rosssh", "MikroTik"},
+      {"telnet", "routeros", "MikroTik"},
+      {"", "kaspersky", "Kaspersky"},
+      {"http", "netsweeper", "Netsweeper"},
+      {"snmp", "netsweeper", "Netsweeper"},
+      {"", "blue coat", "BlueCoat"},
+      {"ssh", "packetlogic", "Sandvine"},
+  };
+  return kDb;
+}
+
+std::optional<std::string> match_fingerprint(const BannerGrab& grab) {
+  std::string banner = ascii_lower(grab.banner);
+  for (const Fingerprint& fp : fingerprint_db()) {
+    if (!fp.protocol.empty() && fp.protocol != grab.protocol) continue;
+    if (banner.find(fp.pattern) != std::string::npos) return fp.vendor;
+  }
+  return std::nullopt;
+}
+
+DeviceProbeReport probe_device(const sim::Network& network, net::Ipv4Address ip) {
+  DeviceProbeReport report;
+  report.ip = ip;
+  PortScanResult scan = scan_ports(network, ip);
+  report.open_ports = scan.open_ports;
+  report.banners = grab_banners(network, scan);
+  report.stack = network.probe_stack(ip);
+  for (const BannerGrab& grab : report.banners) {
+    if (auto vendor = match_fingerprint(grab)) {
+      report.vendor = vendor;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace cen::probe

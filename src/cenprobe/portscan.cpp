@@ -1,0 +1,27 @@
+#include "cenprobe/portscan.hpp"
+
+#include <algorithm>
+
+namespace cen::probe {
+
+const std::vector<std::uint16_t>& top_ports() {
+  static const std::vector<std::uint16_t> kPorts = {
+      21,   22,   23,   25,   53,   80,   110,  111,  135,  139,  143,  161,
+      443,  445,  993,  995,  1723, 3306, 3389, 4081, 5900, 8080, 8443, 8888,
+      10443};
+  return kPorts;
+}
+
+PortScanResult scan_ports(const sim::Network& network, net::Ipv4Address ip) {
+  PortScanResult result;
+  result.ip = ip;
+  std::vector<censor::ServiceBanner> services = network.scan_services(ip);
+  for (std::uint16_t port : top_ports()) {
+    bool open = std::any_of(services.begin(), services.end(),
+                            [&](const censor::ServiceBanner& s) { return s.port == port; });
+    if (open) result.open_ports.push_back(port);
+  }
+  return result;
+}
+
+}  // namespace cen::probe

@@ -1,0 +1,28 @@
+// Port scanning of potential censorship-device IPs (paper §5.1).
+//
+// The paper scans the Nmap top-1000 ports of every in-path device IP that
+// CenTrace surfaces. The simulation's management plane answers with the
+// ports a device actually exposes; the scanner still walks the top-port
+// list so the probing cost and ordering mirror the real tool.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "netsim/engine.hpp"
+
+namespace cen::probe {
+
+/// The scanner's port list (a representative slice of Nmap's top ports,
+/// always including every service port the vendor profiles use).
+const std::vector<std::uint16_t>& top_ports();
+
+struct PortScanResult {
+  net::Ipv4Address ip;
+  std::vector<std::uint16_t> open_ports;
+};
+
+PortScanResult scan_ports(const sim::Network& network, net::Ipv4Address ip);
+
+}  // namespace cen::probe

@@ -1,0 +1,218 @@
+#include "censor/device.hpp"
+
+#include "censor/dpi.hpp"
+#include "core/strings.hpp"
+#include "net/dns.hpp"
+#include "net/http.hpp"
+
+namespace cen::censor {
+
+std::string_view block_action_name(BlockAction a) {
+  switch (a) {
+    case BlockAction::kDrop: return "drop";
+    case BlockAction::kRstInject: return "rst";
+    case BlockAction::kFinInject: return "fin";
+    case BlockAction::kBlockpage: return "blockpage";
+  }
+  return "?";
+}
+
+bool Device::payload_triggers(BytesView payload) const {
+  if (payload.empty()) return false;
+  if (looks_like_tls(payload)) {
+    std::optional<std::string> sni = dpi_parse_sni(payload, config_.tls_quirks);
+    return sni && config_.sni_rules.matches(*sni);
+  }
+  if (net::looks_like_tcp_dns(payload)) {
+    if (config_.dns_rules.empty()) return false;
+    try {
+      net::DnsMessage query = net::DnsMessage::parse_tcp(payload);
+      return !query.is_response && !query.questions.empty() &&
+             config_.dns_rules.matches(query.questions.front().qname);
+    } catch (const ParseError&) {
+      return false;
+    }
+  }
+  std::optional<HttpDpiResult> http =
+      dpi_parse_http(to_string(payload), config_.http_quirks);
+  if (!http) return false;
+  const DomainRule* rule = config_.http_rules.first_match(http->host);
+  if (rule == nullptr) return false;
+  if (config_.http_quirks.url_includes_path && http->path != "/") return false;
+  return true;
+}
+
+BlockAction Device::effective_action(const net::Packet& packet) const {
+  if (config_.tls_action && looks_like_tls(packet.payload)) return *config_.tls_action;
+  return config_.action;
+}
+
+std::vector<net::Packet> Device::craft_injections(const net::Packet& trigger,
+                                                  BlockAction action) const {
+  const InjectionProfile& prof = config_.injection;
+  std::vector<net::Packet> out;
+
+  auto base = [&](std::uint8_t flags) {
+    net::Packet p;
+    p.ip.src = trigger.ip.dst;  // spoofed as the endpoint
+    p.ip.dst = trigger.ip.src;
+    p.ip.ttl = prof.copy_ttl_from_trigger ? trigger.ip.ttl : prof.init_ttl;
+    p.ip.identification = prof.ip_id;
+    p.ip.flags = prof.ip_flags;
+    p.ip.tos = prof.ip_tos;
+    p.tcp.src_port = trigger.tcp.dst_port;
+    p.tcp.dst_port = trigger.tcp.src_port;
+    p.tcp.flags = flags;
+    p.tcp.seq = trigger.tcp.ack;
+    p.tcp.ack =
+        trigger.tcp.seq + static_cast<std::uint32_t>(trigger.payload.size());
+    p.tcp.window = prof.tcp_window;
+    p.tcp.options = prof.tcp_options;
+    return p;
+  };
+
+  switch (action) {
+    case BlockAction::kDrop:
+      break;
+    case BlockAction::kRstInject:
+      out.push_back(base(net::TcpFlags::kRst | net::TcpFlags::kAck));
+      break;
+    case BlockAction::kFinInject:
+      out.push_back(base(net::TcpFlags::kFin | net::TcpFlags::kAck));
+      break;
+    case BlockAction::kBlockpage: {
+      net::Packet page = base(net::TcpFlags::kPsh | net::TcpFlags::kAck);
+      if (net::looks_like_tcp_dns(trigger.payload)) {
+        // DNS trigger: the "page" is a spoofed answer (sinkhole A record,
+        // or NXDOMAIN when no sinkhole is configured).
+        try {
+          net::DnsMessage query = net::DnsMessage::parse_tcp(trigger.payload);
+          net::DnsMessage forged = config_.dns_sinkhole
+                                       ? net::make_dns_response(query, *config_.dns_sinkhole)
+                                       : net::make_dns_nxdomain(query);
+          page.payload = forged.serialize_tcp();
+          out.push_back(std::move(page));
+        } catch (const ParseError&) {
+        }
+        break;
+      }
+      net::HttpResponse resp = net::HttpResponse::make(403, "Forbidden",
+                                                       config_.blockpage_html);
+      page.payload = to_bytes(resp.serialize());
+      out.push_back(std::move(page));
+      // Real blockpage injectors tear the connection down after the page.
+      net::Packet rst = base(net::TcpFlags::kRst | net::TcpFlags::kAck);
+      rst.tcp.seq = page.tcp.seq + static_cast<std::uint32_t>(page.payload.size());
+      out.push_back(std::move(rst));
+      break;
+    }
+  }
+  return out;
+}
+
+Verdict Device::inspect(const net::Packet& packet, SimTime now) {
+  Verdict v;
+
+  PairKey pair{packet.ip.src.value(), packet.ip.dst.value()};
+  auto residual = residual_until_.find(pair);
+  bool residual_active = residual != residual_until_.end() && residual->second > now;
+
+  bool content_trigger = payload_triggers(packet.payload);
+  bool trigger = content_trigger || (residual_active && !packet.payload.empty());
+  if (!trigger) return v;
+
+  v.triggered = true;
+  ++trigger_count_;
+  if (config_.residual_block_ms > 0) {
+    residual_until_[pair] = now + config_.residual_block_ms;
+  }
+
+  // Per-flow injection budget (§4.1: some middleboxes inject a limited
+  // number of times per TCP connection).
+  FlowKey flow{packet.ip.src.value(), packet.ip.dst.value(), packet.tcp.src_port,
+               packet.tcp.dst_port};
+  int& injected = flow_injections_[flow];
+  bool budget_ok = config_.injection.max_injections_per_flow < 0 ||
+                   injected < config_.injection.max_injections_per_flow;
+
+  BlockAction action = effective_action(packet);
+  if (action == BlockAction::kDrop) {
+    // Drop-based censorship: only inline devices can actually remove the
+    // packet; an on-path tap configured to "drop" cannot and the packet
+    // sails through (the paper notes on-path devices must inject).
+    v.drop = !config_.on_path;
+    return v;
+  }
+
+  if (budget_ok) {
+    v.inject_to_client = craft_injections(packet, action);
+    ++injected;
+  }
+  // Inline injectors consume the original packet; taps cannot.
+  v.drop = !config_.on_path;
+  return v;
+}
+
+bool Device::udp_payload_triggers(BytesView payload) const {
+  if (payload.empty() || config_.dns_rules.empty()) return false;
+  try {
+    net::DnsMessage query = net::DnsMessage::parse(payload);
+    return !query.is_response && !query.questions.empty() &&
+           config_.dns_rules.matches(query.questions.front().qname);
+  } catch (const ParseError&) {
+    return false;
+  }
+}
+
+UdpVerdict Device::inspect_udp(const net::UdpDatagram& datagram, SimTime now) {
+  UdpVerdict v;
+  PairKey pair{datagram.ip.src.value(), datagram.ip.dst.value()};
+  auto residual = residual_until_.find(pair);
+  bool residual_active = residual != residual_until_.end() && residual->second > now;
+
+  bool content_trigger = udp_payload_triggers(datagram.payload);
+  if (!content_trigger && !(residual_active && !datagram.payload.empty())) return v;
+  v.triggered = true;
+  ++trigger_count_;
+  if (config_.residual_block_ms > 0) {
+    residual_until_[pair] = now + config_.residual_block_ms;
+  }
+
+  BlockAction action = config_.action;
+  if (action == BlockAction::kDrop) {
+    v.drop = !config_.on_path;
+    return v;
+  }
+  // Any injecting action on UDP means forging an answer: there is no
+  // connection to reset. The forged datagram carries the device's
+  // injection fingerprint in its IP header.
+  if (content_trigger) {
+    try {
+      net::DnsMessage query = net::DnsMessage::parse(datagram.payload);
+      net::DnsMessage forged = config_.dns_sinkhole
+                                   ? net::make_dns_response(query, *config_.dns_sinkhole)
+                                   : net::make_dns_nxdomain(query);
+      net::UdpDatagram reply;
+      reply.ip.src = datagram.ip.dst;  // spoofed as the resolver
+      reply.ip.dst = datagram.ip.src;
+      reply.ip.ttl = config_.injection.copy_ttl_from_trigger ? datagram.ip.ttl
+                                                             : config_.injection.init_ttl;
+      reply.ip.identification = config_.injection.ip_id;
+      reply.ip.flags = config_.injection.ip_flags;
+      reply.udp.src_port = datagram.udp.dst_port;
+      reply.udp.dst_port = datagram.udp.src_port;
+      reply.payload = forged.serialize();
+      v.inject_to_client.push_back(std::move(reply));
+    } catch (const ParseError&) {
+    }
+  }
+  v.drop = !config_.on_path;
+  return v;
+}
+
+void Device::reset_state() {
+  flow_injections_.clear();
+  residual_until_.clear();
+}
+
+}  // namespace cen::censor

@@ -1,0 +1,149 @@
+#include "censor/dpi.hpp"
+
+#include <algorithm>
+
+#include "core/strings.hpp"
+#include "net/http.hpp"
+
+namespace cen::censor {
+
+namespace {
+
+/// Split into lines under the device's delimiter discipline. Strict (CRLF)
+/// parsers recognise only "\r\n"; tolerant ones accept "\n" and trim "\r".
+std::vector<std::string> dpi_lines(std::string_view raw, bool requires_crlf) {
+  std::vector<std::string> lines;
+  if (requires_crlf) {
+    for (std::string& piece : split(raw, std::string_view("\r\n"))) {
+      lines.push_back(std::move(piece));
+    }
+    // If no CRLF is present at all, the strict tokenizer yields a single
+    // segment (the whole buffer) — the caller treats that as disengaged.
+  } else {
+    for (std::string& piece : split(raw, '\n')) {
+      if (!piece.empty() && piece.back() == '\r') piece.pop_back();
+      lines.push_back(std::move(piece));
+    }
+  }
+  return lines;
+}
+
+bool method_engages(std::string_view method, const HttpQuirks& q) {
+  if (q.method_allowlist.empty()) return !method.empty();
+  for (const std::string& allowed : q.method_allowlist) {
+    bool match = q.method_case_insensitive ? iequals(method, allowed) : method == allowed;
+    if (match) return true;
+  }
+  return false;
+}
+
+bool version_engages(std::string_view version, const HttpQuirks& q) {
+  switch (q.version_check) {
+    case VersionCheck::kNone:
+      return true;
+    case VersionCheck::kPrefixHttp: {
+      if (version.size() < 5) return false;
+      std::string_view prefix = version.substr(0, 5);
+      return q.version_prefix_case_insensitive ? iequals(prefix, "HTTP/") : prefix == "HTTP/";
+    }
+    case VersionCheck::kValidOnly:
+      return version == "HTTP/1.1" || version == "HTTP/1.0";
+  }
+  return false;
+}
+
+bool host_word_engages(std::string_view name, const HttpQuirks& q) {
+  switch (q.host_word_check) {
+    case HostWordCheck::kExactCaseInsensitive:
+      return iequals(name, "Host");
+    case HostWordCheck::kExactCaseSensitive:
+      return name == "Host";
+    case HostWordCheck::kContainsHost:
+      return ascii_lower(name).find("host") != std::string::npos;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<HttpDpiResult> dpi_parse_http(std::string_view raw, const HttpQuirks& q) {
+  std::vector<std::string> lines = dpi_lines(raw, q.requires_crlf);
+  if (lines.size() < 2) return std::nullopt;  // no recognised line delimiter
+  // Under strict CRLF parsing, embedded bare CR/LF inside a "line" means
+  // the sender violated the discipline; the DPI's tokenizer then sees a
+  // garbled request line and disengages.
+  if (q.requires_crlf) {
+    for (const std::string& line : lines) {
+      if (line.find('\n') != std::string::npos || line.find('\r') != std::string::npos) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::string& request_line = lines[0];
+  std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string::npos) return std::nullopt;
+  std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return std::nullopt;
+  std::string_view method = std::string_view(request_line).substr(0, sp1);
+  std::string_view path = std::string_view(request_line).substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = trim(std::string_view(request_line).substr(sp2 + 1));
+  if (!method_engages(method, q)) return std::nullopt;
+  if (!version_engages(version, q)) return std::nullopt;
+
+  // Header scan for the Host keyword.
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) break;  // end of header block
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string_view name = trim(std::string_view(line).substr(0, colon));
+    if (!host_word_engages(name, q)) continue;
+    HttpDpiResult result;
+    result.host = std::string(trim(std::string_view(line).substr(colon + 1)));
+    result.path = std::string(path);
+    return result;
+  }
+  return std::nullopt;  // no Host header the DPI recognises
+}
+
+std::optional<std::string> dpi_parse_sni(BytesView raw, const TlsQuirks& q) {
+  net::ClientHello ch;
+  try {
+    ch = net::ClientHello::parse(raw);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+
+  // Version tolerance: the hello must advertise at least one version the
+  // DPI's parser understands (legacy field or supported_versions ext).
+  std::vector<net::TlsVersion> advertised = ch.supported_versions();
+  advertised.push_back(ch.legacy_version);
+  bool version_ok = std::any_of(advertised.begin(), advertised.end(), [&](net::TlsVersion v) {
+    return std::find(q.parses_versions.begin(), q.parses_versions.end(), v) !=
+           q.parses_versions.end();
+  });
+  if (!version_ok) return std::nullopt;
+
+  // Blind cipher lists: a hello offering only a cipher the device cannot
+  // classify is not recognised as web traffic.
+  if (ch.cipher_suites.size() == 1 && !q.blind_cipher_suites.empty()) {
+    if (std::find(q.blind_cipher_suites.begin(), q.blind_cipher_suites.end(),
+                  ch.cipher_suites[0]) != q.blind_cipher_suites.end()) {
+      return std::nullopt;
+    }
+  }
+
+  if (q.breaks_on_padding_extension) {
+    for (const net::TlsExtension& ext : ch.extensions) {
+      if (ext.type == net::TlsExtensionType::kPadding) return std::nullopt;
+    }
+  }
+
+  return ch.sni();
+}
+
+bool looks_like_tls(BytesView payload) { return !payload.empty() && payload[0] == 0x16; }
+
+}  // namespace cen::censor

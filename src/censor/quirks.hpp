@@ -1,0 +1,67 @@
+// Per-vendor DPI parser quirks.
+//
+// CenFuzz (paper §6) measures how censorship devices *parse* requests, not
+// just what they block: whether they accept only certain HTTP methods,
+// whether they tolerate malformed request lines, whether they validate the
+// version token, whether they parse unusual TLS ClientHellos. Each vendor
+// profile instantiates one HttpQuirks + TlsQuirks pair; the DPI engine
+// (dpi.hpp) interprets raw payload bytes under these quirks. These axes
+// are exactly the behavioural fingerprints the clustering step exploits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/tls.hpp"
+
+namespace cen::censor {
+
+/// How the DPI validates the third token of the request line.
+enum class VersionCheck : std::uint8_t {
+  kNone,         // ignores the version token entirely
+  kPrefixHttp,   // token must start with "HTTP/" (case per flag below)
+  kValidOnly,    // token must be exactly HTTP/1.0 or HTTP/1.1
+};
+
+/// How the DPI recognises the Host header keyword.
+enum class HostWordCheck : std::uint8_t {
+  kExactCaseInsensitive,  // "Host:" in any case (the common behaviour)
+  kExactCaseSensitive,    // literally "Host:"
+  kContainsHost,          // any header name containing "host"
+};
+
+struct HttpQuirks {
+  /// Methods that engage the classifier. Empty list = any token engages.
+  std::vector<std::string> method_allowlist{"GET", "POST", "PUT", "HEAD",
+                                            "DELETE", "OPTIONS"};
+  /// If true the method comparison is case-insensitive ("GeT" == "GET").
+  bool method_case_insensitive = true;
+  VersionCheck version_check = VersionCheck::kPrefixHttp;
+  /// If true the "HTTP/" prefix comparison is case-insensitive.
+  bool version_prefix_case_insensitive = true;
+  HostWordCheck host_word_check = HostWordCheck::kExactCaseInsensitive;
+  /// Require CRLF line discipline; a bare "\n" or bare "\r" disengages the parser.
+  bool requires_crlf = true;
+  /// Rules are URL rules anchored at "/": a non-"/" path does not match.
+  bool url_includes_path = false;
+};
+
+struct TlsQuirks {
+  /// Legacy/record versions the DPI's TLS parser understands. A ClientHello
+  /// advertising only versions outside this set is not inspected.
+  std::vector<net::TlsVersion> parses_versions{
+      net::TlsVersion::kTls10, net::TlsVersion::kTls11, net::TlsVersion::kTls12,
+      net::TlsVersion::kTls13};
+  /// Some middleboxes fail to classify a hello offering only unusual legacy
+  /// suites (observed in a few RU/KZ deployments, §6.3). Codes listed here
+  /// cause the parser to disengage when they are the *only* suite offered.
+  std::vector<std::uint16_t> blind_cipher_suites;
+  /// Whether a padding extension confuses the SNI extraction (rare).
+  bool breaks_on_padding_extension = false;
+  /// Whether the device inspects (and could trigger on) client certificates
+  /// later in the handshake. No deployment in the paper's data did.
+  bool inspects_client_certificate = false;
+};
+
+}  // namespace cen::censor

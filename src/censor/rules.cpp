@@ -1,0 +1,53 @@
+#include "censor/rules.hpp"
+
+#include "core/strings.hpp"
+
+namespace cen::censor {
+
+std::string_view match_style_name(MatchStyle style) {
+  switch (style) {
+    case MatchStyle::kExact: return "exact";
+    case MatchStyle::kSuffix: return "suffix";
+    case MatchStyle::kPrefix: return "prefix";
+    case MatchStyle::kContains: return "contains";
+  }
+  return "?";
+}
+
+bool rule_matches(const DomainRule& rule, std::string_view hostname, bool case_insensitive) {
+  std::string h(hostname);
+  std::string d = rule.domain;
+  if (case_insensitive) {
+    h = ascii_lower(h);
+    d = ascii_lower(d);
+  }
+  switch (rule.style) {
+    case MatchStyle::kExact:
+      return h == d;
+    case MatchStyle::kSuffix:
+      // "*.domain.tld" semantics: the bare domain or any name ending in it.
+      return h == d || ends_with(h, d);
+    case MatchStyle::kPrefix:
+      return starts_with(h, d);
+    case MatchStyle::kContains:
+      return h.find(d) != std::string::npos;
+  }
+  return false;
+}
+
+void RuleSet::add(std::string domain, MatchStyle style) {
+  rules_.push_back({std::move(domain), style});
+}
+
+bool RuleSet::matches(std::string_view hostname) const {
+  return first_match(hostname) != nullptr;
+}
+
+const DomainRule* RuleSet::first_match(std::string_view hostname) const {
+  for (const DomainRule& rule : rules_) {
+    if (rule_matches(rule, hostname, case_insensitive_)) return &rule;
+  }
+  return nullptr;
+}
+
+}  // namespace cen::censor

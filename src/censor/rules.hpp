@@ -1,0 +1,61 @@
+// Blocking rule sets: which hostnames / server names a device censors.
+//
+// The paper (§6.3) finds most commercial devices implement *leading*
+// wildcard rules (*.blockeddomain.tld — i.e. suffix matching), which is why
+// trailing-padded hostnames evade while leading-padded ones do not, and why
+// TLD alternation evades more often than subdomain alternation. The rule
+// model therefore distinguishes exact, suffix (leading wildcard), prefix
+// (trailing wildcard) and substring matching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cen::censor {
+
+enum class MatchStyle : std::uint8_t {
+  kExact,     // hostname == rule
+  kSuffix,    // leading wildcard: *.domain.tld (also matches the bare domain)
+  kPrefix,    // trailing wildcard: domain.*
+  kContains,  // substring anywhere
+};
+
+std::string_view match_style_name(MatchStyle style);
+
+struct DomainRule {
+  std::string domain;
+  MatchStyle style = MatchStyle::kSuffix;
+
+  bool operator==(const DomainRule&) const = default;
+};
+
+/// An ordered set of domain rules with a shared case-sensitivity policy.
+class RuleSet {
+ public:
+  RuleSet() = default;
+  RuleSet(std::vector<DomainRule> rules, bool case_insensitive)
+      : rules_(std::move(rules)), case_insensitive_(case_insensitive) {}
+
+  void add(std::string domain, MatchStyle style = MatchStyle::kSuffix);
+  /// True if any rule matches the hostname.
+  bool matches(std::string_view hostname) const;
+  /// The first rule matching the hostname, or nullptr.
+  const DomainRule* first_match(std::string_view hostname) const;
+
+  bool empty() const { return rules_.empty(); }
+  std::size_t size() const { return rules_.size(); }
+  bool case_insensitive() const { return case_insensitive_; }
+  void set_case_insensitive(bool v) { case_insensitive_ = v; }
+  const std::vector<DomainRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<DomainRule> rules_;
+  bool case_insensitive_ = true;
+};
+
+/// Single-rule matching primitive (exposed for tests and the fuzzer oracle).
+bool rule_matches(const DomainRule& rule, std::string_view hostname, bool case_insensitive);
+
+}  // namespace cen::censor

@@ -1,0 +1,383 @@
+#include "censor/vendors.hpp"
+
+#include <stdexcept>
+
+#include "core/strings.hpp"
+
+namespace cen::censor {
+
+namespace {
+
+std::vector<std::string> methods(std::initializer_list<const char*> list) {
+  std::vector<std::string> out;
+  for (const char* m : list) out.emplace_back(m);
+  return out;
+}
+
+DeviceConfig fortinet(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "Fortinet";
+  d.action = BlockAction::kBlockpage;
+  d.tls_action = BlockAction::kRstInject;  // no page fits an encrypted stream
+  d.blockpage_html =
+      "<html><head><title>Web Page Blocked</title></head><body>"
+      "<h1>Web Page Blocked!</h1><p>You have tried to access a web page "
+      "which is in violation of your internet usage policy.</p>"
+      "<p>Powered by FortiGuard.</p></body></html>";
+  d.http_quirks.method_allowlist =
+      methods({"GET", "POST", "PUT", "HEAD", "DELETE", "OPTIONS"});
+  d.http_quirks.version_check = VersionCheck::kNone;
+  d.http_quirks.requires_crlf = true;
+  d.http_quirks.url_includes_path = true;  // URL-anchored filter rules
+  d.injection.init_ttl = 64;
+  d.injection.ip_id = 0x4000;
+  d.injection.tcp_window = 0;
+  d.injection.max_injections_per_flow = 2;
+  d.residual_block_ms = 60 * kSecond;
+  d.services = {
+      {443, "https", "Fortinet FortiGate configuration interface"},
+      {22, "ssh", "SSH-2.0-FortiSSH"},
+  };
+  d.stack = {64, 5840, 1460, false, 64};
+  return d;
+}
+
+DeviceConfig cisco(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "Cisco";
+  d.action = BlockAction::kDrop;
+  d.http_quirks.method_allowlist = methods({"GET", "POST", "HEAD"});
+  d.http_quirks.version_check = VersionCheck::kPrefixHttp;
+  d.http_quirks.requires_crlf = true;
+  // Cisco URL rules are exact hostnames: subdomain/TLD alternation evades.
+  // (The scenario sets rule styles; this flag is advisory via quirks only.)
+  d.http_quirks.url_includes_path = true;
+  d.tls_quirks.blind_cipher_suites = {0x0005, 0x0004};  // RC4 suites
+  d.residual_block_ms = 90 * kSecond;
+  d.services = {
+      {22, "ssh", "SSH-2.0-Cisco-1.25"},
+      {23, "telnet", "User Access Verification"},
+  };
+  d.stack = {255, 4128, 536, false, 255};
+  return d;
+}
+
+DeviceConfig kerio(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "Kerio";
+  d.action = BlockAction::kDrop;
+  d.http_quirks.method_allowlist = methods({"GET", "POST", "PUT"});
+  d.http_quirks.version_check = VersionCheck::kValidOnly;  // HTTP/9 evades Kerio
+  d.http_quirks.requires_crlf = false;                     // tolerant tokenizer
+  d.http_quirks.host_word_check = HostWordCheck::kContainsHost;
+  d.http_quirks.url_includes_path = true;  // web-filter URL rules
+  d.services = {
+      {4081, "https", "Kerio Control Embedded Web Server"},
+      {22, "ssh", "SSH-2.0-OpenSSH_7.4 Kerio"},
+  };
+  d.stack = {64, 29200, 1460, true, 64};
+  return d;
+}
+
+DeviceConfig paloalto(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "PaloAlto";
+  d.action = BlockAction::kRstInject;
+  d.http_quirks.method_allowlist = methods({"GET", "POST", "PUT", "HEAD", "OPTIONS"});
+  d.http_quirks.version_check = VersionCheck::kPrefixHttp;
+  d.http_quirks.version_prefix_case_insensitive = false;  // "HtTP/" evades
+  d.http_quirks.requires_crlf = true;
+  d.http_quirks.url_includes_path = true;
+  d.injection.init_ttl = 255;
+  d.injection.ip_id = 0;
+  d.injection.tcp_window = 8192;
+  d.injection.max_injections_per_flow = 1;
+  d.services = {
+      {443, "https", "PAN-OS GlobalProtect Portal (Palo Alto Networks)"},
+      {22, "ssh", "SSH-2.0-PaloAlto"},
+  };
+  d.stack = {64, 65535, 1460, true, 64};
+  return d;
+}
+
+DeviceConfig ddosguard(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "DDoSGuard";
+  d.action = BlockAction::kRstInject;  // inline protection node, injects resets
+  d.http_quirks.method_allowlist = methods({"GET", "POST"});
+  d.http_quirks.version_check = VersionCheck::kNone;
+  d.injection.init_ttl = 128;
+  d.injection.ip_id = 0x1234;
+  d.injection.tcp_window = 16384;
+  d.services = {
+      {80, "http", "Server: ddos-guard"},
+  };
+  d.stack = {64, 64240, 1460, true, 64};
+  return d;
+}
+
+DeviceConfig mikrotik(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "MikroTik";
+  d.action = BlockAction::kDrop;
+  d.http_quirks.method_allowlist = methods({"GET", "POST", "PUT", "HEAD"});
+  d.http_quirks.version_check = VersionCheck::kNone;
+  d.http_quirks.host_word_check = HostWordCheck::kExactCaseSensitive;  // "HoST:" evades
+  d.http_quirks.requires_crlf = false;
+  d.services = {
+      {21, "ftp", "MikroTik FTP server (RouterOS)"},
+      {22, "ssh", "SSH-2.0-ROSSSH"},
+      {23, "telnet", "MikroTik RouterOS"},
+  };
+  d.stack = {64, 14600, 1460, true, 64};
+  return d;
+}
+
+DeviceConfig kaspersky(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "Kaspersky";
+  d.action = BlockAction::kDrop;
+  d.http_quirks.method_allowlist = methods({"GET", "POST", "PUT", "HEAD", "DELETE"});
+  d.http_quirks.version_check = VersionCheck::kNone;
+  // Older TLS parser: a 1.3-only hello is not inspected.
+  d.tls_quirks.parses_versions = {net::TlsVersion::kTls10, net::TlsVersion::kTls11,
+                                  net::TlsVersion::kTls12};
+  d.services = {
+      {22, "ssh", "SSH-2.0-Kaspersky Web Traffic Security"},
+  };
+  d.stack = {128, 8192, 1380, true, 128};  // Windows-derived stack
+  return d;
+}
+
+// The three vendors below are the classic worldwide filtering products the
+// paper's related work documents (Planet Netsweeper [16], Planet Blue Coat
+// [46], Sandvine PacketLogic [44, 1]); they appear in the worldwide
+// blockpage case-study scenario rather than the four country studies.
+
+DeviceConfig netsweeper(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "Netsweeper";
+  d.action = BlockAction::kBlockpage;
+  d.tls_action = BlockAction::kRstInject;
+  d.blockpage_html =
+      "<html><body><h1>Web Page Blocked</h1><p>This page has been denied "
+      "by your network administrator. Category filtering by Netsweeper "
+      "WebAdmin.</p></body></html>";
+  d.http_quirks.method_allowlist = methods({"GET", "POST", "PUT", "HEAD"});
+  d.http_quirks.version_check = VersionCheck::kPrefixHttp;
+  d.http_quirks.host_word_check = HostWordCheck::kContainsHost;
+  d.injection.init_ttl = 64;
+  d.injection.ip_id = 0x2100;
+  d.injection.tcp_window = 5840;
+  d.services = {
+      {8080, "http", "Netsweeper WebAdmin 6.4"},
+      {161, "snmp", "SNMPv2-MIB::sysDescr Netsweeper appliance"},
+  };
+  d.stack = {64, 29200, 1460, true, 64};
+  return d;
+}
+
+DeviceConfig bluecoat(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "BlueCoat";
+  d.action = BlockAction::kBlockpage;
+  d.tls_action = BlockAction::kRstInject;
+  d.blockpage_html =
+      "<html><body><h1>Access Denied</h1><p>Your request was denied because "
+      "of its content categorization. Technology by Blue Coat ProxySG."
+      "</p></body></html>";
+  d.http_quirks.method_allowlist =
+      methods({"GET", "POST", "PUT", "HEAD", "DELETE", "OPTIONS"});
+  d.http_quirks.version_check = VersionCheck::kValidOnly;  // proxy parses strictly
+  d.http_quirks.url_includes_path = true;
+  d.injection.init_ttl = 255;
+  d.injection.ip_id = 0;
+  d.injection.tcp_window = 4096;
+  d.services = {
+      {443, "https", "Blue Coat ProxySG management console"},
+      {23, "telnet", "Blue Coat Systems SG210"},
+  };
+  d.stack = {255, 8192, 1400, false, 255};
+  return d;
+}
+
+DeviceConfig sandvine(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "Sandvine";
+  d.action = BlockAction::kRstInject;  // the PacketLogic reset-injection MO
+  d.http_quirks.method_allowlist = methods({"GET", "POST"});
+  d.http_quirks.version_check = VersionCheck::kNone;
+  d.injection.init_ttl = 64;
+  d.injection.ip_id = 0x3412;
+  d.injection.tcp_window = 32768;
+  d.injection.max_injections_per_flow = 3;
+  d.services = {
+      {22, "ssh", "SSH-2.0-PacketLogic"},
+  };
+  d.stack = {64, 26883, 1460, true, 64};
+  return d;
+}
+
+DeviceConfig by_dpi(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "";  // unattributed national DPI
+  d.on_path = true;
+  d.action = BlockAction::kRstInject;
+  d.http_quirks.method_allowlist = methods({"GET", "POST", "PUT", "HEAD"});
+  d.http_quirks.version_check = VersionCheck::kPrefixHttp;
+  d.http_quirks.host_word_check = HostWordCheck::kContainsHost;
+  d.tls_quirks.parses_versions = {net::TlsVersion::kTls10, net::TlsVersion::kTls11,
+                                  net::TlsVersion::kTls12};
+  d.injection.init_ttl = 64;
+  d.injection.ip_id = 0xbeef;
+  d.injection.tcp_window = 0;
+  d.residual_block_ms = 60 * kSecond;
+  return d;
+}
+
+DeviceConfig tspu(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "";  // TSPU-style box, no visible services
+  d.action = BlockAction::kDrop;
+  // Modern DPI: broad method coverage including PATCH (keeps the paper's
+  // PATCH evasion rate below 100%).
+  d.http_quirks.method_allowlist =
+      methods({"GET", "POST", "PUT", "HEAD", "PATCH", "DELETE", "OPTIONS"});
+  d.http_quirks.version_check = VersionCheck::kNone;
+  d.residual_block_ms = 60 * kSecond;
+  return d;
+}
+
+DeviceConfig ru_rstcopy(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "";
+  d.action = BlockAction::kRstInject;
+  d.http_quirks.method_allowlist = methods({"GET", "POST"});
+  d.http_quirks.version_check = VersionCheck::kPrefixHttp;
+  // The "Past E" phenomenon (§4.3): injected resets copy the IP header —
+  // including the remaining TTL — from the censored probe.
+  d.injection.copy_ttl_from_trigger = true;
+  d.injection.ip_id = 0;
+  d.injection.tcp_window = 0;
+  return d;
+}
+
+DeviceConfig unknown(const std::string& id) {
+  DeviceConfig d;
+  d.id = id;
+  d.vendor = "";
+  d.action = BlockAction::kDrop;
+  return d;
+}
+
+}  // namespace
+
+DeviceConfig make_vendor_device(const std::string& vendor, const std::string& id) {
+  if (vendor == "Fortinet") return fortinet(id);
+  if (vendor == "Cisco") return cisco(id);
+  if (vendor == "Kerio") return kerio(id);
+  if (vendor == "PaloAlto") return paloalto(id);
+  if (vendor == "DDoSGuard") return ddosguard(id);
+  if (vendor == "MikroTik") return mikrotik(id);
+  if (vendor == "Kaspersky") return kaspersky(id);
+  if (vendor == "Netsweeper") return netsweeper(id);
+  if (vendor == "BlueCoat") return bluecoat(id);
+  if (vendor == "Sandvine") return sandvine(id);
+  if (vendor == "BY-DPI") return by_dpi(id);
+  if (vendor == "TSPU") return tspu(id);
+  if (vendor == "RU-RSTCOPY") return ru_rstcopy(id);
+  if (vendor == "Unknown") return unknown(id);
+  throw std::invalid_argument("unknown vendor profile: " + vendor);
+}
+
+const std::vector<std::string>& known_vendors() {
+  static const std::vector<std::string> kAll = {
+      "Fortinet",   "Cisco",    "Kerio",  "PaloAlto", "DDoSGuard",
+      "MikroTik",   "Kaspersky", "Netsweeper", "BlueCoat", "Sandvine",
+      "BY-DPI",     "TSPU",     "RU-RSTCOPY", "Unknown"};
+  return kAll;
+}
+
+const std::vector<std::string>& commercial_vendors() {
+  // The seven the paper identifies in AZ/BY/KZ/RU, plus the three classic
+  // worldwide filtering products from its related work.
+  static const std::vector<std::string> kCommercial = {
+      "Fortinet",  "Cisco",      "Kerio",    "PaloAlto", "DDoSGuard",
+      "MikroTik",  "Kaspersky",  "Netsweeper", "BlueCoat", "Sandvine"};
+  return kCommercial;
+}
+
+std::optional<std::string> match_blockpage(std::string_view html) {
+  // Vendor-specific strings first; the bare "Web Page Blocked!" heading is
+  // a Fortinet fallback and must not shadow more specific pages.
+  if (html.find("Netsweeper") != std::string_view::npos) return "Netsweeper";
+  if (html.find("Blue Coat") != std::string_view::npos) return "BlueCoat";
+  if (html.find("Sandvine") != std::string_view::npos) return "Sandvine";
+  if (html.find("Kerio Control") != std::string_view::npos) return "Kerio";
+  if (html.find("Palo Alto Networks") != std::string_view::npos) return "PaloAlto";
+  if (html.find("ddos-guard") != std::string_view::npos ||
+      html.find("DDoS-Guard") != std::string_view::npos) {
+    return "DDoSGuard";
+  }
+  if (html.find("FortiGuard") != std::string_view::npos ||
+      html.find("Web Page Blocked!") != std::string_view::npos) {
+    return "Fortinet";
+  }
+  return std::nullopt;
+}
+
+net::Ipv4Address dns_sinkhole_address() { return net::Ipv4Address(10, 66, 66, 66); }
+
+std::optional<std::string> match_dns_sinkhole(net::Ipv4Address address) {
+  // Curated injected-answer fingerprints (the DNS analogue of the
+  // Censored Planet blockpage list).
+  if (address == dns_sinkhole_address()) return "DNS-INJECT";
+  if (address == net::Ipv4Address(127, 0, 0, 2)) return "DNS-LOCALHOST-SINKHOLE";
+  return std::nullopt;
+}
+
+std::optional<std::string> match_banner(std::string_view banner) {
+  std::string b = ascii_lower(banner);
+  if (b.find("fortinet") != std::string::npos || b.find("fortigate") != std::string::npos ||
+      b.find("fortissh") != std::string::npos) {
+    return "Fortinet";
+  }
+  if (b.find("cisco") != std::string::npos ||
+      b.find("user access verification") != std::string::npos) {
+    return "Cisco";
+  }
+  if (b.find("kerio") != std::string::npos) return "Kerio";
+  if (b.find("pan-os") != std::string::npos || b.find("paloalto") != std::string::npos ||
+      b.find("palo alto") != std::string::npos) {
+    return "PaloAlto";
+  }
+  if (b.find("ddos-guard") != std::string::npos) return "DDoSGuard";
+  if (b.find("mikrotik") != std::string::npos || b.find("rosssh") != std::string::npos ||
+      b.find("routeros") != std::string::npos) {
+    return "MikroTik";
+  }
+  if (b.find("kaspersky") != std::string::npos) return "Kaspersky";
+  if (b.find("netsweeper") != std::string::npos) return "Netsweeper";
+  if (b.find("blue coat") != std::string::npos || b.find("bluecoat") != std::string::npos) {
+    return "BlueCoat";
+  }
+  if (b.find("packetlogic") != std::string::npos || b.find("sandvine") != std::string::npos) {
+    return "Sandvine";
+  }
+  return std::nullopt;
+}
+
+}  // namespace cen::censor

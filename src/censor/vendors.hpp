@@ -1,0 +1,53 @@
+// Commercial filtering-device vendor profiles.
+//
+// The paper identifies seven commercial vendors across AZ/BY/KZ/RU (§5.3):
+// Cisco (7 deployments), Fortinet (5 + 4 blockpage-only), Kerio Control (2),
+// Palo Alto (2), DDoS-Guard (1), MikroTik (1), Kaspersky (1) — plus
+// unattributed ISP-built systems (Beltelecom's on-path RST injector in BY,
+// Russia's decentralized TSPU-style drop/RST boxes). Each profile bundles
+// the DPI quirks, blocking action, injection fingerprint, blockpage, and
+// management-plane banners that make deployments of the same vendor cluster
+// together (§7.4).
+//
+// Quirk assignments follow the paper's aggregate findings: e.g. PATCH and
+// empty methods evade most vendors, invalid HTTP versions evade few, Host
+// keyword matching is case-insensitive nearly everywhere, and most rule
+// sets use leading wildcards (suffix matching).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "censor/device.hpp"
+
+namespace cen::censor {
+
+/// Vendor factory: returns a DeviceConfig preset for the named vendor with
+/// empty rule sets (the scenario fills in country-specific blocklists).
+/// Known names: "Fortinet", "Cisco", "Kerio", "PaloAlto", "DDoSGuard",
+/// "MikroTik", "Kaspersky", "BY-DPI" (unattributed on-path injector),
+/// "TSPU" (unattributed RU drop box), "RU-RSTCOPY" (unattributed RU
+/// TTL-copying RST injector), "Unknown" (no banners, drop).
+DeviceConfig make_vendor_device(const std::string& vendor, const std::string& id);
+
+/// All vendor names the factory accepts, commercial ones first.
+const std::vector<std::string>& known_vendors();
+/// The subset that are commercial products with identifiable banners.
+const std::vector<std::string>& commercial_vendors();
+
+/// Censored Planet–style blockpage fingerprinting: match an HTTP body
+/// against the curated pattern list and return the vendor it identifies.
+std::optional<std::string> match_blockpage(std::string_view html);
+
+/// Recog-style banner fingerprinting: match one service banner and return
+/// the vendor it identifies.
+std::optional<std::string> match_banner(std::string_view banner);
+
+/// DNS analogue of the blockpage list: known sinkhole addresses national
+/// DNS injectors answer with. Returns the deployment label when matched.
+std::optional<std::string> match_dns_sinkhole(net::Ipv4Address address);
+/// The canonical sinkhole address used by the "DNS-INJECT" profile.
+net::Ipv4Address dns_sinkhole_address();
+
+}  // namespace cen::censor

@@ -1,0 +1,159 @@
+// CenTrace — the censorship traceroute (paper §4).
+//
+// A CenTrace measurement probes one (endpoint, Test Domain) pair from a
+// client: it sends a real HTTP GET or TLS ClientHello for a benign Control
+// Domain with TTL 1, 2, 3, ... (building the path from ICMP Time Exceeded
+// responses), then repeats the sweep for the Test Domain and watches for
+// the probe to die early — a spoofed TCP RST/FIN, an injected blockpage, or
+// the start of an unbroken run of timeouts. The hop where the Test sweep
+// terminates, located on the Control path, is the blocking hop.
+//
+// The implementation covers every device behaviour in the paper's Fig. 2:
+//   (A/B) in-path injectors — terminating response with no ICMP at that TTL;
+//   (C)   packet-dropping devices — trailing-timeout runs with retries;
+//   (D)   on-path taps — injected response *plus* ICMP from the same TTL;
+//   (E)   TTL-copying injectors — resets that only become visible at
+//         TTL ≈ 2·d with a received TTL of 1, corrected back to d.
+// Path variance is tamed by repeating both sweeps (11× by default, the
+// paper's empirically derived count) over fresh TCP connections and
+// majority-voting each hop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "centrace/icmp_diff.hpp"
+#include "geo/asdb.hpp"
+#include "netsim/engine.hpp"
+
+namespace cen::trace {
+
+/// What a single TTL-limited probe elicited.
+enum class ProbeResponse : std::uint8_t {
+  kTimeout,          // nothing after retries
+  kIcmpTtlExceeded,  // router answered; path continues
+  kTcpRst,
+  kTcpFin,
+  kBlockpage,        // HTTP response matching a known blockpage fingerprint
+  kEndpointData,     // genuine-looking response (HTTP page / TLS handshake)
+};
+
+std::string_view probe_response_name(ProbeResponse r);
+
+struct HopObservation {
+  int ttl = 0;
+  ProbeResponse response = ProbeResponse::kTimeout;
+  std::optional<net::Ipv4Address> icmp_router;
+  std::optional<Bytes> icmp_quoted;
+  /// TCP packet received from the endpoint IP (genuine or spoofed).
+  std::optional<net::Packet> tcp_packet;
+  /// Both an injected TCP response and an ICMP from this TTL (on-path signal).
+  bool tcp_and_icmp = false;
+  /// Copy of the probe as sent (baseline for quote diffing).
+  net::Packet sent;
+};
+
+/// One full TTL sweep for one domain over fresh per-probe connections.
+struct SingleTrace {
+  std::string domain;
+  std::vector<HopObservation> hops;  // hops[i] is TTL i+1
+  int terminating_ttl = -1;          // TTL of the terminating response
+  ProbeResponse terminating_response = ProbeResponse::kTimeout;
+  bool endpoint_reached = false;
+  bool connect_failed = false;
+};
+
+enum class BlockingType : std::uint8_t { kNone, kTimeout, kRst, kFin, kHttpBlockpage };
+std::string_view blocking_type_name(BlockingType t);
+
+enum class BlockingLocation : std::uint8_t {
+  kNotBlocked,
+  kOnPathToEndpoint,  // strictly between client and endpoint ("Path(C->E)")
+  kAtEndpoint,        // the endpoint (or a NAT in front of it) ("At E")
+  kPastEndpoint,      // apparent hop beyond the endpoint ("Past E")
+  kNoIcmp,            // cannot localize: neighbouring hops silent ("No ICMP")
+};
+std::string_view blocking_location_name(BlockingLocation l);
+
+enum class DevicePlacement : std::uint8_t { kUnknown, kInPath, kOnPath };
+std::string_view device_placement_name(DevicePlacement p);
+
+/// Protocol the probes carry. HTTP GET and TLS ClientHello are the paper's
+/// subjects; DNS (over TCP, RFC 7766, and over UDP — the injector-race
+/// variant) is the protocol extension §4/§8 anticipate.
+enum class ProbeProtocol : std::uint8_t { kHttp, kHttps, kDns, kDnsUdp };
+std::string_view probe_protocol_name(ProbeProtocol p);
+
+struct CenTraceOptions {
+  int max_ttl = 64;
+  int retries = 3;          // per-probe retries on timeout (transient loss)
+  int repetitions = 11;     // sweeps per domain (paper's path-variance count)
+  /// Probes after observing blocking wait this long (stateful censors).
+  SimTime inter_probe_wait = 120 * kSecond;
+  /// Consecutive timeouts after which a sweep concludes "dropped".
+  /// Must exceed the longest silent-router run and the TTL-copy gap.
+  int timeout_run_stop = 16;
+  ProbeProtocol protocol = ProbeProtocol::kHttp;
+};
+
+struct CenTraceReport {
+  std::string test_domain;
+  std::string control_domain;
+  net::Ipv4Address endpoint;
+  ProbeProtocol protocol = ProbeProtocol::kHttp;
+
+  bool blocked = false;
+  BlockingType blocking_type = BlockingType::kNone;
+  BlockingLocation location = BlockingLocation::kNotBlocked;
+  DevicePlacement placement = DevicePlacement::kUnknown;
+
+  /// Majority terminating TTL of the Test sweeps, after TTL-copy correction.
+  int blocking_hop_ttl = -1;
+  /// IP at the blocking hop on the Control path (in-path device candidate).
+  std::optional<net::Ipv4Address> blocking_hop_ip;
+  std::optional<geo::AsInfo> blocking_as;
+  /// Endpoint hop distance measured by the Control sweeps (-1 if unreached).
+  int endpoint_hop_distance = -1;
+  bool ttl_copy_detected = false;
+  std::optional<std::string> blockpage_vendor;  // from fingerprint match
+
+  /// Features of the injected packet at the terminating hop, if any.
+  std::optional<net::Packet> injected_packet;
+
+  /// Tracebox-style quote analysis from the Control sweeps.
+  std::vector<QuoteDiff> quote_diffs;
+
+  /// Majority Control-path IP per hop (nullopt = silent hop).
+  std::vector<std::optional<net::Ipv4Address>> control_path;
+
+  std::vector<SingleTrace> control_traces;
+  std::vector<SingleTrace> test_traces;
+};
+
+class CenTrace {
+ public:
+  CenTrace(sim::Network& network, sim::NodeId client, CenTraceOptions options = {});
+
+  /// Run a full CenTrace measurement: repeated Control sweeps, repeated
+  /// Test sweeps, aggregation, localisation and classification.
+  CenTraceReport measure(net::Ipv4Address endpoint, const std::string& test_domain,
+                         const std::string& control_domain);
+
+  /// One sweep (exposed for tests and the ablation bench).
+  SingleTrace sweep(net::Ipv4Address endpoint, const std::string& domain);
+
+  const CenTraceOptions& options() const { return options_; }
+
+ private:
+  Bytes build_payload(const std::string& domain) const;
+  HopObservation probe(net::Ipv4Address endpoint, const Bytes& payload, int ttl);
+  void aggregate(CenTraceReport& report) const;
+
+  sim::Network& network_;
+  sim::NodeId client_;
+  CenTraceOptions options_;
+};
+
+}  // namespace cen::trace

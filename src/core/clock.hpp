@@ -1,0 +1,29 @@
+// Simulated monotonic clock.
+//
+// The network simulation and all censorship-device state (residual
+// blocking windows, injection rate limits) are driven off this clock;
+// tools advance it explicitly (e.g. CenTrace's 120 s inter-probe wait),
+// so "time" passes instantly in real terms while remaining causally
+// meaningful inside the simulation.
+#pragma once
+
+#include <cstdint>
+
+namespace cen {
+
+using SimTime = std::uint64_t;  // milliseconds since simulation start
+
+class SimClock {
+ public:
+  SimTime now() const { return now_ms_; }
+  void advance(SimTime delta_ms) { now_ms_ += delta_ms; }
+
+ private:
+  SimTime now_ms_ = 0;
+};
+
+constexpr SimTime kMillisecond = 1;
+constexpr SimTime kSecond = 1000;
+constexpr SimTime kMinute = 60 * kSecond;
+
+}  // namespace cen

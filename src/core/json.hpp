@@ -1,0 +1,57 @@
+// Minimal streaming JSON writer.
+//
+// The measurement tools emit machine-readable reports (the real CenTrace /
+// CenFuzz / CenProbe write JSON lines); this writer produces compact,
+// correctly escaped JSON without a DOM. Scopes are validated: mismatched
+// end_*() or a value without a pending key inside an object throw.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cen {
+
+std::string json_escape(std::string_view s);
+
+/// Strict syntax validation of one JSON document (RFC 8259 grammar, no
+/// trailing content). Used by tests to certify everything the report
+/// serializers and CLIs emit.
+bool json_valid(std::string_view text);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Key inside an object; must be followed by exactly one value/scope.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// The finished document; throws if scopes are still open.
+  std::string str() const;
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  void pre_value();
+  void open(Scope s, char c);
+  void close(Scope s, char c);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+};
+
+}  // namespace cen

@@ -1,0 +1,32 @@
+// Small string utilities shared across protocol parsers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cen {
+
+/// ASCII lowercase copy.
+std::string ascii_lower(std::string_view s);
+/// ASCII uppercase copy.
+std::string ascii_upper(std::string_view s);
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+/// Trim ASCII whitespace (space, \t, \r, \n) from both ends.
+std::string_view trim(std::string_view s);
+/// Split on a delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+/// Split on a multi-character separator; keeps empty fields.
+std::vector<std::string> split(std::string_view s, std::string_view sep);
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+/// Reverse a string ("abc" -> "cba").
+std::string reversed(std::string_view s);
+/// printf-style float with fixed precision, e.g. fmt_pct(0.4213, 2) == "42.13".
+std::string fmt_fixed(double v, int precision);
+
+}  // namespace cen

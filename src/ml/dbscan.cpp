@@ -1,0 +1,77 @@
+#include "ml/dbscan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace cen::ml {
+
+double euclidean(const Row& a, const Row& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+DbscanResult dbscan(const Matrix& x, double epsilon, std::size_t min_points) {
+  DbscanResult result;
+  std::size_t n = x.size();
+  result.labels.assign(n, kNoise);
+  std::vector<bool> visited(n, false);
+
+  auto neighbours = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (euclidean(x[i], x[j]) <= epsilon) out.push_back(j);
+    }
+    return out;
+  };
+
+  int cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = true;
+    std::vector<std::size_t> seeds = neighbours(i);
+    if (seeds.size() < min_points) continue;  // noise (may be claimed later)
+
+    result.labels[i] = cluster;
+    std::deque<std::size_t> queue(seeds.begin(), seeds.end());
+    while (!queue.empty()) {
+      std::size_t j = queue.front();
+      queue.pop_front();
+      if (result.labels[j] == kNoise) result.labels[j] = cluster;  // border point
+      if (visited[j]) continue;
+      visited[j] = true;
+      result.labels[j] = cluster;
+      std::vector<std::size_t> jn = neighbours(j);
+      if (jn.size() >= min_points) {
+        queue.insert(queue.end(), jn.begin(), jn.end());
+      }
+    }
+    ++cluster;
+  }
+  result.n_clusters = cluster;
+  return result;
+}
+
+double estimate_epsilon(const Matrix& x, std::size_t k) {
+  std::size_t n = x.size();
+  if (n < 2) return 1.0;
+  double sum = 0.0;
+  std::vector<double> dists;
+  for (std::size_t i = 0; i < n; ++i) {
+    dists.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) dists.push_back(euclidean(x[i], x[j]));
+    }
+    std::size_t kk = std::min(k, dists.size()) - 1;
+    std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(kk),
+                     dists.end());
+    sum += dists[kk];
+  }
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace cen::ml

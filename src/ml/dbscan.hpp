@@ -1,0 +1,30 @@
+// DBSCAN density clustering (paper §7.3).
+//
+// The paper clusters censorship deployments with DBSCAN because the number
+// of device types is unknown a priori, choosing ε via the average k-nearest-
+// neighbour distance heuristic (Rahmah & Sitanggang). Both are implemented
+// here over Euclidean distance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/decision_tree.hpp"  // Row/Matrix aliases
+
+namespace cen::ml {
+
+constexpr int kNoise = -1;
+
+struct DbscanResult {
+  std::vector<int> labels;  // cluster id per row; kNoise for outliers
+  int n_clusters = 0;
+};
+
+double euclidean(const Row& a, const Row& b);
+
+DbscanResult dbscan(const Matrix& x, double epsilon, std::size_t min_points);
+
+/// ε heuristic: mean distance from each point to its k-th nearest neighbour.
+double estimate_epsilon(const Matrix& x, std::size_t k);
+
+}  // namespace cen::ml

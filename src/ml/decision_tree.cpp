@@ -1,0 +1,138 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cen::ml {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (std::size_t c : counts) {
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+void DecisionTree::fit(const Matrix& x, const std::vector<int>& y,
+                       const std::vector<std::size_t>& sample_indices, int n_classes,
+                       const TreeOptions& options, Rng& rng) {
+  nodes_.clear();
+  importances_.assign(x.empty() ? 0 : x[0].size(), 0.0);
+  if (sample_indices.empty()) {
+    nodes_.push_back(Node{});
+    return;
+  }
+  std::vector<std::size_t> indices = sample_indices;
+  build(x, y, indices, 0, indices.size(), n_classes, 0, options, rng,
+        static_cast<double>(indices.size()));
+}
+
+std::size_t DecisionTree::build(const Matrix& x, const std::vector<int>& y,
+                                std::vector<std::size_t>& indices, std::size_t begin,
+                                std::size_t end, int n_classes, std::size_t depth,
+                                const TreeOptions& options, Rng& rng,
+                                double total_samples) {
+  std::size_t node_id = nodes_.size();
+  nodes_.push_back(Node{});
+  std::size_t n = end - begin;
+
+  std::vector<std::size_t> counts(static_cast<std::size_t>(n_classes), 0);
+  for (std::size_t i = begin; i < end; ++i) ++counts[static_cast<std::size_t>(y[indices[i]])];
+  int majority = 0;
+  for (int c = 1; c < n_classes; ++c) {
+    if (counts[static_cast<std::size_t>(c)] > counts[static_cast<std::size_t>(majority)]) {
+      majority = c;
+    }
+  }
+  nodes_[node_id].label = majority;
+
+  double node_gini = gini(counts, n);
+  bool pure = node_gini == 0.0;
+  if (pure || depth >= options.max_depth || n < options.min_samples_split) {
+    return node_id;
+  }
+
+  std::size_t n_features = x[0].size();
+  std::size_t mtry = options.max_features;
+  if (mtry == 0) {
+    mtry = static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(n_features))));
+    mtry = std::max<std::size_t>(1, mtry);
+  }
+  mtry = std::min(mtry, n_features);
+
+  // Random feature subset for this split (without replacement).
+  std::vector<std::size_t> feature_order = rng.permutation(n_features);
+  feature_order.resize(mtry);
+
+  double best_gain = 0.0;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, int>> values;
+  values.reserve(n);
+  for (std::size_t f : feature_order) {
+    values.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      values.emplace_back(x[indices[i]][f], y[indices[i]]);
+    }
+    std::sort(values.begin(), values.end());
+
+    std::vector<std::size_t> left_counts(static_cast<std::size_t>(n_classes), 0);
+    std::vector<std::size_t> right_counts = counts;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      std::size_t cls = static_cast<std::size_t>(values[i].second);
+      ++left_counts[cls];
+      --right_counts[cls];
+      if (values[i].first == values[i + 1].first) continue;  // no valid threshold
+      std::size_t nl = i + 1, nr = n - nl;
+      double gain = node_gini -
+                    (static_cast<double>(nl) / static_cast<double>(n)) * gini(left_counts, nl) -
+                    (static_cast<double>(nr) / static_cast<double>(n)) * gini(right_counts, nr);
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = (values[i].first + values[i + 1].first) / 2.0;
+      }
+    }
+  }
+
+  if (best_gain <= 0.0) return node_id;
+
+  // Partition [begin, end) in place.
+  std::size_t mid = begin;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (x[indices[i]][best_feature] <= best_threshold) {
+      std::swap(indices[i], indices[mid]);
+      ++mid;
+    }
+  }
+  if (mid == begin || mid == end) return node_id;  // degenerate split
+
+  importances_[best_feature] += best_gain * (static_cast<double>(n) / total_samples);
+
+  nodes_[node_id].leaf = false;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  std::size_t left =
+      build(x, y, indices, begin, mid, n_classes, depth + 1, options, rng, total_samples);
+  std::size_t right =
+      build(x, y, indices, mid, end, n_classes, depth + 1, options, rng, total_samples);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+int DecisionTree::predict(const Row& row) const {
+  if (nodes_.empty()) return 0;
+  std::size_t id = 0;
+  while (!nodes_[id].leaf) {
+    const Node& node = nodes_[id];
+    id = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[id].label;
+}
+
+}  // namespace cen::ml

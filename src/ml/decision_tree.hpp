@@ -1,0 +1,61 @@
+// CART classification tree with Gini impurity.
+//
+// Built as the unit of the random forest (random_forest.hpp). Each split
+// records its weighted impurity decrease, which the forest accumulates
+// into per-feature mean-decrease-in-impurity (MDI) scores — the measure
+// the paper uses to rank device features (Fig. 9).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace cen::ml {
+
+using Row = std::vector<double>;
+using Matrix = std::vector<Row>;
+
+struct TreeOptions {
+  std::size_t max_depth = 16;
+  std::size_t min_samples_split = 2;
+  /// Features considered per split; 0 = sqrt(n_features).
+  std::size_t max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Fit on the rows selected by `sample_indices` (bootstrap support).
+  void fit(const Matrix& x, const std::vector<int>& y,
+           const std::vector<std::size_t>& sample_indices, int n_classes,
+           const TreeOptions& options, Rng& rng);
+
+  int predict(const Row& row) const;
+
+  /// Total weighted impurity decrease contributed by each feature,
+  /// normalised by the number of training samples.
+  const std::vector<double>& impurity_decrease() const { return importances_; }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int label = 0;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::size_t left = 0;
+    std::size_t right = 0;
+  };
+
+  std::size_t build(const Matrix& x, const std::vector<int>& y,
+                    std::vector<std::size_t>& indices, std::size_t begin,
+                    std::size_t end, int n_classes, std::size_t depth,
+                    const TreeOptions& options, Rng& rng, double total_samples);
+
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+};
+
+/// Gini impurity of label counts.
+double gini(const std::vector<std::size_t>& counts, std::size_t total);
+
+}  // namespace cen::ml

@@ -1,0 +1,286 @@
+#include "ml/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "ml/stats.hpp"
+
+namespace cen::ml {
+
+namespace {
+
+constexpr double kMissing = std::numeric_limits<double>::quiet_NaN();
+
+double censor_response_code(const trace::CenTraceReport& r) {
+  switch (r.blocking_type) {
+    case trace::BlockingType::kNone: return 0.0;
+    case trace::BlockingType::kTimeout: return 1.0;
+    case trace::BlockingType::kRst: return 2.0;
+    case trace::BlockingType::kFin: return 3.0;
+    case trace::BlockingType::kHttpBlockpage: return 4.0;
+  }
+  return 0.0;
+}
+
+/// Success rate of one strategy in a fuzz report (NaN if never testable).
+double strategy_success_rate(const fuzz::CenFuzzReport& report, const std::string& name) {
+  std::size_t successful = 0, total = 0;
+  for (const fuzz::FuzzMeasurement& m : report.measurements) {
+    if (m.strategy != name) continue;
+    if (m.outcome == fuzz::FuzzOutcome::kUntestable) continue;
+    ++total;
+    if (m.outcome == fuzz::FuzzOutcome::kSuccessful) ++successful;
+  }
+  if (total == 0) return kMissing;
+  return static_cast<double>(successful) / static_cast<double>(total);
+}
+
+const std::vector<std::uint16_t>& feature_ports() {
+  static const std::vector<std::uint16_t> kPorts = {21, 22, 23, 25, 80, 161, 443, 4081};
+  return kPorts;
+}
+
+}  // namespace
+
+FeatureMatrix extract_features(const std::vector<EndpointMeasurement>& measurements) {
+  FeatureMatrix m;
+
+  // Stable feature layout.
+  m.feature_names = {
+      "CensorResponse", "OnPath",          "InjectedIPTTL",   "InjectedIPID",
+      "InjectedIPFlags", "InjectedTCPWindow", "InjectedTCPFlags", "InjectedIPTOS",
+      "IPTOSChanged",   "IPFlagsChanged",  "BlockingHopDist",
+  };
+  std::vector<std::string> strategy_features;
+  strategy_features.emplace_back("Normal");
+  for (const fuzz::StrategyInfo& s : fuzz::strategy_catalogue()) {
+    strategy_features.push_back(s.name);
+  }
+  for (const std::string& s : strategy_features) m.feature_names.push_back(s);
+  for (std::uint16_t p : feature_ports()) {
+    m.feature_names.push_back("OpenPort" + std::to_string(p));
+  }
+  m.feature_names.emplace_back("OpenPortCount");
+  // Nmap-style stack fingerprint of the management plane (§5.1, Table 3).
+  m.feature_names.emplace_back("NmapSynAckTTL");
+  m.feature_names.emplace_back("NmapWindow");
+  m.feature_names.emplace_back("NmapMss");
+  m.feature_names.emplace_back("NmapSack");
+
+  for (const EndpointMeasurement& em : measurements) {
+    Row row;
+    row.reserve(m.feature_names.size());
+
+    const trace::CenTraceReport& tr = em.trace;
+    row.push_back(censor_response_code(tr));
+    row.push_back(tr.placement == trace::DevicePlacement::kOnPath ? 1.0 : 0.0);
+    if (tr.injected_packet) {
+      const net::Packet& inj = *tr.injected_packet;
+      row.push_back(static_cast<double>(inj.ip.ttl));
+      row.push_back(static_cast<double>(inj.ip.identification));
+      row.push_back(static_cast<double>(inj.ip.flags));
+      row.push_back(static_cast<double>(inj.tcp.window));
+      row.push_back(static_cast<double>(inj.tcp.flags));
+      row.push_back(static_cast<double>(inj.ip.tos));
+    } else {
+      for (int i = 0; i < 6; ++i) row.push_back(kMissing);
+    }
+    bool any_tos = false, any_flags = false, any_quote = false;
+    for (const trace::QuoteDiff& qd : tr.quote_diffs) {
+      if (!qd.parse_ok) continue;
+      any_quote = true;
+      any_tos |= qd.tos_changed;
+      any_flags |= qd.ip_flags_changed;
+    }
+    row.push_back(any_quote ? (any_tos ? 1.0 : 0.0) : kMissing);
+    row.push_back(any_quote ? (any_flags ? 1.0 : 0.0) : kMissing);
+    // Distance of the blocking hop from the endpoint (network position).
+    if (tr.blocking_hop_ttl > 0 && tr.endpoint_hop_distance > 0) {
+      row.push_back(static_cast<double>(tr.endpoint_hop_distance - tr.blocking_hop_ttl));
+    } else {
+      row.push_back(kMissing);
+    }
+
+    for (const std::string& s : strategy_features) {
+      if (em.fuzz) {
+        double rate = strategy_success_rate(*em.fuzz, s);
+        // "Normal" is the baseline: encode blocked-ness instead of success.
+        if (s == "Normal") {
+          rate = (em.fuzz->http_baseline_blocked || em.fuzz->tls_baseline_blocked) ? 1.0 : 0.0;
+        }
+        row.push_back(rate);
+      } else {
+        row.push_back(kMissing);
+      }
+    }
+
+    if (em.banner) {
+      for (std::uint16_t p : feature_ports()) {
+        bool open = std::find(em.banner->open_ports.begin(), em.banner->open_ports.end(),
+                              p) != em.banner->open_ports.end();
+        row.push_back(open ? 1.0 : 0.0);
+      }
+      row.push_back(static_cast<double>(em.banner->open_ports.size()));
+    } else {
+      for (std::size_t i = 0; i <= feature_ports().size(); ++i) row.push_back(kMissing);
+    }
+    if (em.banner && em.banner->stack) {
+      const censor::StackFingerprint& st = *em.banner->stack;
+      row.push_back(static_cast<double>(st.synack_ttl));
+      row.push_back(static_cast<double>(st.synack_window));
+      row.push_back(static_cast<double>(st.mss));
+      row.push_back(st.sack_permitted ? 1.0 : 0.0);
+    } else {
+      for (int i = 0; i < 4; ++i) row.push_back(kMissing);
+    }
+
+    m.rows.push_back(std::move(row));
+    m.row_ids.push_back(em.endpoint_id);
+    m.countries.push_back(em.country);
+
+    // Label priority: blockpage fingerprint, then banner fingerprint.
+    std::string label;
+    if (tr.blockpage_vendor) {
+      label = *tr.blockpage_vendor;
+    } else if (em.banner && em.banner->vendor) {
+      label = *em.banner->vendor;
+    }
+    m.labels.push_back(std::move(label));
+  }
+  return m;
+}
+
+void impute_median(FeatureMatrix& m) {
+  for (std::size_t f = 0; f < m.n_features(); ++f) {
+    std::vector<double> observed;
+    for (const Row& row : m.rows) {
+      if (!std::isnan(row[f])) observed.push_back(row[f]);
+    }
+    double fill = observed.empty() ? 0.0 : median(observed);
+    for (Row& row : m.rows) {
+      if (std::isnan(row[f])) row[f] = fill;
+    }
+  }
+}
+
+void standardize(FeatureMatrix& m) {
+  for (std::size_t f = 0; f < m.n_features(); ++f) {
+    std::vector<double> col;
+    col.reserve(m.n_rows());
+    for (const Row& row : m.rows) col.push_back(row[f]);
+    double mu = mean(col);
+    double sd = std::sqrt(variance(col));
+    for (Row& row : m.rows) {
+      row[f] = sd > 0.0 ? (row[f] - mu) / sd : 0.0;
+    }
+  }
+}
+
+FeatureMatrix select_features(const FeatureMatrix& m,
+                              const std::vector<std::size_t>& feature_indices) {
+  FeatureMatrix out;
+  out.labels = m.labels;
+  out.row_ids = m.row_ids;
+  out.countries = m.countries;
+  for (std::size_t f : feature_indices) out.feature_names.push_back(m.feature_names[f]);
+  out.rows.reserve(m.n_rows());
+  for (const Row& row : m.rows) {
+    Row selected;
+    selected.reserve(feature_indices.size());
+    for (std::size_t f : feature_indices) selected.push_back(row[f]);
+    out.rows.push_back(std::move(selected));
+  }
+  return out;
+}
+
+namespace {
+std::string csv_cell(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string to_csv(const FeatureMatrix& m) {
+  std::string out = "endpoint,country,label";
+  for (const std::string& name : m.feature_names) {
+    out += ',';
+    out += csv_cell(name);
+  }
+  out += '\n';
+  for (std::size_t i = 0; i < m.n_rows(); ++i) {
+    out += csv_cell(m.row_ids[i]);
+    out += ',';
+    out += csv_cell(m.countries[i]);
+    out += ',';
+    out += csv_cell(m.labels[i]);
+    for (double v : m.rows[i]) {
+      out += ',';
+      if (!std::isnan(v)) {
+        // Trim trailing zeros for compactness, keeping full precision.
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+        out += buf;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> propagate_labels(const FeatureMatrix& m,
+                                          const std::vector<int>& cluster_labels,
+                                          double min_share) {
+  std::vector<std::string> out = m.labels;
+  // cluster -> label -> count (labelled members only).
+  std::map<int, std::map<std::string, int>> votes;
+  std::map<int, int> labelled_members;
+  for (std::size_t i = 0; i < m.n_rows(); ++i) {
+    int cluster = cluster_labels[i];
+    if (cluster < 0 || m.labels[i].empty()) continue;
+    votes[cluster][m.labels[i]]++;
+    labelled_members[cluster]++;
+  }
+  for (std::size_t i = 0; i < m.n_rows(); ++i) {
+    int cluster = cluster_labels[i];
+    if (cluster < 0 || !out[i].empty()) continue;
+    auto v = votes.find(cluster);
+    if (v == votes.end()) continue;
+    const std::string* best = nullptr;
+    int best_count = 0;
+    for (const auto& [label, count] : v->second) {
+      if (count > best_count) {
+        best = &label;
+        best_count = count;
+      }
+    }
+    if (best != nullptr &&
+        best_count >= min_share * labelled_members[cluster]) {
+      out[i] = *best;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> encode_labels(const std::vector<std::string>& labels,
+                                       std::vector<int>& out) {
+  std::map<std::string, int> ids;
+  std::vector<std::string> names;
+  out.clear();
+  out.reserve(labels.size());
+  for (const std::string& label : labels) {
+    auto [it, inserted] = ids.emplace(label, static_cast<int>(names.size()));
+    if (inserted) names.push_back(label);
+    out.push_back(it->second);
+  }
+  return names;
+}
+
+}  // namespace cen::ml

@@ -1,0 +1,79 @@
+// Feature extraction for the clustering pipeline (paper §7.1, Table 3).
+//
+// For every endpoint that encountered blocking, a numeric feature vector is
+// assembled from the three measurement tools:
+//   CenTrace  — censorship response type, on-path/in-path, injected-packet
+//               header fields (TTL, IP ID, IP flags, TCP window/flags),
+//               quoted-ICMP deltas (TOS / IP-flags changed);
+//   CenFuzz   — per-strategy evasion success rate (one feature per Table 2
+//               strategy plus "Normal");
+//   CenProbe  — open management ports.
+// Vendor labels (from blockpages or banners) ride along for the supervised
+// feature-importance step; missing numeric values are median-imputed as in
+// the paper.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cenfuzz/cenfuzz.hpp"
+#include "cenprobe/fingerprints.hpp"
+#include "centrace/centrace.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace cen::ml {
+
+/// Everything measured about one endpoint, bundled for feature extraction.
+struct EndpointMeasurement {
+  std::string endpoint_id;
+  std::string country;
+  trace::CenTraceReport trace;
+  std::optional<fuzz::CenFuzzReport> fuzz;
+  std::optional<probe::DeviceProbeReport> banner;
+};
+
+struct FeatureMatrix {
+  std::vector<std::string> feature_names;
+  Matrix rows;                        // NaN marks a missing value
+  std::vector<std::string> labels;    // vendor ground label, "" if unlabelled
+  std::vector<std::string> row_ids;   // endpoint ids
+  std::vector<std::string> countries;
+
+  std::size_t n_rows() const { return rows.size(); }
+  std::size_t n_features() const { return feature_names.size(); }
+};
+
+/// Build the Table 3 feature matrix from measurement bundles. Vendor labels
+/// come from blockpage fingerprints first, then banner fingerprints.
+FeatureMatrix extract_features(const std::vector<EndpointMeasurement>& measurements);
+
+/// Replace NaNs with the per-feature median of observed values (§7.2).
+void impute_median(FeatureMatrix& m);
+
+/// Z-score each feature (constant features become all-zero).
+void standardize(FeatureMatrix& m);
+
+/// Keep only the listed feature columns (e.g. the MDI top-10).
+FeatureMatrix select_features(const FeatureMatrix& m,
+                              const std::vector<std::size_t>& feature_indices);
+
+/// Encode string labels as dense ints; returns the class-name table.
+std::vector<std::string> encode_labels(const std::vector<std::string>& labels,
+                                       std::vector<int>& out);
+
+/// Serialize the matrix as CSV: header `endpoint,country,label,<features>`
+/// then one row per endpoint. Strings are quoted per RFC 4180 when needed;
+/// NaNs are emitted as empty cells.
+std::string to_csv(const FeatureMatrix& m);
+
+/// §7.4's forward-looking application: propagate vendor labels within
+/// clusters. An unlabelled row adopts its cluster's dominant label when
+/// that label covers at least `min_share` of the cluster's labelled
+/// members; noise rows and label-free clusters stay unlabelled. Returns
+/// one label per row (existing labels preserved).
+std::vector<std::string> propagate_labels(const FeatureMatrix& m,
+                                          const std::vector<int>& cluster_labels,
+                                          double min_share = 0.6);
+
+}  // namespace cen::ml

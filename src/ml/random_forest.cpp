@@ -1,0 +1,107 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/stats.hpp"
+
+namespace cen::ml {
+
+void RandomForest::fit(const Matrix& x, const std::vector<int>& y,
+                       const std::vector<std::size_t>& train_indices, int n_classes) {
+  n_classes_ = n_classes;
+  trees_.assign(options_.n_trees, DecisionTree{});
+  Rng rng(options_.seed);
+  for (DecisionTree& tree : trees_) {
+    // Bootstrap sample of the training indices.
+    std::vector<std::size_t> sample(train_indices.size());
+    for (std::size_t& s : sample) {
+      s = train_indices[rng.index(train_indices.size())];
+    }
+    Rng tree_rng = rng.fork();
+    tree.fit(x, y, sample, n_classes, options_.tree, tree_rng);
+  }
+}
+
+int RandomForest::predict(const Row& row) const {
+  std::vector<int> votes(static_cast<std::size_t>(n_classes_), 0);
+  for (const DecisionTree& tree : trees_) {
+    ++votes[static_cast<std::size_t>(tree.predict(row))];
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+double RandomForest::accuracy(const Matrix& x, const std::vector<int>& y,
+                              const std::vector<std::size_t>& indices) const {
+  if (indices.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i : indices) {
+    if (predict(x[i]) == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(indices.size());
+}
+
+std::vector<double> RandomForest::mdi_importance() const {
+  if (trees_.empty()) return {};
+  std::vector<double> total(trees_.front().impurity_decrease().size(), 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double>& imp = tree.impurity_decrease();
+    for (std::size_t f = 0; f < total.size(); ++f) total[f] += imp[f];
+  }
+  double sum = std::accumulate(total.begin(), total.end(), 0.0);
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+ImportanceResult cross_validated_importance(const Matrix& x, const std::vector<int>& y,
+                                            int n_classes, std::size_t repetitions,
+                                            std::size_t folds, ForestOptions options) {
+  ImportanceResult result;
+  if (x.empty()) return result;
+  result.importance.assign(x[0].size(), 0.0);
+  Rng rng(options.seed ^ 0x9e3779b9ULL);
+
+  std::size_t fits = 0;
+  double accuracy_sum = 0.0;
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    std::vector<std::size_t> fold = kfold_assignment(x.size(), folds, rng);
+    for (std::size_t f = 0; f < folds; ++f) {
+      std::vector<std::size_t> train, test;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        (fold[i] == f ? test : train).push_back(i);
+      }
+      if (train.empty() || test.empty()) continue;
+      ForestOptions fit_options = options;
+      fit_options.seed = options.seed + rep * folds + f + 1;
+      RandomForest forest(fit_options);
+      forest.fit(x, y, train, n_classes);
+      std::vector<double> imp = forest.mdi_importance();
+      for (std::size_t k = 0; k < imp.size(); ++k) result.importance[k] += imp[k];
+      accuracy_sum += forest.accuracy(x, y, test);
+      ++fits;
+    }
+  }
+  if (fits > 0) {
+    double sum = std::accumulate(result.importance.begin(), result.importance.end(), 0.0);
+    if (sum > 0.0) {
+      for (double& v : result.importance) v /= sum;
+    }
+    result.cv_accuracy = accuracy_sum / static_cast<double>(fits);
+  }
+  return result;
+}
+
+std::vector<std::size_t> top_k_features(const std::vector<double>& importance,
+                                        std::size_t k) {
+  std::vector<std::size_t> idx(importance.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return importance[a] > importance[b];
+  });
+  if (idx.size() > k) idx.resize(k);
+  return idx;
+}
+
+}  // namespace cen::ml

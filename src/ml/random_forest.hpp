@@ -1,0 +1,62 @@
+// Random-forest classifier with MDI feature importances (paper §7.2).
+//
+// The paper trains a random forest on the labelled (blockpage-matched)
+// deployments, extracts mean-decrease-in-impurity per feature across
+// 3 × 5-fold cross-validation (15 fits), and keeps the top-10 features for
+// the unsupervised clustering step.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace cen::ml {
+
+struct ForestOptions {
+  std::size_t n_trees = 100;
+  TreeOptions tree;
+  std::uint64_t seed = 42;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestOptions options = {}) : options_(options) {}
+
+  /// Fit on rows `train_indices` of (x, y); labels must be in [0, n_classes).
+  void fit(const Matrix& x, const std::vector<int>& y,
+           const std::vector<std::size_t>& train_indices, int n_classes);
+
+  int predict(const Row& row) const;
+  /// Fraction of `indices` predicted correctly.
+  double accuracy(const Matrix& x, const std::vector<int>& y,
+                  const std::vector<std::size_t>& indices) const;
+
+  /// MDI importances averaged over trees (sums to ~1 after normalisation).
+  std::vector<double> mdi_importance() const;
+
+ private:
+  ForestOptions options_;
+  int n_classes_ = 0;
+  std::vector<DecisionTree> trees_;
+};
+
+/// The paper's full importance protocol: 3 repetitions of 5-fold CV
+/// (15 forest fits); returns per-feature MDI averaged across every tree of
+/// every fit, plus the mean held-out accuracy.
+struct ImportanceResult {
+  std::vector<double> importance;  // per feature, normalised to sum 1
+  double cv_accuracy = 0.0;
+};
+
+ImportanceResult cross_validated_importance(const Matrix& x, const std::vector<int>& y,
+                                            int n_classes, std::size_t repetitions = 3,
+                                            std::size_t folds = 5,
+                                            ForestOptions options = {});
+
+/// Indices of the top-k features by importance (descending).
+std::vector<std::size_t> top_k_features(const std::vector<double>& importance,
+                                        std::size_t k);
+
+}  // namespace cen::ml

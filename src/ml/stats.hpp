@@ -1,0 +1,36 @@
+// Statistics utilities used by the clustering pipeline (paper §7):
+// Spearman rank correlation (with a t-approximation p-value, as used for
+// the vendor-similarity claims), medians for imputation, and k-fold
+// index generation for the cross-validated feature-importance runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace cen::ml {
+
+double mean(const std::vector<double>& v);
+double median(std::vector<double> v);  // by value: sorts a copy
+double variance(const std::vector<double>& v);
+
+/// Fractional ranks (ties get the average rank), 1-based.
+std::vector<double> ranks(const std::vector<double>& v);
+
+/// Pearson correlation; returns 0 when either side is constant.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+struct Correlation {
+  double rho = 0.0;
+  double p_value = 1.0;
+};
+
+/// Spearman's rank correlation with a two-sided p-value from the
+/// t-distribution approximation t = r·sqrt((n-2)/(1-r²)).
+Correlation spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Split [0, n) into k folds (shuffled); returns fold id per index.
+std::vector<std::size_t> kfold_assignment(std::size_t n, std::size_t k, Rng& rng);
+
+}  // namespace cen::ml

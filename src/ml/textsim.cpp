@@ -1,0 +1,64 @@
+#include "ml/textsim.hpp"
+
+#include <algorithm>
+
+namespace cen::ml {
+
+std::set<std::string> shingles(std::string_view text, std::size_t k) {
+  std::set<std::string> out;
+  if (text.size() < k) {
+    if (!text.empty()) out.emplace(text);
+    return out;
+  }
+  for (std::size_t i = 0; i + k <= text.size(); ++i) {
+    out.emplace(text.substr(i, k));
+  }
+  return out;
+}
+
+double jaccard(const std::set<std::string>& a, const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t intersection = 0;
+  const std::set<std::string>& small = a.size() <= b.size() ? a : b;
+  const std::set<std::string>& big = a.size() <= b.size() ? b : a;
+  for (const std::string& s : small) {
+    if (big.count(s) != 0) ++intersection;
+  }
+  std::size_t union_size = a.size() + b.size() - intersection;
+  return union_size == 0 ? 1.0
+                         : static_cast<double>(intersection) /
+                               static_cast<double>(union_size);
+}
+
+TextClusterResult cluster_documents(const std::vector<std::string>& documents,
+                                    std::size_t shingle_k, double threshold) {
+  TextClusterResult result;
+  result.labels.assign(documents.size(), -1);
+  std::vector<std::set<std::string>> sets;
+  sets.reserve(documents.size());
+  for (const std::string& doc : documents) sets.push_back(shingles(doc, shingle_k));
+
+  // One representative shingle set per cluster member (single link).
+  std::vector<std::vector<std::size_t>> members;
+  for (std::size_t i = 0; i < documents.size(); ++i) {
+    bool placed = false;
+    for (std::size_t c = 0; c < members.size() && !placed; ++c) {
+      for (std::size_t m : members[c]) {
+        if (jaccard(sets[i], sets[m]) >= threshold) {
+          members[c].push_back(i);
+          result.labels[i] = static_cast<int>(c);
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) {
+      result.labels[i] = static_cast<int>(members.size());
+      members.push_back({i});
+    }
+  }
+  result.n_clusters = static_cast<int>(members.size());
+  return result;
+}
+
+}  // namespace cen::ml

@@ -1,0 +1,35 @@
+// Text-similarity clustering of injected blockpages — the FilterMap
+// baseline the paper builds on (§3.3): cluster censors by the pages they
+// inject. Uses character k-shingles + Jaccard similarity with greedy
+// single-link clustering. The paper's point, reproduced in
+// bench_filtermap: this only sees censors that inject identifiable pages;
+// drop/RST devices (most of AZ/KZ/RU) are invisible to it, which is why
+// banner grabs and behavioural features are needed.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cen::ml {
+
+/// The set of all length-k character shingles of `text`.
+std::set<std::string> shingles(std::string_view text, std::size_t k);
+
+/// Jaccard similarity of two shingle sets (1.0 for two empty sets).
+double jaccard(const std::set<std::string>& a, const std::set<std::string>& b);
+
+struct TextClusterResult {
+  std::vector<int> labels;  // cluster id per document
+  int n_clusters = 0;
+};
+
+/// Greedy single-link clustering: a document joins the first existing
+/// cluster containing a member with similarity >= threshold.
+TextClusterResult cluster_documents(const std::vector<std::string>& documents,
+                                    std::size_t shingle_k = 4,
+                                    double threshold = 0.7);
+
+}  // namespace cen::ml

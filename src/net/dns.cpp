@@ -1,0 +1,150 @@
+#include "net/dns.hpp"
+
+#include "core/strings.hpp"
+
+namespace cen::net {
+
+Bytes encode_dns_name(const std::string& name) {
+  ByteWriter w;
+  for (const std::string& label : split(name, '.')) {
+    if (label.empty()) continue;
+    if (label.size() > 63) throw ParseError("DNS label too long");
+    w.u8(static_cast<std::uint8_t>(label.size()));
+    w.raw(label);
+  }
+  w.u8(0);
+  return std::move(w).take();
+}
+
+std::string decode_dns_name(ByteReader& r) {
+  std::string out;
+  for (;;) {
+    std::uint8_t len = r.u8();
+    if (len == 0) break;
+    if (len >= 0xc0) throw ParseError("DNS compression pointers unsupported");
+    if (!out.empty()) out += '.';
+    out += r.str(len);
+  }
+  return out;
+}
+
+Bytes DnsMessage::serialize() const {
+  ByteWriter w;
+  w.u16(id);
+  std::uint16_t flags = 0;
+  if (is_response) flags |= 0x8000;
+  if (authoritative) flags |= 0x0400;
+  if (recursion_desired) flags |= 0x0100;
+  if (recursion_available) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(rcode) & 0xf;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(0);  // NS count
+  w.u16(0);  // AR count
+  for (const DnsQuestion& q : questions) {
+    w.raw(encode_dns_name(q.qname));
+    w.u16(q.qtype);
+    w.u16(q.qclass);
+  }
+  for (const DnsAnswer& a : answers) {
+    w.raw(encode_dns_name(a.name));
+    w.u16(a.type);
+    w.u16(a.klass);
+    w.u32(a.ttl);
+    w.u16(4);  // rdlength (A record)
+    w.u32(a.address.value());
+  }
+  return std::move(w).take();
+}
+
+DnsMessage DnsMessage::parse(BytesView bytes) {
+  ByteReader r(bytes);
+  DnsMessage m;
+  m.id = r.u16();
+  std::uint16_t flags = r.u16();
+  m.is_response = (flags & 0x8000) != 0;
+  m.authoritative = (flags & 0x0400) != 0;
+  m.recursion_desired = (flags & 0x0100) != 0;
+  m.recursion_available = (flags & 0x0080) != 0;
+  m.rcode = static_cast<DnsRcode>(flags & 0xf);
+  std::uint16_t qd = r.u16();
+  std::uint16_t an = r.u16();
+  r.skip(4);  // NS + AR counts
+  for (int i = 0; i < qd; ++i) {
+    DnsQuestion q;
+    q.qname = decode_dns_name(r);
+    q.qtype = r.u16();
+    q.qclass = r.u16();
+    m.questions.push_back(std::move(q));
+  }
+  for (int i = 0; i < an; ++i) {
+    DnsAnswer a;
+    a.name = decode_dns_name(r);
+    a.type = r.u16();
+    a.klass = r.u16();
+    a.ttl = r.u32();
+    std::uint16_t rdlength = r.u16();
+    if (a.type == 1 && rdlength == 4) {
+      a.address = Ipv4Address(r.u32());
+    } else {
+      r.skip(rdlength);
+    }
+    m.answers.push_back(std::move(a));
+  }
+  return m;
+}
+
+Bytes DnsMessage::serialize_tcp() const {
+  Bytes body = serialize();
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(body.size()));
+  w.raw(body);
+  return std::move(w).take();
+}
+
+DnsMessage DnsMessage::parse_tcp(BytesView bytes) {
+  ByteReader r(bytes);
+  std::uint16_t len = r.u16();
+  if (len != r.remaining()) throw ParseError("DNS/TCP length prefix mismatch");
+  return parse(r.rest());
+}
+
+DnsMessage make_dns_query(const std::string& domain, std::uint16_t id) {
+  DnsMessage m;
+  m.id = id;
+  m.questions.push_back({domain, 1, 1});
+  return m;
+}
+
+DnsMessage make_dns_response(const DnsMessage& query, Ipv4Address address) {
+  DnsMessage m;
+  m.id = query.id;
+  m.is_response = true;
+  m.recursion_desired = query.recursion_desired;
+  m.recursion_available = true;
+  m.questions = query.questions;
+  if (!query.questions.empty()) {
+    m.answers.push_back({query.questions.front().qname, 1, 1, 300, address});
+  }
+  return m;
+}
+
+DnsMessage make_dns_nxdomain(const DnsMessage& query) {
+  DnsMessage m;
+  m.id = query.id;
+  m.is_response = true;
+  m.recursion_desired = query.recursion_desired;
+  m.recursion_available = true;
+  m.rcode = DnsRcode::kNxDomain;
+  m.questions = query.questions;
+  return m;
+}
+
+bool looks_like_tcp_dns(BytesView payload) {
+  if (payload.size() < 14) return false;  // prefix + header
+  std::uint16_t len = static_cast<std::uint16_t>(payload[0] << 8 | payload[1]);
+  return len == payload.size() - 2;
+}
+
+}  // namespace cen::net

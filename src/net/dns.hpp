@@ -1,0 +1,82 @@
+// DNS wire format (RFC 1035) over TCP (RFC 7766, 2-byte length prefix).
+//
+// The paper scopes its study to HTTP/TLS devices but names DNS as the
+// natural protocol extension for CenTrace (§4, §8). This module provides
+// the real message encoding so the same TTL-limited probing, injection
+// detection and localisation machinery runs over DNS: resolvers are
+// endpoint models, and censor devices can drop queries or inject spoofed
+// answers (sinkhole A records / NXDOMAIN), as national DNS injectors do.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bytes.hpp"
+#include "net/ipv4.hpp"
+
+namespace cen::net {
+
+enum class DnsRcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kRefused = 5,
+};
+
+struct DnsQuestion {
+  std::string qname;
+  std::uint16_t qtype = 1;   // A
+  std::uint16_t qclass = 1;  // IN
+  bool operator==(const DnsQuestion&) const = default;
+};
+
+struct DnsAnswer {
+  std::string name;
+  std::uint16_t type = 1;
+  std::uint16_t klass = 1;
+  std::uint32_t ttl = 300;
+  Ipv4Address address;  // rdata for A records
+  bool operator==(const DnsAnswer&) const = default;
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  bool recursion_desired = true;
+  bool recursion_available = false;
+  bool authoritative = false;
+  DnsRcode rcode = DnsRcode::kNoError;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsAnswer> answers;
+
+  /// Bare DNS message bytes (no TCP length prefix).
+  Bytes serialize() const;
+  /// Parse bare message bytes; throws ParseError on malformed input.
+  static DnsMessage parse(BytesView bytes);
+
+  /// Serialize with the RFC 7766 2-byte length prefix (DNS-over-TCP).
+  Bytes serialize_tcp() const;
+  /// Parse a length-prefixed DNS-over-TCP payload.
+  static DnsMessage parse_tcp(BytesView bytes);
+};
+
+/// A query for an A record of `domain`.
+DnsMessage make_dns_query(const std::string& domain, std::uint16_t id = 0x1234);
+/// The matching positive answer.
+DnsMessage make_dns_response(const DnsMessage& query, Ipv4Address address);
+/// The matching NXDOMAIN answer.
+DnsMessage make_dns_nxdomain(const DnsMessage& query);
+
+/// Does a payload look like a DNS-over-TCP message (length prefix matches)?
+bool looks_like_tcp_dns(BytesView payload);
+
+/// Encode a hostname as DNS labels ("www.x.com" -> \3www\1x\3com\0).
+Bytes encode_dns_name(const std::string& name);
+/// Decode labels at the reader's position (no compression-pointer support —
+/// the simulation never emits pointers).
+std::string decode_dns_name(ByteReader& r);
+
+}  // namespace cen::net

@@ -1,0 +1,53 @@
+#include "net/icmp.hpp"
+
+#include <algorithm>
+
+namespace cen::net {
+
+IcmpTimeExceeded IcmpTimeExceeded::make(Ipv4Address router, BytesView original_packet,
+                                        QuotePolicy policy) {
+  IcmpTimeExceeded msg;
+  msg.router = router;
+  std::size_t quote_len = 0;
+  switch (policy) {
+    case QuotePolicy::kRfc792:
+      // 20-byte IP header (we never emit IP options) + 8 bytes of payload.
+      quote_len = std::min<std::size_t>(original_packet.size(), 28);
+      break;
+    case QuotePolicy::kRfc1812Full:
+      quote_len = std::min<std::size_t>(original_packet.size(), 128);
+      break;
+  }
+  msg.quoted.assign(original_packet.begin(),
+                    original_packet.begin() + static_cast<std::ptrdiff_t>(quote_len));
+  return msg;
+}
+
+Bytes IcmpTimeExceeded::serialize() const {
+  ByteWriter w;
+  w.u8(kType);
+  w.u8(kCodeTtlExceeded);
+  w.u16(0);  // checksum placeholder
+  w.u32(0);  // unused
+  w.raw(quoted);
+  Bytes out = std::move(w).take();
+  std::uint16_t csum = internet_checksum(out);
+  out[2] = static_cast<std::uint8_t>(csum >> 8);
+  out[3] = static_cast<std::uint8_t>(csum);
+  return out;
+}
+
+IcmpTimeExceeded IcmpTimeExceeded::parse(Ipv4Address router, BytesView bytes) {
+  ByteReader r(bytes);
+  std::uint8_t type = r.u8();
+  std::uint8_t code = r.u8();
+  if (type != kType || code != kCodeTtlExceeded) throw ParseError("not ICMP time exceeded");
+  r.skip(2);  // checksum
+  r.skip(4);  // unused
+  IcmpTimeExceeded msg;
+  msg.router = router;
+  msg.quoted = r.raw(r.remaining());
+  return msg;
+}
+
+}  // namespace cen::net

@@ -1,0 +1,38 @@
+// ICMP Time Exceeded (Type 11) messages with quoted original packets.
+//
+// RFC 792 requires routers to quote the original IP header plus the first
+// 64 bits of its payload; RFC 1812 permits quoting as much of the original
+// datagram as fits. The paper (§4.3) finds 57.6% of quoting routers follow
+// RFC 792 and the rest RFC 1812, and uses quoted-packet deltas (TOS/flag
+// rewrites) as clustering features — so both policies are modelled here.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bytes.hpp"
+#include "net/ipv4.hpp"
+
+namespace cen::net {
+
+enum class QuotePolicy : std::uint8_t {
+  kRfc792,      // IP header + first 8 bytes of transport header
+  kRfc1812Full  // entire original datagram (up to 128 bytes, as many stacks cap)
+};
+
+struct IcmpTimeExceeded {
+  static constexpr std::uint8_t kType = 11;
+  static constexpr std::uint8_t kCodeTtlExceeded = 0;
+
+  Ipv4Address router;   // source of the ICMP message
+  Bytes quoted;         // quoted bytes of the original datagram
+
+  /// Build the quote from the full serialized original packet under a policy.
+  static IcmpTimeExceeded make(Ipv4Address router, BytesView original_packet,
+                               QuotePolicy policy);
+
+  /// Serialize ICMP header (type/code/checksum/unused) + quote.
+  Bytes serialize() const;
+  static IcmpTimeExceeded parse(Ipv4Address router, BytesView bytes);
+};
+
+}  // namespace cen::net

@@ -1,0 +1,92 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+
+#include "core/strings.hpp"
+
+namespace cen::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  int octets = 0;
+  std::size_t pos = 0;
+  while (octets < 4) {
+    std::size_t end = text.find('.', pos);
+    std::string_view part =
+        end == std::string_view::npos ? text.substr(pos) : text.substr(pos, end - pos);
+    unsigned v = 0;
+    auto [ptr, ec] = std::from_chars(part.data(), part.data() + part.size(), v);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || part.empty() || v > 255) {
+      return std::nullopt;
+    }
+    value = value << 8 | v;
+    ++octets;
+    if (end == std::string_view::npos) {
+      pos = text.size();
+      break;
+    }
+    pos = end + 1;
+  }
+  // Exactly four octets and no trailing garbage ("1.2.3.4.5" is invalid).
+  if (octets != 4 || pos != text.size()) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::str() const {
+  return std::to_string(value_ >> 24) + "." + std::to_string((value_ >> 16) & 0xff) + "." +
+         std::to_string((value_ >> 8) & 0xff) + "." + std::to_string(value_ & 0xff);
+}
+
+std::uint16_t internet_checksum(BytesView data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+Bytes Ipv4Header::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(version << 4 | (ihl & 0xf)));
+  w.u8(tos);
+  w.u16(total_length);
+  w.u16(identification);
+  w.u16(static_cast<std::uint16_t>((flags & 0x7) << 13 | (fragment_offset & 0x1fff)));
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(protocol));
+  w.u16(0);  // checksum placeholder
+  w.u32(src.value());
+  w.u32(dst.value());
+  Bytes out = std::move(w).take();
+  std::uint16_t csum = internet_checksum(out);
+  out[10] = static_cast<std::uint8_t>(csum >> 8);
+  out[11] = static_cast<std::uint8_t>(csum);
+  return out;
+}
+
+Ipv4Header Ipv4Header::parse(ByteReader& r) {
+  Ipv4Header h;
+  std::uint8_t vihl = r.u8();
+  h.version = vihl >> 4;
+  h.ihl = vihl & 0xf;
+  if (h.version != 4) throw ParseError("not an IPv4 header");
+  if (h.ihl < 5) throw ParseError("IPv4 IHL too small");
+  h.tos = r.u8();
+  h.total_length = r.u16();
+  h.identification = r.u16();
+  std::uint16_t flagfrag = r.u16();
+  h.flags = static_cast<std::uint8_t>(flagfrag >> 13);
+  h.fragment_offset = flagfrag & 0x1fff;
+  h.ttl = r.u8();
+  h.protocol = static_cast<IpProto>(r.u8());
+  r.skip(2);  // checksum (not verified on parse; simulation never corrupts)
+  h.src = Ipv4Address(r.u32());
+  h.dst = Ipv4Address(r.u32());
+  if (h.ihl > 5) r.skip(static_cast<std::size_t>(h.ihl - 5) * 4);
+  return h;
+}
+
+}  // namespace cen::net

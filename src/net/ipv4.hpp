@@ -1,0 +1,68 @@
+// IPv4 address and header model with real 20-byte serialization.
+//
+// Headers serialize to exact RFC 791 wire bytes (including checksum),
+// because CenTrace's Tracebox-style analysis diffs the quoted bytes
+// inside ICMP Time Exceeded messages against the originally sent packet.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/bytes.hpp"
+
+namespace cen::net {
+
+/// IPv4 address, stored host-order for arithmetic convenience.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_(static_cast<std::uint32_t>(a) << 24 | static_cast<std::uint32_t>(b) << 16 |
+               static_cast<std::uint32_t>(c) << 8 | d) {}
+
+  /// Parse dotted-quad ("192.0.2.1"); returns nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string str() const;
+  constexpr bool is_unspecified() const { return value_ == 0; }
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IP protocol numbers used in the simulation.
+enum class IpProto : std::uint8_t { kIcmp = 1, kTcp = 6, kUdp = 17 };
+
+/// RFC 791 header (no options). `total_length` covers header + payload.
+struct Ipv4Header {
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;  // 32-bit words; we never emit options
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 20;
+  std::uint16_t identification = 0;
+  std::uint8_t flags = 0x2;  // DF set by default, like most OS stacks
+  std::uint16_t fragment_offset = 0;
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kTcp;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  /// Serialize to exactly 20 bytes with a correct header checksum.
+  Bytes serialize() const;
+  /// Parse 20 bytes; throws ParseError on truncation or bad version.
+  static Ipv4Header parse(ByteReader& r);
+
+  bool operator==(const Ipv4Header&) const = default;
+};
+
+/// RFC 1071 internet checksum over arbitrary bytes.
+std::uint16_t internet_checksum(BytesView data);
+
+}  // namespace cen::net

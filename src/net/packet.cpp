@@ -1,0 +1,71 @@
+#include "net/packet.hpp"
+
+namespace cen::net {
+
+Bytes Packet::serialize() const {
+  Bytes tcp_bytes = tcp.serialize();
+  Ipv4Header hdr = ip;
+  hdr.total_length =
+      static_cast<std::uint16_t>(20 + tcp_bytes.size() + payload.size());
+  ByteWriter w;
+  w.raw(hdr.serialize());
+  w.raw(tcp_bytes);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+Packet Packet::parse(BytesView bytes) {
+  ByteReader r(bytes);
+  Packet p;
+  p.ip = Ipv4Header::parse(r);
+  if (p.ip.protocol != IpProto::kTcp) throw ParseError("packet is not TCP");
+  p.tcp = TcpHeader::parse(r);
+  p.payload = r.raw(r.remaining());
+  return p;
+}
+
+Packet Packet::parse_quoted(BytesView bytes, bool& tcp_complete) {
+  ByteReader r(bytes);
+  Packet p;
+  p.ip = Ipv4Header::parse(r);
+  tcp_complete = false;
+  // RFC 792 routers quote only 8 bytes of the transport header: enough
+  // for ports and sequence number, but not the full 20-byte TCP header.
+  if (r.remaining() >= 8) {
+    if (r.remaining() >= 20) {
+      ByteReader probe(r.rest());
+      try {
+        p.tcp = TcpHeader::parse(probe);
+        tcp_complete = true;
+        r.skip(r.remaining() - probe.remaining());
+        p.payload = r.raw(r.remaining());
+        return p;
+      } catch (const ParseError&) {
+        // fall through to partial parse
+      }
+    }
+    p.tcp.src_port = r.u16();
+    p.tcp.dst_port = r.u16();
+    p.tcp.seq = r.u32();
+  }
+  return p;
+}
+
+Packet make_tcp_packet(Ipv4Address src, Ipv4Address dst, std::uint16_t sport,
+                       std::uint16_t dport, std::uint8_t flags, std::uint32_t seq,
+                       std::uint32_t ack, Bytes payload, std::uint8_t ttl) {
+  Packet p;
+  p.ip.src = src;
+  p.ip.dst = dst;
+  p.ip.ttl = ttl;
+  p.ip.protocol = IpProto::kTcp;
+  p.tcp.src_port = sport;
+  p.tcp.dst_port = dport;
+  p.tcp.flags = flags;
+  p.tcp.seq = seq;
+  p.tcp.ack = ack;
+  p.payload = std::move(payload);
+  return p;
+}
+
+}  // namespace cen::net

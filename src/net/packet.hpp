@@ -1,0 +1,37 @@
+// Full simulated packet: IPv4 header + TCP header + application payload.
+//
+// A packet can be serialized to the exact byte string that would appear
+// on the wire; ICMP quoting operates on those bytes (RFC 792 quotes the
+// IP header plus 64 bits of payload; RFC 1812 routers quote as much as
+// fits), and Tracebox-style diffing parses them back.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bytes.hpp"
+#include "net/ipv4.hpp"
+#include "net/tcp.hpp"
+
+namespace cen::net {
+
+struct Packet {
+  Ipv4Header ip;
+  TcpHeader tcp;
+  Bytes payload;
+
+  /// Serialize IP + TCP + payload, fixing up ip.total_length.
+  Bytes serialize() const;
+  /// Parse a full packet from bytes (IP proto must be TCP).
+  static Packet parse(BytesView bytes);
+  /// Parse possibly-truncated bytes, as quoted inside ICMP errors:
+  /// always recovers the IP header; recovers as much of the TCP header
+  /// and payload as present. Missing parts are zero/absent.
+  static Packet parse_quoted(BytesView bytes, bool& tcp_complete);
+};
+
+/// Build a TCP data packet with common defaults.
+Packet make_tcp_packet(Ipv4Address src, Ipv4Address dst, std::uint16_t sport,
+                       std::uint16_t dport, std::uint8_t flags, std::uint32_t seq,
+                       std::uint32_t ack, Bytes payload, std::uint8_t ttl = 64);
+
+}  // namespace cen::net

@@ -1,0 +1,67 @@
+#include "net/pcap.hpp"
+
+#include <cstdio>
+
+namespace cen::net {
+
+void PcapWriter::add(SimTime timestamp_ms, BytesView packet) {
+  packets_.push_back({timestamp_ms, Bytes(packet.begin(), packet.end())});
+}
+
+Bytes PcapWriter::serialize() const {
+  // We emit big-endian pcap (magic readable either way by real tools,
+  // which detect byte order from the magic number).
+  ByteWriter w;
+  w.u32(kPcapMagic);
+  w.u16(2);   // version major
+  w.u16(4);   // version minor
+  w.u32(0);   // thiszone
+  w.u32(0);   // sigfigs
+  w.u32(65535);  // snaplen
+  w.u32(kLinkTypeRaw);
+  for (const CapturedPacket& p : packets_) {
+    w.u32(static_cast<std::uint32_t>(p.timestamp_ms / 1000));           // seconds
+    w.u32(static_cast<std::uint32_t>(p.timestamp_ms % 1000) * 1000);    // microseconds
+    w.u32(static_cast<std::uint32_t>(p.data.size()));  // captured length
+    w.u32(static_cast<std::uint32_t>(p.data.size()));  // original length
+    w.raw(p.data);
+  }
+  return std::move(w).take();
+}
+
+bool PcapWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  Bytes data = serialize();
+  std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return written == data.size();
+}
+
+std::vector<CapturedPacket> PcapReader::parse(BytesView file) {
+  ByteReader r(file);
+  std::uint32_t magic = r.u32();
+  if (magic != kPcapMagic) throw ParseError("not a pcap file (bad magic)");
+  std::uint16_t major = r.u16();
+  if (major != 2) throw ParseError("unsupported pcap version");
+  r.skip(2);   // minor
+  r.skip(12);  // thiszone, sigfigs, snaplen
+  std::uint32_t linktype = r.u32();
+  if (linktype != kLinkTypeRaw) throw ParseError("unexpected pcap linktype");
+
+  std::vector<CapturedPacket> out;
+  while (r.remaining() > 0) {
+    std::uint32_t ts_sec = r.u32();
+    std::uint32_t ts_usec = r.u32();
+    std::uint32_t caplen = r.u32();
+    std::uint32_t origlen = r.u32();
+    if (caplen != origlen) throw ParseError("truncated pcap record");
+    CapturedPacket p;
+    p.timestamp_ms = static_cast<SimTime>(ts_sec) * 1000 + ts_usec / 1000;
+    p.data = r.raw(caplen);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace cen::net

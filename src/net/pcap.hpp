@@ -1,0 +1,50 @@
+// Classic libpcap capture files (the tcpdump element of the paper's
+// implementation, §4.2: "we perform packet captures and store all
+// responses"). Packets are stored as LINKTYPE_RAW (raw IPv4), timestamped
+// with the simulated clock, and can be written to disk for inspection
+// with real tooling (tcpdump/wireshark read these files).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bytes.hpp"
+#include "core/clock.hpp"
+
+namespace cen::net {
+
+/// LINKTYPE_RAW: packets begin with the IPv4 header.
+constexpr std::uint32_t kLinkTypeRaw = 101;
+constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
+
+struct CapturedPacket {
+  SimTime timestamp_ms = 0;
+  Bytes data;
+  bool operator==(const CapturedPacket&) const = default;
+};
+
+class PcapWriter {
+ public:
+  void add(SimTime timestamp_ms, BytesView packet);
+  std::size_t size() const { return packets_.size(); }
+  const std::vector<CapturedPacket>& packets() const { return packets_; }
+
+  /// Serialize the full capture file (global header + records).
+  Bytes serialize() const;
+  /// Write to disk; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+  void clear() { packets_.clear(); }
+
+ private:
+  std::vector<CapturedPacket> packets_;
+};
+
+class PcapReader {
+ public:
+  /// Parse a capture file produced by PcapWriter (or any µs-resolution
+  /// little-endian-free pcap we emit). Throws ParseError on malformed data.
+  static std::vector<CapturedPacket> parse(BytesView file);
+};
+
+}  // namespace cen::net

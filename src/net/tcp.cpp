@@ -1,0 +1,117 @@
+#include "net/tcp.hpp"
+
+namespace cen::net {
+
+TcpOption TcpOption::mss(std::uint16_t value) {
+  TcpOption o;
+  o.kind = 2;
+  o.data = {static_cast<std::uint8_t>(value >> 8), static_cast<std::uint8_t>(value)};
+  return o;
+}
+
+TcpOption TcpOption::window_scale(std::uint8_t shift) {
+  TcpOption o;
+  o.kind = 3;
+  o.data = {shift};
+  return o;
+}
+
+TcpOption TcpOption::sack_permitted() {
+  TcpOption o;
+  o.kind = 4;
+  return o;
+}
+
+TcpOption TcpOption::nop() {
+  TcpOption o;
+  o.kind = 1;
+  return o;
+}
+
+namespace {
+
+Bytes encode_options(const std::vector<TcpOption>& options) {
+  ByteWriter w;
+  for (const TcpOption& o : options) {
+    w.u8(o.kind);
+    if (o.kind == 0 || o.kind == 1) continue;  // EOL / NOP have no length
+    w.u8(static_cast<std::uint8_t>(o.data.size() + 2));
+    w.raw(o.data);
+  }
+  Bytes out = std::move(w).take();
+  while (out.size() % 4 != 0) out.push_back(0);  // pad with EOL
+  return out;
+}
+
+}  // namespace
+
+std::uint8_t TcpHeader::data_offset_words() const {
+  return static_cast<std::uint8_t>(5 + encode_options(options).size() / 4);
+}
+
+Bytes TcpHeader::serialize() const {
+  Bytes opt_bytes = encode_options(options);
+  ByteWriter w;
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  std::uint8_t offset = static_cast<std::uint8_t>(5 + opt_bytes.size() / 4);
+  w.u8(static_cast<std::uint8_t>(offset << 4));
+  w.u8(flags);
+  w.u16(window);
+  w.u16(0);  // checksum unused in simulation
+  w.u16(urgent);
+  w.raw(opt_bytes);
+  return std::move(w).take();
+}
+
+TcpHeader TcpHeader::parse(ByteReader& r) {
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  std::uint8_t offset = static_cast<std::uint8_t>(r.u8() >> 4);
+  if (offset < 5) throw ParseError("TCP data offset too small");
+  h.flags = r.u8();
+  h.window = r.u16();
+  r.skip(2);  // checksum
+  h.urgent = r.u16();
+  std::size_t opt_len = static_cast<std::size_t>(offset - 5) * 4;
+  Bytes opts = r.raw(opt_len);
+  ByteReader or_(opts);
+  while (or_.remaining() > 0) {
+    std::uint8_t kind = or_.u8();
+    if (kind == 0) break;  // end of option list
+    TcpOption o;
+    o.kind = kind;
+    if (kind != 1) {
+      std::uint8_t len = or_.u8();
+      if (len < 2) throw ParseError("TCP option length < 2");
+      o.data = or_.raw(len - 2);
+    }
+    h.options.push_back(std::move(o));
+  }
+  return h;
+}
+
+std::string TcpHeader::flags_str() const {
+  std::string out;
+  auto add = [&](std::uint8_t f, const char* name) {
+    if (has(f)) {
+      if (!out.empty()) out += '|';
+      out += name;
+    }
+  };
+  add(TcpFlags::kSyn, "SYN");
+  add(TcpFlags::kAck, "ACK");
+  add(TcpFlags::kPsh, "PSH");
+  add(TcpFlags::kRst, "RST");
+  add(TcpFlags::kFin, "FIN");
+  add(TcpFlags::kUrg, "URG");
+  if (out.empty()) out = "NONE";
+  return out;
+}
+
+}  // namespace cen::net

@@ -1,0 +1,62 @@
+// TCP header model with real serialization (RFC 793), including options.
+//
+// Injected packets from censorship devices carry distinctive TCP artifacts
+// (window sizes, option sets, flag combinations); the clustering pipeline
+// (§7.1 of the paper) uses these as features, so the header is modelled
+// at full wire fidelity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bytes.hpp"
+
+namespace cen::net {
+
+/// TCP flag bits (RFC 793 order within the flags byte).
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+  static constexpr std::uint8_t kUrg = 0x20;
+};
+
+/// A single TCP option TLV. kind 0 = end-of-list, 1 = NOP (no payload).
+struct TcpOption {
+  std::uint8_t kind = 0;
+  Bytes data;
+
+  bool operator==(const TcpOption&) const = default;
+
+  static TcpOption mss(std::uint16_t value);
+  static TcpOption window_scale(std::uint8_t shift);
+  static TcpOption sack_permitted();
+  static TcpOption nop();
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t urgent = 0;
+  std::vector<TcpOption> options;
+
+  bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
+  /// Data offset in 32-bit words, derived from options (padded to 4 bytes).
+  std::uint8_t data_offset_words() const;
+  /// Serialize; checksum field is zero (the simulator does not corrupt data).
+  Bytes serialize() const;
+  static TcpHeader parse(ByteReader& r);
+  /// Short human-readable flag string, e.g. "SYN|ACK".
+  std::string flags_str() const;
+
+  bool operator==(const TcpHeader&) const = default;
+};
+
+}  // namespace cen::net

@@ -1,0 +1,297 @@
+#include "net/tls.hpp"
+
+#include <algorithm>
+
+namespace cen::net {
+
+std::string tls_version_name(TlsVersion v) {
+  switch (v) {
+    case TlsVersion::kTls10: return "TLS 1.0";
+    case TlsVersion::kTls11: return "TLS 1.1";
+    case TlsVersion::kTls12: return "TLS 1.2";
+    case TlsVersion::kTls13: return "TLS 1.3";
+  }
+  return "TLS ?";
+}
+
+ClientHello ClientHello::make(const std::string& sni_host) {
+  ClientHello ch;
+  // A realistic modern offer: TLS 1.3 + 1.2 AEAD suites first.
+  ch.cipher_suites = {0x1301, 0x1302, 0x1303, 0xc02b, 0xc02f, 0xc02c, 0xc030,
+                      0xcca9, 0xcca8, 0x009c, 0x009d, 0x002f, 0x0035};
+  // Deterministic pseudo-random bytes; the simulation never needs entropy here.
+  for (std::size_t i = 0; i < ch.random.size(); ++i) {
+    ch.random[i] = static_cast<std::uint8_t>(0x5a ^ (i * 37));
+  }
+  ch.set_supported_versions({TlsVersion::kTls13, TlsVersion::kTls12});
+  TlsExtension groups;
+  groups.type = TlsExtensionType::kSupportedGroups;
+  groups.data = {0x00, 0x04, 0x00, 0x1d, 0x00, 0x17};  // x25519, secp256r1
+  ch.extensions.push_back(std::move(groups));
+  ch.set_sni(sni_host);
+  return ch;
+}
+
+namespace {
+
+Bytes encode_sni(const std::string& hostname) {
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(hostname.size() + 3));  // server_name_list length
+  w.u8(0);                                                 // name_type = host_name
+  w.u16(static_cast<std::uint16_t>(hostname.size()));
+  w.raw(hostname);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+void ClientHello::set_sni(const std::string& hostname) {
+  Bytes data = encode_sni(hostname);
+  for (TlsExtension& ext : extensions) {
+    if (ext.type == TlsExtensionType::kServerName) {
+      ext.data = std::move(data);
+      return;
+    }
+  }
+  extensions.push_back({TlsExtensionType::kServerName, std::move(data)});
+}
+
+void ClientHello::remove_sni() {
+  std::erase_if(extensions, [](const TlsExtension& e) {
+    return e.type == TlsExtensionType::kServerName;
+  });
+}
+
+std::optional<std::string> ClientHello::sni() const {
+  for (const TlsExtension& ext : extensions) {
+    if (ext.type != TlsExtensionType::kServerName) continue;
+    try {
+      ByteReader r(ext.data);
+      std::uint16_t list_len = r.u16();
+      (void)list_len;
+      std::uint8_t name_type = r.u8();
+      if (name_type != 0) return std::nullopt;
+      std::uint16_t len = r.u16();
+      return r.str(len);
+    } catch (const ParseError&) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void ClientHello::set_supported_versions(const std::vector<TlsVersion>& versions) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(versions.size() * 2));
+  for (TlsVersion v : versions) w.u16(static_cast<std::uint16_t>(v));
+  Bytes data = std::move(w).take();
+  for (TlsExtension& ext : extensions) {
+    if (ext.type == TlsExtensionType::kSupportedVersions) {
+      ext.data = std::move(data);
+      return;
+    }
+  }
+  extensions.push_back({TlsExtensionType::kSupportedVersions, std::move(data)});
+}
+
+std::vector<TlsVersion> ClientHello::supported_versions() const {
+  std::vector<TlsVersion> out;
+  for (const TlsExtension& ext : extensions) {
+    if (ext.type != TlsExtensionType::kSupportedVersions) continue;
+    try {
+      ByteReader r(ext.data);
+      std::uint8_t len = r.u8();
+      for (int i = 0; i + 1 < len; i += 2) out.push_back(static_cast<TlsVersion>(r.u16()));
+    } catch (const ParseError&) {
+    }
+    return out;
+  }
+  // No extension: the legacy_version field governs.
+  out.push_back(legacy_version);
+  return out;
+}
+
+void ClientHello::add_padding(std::size_t len) {
+  extensions.push_back({TlsExtensionType::kPadding, Bytes(len, 0)});
+}
+
+Bytes ClientHello::serialize() const {
+  // Handshake body.
+  ByteWriter body;
+  body.u16(static_cast<std::uint16_t>(legacy_version));
+  body.raw(BytesView(random.data(), random.size()));
+  body.u8(static_cast<std::uint8_t>(session_id.size()));
+  body.raw(session_id);
+  body.u16(static_cast<std::uint16_t>(cipher_suites.size() * 2));
+  for (std::uint16_t cs : cipher_suites) body.u16(cs);
+  body.u8(static_cast<std::uint8_t>(compression_methods.size()));
+  for (std::uint8_t cm : compression_methods) body.u8(cm);
+  ByteWriter exts;
+  for (const TlsExtension& ext : extensions) {
+    exts.u16(ext.type);
+    exts.u16(static_cast<std::uint16_t>(ext.data.size()));
+    exts.raw(ext.data);
+  }
+  body.u16(static_cast<std::uint16_t>(exts.size()));
+  body.raw(exts.bytes());
+
+  // Handshake header (type 1 = client_hello) + record header (type 22).
+  ByteWriter rec;
+  rec.u8(22);  // handshake record
+  rec.u16(static_cast<std::uint16_t>(record_version));
+  rec.u16(static_cast<std::uint16_t>(body.size() + 4));
+  rec.u8(1);  // client_hello
+  rec.u24(static_cast<std::uint32_t>(body.size()));
+  rec.raw(body.bytes());
+  return std::move(rec).take();
+}
+
+ClientHello ClientHello::parse(BytesView bytes) {
+  ByteReader r(bytes);
+  std::uint8_t record_type = r.u8();
+  if (record_type != 22) throw ParseError("not a TLS handshake record");
+  ClientHello ch;
+  ch.record_version = static_cast<TlsVersion>(r.u16());
+  std::uint16_t record_len = r.u16();
+  if (record_len != r.remaining()) throw ParseError("TLS record length mismatch");
+  std::uint8_t hs_type = r.u8();
+  if (hs_type != 1) throw ParseError("not a ClientHello");
+  std::uint32_t hs_len = r.u24();
+  if (hs_len != r.remaining()) throw ParseError("handshake length mismatch");
+  ch.legacy_version = static_cast<TlsVersion>(r.u16());
+  Bytes rnd = r.raw(32);
+  std::copy(rnd.begin(), rnd.end(), ch.random.begin());
+  std::uint8_t sid_len = r.u8();
+  ch.session_id = r.raw(sid_len);
+  std::uint16_t cs_len = r.u16();
+  if (cs_len % 2 != 0) throw ParseError("odd cipher-suite list length");
+  ch.cipher_suites.clear();
+  for (int i = 0; i < cs_len; i += 2) ch.cipher_suites.push_back(r.u16());
+  std::uint8_t cm_len = r.u8();
+  ch.compression_methods = r.raw(cm_len);
+  if (r.remaining() > 0) {
+    std::uint16_t ext_len = r.u16();
+    if (ext_len != r.remaining()) throw ParseError("extensions length mismatch");
+    while (r.remaining() > 0) {
+      TlsExtension ext;
+      ext.type = r.u16();
+      std::uint16_t len = r.u16();
+      ext.data = r.raw(len);
+      ch.extensions.push_back(std::move(ext));
+    }
+  }
+  return ch;
+}
+
+const std::vector<CipherSuite>& standard_cipher_suites() {
+  static const std::vector<CipherSuite> kSuites = {
+      {0x1301, "TLS_AES_128_GCM_SHA256"},
+      {0x1302, "TLS_AES_256_GCM_SHA384"},
+      {0x1303, "TLS_CHACHA20_POLY1305_SHA256"},
+      {0xc02b, "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256"},
+      {0xc02c, "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384"},
+      {0xc02f, "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256"},
+      {0xc030, "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384"},
+      {0xcca8, "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256"},
+      {0xcca9, "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256"},
+      {0xc013, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA"},
+      {0xc014, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA"},
+      {0xc009, "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA"},
+      {0xc00a, "TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA"},
+      {0x009c, "TLS_RSA_WITH_AES_128_GCM_SHA256"},
+      {0x009d, "TLS_RSA_WITH_AES_256_GCM_SHA384"},
+      {0x002f, "TLS_RSA_WITH_AES_128_CBC_SHA"},
+      {0x0035, "TLS_RSA_WITH_AES_256_CBC_SHA"},
+      {0x003c, "TLS_RSA_WITH_AES_128_CBC_SHA256"},
+      {0x003d, "TLS_RSA_WITH_AES_256_CBC_SHA256"},
+      {0x000a, "TLS_RSA_WITH_3DES_EDE_CBC_SHA"},
+      {0x0005, "TLS_RSA_WITH_RC4_128_SHA"},
+      {0x0004, "TLS_RSA_WITH_RC4_128_MD5"},
+      {0x0067, "TLS_DHE_RSA_WITH_AES_128_CBC_SHA256"},
+      {0x006b, "TLS_DHE_RSA_WITH_AES_256_CBC_SHA256"},
+      {0x0016, "TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA"},
+  };
+  return kSuites;
+}
+
+std::string cipher_suite_name(std::uint16_t code) {
+  for (const CipherSuite& cs : standard_cipher_suites()) {
+    if (cs.code == code) return std::string(cs.name);
+  }
+  return "UNKNOWN_0x" + to_hex(Bytes{static_cast<std::uint8_t>(code >> 8),
+                                     static_cast<std::uint8_t>(code)});
+}
+
+Bytes ServerHello::serialize() const {
+  ByteWriter body;
+  body.u16(static_cast<std::uint16_t>(version));
+  for (int i = 0; i < 32; ++i) body.u8(static_cast<std::uint8_t>(0xa5 ^ i));
+  body.u8(0);  // empty session id
+  body.u16(cipher_suite);
+  body.u8(0);  // null compression
+  ByteWriter rec;
+  rec.u8(22);
+  rec.u16(static_cast<std::uint16_t>(TlsVersion::kTls12));
+  rec.u16(static_cast<std::uint16_t>(body.size() + 4 + 2 + certificate_domain.size()));
+  rec.u8(2);  // server_hello
+  rec.u24(static_cast<std::uint32_t>(body.size()));
+  rec.raw(body.bytes());
+  // Simulation shortcut: certificate domain appended as length-prefixed blob.
+  rec.u16(static_cast<std::uint16_t>(certificate_domain.size()));
+  rec.raw(certificate_domain);
+  return std::move(rec).take();
+}
+
+std::optional<ServerHello> ServerHello::parse(BytesView bytes) {
+  try {
+    ByteReader r(bytes);
+    if (r.u8() != 22) return std::nullopt;
+    r.skip(2);  // record version
+    r.skip(2);  // record length
+    if (r.u8() != 2) return std::nullopt;
+    std::uint32_t body_len = r.u24();
+    ServerHello sh;
+    sh.version = static_cast<TlsVersion>(r.u16());
+    r.skip(32);  // random
+    std::uint8_t sid = r.u8();
+    r.skip(sid);
+    sh.cipher_suite = r.u16();
+    r.skip(1);  // compression
+    (void)body_len;
+    if (r.remaining() >= 2) {
+      std::uint16_t dom_len = r.u16();
+      sh.certificate_domain = r.str(dom_len);
+    }
+    return sh;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes TlsAlert::serialize() const {
+  ByteWriter w;
+  w.u8(21);  // alert record
+  w.u16(static_cast<std::uint16_t>(TlsVersion::kTls12));
+  w.u16(2);
+  w.u8(2);  // fatal
+  w.u8(description);
+  return std::move(w).take();
+}
+
+std::optional<TlsAlert> TlsAlert::parse(BytesView bytes) {
+  try {
+    ByteReader r(bytes);
+    if (r.u8() != 21) return std::nullopt;
+    r.skip(2);
+    std::uint16_t len = r.u16();
+    if (len != 2) return std::nullopt;
+    r.skip(1);  // level
+    TlsAlert a;
+    a.description = r.u8();
+    return a;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace cen::net

@@ -1,0 +1,60 @@
+#include "net/udp.hpp"
+
+namespace cen::net {
+
+Bytes UdpHeader::serialize() const {
+  ByteWriter w;
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(0);  // checksum optional over IPv4
+  return std::move(w).take();
+}
+
+UdpHeader UdpHeader::parse(ByteReader& r) {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  if (h.length < 8) throw ParseError("UDP length below header size");
+  r.skip(2);  // checksum
+  return h;
+}
+
+Bytes UdpDatagram::serialize() const {
+  UdpHeader hdr = udp;
+  hdr.length = static_cast<std::uint16_t>(8 + payload.size());
+  Ipv4Header ip_hdr = ip;
+  ip_hdr.protocol = IpProto::kUdp;
+  ip_hdr.total_length = static_cast<std::uint16_t>(20 + 8 + payload.size());
+  ByteWriter w;
+  w.raw(ip_hdr.serialize());
+  w.raw(hdr.serialize());
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+UdpDatagram UdpDatagram::parse(BytesView bytes) {
+  ByteReader r(bytes);
+  UdpDatagram d;
+  d.ip = Ipv4Header::parse(r);
+  if (d.ip.protocol != IpProto::kUdp) throw ParseError("datagram is not UDP");
+  d.udp = UdpHeader::parse(r);
+  d.payload = r.raw(r.remaining());
+  return d;
+}
+
+UdpDatagram make_udp_datagram(Ipv4Address src, Ipv4Address dst, std::uint16_t sport,
+                              std::uint16_t dport, Bytes payload, std::uint8_t ttl) {
+  UdpDatagram d;
+  d.ip.src = src;
+  d.ip.dst = dst;
+  d.ip.ttl = ttl;
+  d.ip.protocol = IpProto::kUdp;
+  d.udp.src_port = sport;
+  d.udp.dst_port = dport;
+  d.payload = std::move(payload);
+  return d;
+}
+
+}  // namespace cen::net

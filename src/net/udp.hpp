@@ -1,0 +1,39 @@
+// UDP datagrams (RFC 768). DNS censorship in the wild is predominantly
+// UDP: on-path injectors race a forged answer against the resolver's
+// genuine one without being able to drop anything — a behaviour TCP
+// cannot express. The engine walks UdpDatagrams alongside TCP packets.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bytes.hpp"
+#include "net/ipv4.hpp"
+
+namespace cen::net {
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 8;  // header + payload
+
+  /// 8 bytes; checksum emitted as 0 (legal for IPv4 UDP).
+  Bytes serialize() const;
+  static UdpHeader parse(ByteReader& r);
+
+  bool operator==(const UdpHeader&) const = default;
+};
+
+struct UdpDatagram {
+  Ipv4Header ip;
+  UdpHeader udp;
+  Bytes payload;
+
+  /// Full IP + UDP + payload bytes with lengths fixed up.
+  Bytes serialize() const;
+  static UdpDatagram parse(BytesView bytes);
+};
+
+UdpDatagram make_udp_datagram(Ipv4Address src, Ipv4Address dst, std::uint16_t sport,
+                              std::uint16_t dport, Bytes payload, std::uint8_t ttl = 64);
+
+}  // namespace cen::net

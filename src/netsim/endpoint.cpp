@@ -1,0 +1,215 @@
+#include "netsim/endpoint.hpp"
+
+#include <algorithm>
+
+#include "censor/dpi.hpp"
+#include "core/rng.hpp"
+#include "core/strings.hpp"
+#include "net/dns.hpp"
+#include "net/http.hpp"
+#include "net/tls.hpp"
+
+namespace cen::sim {
+
+std::string legitimate_content_for(std::string_view domain) {
+  return "<html><body>legitimate content for " + std::string(domain) + "</body></html>";
+}
+
+bool EndpointHost::hosts(std::string_view host) const {
+  std::string h = ascii_lower(host);
+  for (const std::string& d : profile_.hosted_domains) {
+    std::string dom = ascii_lower(d);
+    if (h == dom) return true;
+    if (profile_.serves_subdomains && ends_with(h, "." + dom)) return true;
+  }
+  return false;
+}
+
+LocalFilterAction EndpointHost::local_filter_verdict(BytesView payload) const {
+  if (profile_.local_filter == LocalFilterAction::kNone || payload.empty()) {
+    return LocalFilterAction::kNone;
+  }
+  std::optional<std::string> name;
+  if (censor::looks_like_tls(payload)) {
+    censor::TlsQuirks lenient;
+    name = censor::dpi_parse_sni(payload, lenient);
+  } else {
+    net::ParsedHttpRequest req = net::parse_http_request(to_string(payload));
+    if (req.host) name = req.host;
+  }
+  if (name && profile_.local_filter_rules.matches(*name)) return profile_.local_filter;
+  return LocalFilterAction::kNone;
+}
+
+AppReply EndpointHost::handle_payload(BytesView payload) const {
+  if (payload.empty()) return {};
+  if (profile_.static_payload) {
+    AppReply r;
+    r.kind = AppReply::Kind::kData;
+    r.data = to_bytes(
+        net::HttpResponse::make(200, "OK", *profile_.static_payload).serialize());
+    return r;
+  }
+  if (censor::looks_like_tls(payload)) return handle_tls(payload);
+  if (profile_.is_dns_resolver && net::looks_like_tcp_dns(payload)) {
+    return handle_dns(payload);
+  }
+  return handle_http(to_string(payload));
+}
+
+AppReply EndpointHost::handle_udp_payload(BytesView payload, std::uint16_t dst_port) const {
+  AppReply r;
+  if (!profile_.is_dns_resolver || dst_port != 53 || payload.empty()) return r;
+  net::DnsMessage query;
+  try {
+    query = net::DnsMessage::parse(payload);  // bare DNS, no TCP framing
+  } catch (const ParseError&) {
+    return r;
+  }
+  if (query.is_response || query.questions.empty()) return r;
+  // Reuse the TCP resolver logic via re-framing, then strip the frame.
+  AppReply framed = handle_dns(net::DnsMessage(query).serialize_tcp());
+  if (framed.kind != AppReply::Kind::kData) return r;
+  ByteReader strip(framed.data);
+  strip.skip(2);  // drop the RFC 7766 length prefix
+  r.kind = AppReply::Kind::kData;
+  r.data = strip.raw(strip.remaining());
+  return r;
+}
+
+AppReply EndpointHost::handle_dns(BytesView raw) const {
+  AppReply r;
+  net::DnsMessage query;
+  try {
+    query = net::DnsMessage::parse_tcp(raw);
+  } catch (const ParseError&) {
+    return r;  // malformed query: resolver stays silent
+  }
+  if (query.is_response || query.questions.empty()) return r;
+  const std::string& qname = query.questions.front().qname;
+  net::Ipv4Address address;
+  bool found = false;
+  for (const auto& [name, ip] : profile_.dns_zone) {
+    if (iequals(name, qname)) {
+      address = ip;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    // Public-resolver behaviour: any name resolves, deterministically.
+    std::uint64_t h = mix64(std::hash<std::string>{}(ascii_lower(qname)));
+    address = net::Ipv4Address(0xc6000000u | static_cast<std::uint32_t>(h & 0xffffff));
+  }
+  r.kind = AppReply::Kind::kData;
+  r.data = net::make_dns_response(query, address).serialize_tcp();
+  return r;
+}
+
+namespace {
+AppReply http_reply(int status, const std::string& body) {
+  AppReply r;
+  r.kind = AppReply::Kind::kData;
+  r.data = to_bytes(net::HttpResponse::make(status, net::http_reason(status), body).serialize());
+  return r;
+}
+}  // namespace
+
+AppReply EndpointHost::handle_http(std::string_view raw) const {
+  net::ParsedHttpRequest req = net::parse_http_request(raw);
+  if (!req.parse_ok) return http_reply(400, "<html>Bad Request</html>");
+  if (profile_.strict_http) {
+    if (!req.line_delims_valid) return http_reply(400, "<html>Bad Request</html>");
+    if (!req.method_valid) return http_reply(501, "<html>Not Implemented</html>");
+    if (!req.version_valid) return http_reply(505, "<html>HTTP Version Not Supported</html>");
+  } else {
+    // Even lenient servers need a plausible method token.
+    if (req.method.empty()) return http_reply(400, "<html>Bad Request</html>");
+  }
+  if (!req.host) {
+    // HTTP/1.1 requires Host; lenient servers fall back to the default vhost.
+    if (profile_.strict_http) return http_reply(400, "<html>Bad Request: missing Host</html>");
+    return http_reply(200, legitimate_content_for(profile_.hosted_domains.front()));
+  }
+  if (hosts(*req.host)) {
+    // A non-root path still serves content (distinct page, same marker).
+    return http_reply(200, legitimate_content_for(*req.host));
+  }
+  if (profile_.reject_unknown_host) return http_reply(403, "<html>Forbidden</html>");
+  if (profile_.default_vhost_for_unknown) {
+    return http_reply(200, legitimate_content_for(profile_.hosted_domains.front()));
+  }
+  // Default-vhost servers answer 301 to their canonical name, a behaviour
+  // the paper observed defeating hostname-mutation circumvention.
+  return http_reply(301, "<html>Moved to " + profile_.hosted_domains.front() + "</html>");
+}
+
+AppReply EndpointHost::handle_tls(BytesView raw) const {
+  AppReply r;
+  r.kind = AppReply::Kind::kData;
+
+  net::ClientHello ch;
+  try {
+    ch = net::ClientHello::parse(raw);
+  } catch (const ParseError&) {
+    r.data = net::TlsAlert{net::TlsAlert::kDecodeError}.serialize();
+    return r;
+  }
+
+  // Version negotiation: endpoints here speak TLS 1.0–1.3.
+  std::vector<net::TlsVersion> offered = ch.supported_versions();
+  net::TlsVersion chosen = net::TlsVersion::kTls10;
+  bool any = false;
+  for (net::TlsVersion v : offered) {
+    if (static_cast<std::uint16_t>(v) < static_cast<std::uint16_t>(net::TlsVersion::kTls10) ||
+        static_cast<std::uint16_t>(v) > static_cast<std::uint16_t>(net::TlsVersion::kTls13)) {
+      continue;
+    }
+    if (!any || static_cast<std::uint16_t>(v) > static_cast<std::uint16_t>(chosen)) {
+      chosen = v;
+      any = true;
+    }
+  }
+  if (!any) {
+    r.data = net::TlsAlert{net::TlsAlert::kProtocolVersion}.serialize();
+    return r;
+  }
+
+  // Cipher negotiation: endpoints accept the standard suite list except
+  // export-grade RC4-MD5, which modern servers refuse.
+  std::uint16_t suite = 0;
+  for (std::uint16_t cs : ch.cipher_suites) {
+    if (cs == 0x0004) continue;  // TLS_RSA_WITH_RC4_128_MD5
+    bool known = std::any_of(net::standard_cipher_suites().begin(),
+                             net::standard_cipher_suites().end(),
+                             [&](const net::CipherSuite& s) { return s.code == cs; });
+    if (known) {
+      suite = cs;
+      break;
+    }
+  }
+  if (suite == 0) {
+    r.data = net::TlsAlert{net::TlsAlert::kHandshakeFailure}.serialize();
+    return r;
+  }
+
+  std::optional<std::string> sni = ch.sni();
+  std::string cert_domain = profile_.hosted_domains.front();
+  if (sni && !sni->empty()) {
+    if (hosts(*sni)) {
+      cert_domain = *sni;
+    } else if (profile_.reject_unknown_sni) {
+      r.data = net::TlsAlert{net::TlsAlert::kUnrecognizedName}.serialize();
+      return r;
+    }
+  }
+
+  net::ServerHello sh;
+  sh.version = chosen;
+  sh.cipher_suite = suite;
+  sh.certificate_domain = cert_domain;
+  r.data = sh.serialize();
+  return r;
+}
+
+}  // namespace cen::sim

@@ -1,0 +1,314 @@
+#include "netsim/engine.hpp"
+#include <algorithm>
+
+namespace cen::sim {
+
+Network::Network(Topology topology, geo::IpMetadataDb geodb, std::uint64_t seed)
+    : topology_(std::move(topology)), geodb_(std::move(geodb)), rng_(seed) {}
+
+void Network::attach_device(NodeId at, std::shared_ptr<censor::Device> device) {
+  attachments_[at].push_back({at, device});
+  devices_.push_back(std::move(device));
+}
+
+void Network::add_endpoint(NodeId node, EndpointProfile profile) {
+  const Node& n = topology_.node(node);
+  endpoints_.emplace(n.ip.value(), EndpointHost(n.ip, std::move(profile)));
+}
+
+Connection Network::open_connection(NodeId client, net::Ipv4Address dst,
+                                    std::uint16_t dst_port) {
+  std::uint16_t sport = next_ephemeral_port_++;
+  if (next_ephemeral_port_ >= 65000) next_ephemeral_port_ = 40000;
+  return Connection(this, client, dst, dst_port, sport);
+}
+
+std::vector<censor::ServiceBanner> Network::scan_services(net::Ipv4Address ip) const {
+  for (const auto& dev : devices_) {
+    if (dev->config().mgmt_ip && *dev->config().mgmt_ip == ip) {
+      return dev->config().services;
+    }
+  }
+  // No device owns this IP: a plain router may still expose management
+  // services with generic (unfingerprideable) banners.
+  if (std::optional<NodeId> node = topology_.find_by_ip(ip)) {
+    return topology_.node(*node).services;
+  }
+  return {};
+}
+
+std::optional<censor::StackFingerprint> Network::probe_stack(net::Ipv4Address ip) const {
+  if (scan_services(ip).empty()) return std::nullopt;  // nothing answers SYNs
+  for (const auto& dev : devices_) {
+    if (dev->config().mgmt_ip && *dev->config().mgmt_ip == ip) {
+      return dev->config().stack;
+    }
+  }
+  // A plain router's management plane: generic network-OS stack.
+  return censor::StackFingerprint{255, 4096, 536, false, 255};
+}
+
+void Network::reset_device_state() {
+  for (const auto& dev : devices_) dev->reset_state();
+}
+
+void Network::reverse_deliver(net::Packet pkt, const std::vector<NodeId>& path,
+                              std::size_t from_index, std::vector<Event>& events) {
+  (void)path;  // return routing is symmetric; only the hop count matters
+  // Routers between the origin point and the client decrement the TTL of
+  // the returning packet; a TTL-copying injection may die en route — the
+  // mechanism behind the paper's "Past E" observations.
+  for (std::size_t i = from_index; i-- > 1;) {
+    (void)i;
+    if (pkt.ip.ttl == 0) return;
+    pkt.ip.ttl -= 1;
+    if (pkt.ip.ttl == 0) return;  // expired mid-return; no ICMP to a spoofed source
+  }
+  if (capture_ != nullptr) capture_->add(clock_.now(), pkt.serialize());
+  events.push_back(TcpEvent{std::move(pkt)});
+}
+
+void Network::reverse_deliver_udp(net::UdpDatagram dgram, std::size_t from_index,
+                                  std::vector<Event>& events) {
+  for (std::size_t i = from_index; i-- > 1;) {
+    (void)i;
+    if (dgram.ip.ttl == 0) return;
+    dgram.ip.ttl -= 1;
+    if (dgram.ip.ttl == 0) return;
+  }
+  if (capture_ != nullptr) capture_->add(clock_.now(), dgram.serialize());
+  events.push_back(UdpEvent{std::move(dgram)});
+}
+
+std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
+                                     std::uint16_t dst_port, Bytes payload,
+                                     std::uint8_t ttl) {
+  std::vector<Event> events;
+  std::uint16_t sport = next_ephemeral_port_++;
+  if (next_ephemeral_port_ >= 65000) next_ephemeral_port_ = 40000;
+  std::optional<NodeId> dst_node = topology_.find_by_ip(dst);
+  if (!dst_node) return events;
+  const net::Ipv4Address src_ip = topology_.node(client).ip;
+  std::uint64_t flow_hash =
+      mix64(static_cast<std::uint64_t>(src_ip.value()) << 32 | dst.value()) ^
+      mix64(static_cast<std::uint64_t>(sport) << 16 | dst_port);
+  const std::vector<NodeId>& path = topology_.route(client, *dst_node, flow_hash);
+  if (path.size() < 2) return events;
+  if (transient_loss_ > 0.0 && rng_.chance(transient_loss_)) return events;
+
+  net::UdpDatagram dgram =
+      net::make_udp_datagram(src_ip, dst, sport, dst_port, std::move(payload), ttl);
+  if (capture_ != nullptr) capture_->add(clock_.now(), dgram.serialize());
+
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    NodeId nid = path[i];
+    auto att_it = attachments_.find(nid);
+    if (att_it != attachments_.end()) {
+      for (const Attachment& att : att_it->second) {
+        censor::UdpVerdict v = att.device->inspect_udp(dgram, clock_.now());
+        for (net::UdpDatagram& inj : v.inject_to_client) {
+          reverse_deliver_udp(std::move(inj), i, events);
+        }
+        if (v.drop) return events;
+      }
+    }
+
+    const Node& n = topology_.node(nid);
+    bool is_endpoint_hop = (i + 1 == path.size());
+    if (!is_endpoint_hop) {
+      dgram.ip.ttl -= 1;
+      if (dgram.ip.ttl == 0) {
+        if (n.profile.responds_icmp) {
+          net::IcmpTimeExceeded icmp = net::IcmpTimeExceeded::make(
+              n.ip, dgram.serialize(), n.profile.quote_policy);
+          events.push_back(IcmpEvent{n.ip, std::move(icmp.quoted)});
+        }
+        return events;
+      }
+      if (n.profile.rewrite_tos) dgram.ip.tos = *n.profile.rewrite_tos;
+      continue;
+    }
+
+    auto ep_it = endpoints_.find(dgram.ip.dst.value());
+    if (ep_it == endpoints_.end()) return events;
+    AppReply reply = ep_it->second.handle_udp_payload(dgram.payload, dst_port);
+    if (reply.kind == AppReply::Kind::kData) {
+      net::UdpDatagram answer = net::make_udp_datagram(
+          dgram.ip.dst, dgram.ip.src, dst_port, sport, std::move(reply.data), 64);
+      reverse_deliver_udp(std::move(answer), i, events);
+    }
+    return events;
+  }
+  return events;
+}
+
+bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
+                           std::vector<Event>& events, bool payload_phase) {
+  if (path.size() < 2) return false;
+  if (transient_loss_ > 0.0 && rng_.chance(transient_loss_)) return false;
+
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    NodeId nid = path[i];
+
+    // Devices deployed on the link entering this node inspect first.
+    auto att_it = attachments_.find(nid);
+    if (att_it != attachments_.end()) {
+      for (const Attachment& att : att_it->second) {
+        censor::Verdict v = att.device->inspect(pkt, clock_.now());
+        for (net::Packet& inj : v.inject_to_client) {
+          reverse_deliver(std::move(inj), path, i, events);
+        }
+        if (v.drop) return false;
+      }
+    }
+
+    const Node& n = topology_.node(nid);
+    bool is_endpoint_hop = (i + 1 == path.size());
+
+    if (!is_endpoint_hop) {
+      // Router: decrement, possibly expire, possibly rewrite header bits.
+      pkt.ip.ttl -= 1;
+      if (pkt.ip.ttl == 0) {
+        if (n.profile.responds_icmp) {
+          net::IcmpTimeExceeded icmp = net::IcmpTimeExceeded::make(
+              n.ip, pkt.serialize(), n.profile.quote_policy);
+          if (capture_ != nullptr) {
+            // Reconstruct the full ICMP datagram for the capture file.
+            net::Ipv4Header ip;
+            ip.protocol = net::IpProto::kIcmp;
+            ip.src = n.ip;
+            ip.dst = pkt.ip.src;
+            Bytes icmp_bytes = icmp.serialize();
+            ip.total_length = static_cast<std::uint16_t>(20 + icmp_bytes.size());
+            ByteWriter w;
+            w.raw(ip.serialize());
+            w.raw(icmp_bytes);
+            capture_->add(clock_.now(), std::move(w).take());
+          }
+          events.push_back(IcmpEvent{n.ip, std::move(icmp.quoted)});
+        }
+        return false;
+      }
+      if (n.profile.rewrite_tos) pkt.ip.tos = *n.profile.rewrite_tos;
+      if (n.profile.clears_df_flag) pkt.ip.flags &= static_cast<std::uint8_t>(~0x2u);
+      continue;
+    }
+
+    // Final hop: the endpoint host.
+    auto ep_it = endpoints_.find(pkt.ip.dst.value());
+    if (ep_it == endpoints_.end()) return false;  // no listener: silence
+    const EndpointHost& ep = ep_it->second;
+
+    auto spoof_base = [&](std::uint8_t flags) {
+      net::Packet r;
+      r.ip.src = pkt.ip.dst;
+      r.ip.dst = pkt.ip.src;
+      r.ip.ttl = 64;
+      r.tcp.src_port = pkt.tcp.dst_port;
+      r.tcp.dst_port = pkt.tcp.src_port;
+      r.tcp.flags = flags;
+      r.tcp.seq = pkt.tcp.ack;
+      r.tcp.ack = pkt.tcp.seq + static_cast<std::uint32_t>(pkt.payload.size());
+      r.tcp.window = 65535;
+      return r;
+    };
+
+    if (!payload_phase) {
+      // Handshake: SYN → SYN/ACK on open ports, RST on closed ones.
+      const auto& ports = ep.profile().open_ports;
+      bool open = std::find(ports.begin(), ports.end(), pkt.tcp.dst_port) != ports.end();
+      if (!open) {
+        net::Packet rst = spoof_base(net::TcpFlags::kRst | net::TcpFlags::kAck);
+        rst.tcp.ack = pkt.tcp.seq + 1;
+        reverse_deliver(std::move(rst), path, i, events);
+        return false;
+      }
+      net::Packet synack = spoof_base(net::TcpFlags::kSyn | net::TcpFlags::kAck);
+      synack.tcp.ack = pkt.tcp.seq + 1;
+      reverse_deliver(std::move(synack), path, i, events);
+      return true;
+    }
+
+    switch (ep.local_filter_verdict(pkt.payload)) {
+      case LocalFilterAction::kDrop:
+        return false;
+      case LocalFilterAction::kRst: {
+        reverse_deliver(spoof_base(net::TcpFlags::kRst | net::TcpFlags::kAck), path, i,
+                        events);
+        return false;
+      }
+      case LocalFilterAction::kNone:
+        break;
+    }
+
+    AppReply reply = ep.handle_payload(pkt.payload);
+    switch (reply.kind) {
+      case AppReply::Kind::kNone:
+        break;
+      case AppReply::Kind::kData: {
+        net::Packet data = spoof_base(net::TcpFlags::kPsh | net::TcpFlags::kAck);
+        data.payload = std::move(reply.data);
+        reverse_deliver(std::move(data), path, i, events);
+        break;
+      }
+      case AppReply::Kind::kRst:
+        reverse_deliver(spoof_base(net::TcpFlags::kRst | net::TcpFlags::kAck), path, i,
+                        events);
+        break;
+    }
+    return true;
+  }
+  return false;
+}
+
+Connection::Connection(Network* net, NodeId client, net::Ipv4Address dst,
+                       std::uint16_t dport, std::uint16_t sport)
+    : net_(net), client_(client), dst_(dst), dport_(dport), sport_(sport) {
+  std::optional<NodeId> dst_node = net_->topology_.find_by_ip(dst);
+  if (dst_node) {
+    const net::Ipv4Address src_ip = net_->topology_.node(client_).ip;
+    std::uint64_t flow_hash =
+        mix64(static_cast<std::uint64_t>(src_ip.value()) << 32 | dst.value()) ^
+        mix64(static_cast<std::uint64_t>(sport_) << 16 | dport_);
+    path_ = net_->topology_.route(client_, *dst_node, flow_hash);
+  }
+}
+
+ConnectResult Connection::connect() {
+  if (path_.empty()) return ConnectResult::kTimeout;
+  const net::Ipv4Address src_ip = net_->topology_.node(client_).ip;
+  next_seq_ = 1000;
+  net::Packet syn = net::make_tcp_packet(src_ip, dst_, sport_, dport_,
+                                         net::TcpFlags::kSyn, next_seq_, 0, {}, 64);
+  std::vector<Event> events;
+  bool delivered = net_->forward_walk(std::move(syn), path_, events, /*payload_phase=*/false);
+  for (const Event& ev : events) {
+    if (const auto* tcp = std::get_if<TcpEvent>(&ev)) {
+      if (tcp->packet.tcp.has(net::TcpFlags::kRst)) return ConnectResult::kReset;
+      if (tcp->packet.tcp.has(net::TcpFlags::kSyn) && tcp->packet.tcp.has(net::TcpFlags::kAck)) {
+        established_ = true;
+        next_seq_ += 1;  // SYN consumed one sequence number
+        peer_seq_ = tcp->packet.tcp.seq + 1;
+        return ConnectResult::kEstablished;
+      }
+    }
+  }
+  (void)delivered;
+  return ConnectResult::kTimeout;
+}
+
+std::vector<Event> Connection::send(Bytes payload, std::uint8_t ttl) {
+  std::vector<Event> events;
+  if (!established_) return events;
+  const net::Ipv4Address src_ip = net_->topology_.node(client_).ip;
+  net::Packet pkt = net::make_tcp_packet(
+      src_ip, dst_, sport_, dport_, net::TcpFlags::kPsh | net::TcpFlags::kAck, next_seq_,
+      peer_seq_, std::move(payload), ttl);
+  next_seq_ += static_cast<std::uint32_t>(pkt.payload.size());
+  last_sent_ = pkt;
+  if (net_->capture_ != nullptr) net_->capture_->add(net_->now(), pkt.serialize());
+  net_->forward_walk(std::move(pkt), path_, events, /*payload_phase=*/true);
+  return events;
+}
+
+}  // namespace cen::sim

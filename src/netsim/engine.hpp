@@ -1,0 +1,178 @@
+// The packet-walk engine: ties topology, endpoints and censor devices into
+// a sendable network.
+//
+// A tool opens a `Connection` from a client node to an endpoint IP and
+// sends application payloads with a chosen IP TTL. The engine walks the
+// flow's ECMP path hop by hop: in-path devices on the link into each node
+// inspect (and may consume) the packet, on-path taps inspect a copy and
+// may inject, routers decrement TTL and answer exhaustion with ICMP Time
+// Exceeded (quoting per their RFC 792/1812 policy), and the endpoint's
+// web-server model answers delivered payloads. Injected and reply packets
+// traverse the reverse path with real TTL decay — which is what makes the
+// paper's TTL-copying "Past E" artefact reproducible.
+//
+// Everything the client would capture with tcpdump is returned as an
+// ordered list of `Event`s; an empty list is a timeout.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "censor/device.hpp"
+#include "core/clock.hpp"
+#include "core/rng.hpp"
+#include "geo/asdb.hpp"
+#include "net/icmp.hpp"
+#include "net/packet.hpp"
+#include "net/pcap.hpp"
+#include "netsim/endpoint.hpp"
+#include "netsim/topology.hpp"
+
+namespace cen::sim {
+
+/// ICMP Time Exceeded received by the client.
+struct IcmpEvent {
+  net::Ipv4Address router;
+  Bytes quoted;  // quoted original datagram bytes
+};
+
+/// A TCP packet received by the client (genuine endpoint reply or spoofed
+/// injection — indistinguishable to the client, as in reality).
+struct TcpEvent {
+  net::Packet packet;
+};
+
+/// A UDP datagram received by the client (genuine answer or forged — the
+/// client may receive BOTH when an on-path injector races the resolver).
+struct UdpEvent {
+  net::UdpDatagram datagram;
+};
+
+using Event = std::variant<IcmpEvent, TcpEvent, UdpEvent>;
+
+/// Outcome of a connection attempt.
+enum class ConnectResult : std::uint8_t { kEstablished, kTimeout, kReset };
+
+class Network;
+
+/// One TCP connection from a client node to an endpoint. Fresh connections
+/// get fresh source ports, which is what exposes them to ECMP variance.
+class Connection {
+ public:
+  /// Perform the SYN handshake (TTL 64). Must succeed before send().
+  ConnectResult connect();
+  /// Send one application payload with the given IP TTL; returns every
+  /// packet the client receives back (empty = timeout).
+  std::vector<Event> send(Bytes payload, std::uint8_t ttl = 64);
+
+  std::uint16_t source_port() const { return sport_; }
+  const std::vector<NodeId>& path() const { return path_; }
+  /// The exact packet most recently sent (pre-flight state) — the baseline
+  /// CenTrace diffs quoted ICMP packets against.
+  const net::Packet& last_sent() const { return last_sent_; }
+
+ private:
+  friend class Network;
+  Connection(Network* net, NodeId client, net::Ipv4Address dst, std::uint16_t dport,
+             std::uint16_t sport);
+
+  Network* net_ = nullptr;
+  NodeId client_ = kInvalidNode;
+  net::Ipv4Address dst_;
+  std::uint16_t dport_ = 0;
+  std::uint16_t sport_ = 0;
+  std::vector<NodeId> path_;
+  bool established_ = false;
+  std::uint32_t next_seq_ = 0;
+  std::uint32_t peer_seq_ = 0;
+  net::Packet last_sent_;
+};
+
+class Network {
+ public:
+  Network(Topology topology, geo::IpMetadataDb geodb, std::uint64_t seed = 1);
+
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
+  const geo::IpMetadataDb& geodb() const { return geodb_; }
+  SimClock& clock() { return clock_; }
+  SimTime now() const { return clock_.now(); }
+
+  /// Deploy a device on the link entering `at` (in-path) or as a tap on
+  /// that link (on-path — taken from the device's config).
+  void attach_device(NodeId at, std::shared_ptr<censor::Device> device);
+  /// Register a web-server endpoint at a topology node.
+  void add_endpoint(NodeId node, EndpointProfile profile);
+
+  /// Open a TCP connection; a fresh ephemeral source port is assigned.
+  Connection open_connection(NodeId client, net::Ipv4Address dst,
+                             std::uint16_t dst_port = 80);
+
+  /// Fire one UDP datagram (fresh ephemeral source port) and collect
+  /// everything delivered back: ICMP Time Exceeded, forged injections,
+  /// and/or the genuine answer — possibly several of them.
+  std::vector<Event> send_udp(NodeId client, net::Ipv4Address dst,
+                              std::uint16_t dst_port, Bytes payload,
+                              std::uint8_t ttl = 64);
+
+  /// Independent transient packet loss applied to each forward walk
+  /// (models the network failures CenTrace's 3 retries absorb).
+  void set_transient_loss(double probability) { transient_loss_ = probability; }
+
+  /// Management-plane scan: open services on a device management IP.
+  std::vector<censor::ServiceBanner> scan_services(net::Ipv4Address ip) const;
+
+  /// Nmap-style stack probe of a management IP: the TCP-stack fingerprint
+  /// its SYN/ACK and RST responses reveal. Requires at least one open port
+  /// to elicit a SYN/ACK; nullopt otherwise. Plain routers answer with a
+  /// generic network-OS stack.
+  std::optional<censor::StackFingerprint> probe_stack(net::Ipv4Address ip) const;
+
+  /// Attach a capture sink recording everything the client sends and
+  /// receives (the paper's tcpdump, §4.2). Pass nullptr to detach. The
+  /// writer must outlive the network or be detached first.
+  void set_capture(net::PcapWriter* capture) { capture_ = capture; }
+
+  /// Devices deployed in the network (scenario bookkeeping/ground truth).
+  const std::vector<std::shared_ptr<censor::Device>>& devices() const { return devices_; }
+  /// Reset all device state (fresh measurement epoch).
+  void reset_device_state();
+
+ private:
+  friend class Connection;
+
+  struct Attachment {
+    NodeId at = kInvalidNode;
+    std::shared_ptr<censor::Device> device;
+  };
+
+  /// Walk a client→endpoint packet along `path`; fills `events` with
+  /// everything delivered back to the client. Returns true if the packet
+  /// reached the endpoint application.
+  bool forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
+                    std::vector<Event>& events, bool payload_phase);
+
+  /// Deliver a packet travelling from path index `from_index` back to the
+  /// client at path[0], decrementing TTL per router hop.
+  void reverse_deliver(net::Packet pkt, const std::vector<NodeId>& path,
+                       std::size_t from_index, std::vector<Event>& events);
+  void reverse_deliver_udp(net::UdpDatagram dgram, std::size_t from_index,
+                           std::vector<Event>& events);
+
+  Topology topology_;
+  geo::IpMetadataDb geodb_;
+  SimClock clock_;
+  Rng rng_;
+  net::PcapWriter* capture_ = nullptr;
+  double transient_loss_ = 0.0;
+  std::uint16_t next_ephemeral_port_ = 40000;
+  std::map<NodeId, std::vector<Attachment>> attachments_;
+  std::map<std::uint32_t, EndpointHost> endpoints_;  // by IP value
+  std::vector<std::shared_ptr<censor::Device>> devices_;
+};
+
+}  // namespace cen::sim

@@ -1,0 +1,101 @@
+#include "netsim/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace cen::sim {
+
+NodeId Topology::add_node(std::string name, net::Ipv4Address ip, RouterProfile profile) {
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.name = std::move(name);
+  n.ip = ip;
+  n.profile = profile;
+  nodes_.push_back(std::move(n));
+  adjacency_.emplace_back();
+  ip_index_.emplace(ip.value(), nodes_.back().id);
+  path_cache_.clear();
+  return nodes_.back().id;
+}
+
+void Topology::add_link(NodeId a, NodeId b) {
+  if (a >= nodes_.size() || b >= nodes_.size()) throw std::out_of_range("bad node id");
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  path_cache_.clear();
+}
+
+std::optional<NodeId> Topology::find_by_ip(net::Ipv4Address ip) const {
+  auto it = ip_index_.find(ip.value());
+  if (it == ip_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<std::vector<NodeId>>& Topology::equal_cost_paths(NodeId src,
+                                                                   NodeId dst) const {
+  auto key = std::make_pair(src, dst);
+  auto it = path_cache_.find(key);
+  if (it != path_cache_.end()) return it->second;
+
+  // BFS from src recording distances, then enumerate all shortest paths by
+  // walking the BFS DAG from dst back to src.
+  std::vector<int> dist(nodes_.size(), -1);
+  std::deque<NodeId> queue;
+  dist[src] = 0;
+  queue.push_back(src);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : adjacency_[u]) {
+      if (dist[v] == -1) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+
+  std::vector<std::vector<NodeId>> paths;
+  if (dist[dst] != -1) {
+    // Iterative DFS over predecessors on shortest paths.
+    std::vector<std::vector<NodeId>> stack;
+    stack.push_back({dst});
+    while (!stack.empty() && paths.size() < kMaxEcmpPaths) {
+      std::vector<NodeId> partial = std::move(stack.back());
+      stack.pop_back();
+      NodeId head = partial.back();
+      if (head == src) {
+        std::vector<NodeId> full(partial.rbegin(), partial.rend());
+        paths.push_back(std::move(full));
+        continue;
+      }
+      // Deterministic order: ascending neighbour id.
+      std::vector<NodeId> preds;
+      for (NodeId v : adjacency_[head]) {
+        if (dist[v] == dist[head] - 1) preds.push_back(v);
+      }
+      std::sort(preds.begin(), preds.end(), std::greater<NodeId>());
+      for (NodeId v : preds) {
+        std::vector<NodeId> next = partial;
+        next.push_back(v);
+        stack.push_back(std::move(next));
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+  }
+  auto [ins, ok] = path_cache_.emplace(key, std::move(paths));
+  (void)ok;
+  return ins->second;
+}
+
+const std::vector<NodeId>& Topology::route(NodeId src, NodeId dst,
+                                           std::uint64_t flow_hash) const {
+  const auto& paths = equal_cost_paths(src, dst);
+  if (paths.empty()) {
+    static const std::vector<NodeId> kEmpty;
+    return kEmpty;
+  }
+  return paths[flow_hash % paths.size()];
+}
+
+}  // namespace cen::sim

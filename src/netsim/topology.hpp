@@ -1,0 +1,83 @@
+// Simulated network topology: routers, links, and ECMP path computation.
+//
+// Paths between a client and an endpoint are all shortest paths in the
+// link graph; a flow's 5-tuple hash picks one, mirroring per-flow ECMP
+// load balancing. Because CenTrace opens a fresh TCP connection (fresh
+// source port) per probe (§4.1), consecutive probes can ride different
+// paths — the path-variance problem the tool tames with repetition.
+//
+// Each router carries a profile controlling the ICMP behaviours the paper
+// measures: whether it answers TTL exhaustion at all, how much of the
+// original datagram it quotes (RFC 792 vs RFC 1812), and whether it
+// rewrites the IP TOS / flags of transiting packets (§4.3 observes TOS
+// deltas in 32% of quoted packets).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "censor/device.hpp"  // ServiceBanner, for router management planes
+#include "net/icmp.hpp"
+#include "net/ipv4.hpp"
+
+namespace cen::sim {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = 0xffffffffu;
+
+struct RouterProfile {
+  bool responds_icmp = true;
+  net::QuotePolicy quote_policy = net::QuotePolicy::kRfc792;
+  /// If set, the router rewrites the TOS byte of packets it forwards.
+  std::optional<std::uint8_t> rewrite_tos;
+  /// Quirky gear that clears the DF flag of transiting packets.
+  bool clears_df_flag = false;
+};
+
+struct Node {
+  NodeId id = kInvalidNode;
+  std::string name;
+  net::Ipv4Address ip;
+  RouterProfile profile;
+  /// Management services exposed on this router's IP (most expose none;
+  /// some answer SSH/Telnet with generic banners — the paper's 68-of-163
+  /// "has open ports but no vendor label" population).
+  std::vector<censor::ServiceBanner> services;
+};
+
+/// Maximum number of equal-cost paths enumerated per (src, dst) pair.
+constexpr std::size_t kMaxEcmpPaths = 128;
+
+class Topology {
+ public:
+  NodeId add_node(std::string name, net::Ipv4Address ip, RouterProfile profile = {});
+  /// Undirected link between two existing nodes.
+  void add_link(NodeId a, NodeId b);
+
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  Node& node(NodeId id) { return nodes_.at(id); }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::optional<NodeId> find_by_ip(net::Ipv4Address ip) const;
+  /// Direct neighbours of a node (link adjacency).
+  const std::vector<NodeId>& neighbors(NodeId id) const { return adjacency_.at(id); }
+
+  /// All shortest paths src→dst (inclusive of both), capped at
+  /// kMaxEcmpPaths, in a deterministic order. Cached; the cache is
+  /// invalidated by add_link/add_node.
+  const std::vector<std::vector<NodeId>>& equal_cost_paths(NodeId src, NodeId dst) const;
+
+  /// Pick the path a given flow hash rides.
+  const std::vector<NodeId>& route(NodeId src, NodeId dst, std::uint64_t flow_hash) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::unordered_map<std::uint32_t, NodeId> ip_index_;
+  mutable std::map<std::pair<NodeId, NodeId>, std::vector<std::vector<NodeId>>> path_cache_;
+};
+
+}  // namespace cen::sim

@@ -1,0 +1,108 @@
+#include "report/aggregate.hpp"
+
+#include <algorithm>
+
+namespace cen::report {
+
+int BlockingDistribution::type_total(const std::string& type) const {
+  auto it = counts.find(type);
+  if (it == counts.end()) return 0;
+  int total = 0;
+  for (const auto& [loc, n] : it->second) total += n;
+  return total;
+}
+
+int BlockingDistribution::location_total(const std::string& location) const {
+  int total = 0;
+  for (const auto& [type, locs] : counts) {
+    auto it = locs.find(location);
+    if (it != locs.end()) total += it->second;
+  }
+  return total;
+}
+
+BlockingDistribution blocking_distribution(
+    const std::vector<trace::CenTraceReport>& traces) {
+  BlockingDistribution d;
+  for (const trace::CenTraceReport& t : traces) {
+    if (!t.blocked) continue;
+    ++d.total_blocked;
+    d.counts[std::string(trace::blocking_type_name(t.blocking_type))]
+            [std::string(trace::blocking_location_name(t.location))]++;
+  }
+  return d;
+}
+
+int PlacementDistribution::hops_quantile(double f) const {
+  if (hops_from_endpoint.empty()) return 0;
+  std::vector<int> sorted = hops_from_endpoint;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted[static_cast<std::size_t>(f * (sorted.size() - 1))];
+}
+
+double PlacementDistribution::share_within(int k) const {
+  if (hops_from_endpoint.empty()) return 0.0;
+  int within = 0;
+  for (int h : hops_from_endpoint) {
+    if (h <= k) ++within;
+  }
+  return static_cast<double>(within) / hops_from_endpoint.size();
+}
+
+PlacementDistribution placement_distribution(
+    const std::vector<trace::CenTraceReport>& traces) {
+  PlacementDistribution d;
+  for (const trace::CenTraceReport& t : traces) {
+    if (!t.blocked || t.location != trace::BlockingLocation::kOnPathToEndpoint) continue;
+    if (t.placement == trace::DevicePlacement::kInPath) ++d.in_path;
+    if (t.placement == trace::DevicePlacement::kOnPath) ++d.on_path;
+    if (t.endpoint_hop_distance > 0 && t.blocking_hop_ttl > 0) {
+      d.hops_from_endpoint.push_back(t.endpoint_hop_distance - t.blocking_hop_ttl);
+    }
+  }
+  return d;
+}
+
+std::map<std::string, int> blocked_by_as(
+    const std::vector<trace::CenTraceReport>& traces) {
+  std::map<std::string, int> out;
+  for (const trace::CenTraceReport& t : traces) {
+    if (!t.blocked || !t.blocking_as) continue;
+    out["AS" + std::to_string(t.blocking_as->asn) + " " + t.blocking_as->name + " (" +
+        t.blocking_as->country + ")"]++;
+  }
+  return out;
+}
+
+std::map<std::string, StrategyTally> strategy_success(
+    const std::vector<ml::EndpointMeasurement>& measurements) {
+  std::map<std::string, StrategyTally> out;
+  for (const ml::EndpointMeasurement& m : measurements) {
+    if (!m.fuzz) continue;
+    for (const fuzz::FuzzMeasurement& f : m.fuzz->measurements) {
+      if (f.outcome == fuzz::FuzzOutcome::kUntestable) continue;
+      StrategyTally& t = out[f.strategy];
+      ++t.total;
+      if (f.outcome == fuzz::FuzzOutcome::kSuccessful) ++t.successful;
+    }
+  }
+  return out;
+}
+
+std::map<std::string, StrategyTally> permutation_success(
+    const std::vector<ml::EndpointMeasurement>& measurements,
+    const std::string& strategy) {
+  std::map<std::string, StrategyTally> out;
+  for (const ml::EndpointMeasurement& m : measurements) {
+    if (!m.fuzz) continue;
+    for (const fuzz::FuzzMeasurement& f : m.fuzz->measurements) {
+      if (f.strategy != strategy || f.outcome == fuzz::FuzzOutcome::kUntestable) continue;
+      StrategyTally& t = out[f.permutation];
+      ++t.total;
+      if (f.outcome == fuzz::FuzzOutcome::kSuccessful) ++t.successful;
+    }
+  }
+  return out;
+}
+
+}  // namespace cen::report

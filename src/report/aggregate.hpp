@@ -1,0 +1,63 @@
+// Aggregation of measurement results into the tallies the paper's tables
+// and figures report. The bench binaries print these; tests pin their
+// arithmetic.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/pipeline.hpp"
+
+namespace cen::report {
+
+/// Figure 3's matrix: blocked CT counts by terminating-response type and
+/// blocking location.
+struct BlockingDistribution {
+  /// counts[type][location] using blocking_type_name / blocking_location_name keys.
+  std::map<std::string, std::map<std::string, int>> counts;
+  int total_blocked = 0;
+
+  int type_total(const std::string& type) const;
+  int location_total(const std::string& location) const;
+};
+
+BlockingDistribution blocking_distribution(
+    const std::vector<trace::CenTraceReport>& traces);
+
+/// Figure 4's view: in-path/on-path counts and hops-from-endpoint samples
+/// for blocking located strictly between client and endpoint.
+struct PlacementDistribution {
+  int in_path = 0;
+  int on_path = 0;
+  std::vector<int> hops_from_endpoint;  // unsorted samples
+
+  /// Quantile over the samples (f in [0,1]); 0 when empty.
+  int hops_quantile(double f) const;
+  /// Fraction of samples within `k` hops of the endpoint.
+  double share_within(int k) const;
+};
+
+PlacementDistribution placement_distribution(
+    const std::vector<trace::CenTraceReport>& traces);
+
+/// Per-AS blocked-CT tally ("AS<asn> <name> (<cc>)" -> count).
+std::map<std::string, int> blocked_by_as(
+    const std::vector<trace::CenTraceReport>& traces);
+
+/// Figure 5's per-strategy evasion tallies across fuzz reports.
+struct StrategyTally {
+  int successful = 0;
+  int total = 0;  // successful + not-successful (untestable excluded)
+  double rate() const { return total == 0 ? 0.0 : double(successful) / total; }
+};
+
+std::map<std::string, StrategyTally> strategy_success(
+    const std::vector<ml::EndpointMeasurement>& measurements);
+
+/// Permutation-level tallies for one strategy ("permutation" -> tally).
+std::map<std::string, StrategyTally> permutation_success(
+    const std::vector<ml::EndpointMeasurement>& measurements,
+    const std::string& strategy);
+
+}  // namespace cen::report

@@ -1,0 +1,160 @@
+#include "report/json_report.hpp"
+
+#include "core/json.hpp"
+
+namespace cen::report {
+
+namespace {
+
+void write_optional_ip(JsonWriter& w, const std::optional<net::Ipv4Address>& ip) {
+  if (ip) {
+    w.value(ip->str());
+  } else {
+    w.null();
+  }
+}
+
+void write_sweep(JsonWriter& w, const trace::SingleTrace& sweep) {
+  w.begin_object();
+  w.key("domain").value(sweep.domain);
+  w.key("terminating_ttl").value(sweep.terminating_ttl);
+  w.key("terminating_response")
+      .value(trace::probe_response_name(sweep.terminating_response));
+  w.key("endpoint_reached").value(sweep.endpoint_reached);
+  w.key("hops").begin_array();
+  for (const trace::HopObservation& h : sweep.hops) {
+    w.begin_object();
+    w.key("ttl").value(h.ttl);
+    w.key("response").value(trace::probe_response_name(h.response));
+    w.key("icmp_router");
+    write_optional_ip(w, h.icmp_router);
+    w.key("tcp_and_icmp").value(h.tcp_and_icmp);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const trace::CenTraceReport& report, bool include_sweeps) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("tool").value("centrace");
+  w.key("test_domain").value(report.test_domain);
+  w.key("control_domain").value(report.control_domain);
+  w.key("endpoint").value(report.endpoint.str());
+  w.key("protocol").value(trace::probe_protocol_name(report.protocol));
+  w.key("blocked").value(report.blocked);
+  w.key("blocking_type").value(trace::blocking_type_name(report.blocking_type));
+  w.key("location").value(trace::blocking_location_name(report.location));
+  w.key("placement").value(trace::device_placement_name(report.placement));
+  w.key("blocking_hop_ttl").value(report.blocking_hop_ttl);
+  w.key("blocking_hop_ip");
+  write_optional_ip(w, report.blocking_hop_ip);
+  if (report.blocking_as) {
+    w.key("blocking_as").begin_object();
+    w.key("asn").value(static_cast<std::int64_t>(report.blocking_as->asn));
+    w.key("name").value(report.blocking_as->name);
+    w.key("country").value(report.blocking_as->country);
+    w.end_object();
+  } else {
+    w.key("blocking_as").null();
+  }
+  w.key("endpoint_hop_distance").value(report.endpoint_hop_distance);
+  w.key("ttl_copy_detected").value(report.ttl_copy_detected);
+  if (report.blockpage_vendor) {
+    w.key("blockpage_vendor").value(*report.blockpage_vendor);
+  } else {
+    w.key("blockpage_vendor").null();
+  }
+  w.key("control_path").begin_array();
+  for (const auto& hop : report.control_path) {
+    write_optional_ip(w, hop);
+  }
+  w.end_array();
+  w.key("quote_diffs").begin_array();
+  for (const trace::QuoteDiff& d : report.quote_diffs) {
+    w.begin_object();
+    w.key("router").value(d.router.str());
+    w.key("rfc792_minimal").value(d.rfc792_minimal);
+    w.key("tos_changed").value(d.tos_changed);
+    w.key("ip_flags_changed").value(d.ip_flags_changed);
+    w.end_object();
+  }
+  w.end_array();
+  if (include_sweeps) {
+    w.key("control_sweeps").begin_array();
+    for (const trace::SingleTrace& sweep : report.control_traces) write_sweep(w, sweep);
+    w.end_array();
+    w.key("test_sweeps").begin_array();
+    for (const trace::SingleTrace& sweep : report.test_traces) write_sweep(w, sweep);
+    w.end_array();
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(const fuzz::CenFuzzReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("tool").value("cenfuzz");
+  w.key("endpoint").value(report.endpoint.str());
+  w.key("test_domain").value(report.test_domain);
+  w.key("control_domain").value(report.control_domain);
+  w.key("http_baseline_blocked").value(report.http_baseline_blocked);
+  w.key("tls_baseline_blocked").value(report.tls_baseline_blocked);
+  w.key("total_requests").value(static_cast<std::uint64_t>(report.total_requests));
+  w.key("measurements").begin_array();
+  for (const fuzz::FuzzMeasurement& m : report.measurements) {
+    w.begin_object();
+    w.key("strategy").value(m.strategy);
+    w.key("permutation").value(m.permutation);
+    w.key("https").value(m.https);
+    w.key("outcome").value(fuzz::fuzz_outcome_name(m.outcome));
+    w.key("circumvented").value(m.circumvented);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(const probe::DeviceProbeReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("tool").value("cenprobe");
+  w.key("ip").value(report.ip.str());
+  w.key("open_ports").begin_array();
+  for (std::uint16_t p : report.open_ports) w.value(static_cast<std::int64_t>(p));
+  w.end_array();
+  w.key("banners").begin_array();
+  for (const probe::BannerGrab& grab : report.banners) {
+    w.begin_object();
+    w.key("port").value(static_cast<std::int64_t>(grab.port));
+    w.key("protocol").value(grab.protocol);
+    w.key("banner").value(grab.banner);
+    w.end_object();
+  }
+  w.end_array();
+  if (report.vendor) {
+    w.key("vendor").value(*report.vendor);
+  } else {
+    w.key("vendor").null();
+  }
+  if (report.stack) {
+    w.key("stack").begin_object();
+    w.key("synack_ttl").value(static_cast<std::int64_t>(report.stack->synack_ttl));
+    w.key("synack_window").value(static_cast<std::int64_t>(report.stack->synack_window));
+    w.key("mss").value(static_cast<std::int64_t>(report.stack->mss));
+    w.key("sack_permitted").value(report.stack->sack_permitted);
+    w.key("rst_ttl").value(static_cast<std::int64_t>(report.stack->rst_ttl));
+    w.end_object();
+  } else {
+    w.key("stack").null();
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cen::report

@@ -1,0 +1,23 @@
+// JSON serialization of the measurement tools' reports — the machine-
+// readable output format the open-source CenTrace/CenFuzz/CenProbe tools
+// write (one JSON document per measurement, suitable for JSONL streams).
+#pragma once
+
+#include <string>
+
+#include "cenfuzz/cenfuzz.hpp"
+#include "cenprobe/fingerprints.hpp"
+#include "centrace/centrace.hpp"
+
+namespace cen::report {
+
+/// Full CenTrace report: verdict, localisation, per-sweep hop logs.
+std::string to_json(const trace::CenTraceReport& report, bool include_sweeps = false);
+
+/// Full CenFuzz report: baseline state + one record per permutation.
+std::string to_json(const fuzz::CenFuzzReport& report);
+
+/// CenProbe device report: ports, banners, vendor label.
+std::string to_json(const probe::DeviceProbeReport& report);
+
+}  // namespace cen::report

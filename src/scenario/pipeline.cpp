@@ -1,0 +1,212 @@
+#include "scenario/pipeline.hpp"
+
+#include <algorithm>
+
+namespace cen::scenario {
+
+std::size_t PipelineResult::blocked_remote() const {
+  return static_cast<std::size_t>(std::count_if(
+      remote_traces.begin(), remote_traces.end(),
+      [](const trace::CenTraceReport& r) { return r.blocked; }));
+}
+
+namespace {
+
+std::vector<net::Ipv4Address> sample(const std::vector<net::Ipv4Address>& v, int cap) {
+  if (cap < 0 || static_cast<int>(v.size()) <= cap) return v;
+  std::vector<net::Ipv4Address> out;
+  double stride = static_cast<double>(v.size()) / cap;
+  for (int i = 0; i < cap; ++i) {
+    out.push_back(v[static_cast<std::size_t>(i * stride)]);
+  }
+  return out;
+}
+
+std::vector<std::string> take(const std::vector<std::string>& v, int cap) {
+  if (cap < 0 || static_cast<int>(v.size()) <= cap) return v;
+  return std::vector<std::string>(v.begin(), v.begin() + cap);
+}
+
+struct PipelineInput {
+  sim::Network* network = nullptr;
+  sim::NodeId remote_client = sim::kInvalidNode;
+  sim::NodeId incountry_client = sim::kInvalidNode;
+  std::vector<net::Ipv4Address> remote_endpoints;
+  std::vector<net::Ipv4Address> foreign_endpoints;  // parallel to all domains
+  std::vector<std::string> http_domains;
+  std::vector<std::string> https_domains;
+  std::string control_domain;
+  std::string country;
+};
+
+PipelineResult run(const PipelineInput& in, const PipelineOptions& options) {
+  PipelineResult result;
+  result.country = in.country;
+  sim::Network& net = *in.network;
+  net.set_transient_loss(options.transient_loss);
+
+  trace::CenTraceOptions http_opts;
+  http_opts.repetitions = options.centrace_repetitions;
+  trace::CenTraceOptions https_opts = http_opts;
+  https_opts.protocol = trace::ProbeProtocol::kHttps;
+
+  std::vector<std::string> http_domains = take(in.http_domains, options.max_domains);
+  std::vector<std::string> https_domains = take(in.https_domains, options.max_domains);
+
+  // ---- Stage 1a: remote CenTrace. ----
+  trace::CenTrace ct_http(net, in.remote_client, http_opts);
+  trace::CenTrace ct_https(net, in.remote_client, https_opts);
+  for (net::Ipv4Address endpoint : sample(in.remote_endpoints, options.max_endpoints)) {
+    for (const std::string& domain : http_domains) {
+      result.remote_traces.push_back(ct_http.measure(endpoint, domain, in.control_domain));
+    }
+    for (const std::string& domain : https_domains) {
+      result.remote_traces.push_back(ct_https.measure(endpoint, domain, in.control_domain));
+    }
+  }
+
+  // ---- Stage 1b: in-country CenTrace against the genuine servers. ----
+  if (in.incountry_client != sim::kInvalidNode && !in.foreign_endpoints.empty()) {
+    trace::CenTrace ic_http(net, in.incountry_client, http_opts);
+    trace::CenTrace ic_https(net, in.incountry_client, https_opts);
+    std::size_t idx = 0;
+    for (const std::string& domain : in.http_domains) {
+      if (idx >= in.foreign_endpoints.size()) break;
+      result.incountry_traces.push_back(
+          ic_http.measure(in.foreign_endpoints[idx++], domain, in.control_domain));
+    }
+    for (const std::string& domain : in.https_domains) {
+      if (idx >= in.foreign_endpoints.size()) break;
+      result.incountry_traces.push_back(
+          ic_https.measure(in.foreign_endpoints[idx++], domain, in.control_domain));
+    }
+  }
+
+  // ---- Representative blocked trace per endpoint. ----
+  std::map<std::uint32_t, const trace::CenTraceReport*> blocked_by_endpoint;
+  for (const trace::CenTraceReport& r : result.remote_traces) {
+    if (r.blocked) blocked_by_endpoint.emplace(r.endpoint.value(), &r);
+  }
+
+  // ---- Stage 2: CenProbe every distinct in-path blocking-hop IP. ----
+  if (options.run_banner) {
+    for (const trace::CenTraceReport& r : result.remote_traces) {
+      // Only in-path devices have a probeable IP (§5.1); on-path taps are
+      // invisible to the management plane.
+      if (!r.blocked || !r.blocking_hop_ip ||
+          r.placement == trace::DevicePlacement::kOnPath) {
+        continue;
+      }
+      std::uint32_t key = r.blocking_hop_ip->value();
+      if (result.device_probes.count(key) != 0) continue;
+      result.device_probes.emplace(key, probe::probe_device(net, *r.blocking_hop_ip));
+    }
+  }
+
+  // ---- Stage 3: CenFuzz blocked endpoints (sampled under the cap). ----
+  std::vector<std::uint32_t> blocked_eps;
+  for (const auto& [ip, report] : blocked_by_endpoint) blocked_eps.push_back(ip);
+  std::vector<std::uint32_t> fuzz_targets = blocked_eps;
+  if (options.fuzz_max_endpoints >= 0 &&
+      static_cast<int>(fuzz_targets.size()) > options.fuzz_max_endpoints) {
+    std::vector<std::uint32_t> sampled;
+    double stride =
+        static_cast<double>(fuzz_targets.size()) / options.fuzz_max_endpoints;
+    for (int i = 0; i < options.fuzz_max_endpoints; ++i) {
+      sampled.push_back(fuzz_targets[static_cast<std::size_t>(i * stride)]);
+    }
+    fuzz_targets = std::move(sampled);
+  }
+  std::map<std::uint32_t, fuzz::CenFuzzReport> fuzz_by_endpoint;
+  if (options.run_fuzz) {
+    fuzz::CenFuzz fuzzer(net, in.remote_client);
+    for (std::uint32_t ep : fuzz_targets) {
+      const trace::CenTraceReport* rep = blocked_by_endpoint.at(ep);
+      fuzz_by_endpoint.emplace(
+          ep, fuzzer.run(net::Ipv4Address(ep), rep->test_domain, in.control_domain));
+    }
+  }
+
+  // ---- Stage 4: bundle. ----
+  for (std::uint32_t ep : blocked_eps) {
+    const trace::CenTraceReport* rep = blocked_by_endpoint.at(ep);
+    ml::EndpointMeasurement m;
+    m.endpoint_id = net::Ipv4Address(ep).str();
+    m.country = in.country;
+    m.trace = *rep;
+    auto fz = fuzz_by_endpoint.find(ep);
+    if (fz != fuzz_by_endpoint.end()) m.fuzz = fz->second;
+    if (rep->blocking_hop_ip) {
+      auto pb = result.device_probes.find(rep->blocking_hop_ip->value());
+      if (pb != result.device_probes.end()) m.banner = pb->second;
+    }
+    result.measurements.push_back(std::move(m));
+  }
+  return result;
+}
+
+}  // namespace
+
+PipelineResult run_country_pipeline(CountryScenario& scenario,
+                                    const PipelineOptions& options) {
+  PipelineInput in;
+  in.network = scenario.network.get();
+  in.remote_client = scenario.remote_client;
+  in.incountry_client = scenario.incountry_client;
+  in.remote_endpoints = scenario.remote_endpoints;
+  in.foreign_endpoints = scenario.foreign_endpoints;
+  in.http_domains = scenario.http_test_domains;
+  in.https_domains = scenario.https_test_domains;
+  in.control_domain = scenario.control_domain;
+  in.country = std::string(country_code(scenario.country));
+  return run(in, options);
+}
+
+ConsistencyStats localisation_consistency(const PipelineResult& result) {
+  ConsistencyStats stats;
+  // endpoint -> (as -> count, hop_ip -> count, total blocked)
+  struct PerEndpoint {
+    std::map<std::uint32_t, int> by_as;
+    std::map<std::uint32_t, int> by_hop;
+    int blocked = 0;
+  };
+  std::map<std::uint32_t, PerEndpoint> endpoints;
+  for (const trace::CenTraceReport& t : result.remote_traces) {
+    if (!t.blocked) continue;
+    PerEndpoint& pe = endpoints[t.endpoint.value()];
+    ++pe.blocked;
+    if (t.blocking_as) pe.by_as[t.blocking_as->asn]++;
+    if (t.blocking_hop_ip) pe.by_hop[t.blocking_hop_ip->value()]++;
+  }
+  double as_sum = 0.0, hop_sum = 0.0;
+  for (const auto& [ip, pe] : endpoints) {
+    if (pe.blocked < 2) continue;
+    ++stats.endpoints_with_multiple_blocked;
+    int modal_as = 0, modal_hop = 0;
+    for (const auto& [asn, n] : pe.by_as) modal_as = std::max(modal_as, n);
+    for (const auto& [hop, n] : pe.by_hop) modal_hop = std::max(modal_hop, n);
+    as_sum += static_cast<double>(modal_as) / pe.blocked;
+    hop_sum += static_cast<double>(modal_hop) / pe.blocked;
+  }
+  if (stats.endpoints_with_multiple_blocked > 0) {
+    stats.mean_modal_as_share =
+        as_sum / static_cast<double>(stats.endpoints_with_multiple_blocked);
+    stats.mean_modal_hop_share =
+        hop_sum / static_cast<double>(stats.endpoints_with_multiple_blocked);
+  }
+  return stats;
+}
+
+PipelineResult run_world_pipeline(WorldScenario& scenario, const PipelineOptions& options) {
+  PipelineInput in;
+  in.network = scenario.network.get();
+  in.remote_client = scenario.client;
+  in.remote_endpoints = scenario.endpoints;
+  in.http_domains = scenario.http_test_domains;
+  in.https_domains = scenario.https_test_domains;
+  in.control_domain = scenario.control_domain;
+  in.country = "WORLD";
+  return run(in, options);
+}
+
+}  // namespace cen::scenario

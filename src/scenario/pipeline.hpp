@@ -1,0 +1,69 @@
+// The full measurement pipeline over a scenario, as the paper runs it:
+//   1. CenTrace every (endpoint, test domain, protocol) pair — remote and,
+//      where a vantage point exists, in-country against the real servers;
+//   2. CenProbe every distinct in-path blocking-hop IP;
+//   3. CenFuzz every endpoint that observed blocking;
+//   4. bundle everything into ml::EndpointMeasurement rows for clustering.
+// Shared by the benches, the examples and the integration tests.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ml/features.hpp"
+#include "scenario/country.hpp"
+#include "scenario/world.hpp"
+
+namespace cen::scenario {
+
+struct PipelineOptions {
+  int centrace_repetitions = 11;
+  /// Cap endpoints measured (-1 = all); capped runs sample with a stride
+  /// so every AS keeps representation.
+  int max_endpoints = -1;
+  /// Cap domains per protocol (-1 = all).
+  int max_domains = -1;
+  bool run_banner = true;
+  bool run_fuzz = true;
+  /// Cap the endpoints fuzzed (-1 = all blocked endpoints). Fuzzing is the
+  /// most request-hungry stage; the cap samples evenly across devices.
+  int fuzz_max_endpoints = -1;
+  double transient_loss = 0.0;
+};
+
+struct PipelineResult {
+  std::string country;
+  /// Every remote CenTrace report (endpoint × domain × protocol).
+  std::vector<trace::CenTraceReport> remote_traces;
+  /// In-country CenTrace reports (foreign servers hosting the domains).
+  std::vector<trace::CenTraceReport> incountry_traces;
+  /// Banner-grab results keyed by probed device IP.
+  std::map<std::uint32_t, probe::DeviceProbeReport> device_probes;
+  /// One bundle per blocked endpoint (representative blocked trace + fuzz +
+  /// banner data) — the clustering input.
+  std::vector<ml::EndpointMeasurement> measurements;
+
+  std::size_t blocked_remote() const;
+};
+
+PipelineResult run_country_pipeline(CountryScenario& scenario,
+                                    const PipelineOptions& options = {});
+
+/// Same pipeline over the worldwide blockpage scenario (labels everywhere).
+PipelineResult run_world_pipeline(WorldScenario& scenario,
+                                  const PipelineOptions& options = {});
+
+/// §4.2's self-validation: "our results are consistent across multiple
+/// domains for the same vantage points". For endpoints with two or more
+/// blocked measurements, how often do they agree on the blocking AS /
+/// blocking hop IP? (Distinct devices may legitimately block different
+/// domains for one endpoint, so this measures modal agreement.)
+struct ConsistencyStats {
+  std::size_t endpoints_with_multiple_blocked = 0;
+  double mean_modal_as_share = 0.0;   // share of an endpoint's blocked CTs
+  double mean_modal_hop_share = 0.0;  // agreeing with its modal AS / hop IP
+};
+
+ConsistencyStats localisation_consistency(const PipelineResult& result);
+
+}  // namespace cen::scenario

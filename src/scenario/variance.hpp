@@ -1,0 +1,22 @@
+// Scenario for the paper's path-variance calibration experiment (§4.1):
+// one client and 20 infrastructural endpoints in 20 different "countries",
+// each reached through a transit fabric with a different amount of ECMP
+// fan-out — including one pathological endpoint with well over 100 equal-
+// cost paths, mirroring the paper's outlier.
+#pragma once
+
+#include "scenario/country.hpp"
+
+namespace cen::scenario {
+
+struct VarianceScenario {
+  std::unique_ptr<sim::Network> network;
+  sim::NodeId client = sim::kInvalidNode;
+  std::vector<net::Ipv4Address> endpoints;  // 20
+  /// Ground-truth number of equal-cost paths to each endpoint.
+  std::vector<std::size_t> true_path_counts;
+};
+
+VarianceScenario make_variance_world(std::uint64_t seed = 17);
+
+}  // namespace cen::scenario

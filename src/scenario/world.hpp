@@ -1,0 +1,28 @@
+// The worldwide blockpage case study (paper §5.2): endpoints behind
+// blockpage-injecting devices in ~76 ASes across many countries, used to
+// validate banner-grab labelling against blockpage labelling and to train
+// the feature-importance classifier (§7.2).
+//
+// Ground-truth composition mirrors the paper's funnel: 76 endpoints → 71
+// devices in-path (5 on-path taps have no probeable IP) → ~87% of probed
+// device IPs expose at least one service → ~28 expose a banner that
+// identifies firewall software, and those labels agree with the blockpage.
+#pragma once
+
+#include "scenario/country.hpp"
+
+namespace cen::scenario {
+
+struct WorldScenario {
+  std::unique_ptr<sim::Network> network;
+  sim::NodeId client = sim::kInvalidNode;
+  std::vector<net::Ipv4Address> endpoints;
+  std::vector<std::string> http_test_domains;
+  std::vector<std::string> https_test_domains;
+  std::string control_domain = "www.example.com";
+  std::vector<DeviceTruth> devices;
+};
+
+WorldScenario make_world(Scale scale = Scale::kFull, std::uint64_t seed = 11);
+
+}  // namespace cen::scenario

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "report/aggregate.hpp"
+
+using namespace cen;
+using namespace cen::report;
+
+namespace {
+
+trace::CenTraceReport make_trace(bool blocked, trace::BlockingType type,
+                                 trace::BlockingLocation loc,
+                                 trace::DevicePlacement placement, int hop, int ep_dist,
+                                 std::uint32_t asn = 0) {
+  trace::CenTraceReport t;
+  t.blocked = blocked;
+  t.blocking_type = type;
+  t.location = loc;
+  t.placement = placement;
+  t.blocking_hop_ttl = hop;
+  t.endpoint_hop_distance = ep_dist;
+  if (asn != 0) t.blocking_as = geo::AsInfo{asn, "AS-NAME", "XX"};
+  return t;
+}
+
+}  // namespace
+
+TEST(BlockingDistributionAgg, CountsAndTotals) {
+  std::vector<trace::CenTraceReport> traces = {
+      make_trace(true, trace::BlockingType::kRst,
+                 trace::BlockingLocation::kOnPathToEndpoint,
+                 trace::DevicePlacement::kInPath, 3, 7),
+      make_trace(true, trace::BlockingType::kRst, trace::BlockingLocation::kAtEndpoint,
+                 trace::DevicePlacement::kInPath, 7, 7),
+      make_trace(true, trace::BlockingType::kTimeout,
+                 trace::BlockingLocation::kOnPathToEndpoint,
+                 trace::DevicePlacement::kInPath, 4, 7),
+      make_trace(false, trace::BlockingType::kNone, trace::BlockingLocation::kNotBlocked,
+                 trace::DevicePlacement::kUnknown, -1, 7),
+  };
+  BlockingDistribution d = blocking_distribution(traces);
+  EXPECT_EQ(d.total_blocked, 3);
+  EXPECT_EQ(d.counts["RST"]["Path(C->E)"], 1);
+  EXPECT_EQ(d.counts["RST"]["At E"], 1);
+  EXPECT_EQ(d.type_total("RST"), 2);
+  EXPECT_EQ(d.type_total("TIMEOUT"), 1);
+  EXPECT_EQ(d.type_total("FIN"), 0);
+  EXPECT_EQ(d.location_total("Path(C->E)"), 2);
+  EXPECT_EQ(d.location_total("At E"), 1);
+}
+
+TEST(PlacementDistributionAgg, HopsAndQuantiles) {
+  std::vector<trace::CenTraceReport> traces;
+  for (int hop : {2, 3, 5, 6}) {
+    traces.push_back(make_trace(true, trace::BlockingType::kTimeout,
+                                trace::BlockingLocation::kOnPathToEndpoint,
+                                trace::DevicePlacement::kInPath, hop, 7));
+  }
+  traces.push_back(make_trace(true, trace::BlockingType::kRst,
+                              trace::BlockingLocation::kOnPathToEndpoint,
+                              trace::DevicePlacement::kOnPath, 6, 7));
+  // At-E blocking must be excluded from the placement view.
+  traces.push_back(make_trace(true, trace::BlockingType::kRst,
+                              trace::BlockingLocation::kAtEndpoint,
+                              trace::DevicePlacement::kInPath, 7, 7));
+  PlacementDistribution d = placement_distribution(traces);
+  EXPECT_EQ(d.in_path, 4);
+  EXPECT_EQ(d.on_path, 1);
+  ASSERT_EQ(d.hops_from_endpoint.size(), 5u);  // 5,4,2,1,1
+  EXPECT_EQ(d.hops_quantile(0.0), 1);
+  EXPECT_EQ(d.hops_quantile(1.0), 5);
+  EXPECT_DOUBLE_EQ(d.share_within(2), 3.0 / 5.0);
+}
+
+TEST(PlacementDistributionAgg, Empty) {
+  PlacementDistribution d = placement_distribution({});
+  EXPECT_EQ(d.hops_quantile(0.5), 0);
+  EXPECT_EQ(d.share_within(2), 0.0);
+}
+
+TEST(BlockedByAsAgg, Keys) {
+  std::vector<trace::CenTraceReport> traces = {
+      make_trace(true, trace::BlockingType::kRst,
+                 trace::BlockingLocation::kOnPathToEndpoint,
+                 trace::DevicePlacement::kInPath, 3, 7, 9198),
+      make_trace(true, trace::BlockingType::kRst,
+                 trace::BlockingLocation::kOnPathToEndpoint,
+                 trace::DevicePlacement::kInPath, 3, 7, 9198),
+      make_trace(true, trace::BlockingType::kTimeout,
+                 trace::BlockingLocation::kOnPathToEndpoint,
+                 trace::DevicePlacement::kInPath, 3, 7),  // no AS
+  };
+  std::map<std::string, int> by_as = blocked_by_as(traces);
+  ASSERT_EQ(by_as.size(), 1u);
+  EXPECT_EQ(by_as.at("AS9198 AS-NAME (XX)"), 2);
+}
+
+TEST(StrategySuccessAgg, RatesAndUntestableExclusion) {
+  ml::EndpointMeasurement m;
+  m.trace.blocked = true;
+  fuzz::CenFuzzReport fz;
+  auto add = [&](const char* strategy, const char* perm, fuzz::FuzzOutcome o) {
+    fuzz::FuzzMeasurement f;
+    f.strategy = strategy;
+    f.permutation = perm;
+    f.outcome = o;
+    fz.measurements.push_back(f);
+  };
+  add("Get Word Alt.", "PATCH", fuzz::FuzzOutcome::kSuccessful);
+  add("Get Word Alt.", "POST", fuzz::FuzzOutcome::kNotSuccessful);
+  add("Get Word Alt.", "PUT", fuzz::FuzzOutcome::kUntestable);
+  add("Path Alt.", "?", fuzz::FuzzOutcome::kNotSuccessful);
+  m.fuzz = fz;
+
+  std::map<std::string, StrategyTally> tallies = strategy_success({m});
+  EXPECT_EQ(tallies["Get Word Alt."].total, 2);  // untestable excluded
+  EXPECT_EQ(tallies["Get Word Alt."].successful, 1);
+  EXPECT_DOUBLE_EQ(tallies["Get Word Alt."].rate(), 0.5);
+  EXPECT_DOUBLE_EQ(tallies["Path Alt."].rate(), 0.0);
+
+  std::map<std::string, StrategyTally> perms = permutation_success({m}, "Get Word Alt.");
+  EXPECT_EQ(perms["PATCH"].successful, 1);
+  EXPECT_EQ(perms.count("PUT"), 0u);  // untestable permutation absent
+}

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/bytes.hpp"
+
+using namespace cen;
+
+TEST(ByteWriter, BigEndianEncoding) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u24(0x040506);
+  w.u32(0x0708090a);
+  EXPECT_EQ(to_hex(w.bytes()), "0102030405060708090a");
+}
+
+TEST(ByteWriter, U64) {
+  ByteWriter w;
+  w.u64(0x0102030405060708ULL);
+  EXPECT_EQ(to_hex(w.bytes()), "0102030405060708");
+}
+
+TEST(ByteWriter, RawStringAndBytes) {
+  ByteWriter w;
+  w.raw(std::string_view("AB"));
+  Bytes b = {0x00, 0xff};
+  w.raw(b);
+  EXPECT_EQ(to_hex(w.bytes()), "414200ff");
+}
+
+TEST(ByteWriter, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.u8(0x77);
+  w.patch_u16(0, 0xbeef);
+  EXPECT_EQ(to_hex(w.bytes()), "beef77");
+}
+
+TEST(ByteWriter, PatchU16PastEndThrows) {
+  ByteWriter w;
+  w.u8(1);
+  EXPECT_THROW(w.patch_u16(0, 1), std::out_of_range);
+}
+
+TEST(ByteWriter, TakeMovesBuffer) {
+  ByteWriter w;
+  w.u32(0xdeadbeef);
+  Bytes taken = std::move(w).take();
+  EXPECT_EQ(to_hex(taken), "deadbeef");
+}
+
+TEST(ByteReader, ReadsBackWhatWriterWrote) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(1234);
+  w.u24(99999);
+  w.u32(0xcafebabe);
+  w.u64(0x1122334455667788ULL);
+  Bytes buf = std::move(w).take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 1234);
+  EXPECT_EQ(r.u24(), 99999u);
+  EXPECT_EQ(r.u32(), 0xcafebabeu);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, OutOfBoundsThrows) {
+  Bytes buf = {1, 2};
+  ByteReader r(buf);
+  EXPECT_THROW(r.u32(), ParseError);
+  // A failed read must not advance the cursor past the end.
+  EXPECT_EQ(r.u16(), 0x0102);
+}
+
+TEST(ByteReader, SkipAndRemaining) {
+  Bytes buf(10, 0xaa);
+  ByteReader r(buf);
+  r.skip(4);
+  EXPECT_EQ(r.remaining(), 6u);
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_THROW(r.skip(7), ParseError);
+}
+
+TEST(ByteReader, StrAndRaw) {
+  Bytes buf = to_bytes("hello!");
+  ByteReader r(buf);
+  EXPECT_EQ(r.str(5), "hello");
+  EXPECT_EQ(r.raw(1), Bytes{'!'});
+}
+
+TEST(ByteReader, RestViewsRemainder) {
+  Bytes buf = {1, 2, 3, 4};
+  ByteReader r(buf);
+  r.skip(2);
+  BytesView rest = r.rest();
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0], 3);
+}
+
+TEST(Hex, RoundTrip) {
+  Bytes original = {0x00, 0x12, 0xab, 0xff};
+  EXPECT_EQ(from_hex(to_hex(original)), original);
+}
+
+TEST(Hex, UppercaseAccepted) { EXPECT_EQ(from_hex("AB"), Bytes{0xab}); }
+
+TEST(Hex, MalformedThrows) {
+  EXPECT_THROW(from_hex("abc"), ParseError);   // odd length
+  EXPECT_THROW(from_hex("zz"), ParseError);    // non-hex
+}
+
+TEST(Bytes, StringConversionRoundTrip) {
+  std::string s = "mixed \x01\x02 content";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+// Property: any u16/u32 value round-trips through the codec.
+class BytesRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BytesRoundTrip, U16U32) {
+  std::uint32_t v = GetParam();
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(v));
+  w.u32(v);
+  w.u24(v & 0xffffff);
+  Bytes buf = std::move(w).take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.u16(), static_cast<std::uint16_t>(v));
+  EXPECT_EQ(r.u32(), v);
+  EXPECT_EQ(r.u24(), v & 0xffffff);
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgeValues, BytesRoundTrip,
+                         ::testing::Values(0u, 1u, 0x7fu, 0x80u, 0xffu, 0x100u, 0xffffu,
+                                           0x10000u, 0x123456u, 0xffffffu, 0x1000000u,
+                                           0x7fffffffu, 0x80000000u, 0xffffffffu));

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "ml/dbscan.hpp"
+
+using namespace cen;
+using namespace cen::ml;
+
+namespace {
+Matrix two_blobs(std::size_t per_blob, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x;
+  for (std::size_t i = 0; i < per_blob; ++i) {
+    x.push_back({rng.real(), rng.real()});
+  }
+  for (std::size_t i = 0; i < per_blob; ++i) {
+    x.push_back({10.0 + rng.real(), 10.0 + rng.real()});
+  }
+  return x;
+}
+}  // namespace
+
+TEST(Euclidean, Basics) {
+  EXPECT_DOUBLE_EQ(euclidean({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(euclidean({1, 2}, {1, 2}), 0.0);
+}
+
+TEST(Dbscan, TwoBlobsTwoClusters) {
+  Matrix x = two_blobs(20, 1);
+  DbscanResult result = dbscan(x, 0.8, 3);
+  EXPECT_EQ(result.n_clusters, 2);
+  // All points in the first blob share a label distinct from the second's.
+  for (std::size_t i = 1; i < 20; ++i) EXPECT_EQ(result.labels[i], result.labels[0]);
+  for (std::size_t i = 21; i < 40; ++i) EXPECT_EQ(result.labels[i], result.labels[20]);
+  EXPECT_NE(result.labels[0], result.labels[20]);
+}
+
+TEST(Dbscan, OutlierIsNoise) {
+  Matrix x = two_blobs(10, 2);
+  x.push_back({100.0, 100.0});
+  DbscanResult result = dbscan(x, 0.8, 3);
+  EXPECT_EQ(result.labels.back(), kNoise);
+  EXPECT_EQ(result.n_clusters, 2);
+}
+
+TEST(Dbscan, MinPointsTooHighMeansAllNoise) {
+  Matrix x = two_blobs(3, 3);
+  DbscanResult result = dbscan(x, 0.5, 10);
+  EXPECT_EQ(result.n_clusters, 0);
+  for (int label : result.labels) EXPECT_EQ(label, kNoise);
+}
+
+TEST(Dbscan, HugeEpsilonMergesEverything) {
+  Matrix x = two_blobs(10, 4);
+  DbscanResult result = dbscan(x, 1000.0, 3);
+  EXPECT_EQ(result.n_clusters, 1);
+}
+
+TEST(Dbscan, EmptyInput) {
+  DbscanResult result = dbscan({}, 1.0, 3);
+  EXPECT_EQ(result.n_clusters, 0);
+  EXPECT_TRUE(result.labels.empty());
+}
+
+TEST(Dbscan, BorderPointJoinsCluster) {
+  // A chain: dense core + one border point within eps of the core edge.
+  Matrix x = {{0, 0}, {0.1, 0}, {0.2, 0}, {0.3, 0}, {0.9, 0}};
+  DbscanResult result = dbscan(x, 0.65, 4);
+  EXPECT_EQ(result.n_clusters, 1);
+  EXPECT_EQ(result.labels[4], result.labels[0]);  // border point claimed
+}
+
+TEST(EstimateEpsilon, ScalesWithSpread) {
+  Matrix tight = two_blobs(15, 5);
+  Matrix loose;
+  for (const Row& r : tight) loose.push_back({r[0] * 10, r[1] * 10});
+  double e_tight = estimate_epsilon(tight, 4);
+  double e_loose = estimate_epsilon(loose, 4);
+  EXPECT_GT(e_loose, e_tight * 5);
+  EXPECT_GT(e_tight, 0.0);
+}
+
+TEST(EstimateEpsilon, DegenerateInputs) {
+  EXPECT_EQ(estimate_epsilon({}, 4), 1.0);
+  EXPECT_EQ(estimate_epsilon({{1.0}}, 4), 1.0);
+}
+
+TEST(Dbscan, DeterministicLabels) {
+  Matrix x = two_blobs(25, 6);
+  DbscanResult a = dbscan(x, 0.8, 3);
+  DbscanResult b = dbscan(x, 0.8, 3);
+  EXPECT_EQ(a.labels, b.labels);
+}

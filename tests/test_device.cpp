@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "censor/device.hpp"
+#include "net/http.hpp"
+#include "net/tls.hpp"
+
+using namespace cen;
+using namespace cen::censor;
+
+namespace {
+
+DeviceConfig base_config(BlockAction action) {
+  DeviceConfig cfg;
+  cfg.id = "test-device";
+  cfg.action = action;
+  cfg.http_rules.add("blocked.example");
+  cfg.sni_rules.add("blocked.example");
+  return cfg;
+}
+
+net::Packet http_packet(const std::string& host, std::uint8_t ttl = 64) {
+  return net::make_tcp_packet(net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 9, 1),
+                              40000, 80, net::TcpFlags::kPsh | net::TcpFlags::kAck, 1000,
+                              2000, net::HttpRequest::get(host).serialize_bytes(), ttl);
+}
+
+net::Packet tls_packet(const std::string& sni, std::uint8_t ttl = 64) {
+  return net::make_tcp_packet(net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 9, 1),
+                              40000, 443, net::TcpFlags::kPsh | net::TcpFlags::kAck, 1000,
+                              2000, net::ClientHello::make(sni).serialize(), ttl);
+}
+
+}  // namespace
+
+TEST(Device, DropConsumesMatchingPacket) {
+  Device dev(base_config(BlockAction::kDrop));
+  Verdict v = dev.inspect(http_packet("www.blocked.example"), 0);
+  EXPECT_TRUE(v.triggered);
+  EXPECT_TRUE(v.drop);
+  EXPECT_TRUE(v.inject_to_client.empty());
+}
+
+TEST(Device, NonMatchingPasses) {
+  Device dev(base_config(BlockAction::kDrop));
+  Verdict v = dev.inspect(http_packet("www.benign.example"), 0);
+  EXPECT_FALSE(v.triggered);
+  EXPECT_FALSE(v.drop);
+}
+
+TEST(Device, EmptyPayloadPasses) {
+  Device dev(base_config(BlockAction::kDrop));
+  net::Packet syn = net::make_tcp_packet(net::Ipv4Address(1, 1, 1, 1),
+                                         net::Ipv4Address(2, 2, 2, 2), 1, 2,
+                                         net::TcpFlags::kSyn, 0, 0, {});
+  EXPECT_FALSE(dev.inspect(syn, 0).triggered);
+}
+
+TEST(Device, RstInjectionSpoofsEndpoint) {
+  DeviceConfig cfg = base_config(BlockAction::kRstInject);
+  cfg.injection.init_ttl = 128;
+  cfg.injection.ip_id = 0xbeef;
+  cfg.injection.tcp_window = 512;
+  Device dev(cfg);
+  net::Packet trigger = http_packet("www.blocked.example");
+  Verdict v = dev.inspect(trigger, 0);
+  ASSERT_EQ(v.inject_to_client.size(), 1u);
+  const net::Packet& rst = v.inject_to_client[0];
+  EXPECT_TRUE(rst.tcp.has(net::TcpFlags::kRst));
+  EXPECT_EQ(rst.ip.src, trigger.ip.dst);  // spoofed as the endpoint
+  EXPECT_EQ(rst.ip.dst, trigger.ip.src);
+  EXPECT_EQ(rst.ip.ttl, 128);
+  EXPECT_EQ(rst.ip.identification, 0xbeef);
+  EXPECT_EQ(rst.tcp.window, 512);
+  EXPECT_EQ(rst.tcp.src_port, trigger.tcp.dst_port);
+  EXPECT_TRUE(v.drop);  // inline injector consumes the original
+}
+
+TEST(Device, FinInjection) {
+  Device dev(base_config(BlockAction::kFinInject));
+  Verdict v = dev.inspect(http_packet("www.blocked.example"), 0);
+  ASSERT_EQ(v.inject_to_client.size(), 1u);
+  EXPECT_TRUE(v.inject_to_client[0].tcp.has(net::TcpFlags::kFin));
+}
+
+TEST(Device, BlockpageInjectsPageThenRst) {
+  DeviceConfig cfg = base_config(BlockAction::kBlockpage);
+  cfg.blockpage_html = "<html>Web Page Blocked</html>";
+  Device dev(cfg);
+  Verdict v = dev.inspect(http_packet("www.blocked.example"), 0);
+  ASSERT_EQ(v.inject_to_client.size(), 2u);
+  EXPECT_TRUE(v.inject_to_client[0].tcp.has(net::TcpFlags::kPsh));
+  std::string body = to_string(v.inject_to_client[0].payload);
+  EXPECT_NE(body.find("Web Page Blocked"), std::string::npos);
+  EXPECT_TRUE(v.inject_to_client[1].tcp.has(net::TcpFlags::kRst));
+}
+
+TEST(Device, TlsActionOverride) {
+  DeviceConfig cfg = base_config(BlockAction::kBlockpage);
+  cfg.tls_action = BlockAction::kRstInject;
+  Device dev(cfg);
+  Verdict v = dev.inspect(tls_packet("www.blocked.example"), 0);
+  ASSERT_EQ(v.inject_to_client.size(), 1u);
+  EXPECT_TRUE(v.inject_to_client[0].tcp.has(net::TcpFlags::kRst));
+}
+
+TEST(Device, TtlCopyInjection) {
+  DeviceConfig cfg = base_config(BlockAction::kRstInject);
+  cfg.injection.copy_ttl_from_trigger = true;
+  Device dev(cfg);
+  Verdict v = dev.inspect(http_packet("www.blocked.example", 7), 0);
+  ASSERT_EQ(v.inject_to_client.size(), 1u);
+  EXPECT_EQ(v.inject_to_client[0].ip.ttl, 7);
+}
+
+TEST(Device, OnPathCannotDrop) {
+  DeviceConfig cfg = base_config(BlockAction::kRstInject);
+  cfg.on_path = true;
+  Device dev(cfg);
+  Verdict v = dev.inspect(http_packet("www.blocked.example"), 0);
+  EXPECT_TRUE(v.triggered);
+  EXPECT_FALSE(v.drop);  // tap: the original continues downstream
+  EXPECT_EQ(v.inject_to_client.size(), 1u);
+}
+
+TEST(Device, OnPathDropConfigIsNoop) {
+  DeviceConfig cfg = base_config(BlockAction::kDrop);
+  cfg.on_path = true;
+  Device dev(cfg);
+  Verdict v = dev.inspect(http_packet("www.blocked.example"), 0);
+  EXPECT_TRUE(v.triggered);
+  EXPECT_FALSE(v.drop);
+  EXPECT_TRUE(v.inject_to_client.empty());
+}
+
+TEST(Device, InjectionBudgetPerFlow) {
+  DeviceConfig cfg = base_config(BlockAction::kRstInject);
+  cfg.injection.max_injections_per_flow = 2;
+  Device dev(cfg);
+  net::Packet pkt = http_packet("www.blocked.example");
+  EXPECT_EQ(dev.inspect(pkt, 0).inject_to_client.size(), 1u);
+  EXPECT_EQ(dev.inspect(pkt, 0).inject_to_client.size(), 1u);
+  EXPECT_EQ(dev.inspect(pkt, 0).inject_to_client.size(), 0u);  // budget spent
+  // A different flow (new source port) gets a fresh budget.
+  net::Packet other = pkt;
+  other.tcp.src_port = 40001;
+  EXPECT_EQ(dev.inspect(other, 0).inject_to_client.size(), 1u);
+}
+
+TEST(Device, ResidualBlockingWindow) {
+  DeviceConfig cfg = base_config(BlockAction::kDrop);
+  cfg.residual_block_ms = 60'000;
+  Device dev(cfg);
+  EXPECT_TRUE(dev.inspect(http_packet("www.blocked.example"), 0).drop);
+  // Within the window: even a benign payload between the same pair drops.
+  Verdict v = dev.inspect(http_packet("www.benign.example"), 30'000);
+  EXPECT_TRUE(v.triggered);
+  EXPECT_TRUE(v.drop);
+  // After expiry, benign traffic passes again.
+  EXPECT_FALSE(dev.inspect(http_packet("www.benign.example"), 120'001).triggered);
+}
+
+TEST(Device, ResidualRefreshedByRetrigger) {
+  DeviceConfig cfg = base_config(BlockAction::kDrop);
+  cfg.residual_block_ms = 60'000;
+  Device dev(cfg);
+  dev.inspect(http_packet("www.blocked.example"), 0);
+  dev.inspect(http_packet("www.benign.example"), 50'000);  // residual hit refreshes
+  EXPECT_TRUE(dev.inspect(http_packet("www.benign.example"), 100'000).triggered);
+}
+
+TEST(Device, ResidualScopedToPair) {
+  DeviceConfig cfg = base_config(BlockAction::kDrop);
+  cfg.residual_block_ms = 60'000;
+  Device dev(cfg);
+  dev.inspect(http_packet("www.blocked.example"), 0);
+  net::Packet other_dst = http_packet("www.benign.example");
+  other_dst.ip.dst = net::Ipv4Address(10, 0, 9, 2);
+  EXPECT_FALSE(dev.inspect(other_dst, 1000).triggered);
+}
+
+TEST(Device, ResetStateClearsEverything) {
+  DeviceConfig cfg = base_config(BlockAction::kRstInject);
+  cfg.residual_block_ms = 60'000;
+  cfg.injection.max_injections_per_flow = 1;
+  Device dev(cfg);
+  net::Packet pkt = http_packet("www.blocked.example");
+  dev.inspect(pkt, 0);
+  dev.reset_state();
+  EXPECT_EQ(dev.inspect(pkt, 0).inject_to_client.size(), 1u);
+  EXPECT_EQ(dev.trigger_count(), 2u);
+}
+
+TEST(Device, SniTrigger) {
+  Device dev(base_config(BlockAction::kDrop));
+  EXPECT_TRUE(dev.inspect(tls_packet("www.blocked.example"), 0).triggered);
+  EXPECT_FALSE(dev.inspect(tls_packet("www.benign.example"), 0).triggered);
+}
+
+TEST(Device, PathScopedUrlRule) {
+  DeviceConfig cfg = base_config(BlockAction::kDrop);
+  cfg.http_quirks.url_includes_path = true;
+  Device dev(cfg);
+  net::HttpRequest req = net::HttpRequest::get("www.blocked.example");
+  req.path = "/other";
+  net::Packet pkt = http_packet("www.blocked.example");
+  pkt.payload = req.serialize_bytes();
+  EXPECT_FALSE(dev.inspect(pkt, 0).triggered);
+}
+
+TEST(Device, SeqAckDerivedFromTrigger) {
+  Device dev(base_config(BlockAction::kRstInject));
+  net::Packet trigger = http_packet("www.blocked.example");
+  trigger.tcp.seq = 5000;
+  trigger.tcp.ack = 9000;
+  Verdict v = dev.inspect(trigger, 0);
+  ASSERT_EQ(v.inject_to_client.size(), 1u);
+  EXPECT_EQ(v.inject_to_client[0].tcp.seq, 9000u);
+  EXPECT_EQ(v.inject_to_client[0].tcp.ack,
+            5000u + static_cast<std::uint32_t>(trigger.payload.size()));
+}
+
+TEST(BlockActionName, All) {
+  EXPECT_EQ(block_action_name(BlockAction::kDrop), "drop");
+  EXPECT_EQ(block_action_name(BlockAction::kRstInject), "rst");
+  EXPECT_EQ(block_action_name(BlockAction::kFinInject), "fin");
+  EXPECT_EQ(block_action_name(BlockAction::kBlockpage), "blockpage");
+}

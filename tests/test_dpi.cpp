@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "censor/dpi.hpp"
+#include "net/http.hpp"
+#include "net/tls.hpp"
+
+using namespace cen;
+using namespace cen::censor;
+
+namespace {
+std::string get_for(const std::string& host) {
+  return net::HttpRequest::get(host).serialize();
+}
+}  // namespace
+
+TEST(DpiHttp, NormalRequestExtractsHostAndPath) {
+  HttpQuirks q;
+  auto result = dpi_parse_http(get_for("www.blocked.example"), q);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->host, "www.blocked.example");
+  EXPECT_EQ(result->path, "/");
+}
+
+TEST(DpiHttp, MethodAllowlistDisengages) {
+  HttpQuirks q;
+  q.method_allowlist = {"GET", "POST"};
+  net::HttpRequest r = net::HttpRequest::get("x.com");
+  r.method = "PATCH";
+  EXPECT_FALSE(dpi_parse_http(r.serialize(), q));
+  r.method = "POST";
+  EXPECT_TRUE(dpi_parse_http(r.serialize(), q));
+  r.method = "";
+  EXPECT_FALSE(dpi_parse_http(r.serialize(), q));
+}
+
+TEST(DpiHttp, MethodCaseSensitivity) {
+  HttpQuirks q;
+  net::HttpRequest r = net::HttpRequest::get("x.com");
+  r.method = "GeT";
+  q.method_case_insensitive = true;
+  EXPECT_TRUE(dpi_parse_http(r.serialize(), q));
+  q.method_case_insensitive = false;
+  EXPECT_FALSE(dpi_parse_http(r.serialize(), q));
+}
+
+TEST(DpiHttp, EmptyAllowlistEngagesAnyToken) {
+  HttpQuirks q;
+  q.method_allowlist.clear();
+  net::HttpRequest r = net::HttpRequest::get("x.com");
+  r.method = "ZZZZ";
+  EXPECT_TRUE(dpi_parse_http(r.serialize(), q));
+}
+
+TEST(DpiHttp, VersionCheckNone) {
+  HttpQuirks q;
+  q.version_check = VersionCheck::kNone;
+  net::HttpRequest r = net::HttpRequest::get("x.com");
+  r.version = "GIBBERISH";
+  EXPECT_TRUE(dpi_parse_http(r.serialize(), q));
+}
+
+TEST(DpiHttp, VersionCheckPrefix) {
+  HttpQuirks q;
+  q.version_check = VersionCheck::kPrefixHttp;
+  net::HttpRequest r = net::HttpRequest::get("x.com");
+  r.version = "HTTP/9";  // invalid version, valid prefix: still inspected
+  EXPECT_TRUE(dpi_parse_http(r.serialize(), q));
+  r.version = "HTP/1.1";  // broken prefix: disengages
+  EXPECT_FALSE(dpi_parse_http(r.serialize(), q));
+  r.version = "http/1.1";
+  q.version_prefix_case_insensitive = true;
+  EXPECT_TRUE(dpi_parse_http(r.serialize(), q));
+  q.version_prefix_case_insensitive = false;
+  EXPECT_FALSE(dpi_parse_http(r.serialize(), q));
+}
+
+TEST(DpiHttp, VersionCheckValidOnly) {
+  HttpQuirks q;
+  q.version_check = VersionCheck::kValidOnly;
+  net::HttpRequest r = net::HttpRequest::get("x.com");
+  r.version = "HTTP/9";
+  EXPECT_FALSE(dpi_parse_http(r.serialize(), q));
+  r.version = "HTTP/1.0";
+  EXPECT_TRUE(dpi_parse_http(r.serialize(), q));
+}
+
+TEST(DpiHttp, HostWordChecks) {
+  net::HttpRequest r = net::HttpRequest::get("x.com");
+  HttpQuirks q;
+
+  r.host_word = "hOsT: ";
+  q.host_word_check = HostWordCheck::kExactCaseInsensitive;
+  EXPECT_TRUE(dpi_parse_http(r.serialize(), q));
+  q.host_word_check = HostWordCheck::kExactCaseSensitive;
+  EXPECT_FALSE(dpi_parse_http(r.serialize(), q));
+
+  r.host_word = "HostHeader: ";
+  q.host_word_check = HostWordCheck::kExactCaseInsensitive;
+  EXPECT_FALSE(dpi_parse_http(r.serialize(), q));
+  q.host_word_check = HostWordCheck::kContainsHost;
+  EXPECT_TRUE(dpi_parse_http(r.serialize(), q));
+
+  r.host_word = "ost: ";  // Host Word Remove: evades every check mode
+  for (HostWordCheck check : {HostWordCheck::kExactCaseInsensitive,
+                              HostWordCheck::kExactCaseSensitive,
+                              HostWordCheck::kContainsHost}) {
+    q.host_word_check = check;
+    EXPECT_FALSE(dpi_parse_http(r.serialize(), q));
+  }
+}
+
+TEST(DpiHttp, CrlfDiscipline) {
+  net::HttpRequest r = net::HttpRequest::get("x.com");
+  r.request_line_delim = "\n";  // bare LF
+  HttpQuirks strict;
+  strict.requires_crlf = true;
+  EXPECT_FALSE(dpi_parse_http(r.serialize(), strict));
+  HttpQuirks tolerant;
+  tolerant.requires_crlf = false;
+  EXPECT_TRUE(dpi_parse_http(r.serialize(), tolerant));
+}
+
+TEST(DpiHttp, BareCrDelimiter) {
+  net::HttpRequest r = net::HttpRequest::get("x.com");
+  r.request_line_delim = "\r";
+  HttpQuirks strict;
+  EXPECT_FALSE(dpi_parse_http(r.serialize(), strict));
+}
+
+TEST(DpiHttp, MissingHostHeaderDisengages) {
+  HttpQuirks q;
+  EXPECT_FALSE(dpi_parse_http("GET / HTTP/1.1\r\n\r\n", q));
+}
+
+TEST(DpiHttp, ExtraHeadersIgnored) {
+  // §6.3: adding headers (even invalid ones) never evades.
+  net::HttpRequest r = net::HttpRequest::get("x.com");
+  r.extra_headers.emplace_back("NoColonHeader", "");
+  r.extra_headers.emplace_back("Connection", "keep-alive");
+  HttpQuirks q;
+  auto result = dpi_parse_http(r.serialize(), q);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->host, "x.com");
+}
+
+TEST(DpiHttp, PathReported) {
+  net::HttpRequest r = net::HttpRequest::get("x.com");
+  r.path = "?";
+  HttpQuirks q;
+  auto result = dpi_parse_http(r.serialize(), q);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->path, "?");
+}
+
+TEST(DpiTls, NormalHelloExtractsSni) {
+  TlsQuirks q;
+  Bytes wire = net::ClientHello::make("www.blocked.example").serialize();
+  auto sni = dpi_parse_sni(wire, q);
+  ASSERT_TRUE(sni);
+  EXPECT_EQ(*sni, "www.blocked.example");
+}
+
+TEST(DpiTls, MalformedDisengages) {
+  TlsQuirks q;
+  EXPECT_FALSE(dpi_parse_sni(Bytes{0x16, 0x03, 0x01}, q));
+  EXPECT_FALSE(dpi_parse_sni(to_bytes("GET / HTTP/1.1\r\n"), q));
+}
+
+TEST(DpiTls, NoSniNoTrigger) {
+  TlsQuirks q;
+  net::ClientHello ch = net::ClientHello::make("x.com");
+  ch.remove_sni();
+  EXPECT_FALSE(dpi_parse_sni(ch.serialize(), q));
+}
+
+TEST(DpiTls, VersionTolerance) {
+  TlsQuirks q;
+  q.parses_versions = {net::TlsVersion::kTls10, net::TlsVersion::kTls11,
+                       net::TlsVersion::kTls12};
+  // A hello advertising only TLS 1.3 is invisible to this parser.
+  net::ClientHello ch = net::ClientHello::make("x.com");
+  ch.legacy_version = net::TlsVersion::kTls13;
+  ch.set_supported_versions({net::TlsVersion::kTls13});
+  EXPECT_FALSE(dpi_parse_sni(ch.serialize(), q));
+  // Offering 1.2 alongside re-engages it.
+  ch.set_supported_versions({net::TlsVersion::kTls13, net::TlsVersion::kTls12});
+  EXPECT_TRUE(dpi_parse_sni(ch.serialize(), q));
+}
+
+TEST(DpiTls, BlindCipherSuite) {
+  TlsQuirks q;
+  q.blind_cipher_suites = {0x0005};
+  net::ClientHello ch = net::ClientHello::make("x.com");
+  ch.cipher_suites = {0x0005};
+  EXPECT_FALSE(dpi_parse_sni(ch.serialize(), q));
+  // Blindness only applies to a single-suite offer.
+  ch.cipher_suites = {0x0005, 0x1301};
+  EXPECT_TRUE(dpi_parse_sni(ch.serialize(), q));
+}
+
+TEST(DpiTls, PaddingConfusion) {
+  TlsQuirks q;
+  q.breaks_on_padding_extension = true;
+  net::ClientHello ch = net::ClientHello::make("x.com");
+  EXPECT_TRUE(dpi_parse_sni(ch.serialize(), q));
+  ch.add_padding(16);
+  EXPECT_FALSE(dpi_parse_sni(ch.serialize(), q));
+}
+
+TEST(LooksLikeTls, Classification) {
+  EXPECT_TRUE(looks_like_tls(net::ClientHello::make("x").serialize()));
+  EXPECT_FALSE(looks_like_tls(to_bytes("GET / HTTP/1.1\r\n")));
+  EXPECT_FALSE(looks_like_tls(Bytes{}));
+}
+
+// Property sweep: HTTP method tokens across allowlist configurations.
+struct MethodCase {
+  const char* method;
+  bool engages_default;  // default allowlist GET/POST/PUT/HEAD/DELETE/OPTIONS
+};
+
+class MethodEngagement : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(MethodEngagement, DefaultAllowlist) {
+  HttpQuirks q;
+  net::HttpRequest r = net::HttpRequest::get("x.com");
+  r.method = GetParam().method;
+  EXPECT_EQ(dpi_parse_http(r.serialize(), q).has_value(), GetParam().engages_default)
+      << GetParam().method;
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, MethodEngagement,
+                         ::testing::Values(MethodCase{"GET", true}, MethodCase{"POST", true},
+                                           MethodCase{"PUT", true}, MethodCase{"HEAD", true},
+                                           MethodCase{"DELETE", true},
+                                           MethodCase{"OPTIONS", true},
+                                           MethodCase{"PATCH", false},
+                                           MethodCase{"", false}, MethodCase{"GE", false},
+                                           MethodCase{"XXXX", false},
+                                           MethodCase{"get", true}));

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "net/http.hpp"
+#include "net/tls.hpp"
+#include "netsim/endpoint.hpp"
+
+using namespace cen;
+using namespace cen::sim;
+
+namespace {
+
+EndpointHost make_host(EndpointProfile profile) {
+  return EndpointHost(net::Ipv4Address(10, 0, 9, 1), std::move(profile));
+}
+
+int http_status(const AppReply& reply) {
+  EXPECT_EQ(reply.kind, AppReply::Kind::kData);
+  auto resp = net::HttpResponse::parse(to_string(reply.data));
+  EXPECT_TRUE(resp);
+  return resp ? resp->status : -1;
+}
+
+Bytes get_bytes(const std::string& host) {
+  return net::HttpRequest::get(host).serialize_bytes();
+}
+
+}  // namespace
+
+TEST(Endpoint, ServesHostedDomain) {
+  EndpointProfile p;
+  p.hosted_domains = {"www.example.org"};
+  EndpointHost host = make_host(p);
+  AppReply reply = host.handle_payload(get_bytes("www.example.org"));
+  EXPECT_EQ(http_status(reply), 200);
+  EXPECT_NE(to_string(reply.data).find("legitimate content for www.example.org"),
+            std::string::npos);
+}
+
+TEST(Endpoint, SubdomainWildcard) {
+  EndpointProfile p;
+  p.hosted_domains = {"example.org"};
+  p.serves_subdomains = true;
+  EXPECT_EQ(http_status(make_host(p).handle_payload(get_bytes("wiki.example.org"))), 200);
+  p.serves_subdomains = false;
+  EXPECT_NE(http_status(make_host(p).handle_payload(get_bytes("wiki.example.org"))), 200);
+}
+
+TEST(Endpoint, UnknownHostPolicies) {
+  EndpointProfile p;
+  p.hosted_domains = {"www.example.org"};
+  p.reject_unknown_host = true;
+  EXPECT_EQ(http_status(make_host(p).handle_payload(get_bytes("other.com"))), 403);
+
+  p.reject_unknown_host = false;
+  p.default_vhost_for_unknown = true;
+  AppReply reply = make_host(p).handle_payload(get_bytes("**www.example.org*"));
+  EXPECT_EQ(http_status(reply), 200);  // default-server behaviour
+
+  p.default_vhost_for_unknown = false;
+  EXPECT_EQ(http_status(make_host(p).handle_payload(get_bytes("other.com"))), 301);
+}
+
+TEST(Endpoint, StrictServerRejectsMalformed) {
+  EndpointProfile p;
+  p.hosted_domains = {"www.example.org"};
+  p.strict_http = true;
+  EndpointHost host = make_host(p);
+
+  net::HttpRequest bad_method = net::HttpRequest::get("www.example.org");
+  bad_method.method = "GE";
+  EXPECT_EQ(http_status(host.handle_payload(bad_method.serialize_bytes())), 501);
+
+  net::HttpRequest bad_version = net::HttpRequest::get("www.example.org");
+  bad_version.version = "HTTP/9";
+  EXPECT_EQ(http_status(host.handle_payload(bad_version.serialize_bytes())), 505);
+
+  net::HttpRequest bare_lf = net::HttpRequest::get("www.example.org");
+  bare_lf.request_line_delim = "\n";
+  EXPECT_EQ(http_status(host.handle_payload(bare_lf.serialize_bytes())), 400);
+
+  net::HttpRequest no_host = net::HttpRequest::get("www.example.org");
+  no_host.host_word = "ost: ";
+  EXPECT_EQ(http_status(host.handle_payload(no_host.serialize_bytes())), 400);
+}
+
+TEST(Endpoint, LenientServerRepairs) {
+  EndpointProfile p;
+  p.hosted_domains = {"www.example.org"};
+  EndpointHost host = make_host(p);
+
+  net::HttpRequest bad_method = net::HttpRequest::get("www.example.org");
+  bad_method.method = "GE";
+  EXPECT_EQ(http_status(host.handle_payload(bad_method.serialize_bytes())), 200);
+
+  net::HttpRequest no_host = net::HttpRequest::get("www.example.org");
+  no_host.host_word = "ost: ";
+  EXPECT_EQ(http_status(host.handle_payload(no_host.serialize_bytes())), 200);
+}
+
+TEST(Endpoint, GarbageGets400) {
+  EndpointProfile p;
+  p.hosted_domains = {"a.com"};
+  EXPECT_EQ(http_status(make_host(p).handle_payload(to_bytes("garbage\r\n\r\n"))), 400);
+}
+
+TEST(Endpoint, EmptyPayloadIgnored) {
+  EndpointProfile p;
+  p.hosted_domains = {"a.com"};
+  EXPECT_EQ(make_host(p).handle_payload({}).kind, AppReply::Kind::kNone);
+}
+
+TEST(Endpoint, TlsHandshakeServesCertificate) {
+  EndpointProfile p;
+  p.hosted_domains = {"www.example.org"};
+  EndpointHost host = make_host(p);
+  AppReply reply = host.handle_payload(net::ClientHello::make("www.example.org").serialize());
+  auto sh = net::ServerHello::parse(reply.data);
+  ASSERT_TRUE(sh);
+  EXPECT_EQ(sh->certificate_domain, "www.example.org");
+  EXPECT_EQ(sh->version, net::TlsVersion::kTls13);
+}
+
+TEST(Endpoint, TlsUnknownSniPolicies) {
+  EndpointProfile p;
+  p.hosted_domains = {"www.example.org"};
+  p.reject_unknown_sni = true;
+  AppReply reply =
+      make_host(p).handle_payload(net::ClientHello::make("other.com").serialize());
+  auto alert = net::TlsAlert::parse(reply.data);
+  ASSERT_TRUE(alert);
+  EXPECT_EQ(alert->description, net::TlsAlert::kUnrecognizedName);
+
+  p.reject_unknown_sni = false;
+  reply = make_host(p).handle_payload(net::ClientHello::make("other.com").serialize());
+  auto sh = net::ServerHello::parse(reply.data);
+  ASSERT_TRUE(sh);
+  EXPECT_EQ(sh->certificate_domain, "www.example.org");  // default certificate
+}
+
+TEST(Endpoint, TlsMalformedHelloAlerts) {
+  EndpointProfile p;
+  p.hosted_domains = {"a.com"};
+  AppReply reply = make_host(p).handle_payload(Bytes{0x16, 0x03, 0x01, 0x00});
+  auto alert = net::TlsAlert::parse(reply.data);
+  ASSERT_TRUE(alert);
+  EXPECT_EQ(alert->description, net::TlsAlert::kDecodeError);
+}
+
+TEST(Endpoint, TlsRc4Md5OnlyRefused) {
+  EndpointProfile p;
+  p.hosted_domains = {"a.com"};
+  net::ClientHello ch = net::ClientHello::make("a.com");
+  ch.cipher_suites = {0x0004};  // RC4-MD5 only
+  AppReply reply = make_host(p).handle_payload(ch.serialize());
+  auto alert = net::TlsAlert::parse(reply.data);
+  ASSERT_TRUE(alert);
+  EXPECT_EQ(alert->description, net::TlsAlert::kHandshakeFailure);
+}
+
+TEST(Endpoint, TlsVersionNegotiationPicksHighest) {
+  EndpointProfile p;
+  p.hosted_domains = {"a.com"};
+  net::ClientHello ch = net::ClientHello::make("a.com");
+  ch.set_supported_versions({net::TlsVersion::kTls11, net::TlsVersion::kTls12});
+  auto sh = net::ServerHello::parse(make_host(p).handle_payload(ch.serialize()).data);
+  ASSERT_TRUE(sh);
+  EXPECT_EQ(sh->version, net::TlsVersion::kTls12);
+}
+
+TEST(Endpoint, LocalFilterHttp) {
+  EndpointProfile p;
+  p.hosted_domains = {"a.com"};
+  p.local_filter = LocalFilterAction::kDrop;
+  p.local_filter_rules.add("blocked.example");
+  EndpointHost host = make_host(p);
+  EXPECT_EQ(host.local_filter_verdict(get_bytes("www.blocked.example")),
+            LocalFilterAction::kDrop);
+  EXPECT_EQ(host.local_filter_verdict(get_bytes("www.benign.example")),
+            LocalFilterAction::kNone);
+}
+
+TEST(Endpoint, LocalFilterTls) {
+  EndpointProfile p;
+  p.hosted_domains = {"a.com"};
+  p.local_filter = LocalFilterAction::kRst;
+  p.local_filter_rules.add("blocked.example");
+  EndpointHost host = make_host(p);
+  EXPECT_EQ(host.local_filter_verdict(
+                net::ClientHello::make("www.blocked.example").serialize()),
+            LocalFilterAction::kRst);
+}
+
+TEST(Endpoint, NoLocalFilterAlwaysNone) {
+  EndpointProfile p;
+  p.hosted_domains = {"a.com"};
+  EXPECT_EQ(make_host(p).local_filter_verdict(get_bytes("anything.example")),
+            LocalFilterAction::kNone);
+}

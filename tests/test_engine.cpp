@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "censor/vendors.hpp"
+#include "net/http.hpp"
+#include "netsim/engine.hpp"
+
+using namespace cen;
+using namespace cen::sim;
+
+namespace {
+
+/// client(0) - r1(1) - r2(2) - r3(3) - server(4), server hosts example.org.
+struct LineNet {
+  LineNet() {
+    Topology topo;
+    client = topo.add_node("client", net::Ipv4Address(10, 0, 0, 1));
+    r1 = topo.add_node("r1", net::Ipv4Address(10, 0, 1, 1));
+    r2 = topo.add_node("r2", net::Ipv4Address(10, 0, 2, 1));
+    r3 = topo.add_node("r3", net::Ipv4Address(10, 0, 3, 1));
+    server = topo.add_node("server", net::Ipv4Address(10, 0, 9, 1));
+    topo.add_link(client, r1);
+    topo.add_link(r1, r2);
+    topo.add_link(r2, r3);
+    topo.add_link(r3, server);
+    geo::IpMetadataDb db;
+    db.add_route(net::Ipv4Address(10, 0, 0, 0), 8, {64512, "TESTNET", "XX"});
+    net = std::make_unique<Network>(std::move(topo), std::move(db));
+    EndpointProfile profile;
+    profile.hosted_domains = {"www.example.org"};
+    net->add_endpoint(server, profile);
+  }
+
+  Bytes get(const std::string& host) {
+    return net::HttpRequest::get(host).serialize_bytes();
+  }
+
+  NodeId client, r1, r2, r3, server;
+  net::Ipv4Address server_ip{net::Ipv4Address(10, 0, 9, 1)};
+  std::unique_ptr<Network> net;
+};
+
+int count_icmp(const std::vector<Event>& events) {
+  int n = 0;
+  for (const Event& e : events) {
+    if (std::holds_alternative<IcmpEvent>(e)) ++n;
+  }
+  return n;
+}
+
+const net::Packet* first_tcp(const std::vector<Event>& events) {
+  for (const Event& e : events) {
+    if (const auto* t = std::get_if<TcpEvent>(&e)) return &t->packet;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(Engine, ConnectEstablishes) {
+  LineNet ln;
+  Connection conn = ln.net->open_connection(ln.client, ln.server_ip);
+  EXPECT_EQ(conn.connect(), ConnectResult::kEstablished);
+  EXPECT_EQ(conn.path().size(), 5u);
+}
+
+TEST(Engine, ConnectToNowhereTimesOut) {
+  LineNet ln;
+  Connection conn = ln.net->open_connection(ln.client, net::Ipv4Address(10, 0, 3, 1));
+  // r3 is a router, not an endpoint: SYN is swallowed.
+  EXPECT_EQ(conn.connect(), ConnectResult::kTimeout);
+}
+
+TEST(Engine, ConnectToUnknownIpTimesOut) {
+  LineNet ln;
+  Connection conn = ln.net->open_connection(ln.client, net::Ipv4Address(99, 9, 9, 9));
+  EXPECT_EQ(conn.connect(), ConnectResult::kTimeout);
+}
+
+TEST(Engine, SendBeforeConnectIsNoop) {
+  LineNet ln;
+  Connection conn = ln.net->open_connection(ln.client, ln.server_ip);
+  EXPECT_TRUE(conn.send(ln.get("www.example.org"), 64).empty());
+}
+
+TEST(Engine, TtlExhaustionYieldsIcmpPerHop) {
+  LineNet ln;
+  for (int ttl = 1; ttl <= 3; ++ttl) {
+    Connection conn = ln.net->open_connection(ln.client, ln.server_ip);
+    ASSERT_EQ(conn.connect(), ConnectResult::kEstablished);
+    std::vector<Event> events = conn.send(ln.get("www.example.org"),
+                                          static_cast<std::uint8_t>(ttl));
+    ASSERT_EQ(events.size(), 1u) << "ttl=" << ttl;
+    const auto* icmp = std::get_if<IcmpEvent>(&events[0]);
+    ASSERT_NE(icmp, nullptr);
+    EXPECT_EQ(icmp->router, net::Ipv4Address(10, 0, static_cast<uint8_t>(ttl), 1));
+  }
+}
+
+TEST(Engine, EndpointRespondsAtItsHopDistance) {
+  LineNet ln;
+  Connection conn = ln.net->open_connection(ln.client, ln.server_ip);
+  ASSERT_EQ(conn.connect(), ConnectResult::kEstablished);
+  std::vector<Event> events = conn.send(ln.get("www.example.org"), 4);
+  const net::Packet* data = first_tcp(events);
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->ip.src, ln.server_ip);
+  auto resp = net::HttpResponse::parse(to_string(data->payload));
+  ASSERT_TRUE(resp);
+  EXPECT_EQ(resp->status, 200);
+}
+
+TEST(Engine, SilentRouterProducesTimeout) {
+  LineNet ln;
+  ln.net->topology().node(ln.r2).profile.responds_icmp = false;
+  Connection conn = ln.net->open_connection(ln.client, ln.server_ip);
+  ASSERT_EQ(conn.connect(), ConnectResult::kEstablished);
+  EXPECT_TRUE(conn.send(ln.get("www.example.org"), 2).empty());
+}
+
+TEST(Engine, QuotePolicyControlsQuoteLength) {
+  LineNet ln;
+  ln.net->topology().node(ln.r1).profile.quote_policy = net::QuotePolicy::kRfc1812Full;
+  ln.net->topology().node(ln.r2).profile.quote_policy = net::QuotePolicy::kRfc792;
+  std::size_t quote_len[3] = {0, 0, 0};
+  for (int ttl = 1; ttl <= 2; ++ttl) {
+    Connection conn = ln.net->open_connection(ln.client, ln.server_ip);
+    ASSERT_EQ(conn.connect(), ConnectResult::kEstablished);
+    auto events = conn.send(ln.get("www.example.org"), static_cast<std::uint8_t>(ttl));
+    ASSERT_FALSE(events.empty());
+    quote_len[ttl] = std::get<IcmpEvent>(events[0]).quoted.size();
+  }
+  EXPECT_GT(quote_len[1], 28u);   // full quote
+  EXPECT_EQ(quote_len[2], 28u);   // minimal quote
+}
+
+TEST(Engine, TosRewriteVisibleInDownstreamQuote) {
+  LineNet ln;
+  ln.net->topology().node(ln.r1).profile.rewrite_tos = 0x40;
+  Connection conn = ln.net->open_connection(ln.client, ln.server_ip);
+  ASSERT_EQ(conn.connect(), ConnectResult::kEstablished);
+  auto events = conn.send(ln.get("www.example.org"), 2);
+  ASSERT_FALSE(events.empty());
+  const auto& icmp = std::get<IcmpEvent>(events[0]);
+  bool complete = false;
+  net::Packet quoted = net::Packet::parse_quoted(icmp.quoted, complete);
+  EXPECT_EQ(quoted.ip.tos, 0x40);  // rewritten upstream of the quoting hop
+}
+
+TEST(Engine, InPathDeviceConsumesAndNoIcmp) {
+  LineNet ln;
+  censor::DeviceConfig cfg;
+  cfg.id = "dropper";
+  cfg.action = censor::BlockAction::kDrop;
+  cfg.http_rules.add("blocked.example");
+  ln.net->attach_device(ln.r3, std::make_shared<censor::Device>(cfg));
+
+  // Probe that would expire exactly at the device's router: the device
+  // consumes it first, so not even ICMP comes back.
+  Connection conn = ln.net->open_connection(ln.client, ln.server_ip);
+  ASSERT_EQ(conn.connect(), ConnectResult::kEstablished);
+  EXPECT_TRUE(conn.send(ln.get("www.blocked.example"), 3).empty());
+  // Control traffic still passes and the router still answers.
+  Connection control = ln.net->open_connection(ln.client, ln.server_ip);
+  ASSERT_EQ(control.connect(), ConnectResult::kEstablished);
+  EXPECT_EQ(count_icmp(control.send(ln.get("www.example.org"), 3)), 1);
+}
+
+TEST(Engine, OnPathTapInjectsAlongsideIcmp) {
+  LineNet ln;
+  censor::DeviceConfig cfg;
+  cfg.id = "tap";
+  cfg.on_path = true;
+  cfg.action = censor::BlockAction::kRstInject;
+  cfg.http_rules.add("blocked.example");
+  ln.net->attach_device(ln.r3, std::make_shared<censor::Device>(cfg));
+
+  Connection conn = ln.net->open_connection(ln.client, ln.server_ip);
+  ASSERT_EQ(conn.connect(), ConnectResult::kEstablished);
+  std::vector<Event> events = conn.send(ln.get("www.blocked.example"), 3);
+  // Both the injected RST and the ICMP from r3 arrive (Fig. 2 D).
+  EXPECT_EQ(count_icmp(events), 1);
+  const net::Packet* rst = first_tcp(events);
+  ASSERT_NE(rst, nullptr);
+  EXPECT_TRUE(rst->tcp.has(net::TcpFlags::kRst));
+  EXPECT_EQ(rst->ip.src, ln.server_ip);  // spoofed
+
+  // With enough TTL the request also reaches the endpoint: injected RST
+  // plus the genuine response.
+  Connection conn2 = ln.net->open_connection(ln.client, ln.server_ip);
+  ASSERT_EQ(conn2.connect(), ConnectResult::kEstablished);
+  std::vector<Event> full = conn2.send(ln.get("www.blocked.example"), 64);
+  int tcp_count = 0;
+  for (const Event& e : full) {
+    if (std::holds_alternative<TcpEvent>(e)) ++tcp_count;
+  }
+  EXPECT_EQ(tcp_count, 2);
+}
+
+TEST(Engine, TtlCopyInjectionDecaysOnReturn) {
+  LineNet ln;
+  censor::DeviceConfig cfg;
+  cfg.id = "copier";
+  cfg.action = censor::BlockAction::kRstInject;
+  cfg.injection.copy_ttl_from_trigger = true;
+  cfg.http_rules.add("blocked.example");
+  ln.net->attach_device(ln.r3, std::make_shared<censor::Device>(cfg));
+
+  // Device sits at hop 3. Probe TTL t reaches it with t-2 remaining; the
+  // reset must cross 2 routers back, so it arrives only when t-2 > 2.
+  for (int ttl = 3; ttl <= 4; ++ttl) {
+    Connection conn = ln.net->open_connection(ln.client, ln.server_ip);
+    ASSERT_EQ(conn.connect(), ConnectResult::kEstablished);
+    EXPECT_TRUE(conn.send(ln.get("www.blocked.example"), static_cast<std::uint8_t>(ttl)).empty())
+        << "ttl=" << ttl;
+  }
+  Connection conn = ln.net->open_connection(ln.client, ln.server_ip);
+  ASSERT_EQ(conn.connect(), ConnectResult::kEstablished);
+  std::vector<Event> events = conn.send(ln.get("www.blocked.example"), 5);
+  const net::Packet* rst = first_tcp(events);
+  ASSERT_NE(rst, nullptr);
+  EXPECT_EQ(rst->ip.ttl, 1);  // the paper's tell-tale TTL=1 reset
+}
+
+TEST(Engine, LocalFilterDropAtEndpoint) {
+  LineNet ln;
+  EndpointProfile filtered;
+  filtered.hosted_domains = {"www.filtered.org"};
+  filtered.local_filter = LocalFilterAction::kDrop;
+  filtered.local_filter_rules.add("blocked.example");
+  NodeId ep2 = ln.net->topology().add_node("ep2", net::Ipv4Address(10, 0, 9, 2));
+  ln.net->topology().add_link(ln.r3, ep2);
+  ln.net->add_endpoint(ep2, filtered);
+
+  Connection conn = ln.net->open_connection(ln.client, net::Ipv4Address(10, 0, 9, 2));
+  ASSERT_EQ(conn.connect(), ConnectResult::kEstablished);
+  EXPECT_TRUE(conn.send(ln.get("www.blocked.example"), 64).empty());
+  Connection control = ln.net->open_connection(ln.client, net::Ipv4Address(10, 0, 9, 2));
+  ASSERT_EQ(control.connect(), ConnectResult::kEstablished);
+  EXPECT_FALSE(control.send(ln.get("www.benign.example"), 64).empty());
+}
+
+TEST(Engine, TransientLossIsRecoverable) {
+  LineNet ln;
+  ln.net->set_transient_loss(0.5);
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    Connection conn = ln.net->open_connection(ln.client, ln.server_ip);
+    if (conn.connect() != ConnectResult::kEstablished) continue;
+    if (!conn.send(ln.get("www.example.org"), 64).empty()) ++delivered;
+  }
+  EXPECT_GT(delivered, 20);
+  EXPECT_LT(delivered, 180);
+}
+
+TEST(Engine, ScanServicesFindsDeviceAndRouterPlanes) {
+  LineNet ln;
+  censor::DeviceConfig cfg = censor::make_vendor_device("Cisco", "c1");
+  cfg.mgmt_ip = net::Ipv4Address(10, 0, 3, 1);
+  ln.net->attach_device(ln.r3, std::make_shared<censor::Device>(cfg));
+  ln.net->topology().node(ln.r1).services.push_back({22, "ssh", "SSH-2.0-OpenSSH"});
+
+  EXPECT_FALSE(ln.net->scan_services(net::Ipv4Address(10, 0, 3, 1)).empty());
+  EXPECT_EQ(ln.net->scan_services(net::Ipv4Address(10, 0, 1, 1)).size(), 1u);
+  EXPECT_TRUE(ln.net->scan_services(net::Ipv4Address(10, 0, 2, 1)).empty());
+  EXPECT_TRUE(ln.net->scan_services(net::Ipv4Address(1, 2, 3, 4)).empty());
+}
+
+TEST(Engine, FreshConnectionsGetFreshPorts) {
+  LineNet ln;
+  Connection a = ln.net->open_connection(ln.client, ln.server_ip);
+  Connection b = ln.net->open_connection(ln.client, ln.server_ip);
+  EXPECT_NE(a.source_port(), b.source_port());
+}
+
+TEST(Engine, ResetDeviceState) {
+  LineNet ln;
+  censor::DeviceConfig cfg;
+  cfg.id = "d";
+  cfg.action = censor::BlockAction::kDrop;
+  cfg.residual_block_ms = 1000000;
+  cfg.http_rules.add("blocked.example");
+  auto dev = std::make_shared<censor::Device>(cfg);
+  ln.net->attach_device(ln.r3, dev);
+  Connection conn = ln.net->open_connection(ln.client, ln.server_ip);
+  ASSERT_EQ(conn.connect(), ConnectResult::kEstablished);
+  conn.send(ln.get("www.blocked.example"), 64);
+  EXPECT_GT(dev->trigger_count(), 0u);
+  ln.net->reset_device_state();
+  // Residual state cleared: benign traffic passes immediately.
+  Connection conn2 = ln.net->open_connection(ln.client, ln.server_ip);
+  ASSERT_EQ(conn2.connect(), ConnectResult::kEstablished);
+  EXPECT_FALSE(conn2.send(ln.get("www.example.org"), 64).empty());
+}
+
+TEST(Engine, ClosedPortAnswersRst) {
+  LineNet ln;
+  Connection conn = ln.net->open_connection(ln.client, ln.server_ip, 8080);
+  EXPECT_EQ(conn.connect(), ConnectResult::kReset);
+}
+
+TEST(Engine, OpenPortListConfigurable) {
+  LineNet ln;
+  sim::EndpointProfile custom;
+  custom.hosted_domains = {"svc.example"};
+  custom.open_ports = {8443};
+  NodeId ep2 = ln.net->topology().add_node("ep2", net::Ipv4Address(10, 0, 9, 3));
+  ln.net->topology().add_link(ln.r3, ep2);
+  ln.net->add_endpoint(ep2, custom);
+  Connection on_8443 = ln.net->open_connection(ln.client, net::Ipv4Address(10, 0, 9, 3), 8443);
+  EXPECT_EQ(on_8443.connect(), ConnectResult::kEstablished);
+  Connection on_80 = ln.net->open_connection(ln.client, net::Ipv4Address(10, 0, 9, 3), 80);
+  EXPECT_EQ(on_80.connect(), ConnectResult::kReset);
+}

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/strings.hpp"
+#include "ml/features.hpp"
+
+using namespace cen;
+using namespace cen::ml;
+
+namespace {
+
+EndpointMeasurement sample_measurement(trace::BlockingType type, bool with_fuzz,
+                                       bool with_banner) {
+  EndpointMeasurement m;
+  m.endpoint_id = "10.0.9.1";
+  m.country = "KZ";
+  m.trace.blocked = true;
+  m.trace.blocking_type = type;
+  m.trace.placement = trace::DevicePlacement::kInPath;
+  m.trace.blocking_hop_ttl = 4;
+  m.trace.endpoint_hop_distance = 7;
+  if (type == trace::BlockingType::kRst) {
+    net::Packet inj;
+    inj.ip.ttl = 57;
+    inj.ip.identification = 0xbeef;
+    inj.tcp.window = 512;
+    inj.tcp.flags = net::TcpFlags::kRst | net::TcpFlags::kAck;
+    m.trace.injected_packet = inj;
+  }
+  trace::QuoteDiff qd;
+  qd.parse_ok = true;
+  qd.tos_changed = true;
+  m.trace.quote_diffs.push_back(qd);
+  if (with_fuzz) {
+    fuzz::CenFuzzReport fz;
+    fz.http_baseline_blocked = true;
+    fuzz::FuzzMeasurement fm;
+    fm.strategy = "Get Word Alt.";
+    fm.permutation = "PATCH";
+    fm.outcome = fuzz::FuzzOutcome::kSuccessful;
+    fz.measurements.push_back(fm);
+    fm.permutation = "POST";
+    fm.outcome = fuzz::FuzzOutcome::kNotSuccessful;
+    fz.measurements.push_back(fm);
+    m.fuzz = fz;
+  }
+  if (with_banner) {
+    probe::DeviceProbeReport pb;
+    pb.ip = net::Ipv4Address(10, 0, 4, 1);
+    pb.open_ports = {22, 443};
+    pb.vendor = "Fortinet";
+    m.banner = pb;
+  }
+  return m;
+}
+
+std::size_t feature_index(const FeatureMatrix& m, const std::string& name) {
+  for (std::size_t i = 0; i < m.feature_names.size(); ++i) {
+    if (m.feature_names[i] == name) return i;
+  }
+  ADD_FAILURE() << "missing feature " << name;
+  return 0;
+}
+
+}  // namespace
+
+TEST(Features, ShapeAndNames) {
+  FeatureMatrix m = extract_features({sample_measurement(trace::BlockingType::kRst, true, true)});
+  EXPECT_EQ(m.n_rows(), 1u);
+  // 11 trace features + 25 strategy features (Normal + 24) + 8 ports +
+  // count + 4 Nmap stack-fingerprint features.
+  EXPECT_EQ(m.n_features(), 11u + 25u + 9u + 4u);
+  EXPECT_EQ(m.rows[0].size(), m.n_features());
+  EXPECT_EQ(m.labels[0], "Fortinet");
+  EXPECT_EQ(m.countries[0], "KZ");
+}
+
+TEST(Features, InjectedPacketFields) {
+  FeatureMatrix m = extract_features({sample_measurement(trace::BlockingType::kRst, false, false)});
+  EXPECT_EQ(m.rows[0][feature_index(m, "CensorResponse")], 2.0);  // RST code
+  EXPECT_EQ(m.rows[0][feature_index(m, "InjectedIPTTL")], 57.0);
+  EXPECT_EQ(m.rows[0][feature_index(m, "InjectedIPID")], double(0xbeef));
+  EXPECT_EQ(m.rows[0][feature_index(m, "InjectedTCPWindow")], 512.0);
+  EXPECT_EQ(m.rows[0][feature_index(m, "IPTOSChanged")], 1.0);
+  EXPECT_EQ(m.rows[0][feature_index(m, "BlockingHopDist")], 3.0);
+}
+
+TEST(Features, DropCensorHasMissingInjectedFields) {
+  FeatureMatrix m =
+      extract_features({sample_measurement(trace::BlockingType::kTimeout, false, false)});
+  EXPECT_EQ(m.rows[0][feature_index(m, "CensorResponse")], 1.0);
+  EXPECT_TRUE(std::isnan(m.rows[0][feature_index(m, "InjectedIPTTL")]));
+}
+
+TEST(Features, StrategySuccessRates) {
+  FeatureMatrix m = extract_features({sample_measurement(trace::BlockingType::kRst, true, false)});
+  EXPECT_EQ(m.rows[0][feature_index(m, "Get Word Alt.")], 0.5);  // 1 of 2 successful
+  EXPECT_EQ(m.rows[0][feature_index(m, "Normal")], 1.0);         // baseline blocked
+  EXPECT_TRUE(std::isnan(m.rows[0][feature_index(m, "SNI Pad.")]));  // never tested
+}
+
+TEST(Features, MissingToolsAreNaN) {
+  FeatureMatrix m = extract_features({sample_measurement(trace::BlockingType::kRst, false, false)});
+  EXPECT_TRUE(std::isnan(m.rows[0][feature_index(m, "Normal")]));
+  EXPECT_TRUE(std::isnan(m.rows[0][feature_index(m, "OpenPort22")]));
+  EXPECT_EQ(m.labels[0], "");  // no banner, no blockpage -> unlabelled
+}
+
+TEST(Features, BannerPorts) {
+  FeatureMatrix m = extract_features({sample_measurement(trace::BlockingType::kRst, false, true)});
+  EXPECT_EQ(m.rows[0][feature_index(m, "OpenPort22")], 1.0);
+  EXPECT_EQ(m.rows[0][feature_index(m, "OpenPort443")], 1.0);
+  EXPECT_EQ(m.rows[0][feature_index(m, "OpenPort23")], 0.0);
+  EXPECT_EQ(m.rows[0][feature_index(m, "OpenPortCount")], 2.0);
+}
+
+TEST(Features, BlockpageLabelPreferredOverBanner) {
+  EndpointMeasurement em = sample_measurement(trace::BlockingType::kHttpBlockpage, false, true);
+  em.trace.blockpage_vendor = "Kerio";
+  em.banner->vendor = "Fortinet";
+  FeatureMatrix m = extract_features({em});
+  EXPECT_EQ(m.labels[0], "Kerio");
+}
+
+TEST(Features, ImputeMedianFillsNaNs) {
+  std::vector<EndpointMeasurement> ms = {
+      sample_measurement(trace::BlockingType::kRst, true, true),
+      sample_measurement(trace::BlockingType::kTimeout, false, false),
+  };
+  FeatureMatrix m = extract_features(ms);
+  impute_median(m);
+  for (const Row& row : m.rows) {
+    for (double v : row) EXPECT_FALSE(std::isnan(v));
+  }
+  // The drop row's missing InjectedIPTTL imputes to the observed median 57.
+  EXPECT_EQ(m.rows[1][feature_index(m, "InjectedIPTTL")], 57.0);
+}
+
+TEST(Features, StandardizeZeroMeanUnitVariance) {
+  std::vector<EndpointMeasurement> ms;
+  for (int i = 0; i < 4; ++i) {
+    EndpointMeasurement em = sample_measurement(trace::BlockingType::kRst, false, false);
+    em.trace.injected_packet->ip.ttl = static_cast<std::uint8_t>(50 + i * 4);
+    ms.push_back(em);
+  }
+  FeatureMatrix m = extract_features(ms);
+  impute_median(m);
+  standardize(m);
+  std::size_t f = feature_index(m, "InjectedIPTTL");
+  double sum = 0;
+  for (const Row& row : m.rows) sum += row[f];
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+  // Constant features become all-zero, not NaN.
+  std::size_t cr = feature_index(m, "CensorResponse");
+  for (const Row& row : m.rows) EXPECT_EQ(row[cr], 0.0);
+}
+
+TEST(Features, SelectFeaturesSubsets) {
+  FeatureMatrix m = extract_features({sample_measurement(trace::BlockingType::kRst, true, true)});
+  std::vector<std::size_t> keep = {feature_index(m, "CensorResponse"),
+                                   feature_index(m, "InjectedIPTTL")};
+  FeatureMatrix sub = select_features(m, keep);
+  EXPECT_EQ(sub.n_features(), 2u);
+  EXPECT_EQ(sub.feature_names[0], "CensorResponse");
+  EXPECT_EQ(sub.rows[0][1], 57.0);
+  EXPECT_EQ(sub.labels, m.labels);
+}
+
+TEST(Features, EncodeLabels) {
+  std::vector<int> encoded;
+  std::vector<std::string> names = encode_labels({"A", "B", "A", "C", "B"}, encoded);
+  EXPECT_EQ(names, (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_EQ(encoded, (std::vector<int>{0, 1, 0, 2, 1}));
+}
+
+TEST(PropagateLabels, MajorityLabelSpreadsWithinCluster) {
+  FeatureMatrix m;
+  m.feature_names = {"f"};
+  m.rows = {{0}, {0}, {0}, {1}, {1}};
+  m.labels = {"Cisco", "Cisco", "", "", ""};
+  m.row_ids = {"a", "b", "c", "d", "e"};
+  m.countries = {"X", "X", "X", "X", "X"};
+  std::vector<int> clusters = {0, 0, 0, 1, 1};
+  std::vector<std::string> out = propagate_labels(m, clusters);
+  EXPECT_EQ(out[2], "Cisco");  // joins its labelled cluster
+  EXPECT_EQ(out[3], "");       // label-free cluster stays unlabelled
+  EXPECT_EQ(out[0], "Cisco");  // existing labels preserved
+}
+
+TEST(PropagateLabels, MixedClusterBelowShareStaysUnlabelled) {
+  FeatureMatrix m;
+  m.feature_names = {"f"};
+  m.rows = {{0}, {0}, {0}, {0}};
+  m.labels = {"Cisco", "Kerio", "", ""};
+  m.row_ids = {"a", "b", "c", "d"};
+  m.countries = {"X", "X", "X", "X"};
+  std::vector<int> clusters = {0, 0, 0, 0};
+  std::vector<std::string> out = propagate_labels(m, clusters, 0.6);
+  EXPECT_EQ(out[2], "");  // 50% share < 60% threshold
+}
+
+TEST(PropagateLabels, NoiseNeverLabelled) {
+  FeatureMatrix m;
+  m.feature_names = {"f"};
+  m.rows = {{0}, {0}};
+  m.labels = {"Cisco", ""};
+  m.row_ids = {"a", "b"};
+  m.countries = {"X", "X"};
+  std::vector<int> clusters = {0, -1};
+  std::vector<std::string> out = propagate_labels(m, clusters);
+  EXPECT_EQ(out[1], "");
+}
+
+TEST(FeatureCsv, HeaderRowsAndNaN) {
+  FeatureMatrix m;
+  m.feature_names = {"f1", "we,ird"};
+  m.rows = {{1.5, std::nan("")}, {2.0, 3.0}};
+  m.labels = {"Cisco", ""};
+  m.row_ids = {"10.0.9.1", "10.0.9.2"};
+  m.countries = {"KZ", "RU"};
+  std::string csv = to_csv(m);
+  std::vector<std::string> lines = split(csv, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "endpoint,country,label,f1,\"we,ird\"");
+  EXPECT_EQ(lines[1], "10.0.9.1,KZ,Cisco,1.5,");  // NaN -> empty cell
+  EXPECT_EQ(lines[2], "10.0.9.2,RU,,2,3");
+}
+
+TEST(FeatureCsv, QuoteEscaping) {
+  FeatureMatrix m;
+  m.feature_names = {"f"};
+  m.rows = {{1.0}};
+  m.labels = {"has \"quotes\""};
+  m.row_ids = {"id"};
+  m.countries = {"X"};
+  std::string csv = to_csv(m);
+  EXPECT_NE(csv.find("\"has \"\"quotes\"\"\""), std::string::npos);
+}

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace cen;
+using namespace cen::ml;
+
+namespace {
+
+/// Synthetic 3-class dataset: feature 0 is fully informative, feature 1 is
+/// noise, feature 2 weakly informative.
+void make_dataset(Matrix& x, std::vector<int>& y, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    int cls = static_cast<int>(i % 3);
+    double informative = cls * 10.0 + rng.real();
+    double noise = rng.real() * 100.0;
+    double weak = (cls == 2 ? 5.0 : 0.0) + rng.real() * 3.0;
+    x.push_back({informative, noise, weak});
+    y.push_back(cls);
+  }
+}
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+}  // namespace
+
+TEST(Gini, Values) {
+  EXPECT_DOUBLE_EQ(gini({10, 0}, 10), 0.0);
+  EXPECT_DOUBLE_EQ(gini({5, 5}, 10), 0.5);
+  EXPECT_DOUBLE_EQ(gini({}, 0), 0.0);
+  EXPECT_NEAR(gini({1, 1, 1}, 3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DecisionTree, PerfectlySeparableDataIsLearned) {
+  Matrix x;
+  std::vector<int> y;
+  make_dataset(x, y, 90, 1);
+  DecisionTree tree;
+  Rng rng(2);
+  tree.fit(x, y, all_indices(x.size()), 3, TreeOptions{16, 2, 3}, rng);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(tree.predict(x[i]), y[i]);
+  }
+}
+
+TEST(DecisionTree, EmptyFitPredictsZero) {
+  DecisionTree tree;
+  Rng rng(1);
+  Matrix x = {{1.0}};
+  std::vector<int> y = {1};
+  tree.fit(x, y, {}, 2, TreeOptions{}, rng);
+  EXPECT_EQ(tree.predict({5.0}), 0);
+}
+
+TEST(DecisionTree, SingleClassIsLeaf) {
+  Matrix x = {{1}, {2}, {3}};
+  std::vector<int> y = {1, 1, 1};
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(x, y, all_indices(3), 2, TreeOptions{}, rng);
+  EXPECT_EQ(tree.predict({99}), 1);
+  for (double imp : tree.impurity_decrease()) EXPECT_EQ(imp, 0.0);
+}
+
+TEST(DecisionTree, ImportancesConcentrateOnInformativeFeature) {
+  Matrix x;
+  std::vector<int> y;
+  make_dataset(x, y, 300, 3);
+  DecisionTree tree;
+  Rng rng(4);
+  tree.fit(x, y, all_indices(x.size()), 3, TreeOptions{16, 2, 3}, rng);
+  const std::vector<double>& imp = tree.impurity_decrease();
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_GT(imp[0], imp[1]);
+}
+
+TEST(DecisionTree, MaxDepthRespected) {
+  Matrix x;
+  std::vector<int> y;
+  make_dataset(x, y, 100, 5);
+  DecisionTree tree;
+  Rng rng(6);
+  tree.fit(x, y, all_indices(x.size()), 3, TreeOptions{0, 2, 3}, rng);  // depth 0: stump
+  // With zero depth the tree is a single leaf: majority class everywhere.
+  int p = tree.predict(x[0]);
+  for (const Row& row : x) EXPECT_EQ(tree.predict(row), p);
+}
+
+TEST(RandomForest, FitsAndPredicts) {
+  Matrix x;
+  std::vector<int> y;
+  make_dataset(x, y, 150, 7);
+  ForestOptions opts;
+  opts.n_trees = 20;
+  RandomForest forest(opts);
+  forest.fit(x, y, all_indices(x.size()), 3);
+  EXPECT_GT(forest.accuracy(x, y, all_indices(x.size())), 0.95);
+}
+
+TEST(RandomForest, MdiNormalizedAndRanked) {
+  Matrix x;
+  std::vector<int> y;
+  make_dataset(x, y, 200, 9);
+  ForestOptions opts;
+  opts.n_trees = 30;
+  RandomForest forest(opts);
+  forest.fit(x, y, all_indices(x.size()), 3);
+  std::vector<double> imp = forest.mdi_importance();
+  ASSERT_EQ(imp.size(), 3u);
+  double sum = imp[0] + imp[1] + imp[2];
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(imp[0], imp[1]);  // informative beats noise
+  EXPECT_GT(imp[0], 0.5);
+}
+
+TEST(RandomForest, DeterministicWithSeed) {
+  Matrix x;
+  std::vector<int> y;
+  make_dataset(x, y, 100, 11);
+  ForestOptions opts;
+  opts.n_trees = 10;
+  opts.seed = 99;
+  RandomForest a(opts), b(opts);
+  a.fit(x, y, all_indices(x.size()), 3);
+  b.fit(x, y, all_indices(x.size()), 3);
+  EXPECT_EQ(a.mdi_importance(), b.mdi_importance());
+}
+
+TEST(CrossValidatedImportance, PaperProtocol) {
+  Matrix x;
+  std::vector<int> y;
+  make_dataset(x, y, 120, 13);
+  ForestOptions opts;
+  opts.n_trees = 15;
+  ImportanceResult result = cross_validated_importance(x, y, 3, 3, 5, opts);
+  ASSERT_EQ(result.importance.size(), 3u);
+  EXPECT_NEAR(result.importance[0] + result.importance[1] + result.importance[2], 1.0, 1e-9);
+  EXPECT_GT(result.importance[0], result.importance[1]);
+  EXPECT_GT(result.cv_accuracy, 0.9);  // held-out accuracy on separable data
+}
+
+TEST(CrossValidatedImportance, EmptyData) {
+  ImportanceResult result = cross_validated_importance({}, {}, 2);
+  EXPECT_TRUE(result.importance.empty());
+  EXPECT_EQ(result.cv_accuracy, 0.0);
+}
+
+TEST(TopKFeatures, OrderingAndTruncation) {
+  std::vector<double> imp = {0.1, 0.5, 0.05, 0.35};
+  std::vector<std::size_t> top = top_k_features(imp, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top_k_features(imp, 10).size(), 4u);
+}

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/strings.hpp"
+#include "net/http.hpp"
+
+using namespace cen;
+using namespace cen::net;
+
+TEST(HttpRequest, DefaultGetSerialization) {
+  HttpRequest r = HttpRequest::get("www.example.com");
+  EXPECT_EQ(r.serialize(), "GET / HTTP/1.1\r\nHost: www.example.com\r\n\r\n");
+}
+
+TEST(HttpRequest, FuzzableComponents) {
+  HttpRequest r = HttpRequest::get("www.example.com");
+  r.method = "GE";
+  r.path = "?";
+  r.version = "HtTP/1.1";
+  r.host_word = "ost: ";
+  r.request_line_delim = "\n";
+  EXPECT_EQ(r.serialize(), "GE ? HtTP/1.1\nost: www.example.com\r\n\r\n");
+}
+
+TEST(HttpRequest, ExtraHeaders) {
+  HttpRequest r = HttpRequest::get("x.com");
+  r.extra_headers.emplace_back("Connection", "keep-alive");
+  EXPECT_NE(r.serialize().find("Connection: keep-alive\r\n"), std::string::npos);
+}
+
+TEST(HttpRequest, EmptyMethodSerializes) {
+  HttpRequest r = HttpRequest::get("x.com");
+  r.method = "";
+  EXPECT_EQ(r.serialize().substr(0, 3), " / ");
+}
+
+TEST(RegisteredMethods, KnownAndUnknown) {
+  EXPECT_TRUE(is_registered_http_method("GET"));
+  EXPECT_TRUE(is_registered_http_method("PATCH"));
+  EXPECT_FALSE(is_registered_http_method("get"));  // methods are case-sensitive
+  EXPECT_FALSE(is_registered_http_method("XXXX"));
+  EXPECT_FALSE(is_registered_http_method(""));
+}
+
+TEST(ParseHttpRequest, WellFormed) {
+  auto req = parse_http_request("GET /x HTTP/1.1\r\nHost: a.com\r\n\r\n");
+  EXPECT_TRUE(req.parse_ok);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/x");
+  EXPECT_TRUE(req.method_valid);
+  EXPECT_TRUE(req.version_valid);
+  EXPECT_TRUE(req.line_delims_valid);
+  ASSERT_TRUE(req.host);
+  EXPECT_EQ(*req.host, "a.com");
+}
+
+TEST(ParseHttpRequest, BareLfTolerated) {
+  auto req = parse_http_request("GET / HTTP/1.1\nHost: a.com\n\n");
+  EXPECT_TRUE(req.parse_ok);
+  EXPECT_FALSE(req.line_delims_valid);
+  ASSERT_TRUE(req.host);
+  EXPECT_EQ(*req.host, "a.com");
+}
+
+TEST(ParseHttpRequest, CaseInsensitiveHostHeader) {
+  auto req = parse_http_request("GET / HTTP/1.1\r\nhOsT: b.org\r\n\r\n");
+  ASSERT_TRUE(req.host);
+  EXPECT_EQ(*req.host, "b.org");
+}
+
+TEST(ParseHttpRequest, MissingHost) {
+  auto req = parse_http_request("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(req.parse_ok);
+  EXPECT_FALSE(req.host);
+}
+
+TEST(ParseHttpRequest, UnknownMethodFlagged) {
+  auto req = parse_http_request("BREW / HTTP/1.1\r\nHost: a\r\n\r\n");
+  EXPECT_TRUE(req.parse_ok);
+  EXPECT_FALSE(req.method_valid);
+}
+
+TEST(ParseHttpRequest, BadVersionFlagged) {
+  auto req = parse_http_request("GET / HTTP/9\r\nHost: a\r\n\r\n");
+  EXPECT_TRUE(req.parse_ok);
+  EXPECT_FALSE(req.version_valid);
+}
+
+TEST(ParseHttpRequest, GarbageRejected) {
+  EXPECT_FALSE(parse_http_request("nonsense").parse_ok);
+  EXPECT_FALSE(parse_http_request("\r\n").parse_ok);
+  EXPECT_FALSE(parse_http_request("GET\r\n").parse_ok);
+}
+
+TEST(ParseHttpRequest, EmptyMethodNotOk) {
+  auto req = parse_http_request(" / HTTP/1.1\r\nHost: a\r\n\r\n");
+  EXPECT_FALSE(req.parse_ok);
+}
+
+TEST(HttpResponse, SerializeParseRoundTrip) {
+  HttpResponse resp = HttpResponse::make(403, "Forbidden", "<html>blocked</html>");
+  auto parsed = HttpResponse::parse(resp.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->status, 403);
+  EXPECT_EQ(parsed->reason, "Forbidden");
+  EXPECT_EQ(parsed->body, "<html>blocked</html>");
+}
+
+TEST(HttpResponse, ContentLengthHeaderSet) {
+  HttpResponse resp = HttpResponse::make(200, "OK", "12345");
+  bool found = false;
+  for (const auto& [k, v] : resp.headers) {
+    if (k == "Content-Length") {
+      EXPECT_EQ(v, "5");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HttpResponse, ParseRejectsNonHttp) {
+  EXPECT_FALSE(HttpResponse::parse("not http"));
+  EXPECT_FALSE(HttpResponse::parse(""));
+  EXPECT_FALSE(HttpResponse::parse("HTTP/1.1"));
+}
+
+TEST(HttpResponse, MultiWordReason) {
+  auto parsed = HttpResponse::parse("HTTP/1.1 505 HTTP Version Not Supported\r\n\r\n");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->reason, "HTTP Version Not Supported");
+}
+
+TEST(HttpReason, CommonCodes) {
+  EXPECT_EQ(http_reason(200), "OK");
+  EXPECT_EQ(http_reason(301), "Moved Permanently");
+  EXPECT_EQ(http_reason(505), "HTTP Version Not Supported");
+  EXPECT_EQ(http_reason(999), "Unknown");
+}
+
+// Property: server parser recovers the host for every reasonable host_word
+// casing the fuzzer emits.
+class HostHeaderCase : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HostHeaderCase, HostRecovered) {
+  HttpRequest r = HttpRequest::get("w.example.net");
+  r.host_word = std::string(GetParam()) + ": ";
+  auto req = parse_http_request(r.serialize());
+  if (iequals(GetParam(), "Host")) {
+    ASSERT_TRUE(req.host);
+    EXPECT_EQ(*req.host, "w.example.net");
+  } else {
+    EXPECT_FALSE(req.host);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Casings, HostHeaderCase,
+                         ::testing::Values("Host", "host", "HOST", "hOsT", "HoSt",
+                                           "Hos", "Hostt", "XHost"));

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "net/icmp.hpp"
+#include "net/packet.hpp"
+
+using namespace cen;
+using namespace cen::net;
+
+namespace {
+Packet sample_packet(std::size_t payload_len) {
+  return make_tcp_packet(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 9, 1), 40000, 80,
+                         TcpFlags::kPsh | TcpFlags::kAck, 1000, 2000,
+                         Bytes(payload_len, 0x41), 5);
+}
+}  // namespace
+
+TEST(IcmpTimeExceeded, Rfc792QuotesIpHeaderPlus8Bytes) {
+  Packet p = sample_packet(100);
+  Bytes wire = p.serialize();
+  IcmpTimeExceeded msg =
+      IcmpTimeExceeded::make(Ipv4Address(10, 0, 1, 1), wire, QuotePolicy::kRfc792);
+  EXPECT_EQ(msg.quoted.size(), 28u);  // 20 IP + 8 transport
+}
+
+TEST(IcmpTimeExceeded, Rfc1812QuotesUpTo128Bytes) {
+  Packet p = sample_packet(200);
+  Bytes wire = p.serialize();
+  IcmpTimeExceeded msg =
+      IcmpTimeExceeded::make(Ipv4Address(10, 0, 1, 1), wire, QuotePolicy::kRfc1812Full);
+  EXPECT_EQ(msg.quoted.size(), 128u);
+}
+
+TEST(IcmpTimeExceeded, ShortPacketQuotedWhole) {
+  Packet p = sample_packet(0);
+  Bytes wire = p.serialize();  // 40 bytes
+  IcmpTimeExceeded full =
+      IcmpTimeExceeded::make(Ipv4Address(1, 1, 1, 1), wire, QuotePolicy::kRfc1812Full);
+  EXPECT_EQ(full.quoted.size(), wire.size());
+}
+
+TEST(IcmpTimeExceeded, SerializeParseRoundTrip) {
+  Packet p = sample_packet(50);
+  IcmpTimeExceeded msg =
+      IcmpTimeExceeded::make(Ipv4Address(10, 0, 1, 1), p.serialize(), QuotePolicy::kRfc792);
+  Bytes wire = msg.serialize();
+  IcmpTimeExceeded parsed = IcmpTimeExceeded::parse(Ipv4Address(10, 0, 1, 1), wire);
+  EXPECT_EQ(parsed.quoted, msg.quoted);
+  EXPECT_EQ(parsed.router, msg.router);
+}
+
+TEST(IcmpTimeExceeded, SerializedChecksumValidates) {
+  Packet p = sample_packet(10);
+  IcmpTimeExceeded msg =
+      IcmpTimeExceeded::make(Ipv4Address(10, 0, 1, 1), p.serialize(), QuotePolicy::kRfc792);
+  EXPECT_EQ(internet_checksum(msg.serialize()), 0);
+}
+
+TEST(IcmpTimeExceeded, ParseRejectsWrongType) {
+  Bytes wire = {8, 0, 0, 0, 0, 0, 0, 0};  // echo request
+  EXPECT_THROW(IcmpTimeExceeded::parse(Ipv4Address(1, 1, 1, 1), wire), ParseError);
+}
+
+TEST(QuotedPacket, PartialParseRecoversPorts) {
+  Packet p = sample_packet(64);
+  IcmpTimeExceeded msg =
+      IcmpTimeExceeded::make(Ipv4Address(1, 1, 1, 1), p.serialize(), QuotePolicy::kRfc792);
+  bool tcp_complete = true;
+  Packet quoted = Packet::parse_quoted(msg.quoted, tcp_complete);
+  EXPECT_FALSE(tcp_complete);  // only 8 bytes of TCP header present
+  EXPECT_EQ(quoted.tcp.src_port, 40000);
+  EXPECT_EQ(quoted.tcp.dst_port, 80);
+  EXPECT_EQ(quoted.tcp.seq, 1000u);
+  EXPECT_EQ(quoted.ip.src, p.ip.src);
+}
+
+TEST(QuotedPacket, FullParseRecoversPayload) {
+  Packet p = sample_packet(30);
+  IcmpTimeExceeded msg = IcmpTimeExceeded::make(Ipv4Address(1, 1, 1, 1), p.serialize(),
+                                                QuotePolicy::kRfc1812Full);
+  bool tcp_complete = false;
+  Packet quoted = Packet::parse_quoted(msg.quoted, tcp_complete);
+  EXPECT_TRUE(tcp_complete);
+  EXPECT_EQ(quoted.payload.size(), 30u);
+  EXPECT_EQ(quoted.tcp.flags, p.tcp.flags);
+}

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv4.hpp"
+
+using namespace cen;
+using namespace cen::net;
+
+TEST(Ipv4Address, ParseValid) {
+  auto a = Ipv4Address::parse("192.0.2.33");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->value(), 0xc0000221u);
+  EXPECT_EQ(a->str(), "192.0.2.33");
+}
+
+TEST(Ipv4Address, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.256"));
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3"));
+}
+
+TEST(Ipv4Address, OctetConstructor) {
+  Ipv4Address a(10, 0, 3, 1);
+  EXPECT_EQ(a.str(), "10.0.3.1");
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2));
+  EXPECT_EQ(Ipv4Address(1, 2, 3, 4), Ipv4Address(0x01020304));
+}
+
+TEST(InternetChecksum, KnownVector) {
+  // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d.
+  Bytes data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLength) {
+  Bytes data = {0x01};
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0x0100));
+}
+
+TEST(Ipv4Header, SerializeIs20Bytes) {
+  Ipv4Header h;
+  h.src = Ipv4Address(10, 0, 0, 1);
+  h.dst = Ipv4Address(10, 0, 0, 2);
+  EXPECT_EQ(h.serialize().size(), 20u);
+}
+
+TEST(Ipv4Header, ChecksumValidates) {
+  Ipv4Header h;
+  h.src = Ipv4Address(192, 168, 0, 1);
+  h.dst = Ipv4Address(10, 1, 2, 3);
+  h.ttl = 17;
+  h.tos = 0x20;
+  Bytes wire = h.serialize();
+  // A correct IPv4 header checksums to zero over its own bytes.
+  EXPECT_EQ(internet_checksum(wire), 0);
+}
+
+TEST(Ipv4Header, RoundTrip) {
+  Ipv4Header h;
+  h.tos = 0x60;
+  h.total_length = 1234;
+  h.identification = 0xbeef;
+  h.flags = 0x2;
+  h.fragment_offset = 100;
+  h.ttl = 3;
+  h.protocol = IpProto::kIcmp;
+  h.src = Ipv4Address(1, 2, 3, 4);
+  h.dst = Ipv4Address(5, 6, 7, 8);
+  Bytes wire = h.serialize();
+  ByteReader r(wire);
+  Ipv4Header parsed = Ipv4Header::parse(r);
+  EXPECT_EQ(parsed, h);
+}
+
+TEST(Ipv4Header, ParseRejectsNonV4) {
+  Bytes wire(20, 0);
+  wire[0] = 0x65;  // version 6
+  ByteReader r(wire);
+  EXPECT_THROW(Ipv4Header::parse(r), ParseError);
+}
+
+TEST(Ipv4Header, ParseRejectsTruncated) {
+  Bytes wire(10, 0x45);
+  ByteReader r(wire);
+  EXPECT_THROW(Ipv4Header::parse(r), ParseError);
+}
+
+class Ipv4HeaderTtlRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Ipv4HeaderTtlRoundTrip, TtlPreserved) {
+  Ipv4Header h;
+  h.ttl = static_cast<std::uint8_t>(GetParam());
+  h.src = Ipv4Address(10, 0, 0, 1);
+  h.dst = Ipv4Address(10, 0, 0, 2);
+  Bytes wire = h.serialize();
+  ByteReader r(wire);
+  EXPECT_EQ(Ipv4Header::parse(r).ttl, GetParam());
+  EXPECT_EQ(internet_checksum(wire), 0);  // checksum invariant holds per TTL
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInterestingTtls, Ipv4HeaderTtlRoundTrip,
+                         ::testing::Values(0, 1, 2, 63, 64, 65, 128, 254, 255));

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "core/json.hpp"
+#include "report/json_report.hpp"
+
+using namespace cen;
+
+TEST(JsonEscape, SpecialCharacters) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("CenTrace");
+  w.key("hops").value(7);
+  w.key("blocked").value(true);
+  w.key("vendor").null();
+  w.key("rate").value(0.5);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"CenTrace","hops":7,"blocked":true,"vendor":null,"rate":0.5})");
+}
+
+TEST(JsonWriter, NestedArrays) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("path").begin_array();
+  w.value("10.0.0.1");
+  w.null();
+  w.value("10.0.2.1");
+  w.end_array();
+  w.key("empty").begin_array().end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"path":["10.0.0.1",null,"10.0.2.1"],"empty":[]})");
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  JsonWriter w;
+  w.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    w.begin_object();
+    w.key("i").value(i);
+    w.end_object();
+  }
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"i":0},{"i":1}])");
+}
+
+TEST(JsonWriter, NonFiniteDoublesAreNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,1.5]");
+}
+
+TEST(JsonWriter, KeyEscaping) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("we\"ird").value(1);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"we\"ird":1})");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), std::logic_error);  // unterminated
+  }
+  {
+    JsonWriter w;
+    w.value(1);
+    EXPECT_THROW(w.value(2), std::logic_error);  // two top-level values
+  }
+}
+
+TEST(JsonReport, CenTraceReportSerializes) {
+  trace::CenTraceReport r;
+  r.test_domain = "www.blocked.example";
+  r.control_domain = "www.example.org";
+  r.endpoint = net::Ipv4Address(10, 0, 9, 1);
+  r.blocked = true;
+  r.blocking_type = trace::BlockingType::kRst;
+  r.location = trace::BlockingLocation::kOnPathToEndpoint;
+  r.placement = trace::DevicePlacement::kInPath;
+  r.blocking_hop_ttl = 4;
+  r.blocking_hop_ip = net::Ipv4Address(10, 0, 4, 1);
+  r.blocking_as = geo::AsInfo{9198, "JSC-KAZAKHTELECOM", "KZ"};
+  r.endpoint_hop_distance = 7;
+  r.control_path = {net::Ipv4Address(10, 0, 1, 1), std::nullopt};
+
+  std::string json = report::to_json(r);
+  EXPECT_NE(json.find(R"("tool":"centrace")"), std::string::npos);
+  EXPECT_NE(json.find(R"("blocked":true)"), std::string::npos);
+  EXPECT_NE(json.find(R"("blocking_type":"RST")"), std::string::npos);
+  EXPECT_NE(json.find(R"("blocking_hop_ip":"10.0.4.1")"), std::string::npos);
+  EXPECT_NE(json.find(R"("asn":9198)"), std::string::npos);
+  EXPECT_NE(json.find(R"("control_path":["10.0.1.1",null])"), std::string::npos);
+  EXPECT_EQ(json.find("control_sweeps"), std::string::npos);  // not requested
+}
+
+TEST(JsonReport, CenTraceSweepsIncludedOnRequest) {
+  trace::CenTraceReport r;
+  trace::SingleTrace sweep;
+  sweep.domain = "d";
+  trace::HopObservation h;
+  h.ttl = 1;
+  h.response = trace::ProbeResponse::kIcmpTtlExceeded;
+  h.icmp_router = net::Ipv4Address(10, 0, 1, 1);
+  sweep.hops.push_back(h);
+  r.test_traces.push_back(sweep);
+  std::string json = report::to_json(r, /*include_sweeps=*/true);
+  EXPECT_NE(json.find(R"("test_sweeps")"), std::string::npos);
+  EXPECT_NE(json.find(R"("response":"ICMP")"), std::string::npos);
+}
+
+TEST(JsonReport, CenFuzzReportSerializes) {
+  fuzz::CenFuzzReport r;
+  r.endpoint = net::Ipv4Address(10, 0, 9, 1);
+  r.test_domain = "t";
+  r.control_domain = "c";
+  r.http_baseline_blocked = true;
+  fuzz::FuzzMeasurement m;
+  m.strategy = "Get Word Alt.";
+  m.permutation = "PATCH";
+  m.outcome = fuzz::FuzzOutcome::kSuccessful;
+  m.circumvented = true;
+  r.measurements.push_back(m);
+  std::string json = report::to_json(r);
+  EXPECT_NE(json.find(R"("tool":"cenfuzz")"), std::string::npos);
+  EXPECT_NE(json.find(R"("strategy":"Get Word Alt.")"), std::string::npos);
+  EXPECT_NE(json.find(R"("outcome":"successful")"), std::string::npos);
+  EXPECT_NE(json.find(R"("circumvented":true)"), std::string::npos);
+}
+
+TEST(JsonReport, CenProbeReportSerializes) {
+  probe::DeviceProbeReport r;
+  r.ip = net::Ipv4Address(10, 0, 4, 1);
+  r.open_ports = {22, 443};
+  probe::BannerGrab grab;
+  grab.ip = r.ip;
+  grab.port = 22;
+  grab.protocol = "ssh";
+  grab.banner = "SSH-2.0-Cisco-1.25";
+  r.banners.push_back(grab);
+  r.vendor = "Cisco";
+  std::string json = report::to_json(r);
+  EXPECT_NE(json.find(R"("open_ports":[22,443])"), std::string::npos);
+  EXPECT_NE(json.find(R"("banner":"SSH-2.0-Cisco-1.25")"), std::string::npos);
+  EXPECT_NE(json.find(R"("vendor":"Cisco")"), std::string::npos);
+}
+
+TEST(JsonValid, AcceptsWellFormed) {
+  EXPECT_TRUE(json_valid(R"({"a":1,"b":[true,null,"x"],"c":{"d":-1.5e3}})"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("  42  "));
+  EXPECT_TRUE(json_valid(R"("escaped \" \\ \n ÿ")"));
+  EXPECT_TRUE(json_valid("[1,2.5,-3,0.0,1e9,1E-9]"));
+}
+
+TEST(JsonValid, RejectsMalformed) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("[1,2,]"));
+  EXPECT_FALSE(json_valid(R"({"a":})"));
+  EXPECT_FALSE(json_valid(R"({"a" 1})"));
+  EXPECT_FALSE(json_valid(R"({a:1})"));
+  EXPECT_FALSE(json_valid("01"));          // leading zero... actually valid? "01" is invalid JSON
+  EXPECT_FALSE(json_valid("1 2"));         // trailing content
+  EXPECT_FALSE(json_valid("nul"));
+  EXPECT_FALSE(json_valid(R"("unterminated)"));
+  EXPECT_FALSE(json_valid("\"bad\\q\""));  // bad escape
+  EXPECT_FALSE(json_valid("1."));
+  EXPECT_FALSE(json_valid("[1e]"));
+}
+
+TEST(JsonValid, EveryEmittedReportValidates) {
+  // All three serializers over a populated report set.
+  trace::CenTraceReport tr;
+  tr.test_domain = "a\"b\nweird";
+  tr.endpoint = net::Ipv4Address(10, 0, 9, 1);
+  tr.blocked = true;
+  tr.blocking_hop_ip = net::Ipv4Address(10, 0, 4, 1);
+  tr.blocking_as = geo::AsInfo{1, "A\\S", "XX"};
+  trace::SingleTrace sweep;
+  sweep.domain = "d";
+  trace::HopObservation h;
+  h.ttl = 1;
+  sweep.hops.push_back(h);
+  tr.test_traces.push_back(sweep);
+  tr.control_path = {net::Ipv4Address(1, 1, 1, 1), std::nullopt};
+  EXPECT_TRUE(json_valid(report::to_json(tr, true)));
+
+  fuzz::CenFuzzReport fz;
+  fuzz::FuzzMeasurement m;
+  m.strategy = "Http Delimiter Rem.";
+  m.permutation = "\\r";  // backslash in permutation names
+  fz.measurements.push_back(m);
+  EXPECT_TRUE(json_valid(report::to_json(fz)));
+
+  probe::DeviceProbeReport pr;
+  pr.ip = net::Ipv4Address(10, 0, 4, 1);
+  pr.open_ports = {22};
+  probe::BannerGrab grab;
+  grab.banner = "weird \"banner\"\r\n";
+  grab.protocol = "ssh";
+  pr.banners.push_back(grab);
+  pr.stack = censor::StackFingerprint{};
+  EXPECT_TRUE(json_valid(report::to_json(pr)));
+}

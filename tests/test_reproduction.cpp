@@ -1,0 +1,135 @@
+// Full-scale reproduction certificates: the headline paper numbers, pinned
+// as tests. These run the real pipelines at Table 1 scale (a few seconds)
+// and fail if a change breaks any shape the paper reports.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "scenario/pipeline.hpp"
+
+using namespace cen;
+using namespace cen::scenario;
+
+namespace {
+PipelineOptions certificate_options() {
+  PipelineOptions o;
+  o.centrace_repetitions = 3;
+  o.run_fuzz = false;
+  return o;
+}
+}  // namespace
+
+TEST(Reproduction, VendorCensusMatchesPaperExactly) {
+  // §5.3: Cisco 7, Fortinet 5 (+4 blockpage-only), Kerio 2, Palo Alto 2,
+  // DDoS-Guard 1, MikroTik 1, Kaspersky 1 — 19 banner-identified + 4 = 23.
+  std::map<std::string, int> banner_vendors;
+  int blockpage_only = 0;
+  for (Country c : all_countries()) {
+    CountryScenario s = make_country(c, Scale::kFull);
+    PipelineResult r = run_country_pipeline(s, certificate_options());
+    std::set<std::uint32_t> bp_ips;
+    for (const auto& [ip, probe] : r.device_probes) {
+      if (probe.vendor) banner_vendors[*probe.vendor]++;
+    }
+    for (const auto& t : r.remote_traces) {
+      if (!t.blocked || !t.blockpage_vendor || !t.blocking_hop_ip) continue;
+      auto probe = r.device_probes.find(t.blocking_hop_ip->value());
+      bool banner_labelled = probe != r.device_probes.end() && probe->second.vendor;
+      if (!banner_labelled && bp_ips.insert(t.blocking_hop_ip->value()).second) {
+        ++blockpage_only;
+      }
+    }
+  }
+  EXPECT_EQ(banner_vendors["Cisco"], 7);
+  EXPECT_EQ(banner_vendors["Fortinet"], 5);
+  EXPECT_EQ(banner_vendors["Kerio"], 2);
+  EXPECT_EQ(banner_vendors["PaloAlto"], 2);
+  EXPECT_EQ(banner_vendors["DDoSGuard"], 1);
+  EXPECT_EQ(banner_vendors["MikroTik"], 1);
+  EXPECT_EQ(banner_vendors["Kaspersky"], 1);
+  EXPECT_EQ(blockpage_only, 4);
+  int total = 0;
+  for (const auto& [vendor, n] : banner_vendors) total += n;
+  EXPECT_EQ(total + blockpage_only, 23);  // the paper's 23 deployments
+}
+
+TEST(Reproduction, BlockedShareOrderingMatchesTable1) {
+  // Table 1's per-country blocked-CT share ordering: KZ > AZ > BY > RU.
+  std::map<Country, double> share;
+  for (Country c : all_countries()) {
+    CountryScenario s = make_country(c, Scale::kFull);
+    PipelineOptions o = certificate_options();
+    o.run_banner = false;
+    if (c == Country::kRU) o.max_endpoints = 300;  // keep the test quick
+    PipelineResult r = run_country_pipeline(s, o);
+    share[c] = double(r.blocked_remote()) / double(r.remote_traces.size());
+  }
+  EXPECT_GT(share[Country::kKZ], share[Country::kAZ]);
+  EXPECT_GT(share[Country::kAZ], share[Country::kBY]);
+  EXPECT_GT(share[Country::kBY], share[Country::kRU]);
+  EXPECT_GT(share[Country::kKZ], 0.6);   // paper: 86%
+  EXPECT_LT(share[Country::kRU], 0.15);  // paper: 4%
+}
+
+TEST(Reproduction, KzExtraterritorialShareNearPaper) {
+  // §4.3: measurements to 21.81% of KZ hosts are actually blocked in RU.
+  CountryScenario s = make_country(Country::kKZ, Scale::kFull);
+  PipelineOptions o = certificate_options();
+  o.run_banner = false;
+  PipelineResult r = run_country_pipeline(s, o);
+  std::set<std::uint32_t> blocked_hosts, ru_blocked_hosts;
+  for (const auto& t : r.remote_traces) {
+    if (!t.blocked) continue;
+    blocked_hosts.insert(t.endpoint.value());
+    if (t.blocking_as && t.blocking_as->country == "RU") {
+      ru_blocked_hosts.insert(t.endpoint.value());
+    }
+  }
+  double host_share = double(ru_blocked_hosts.size()) / s.remote_endpoints.size();
+  EXPECT_GT(host_share, 0.15);
+  EXPECT_LT(host_share, 0.45);  // paper: 21.81% of hosts
+}
+
+TEST(Reproduction, RuPastEndpointPopulationNearPaper) {
+  // §4.3: 32 RU endpoint IPs show terminating hops past the endpoint.
+  CountryScenario s = make_country(Country::kRU, Scale::kFull);
+  PipelineOptions o = certificate_options();
+  o.run_banner = false;
+  PipelineResult r = run_country_pipeline(s, o);
+  std::set<std::uint32_t> past_e_hosts;
+  for (const auto& t : r.remote_traces) {
+    if (t.blocked && t.location == trace::BlockingLocation::kPastEndpoint) {
+      past_e_hosts.insert(t.endpoint.value());
+      EXPECT_TRUE(t.ttl_copy_detected);
+    }
+  }
+  EXPECT_GE(past_e_hosts.size(), 20u);
+  EXPECT_LE(past_e_hosts.size(), 48u);  // paper: 32 endpoint IPs
+}
+
+TEST(Reproduction, WorldFunnelMatchesPaper) {
+  // §5.2: 76 endpoints -> 71 in-path device IPs -> 62 (87.32%) with at
+  // least one open service; banner labels match blockpage labels exactly.
+  WorldScenario w = make_world(Scale::kFull);
+  PipelineResult r = run_world_pipeline(w, certificate_options());
+  EXPECT_EQ(r.device_probes.size(), 71u);
+  std::size_t with_service = 0;
+  for (const auto& [ip, probe] : r.device_probes) {
+    if (probe.has_any_service()) ++with_service;
+  }
+  EXPECT_EQ(with_service, 62u);
+  std::map<std::uint32_t, std::string> blockpage_by_ip;
+  for (const auto& t : r.remote_traces) {
+    if (t.blocked && t.blockpage_vendor && t.blocking_hop_ip) {
+      blockpage_by_ip[t.blocking_hop_ip->value()] = *t.blockpage_vendor;
+    }
+  }
+  for (const auto& [ip, probe] : r.device_probes) {
+    if (!probe.vendor) continue;
+    auto bp = blockpage_by_ip.find(ip);
+    if (bp != blockpage_by_ip.end()) {
+      EXPECT_EQ(bp->second, *probe.vendor);
+    }
+  }
+}

@@ -1,0 +1,308 @@
+// Integration tests: the country scenarios must reproduce the paper's
+// qualitative findings (§4.3, §5.3) end-to-end through the real tools.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ml/dbscan.hpp"
+#include "scenario/pipeline.hpp"
+
+using namespace cen;
+using namespace cen::scenario;
+
+namespace {
+
+PipelineOptions quick_options() {
+  PipelineOptions o;
+  o.centrace_repetitions = 3;
+  o.fuzz_max_endpoints = 3;
+  return o;
+}
+
+std::map<std::string, int> blocked_as_countries(const PipelineResult& r) {
+  std::map<std::string, int> out;
+  for (const auto& t : r.remote_traces) {
+    if (t.blocked && t.blocking_as) out[t.blocking_as->country]++;
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(ScenarioAZ, CentralizedInPathDropsAtDelta) {
+  CountryScenario s = make_country(Country::kAZ, Scale::kSmall);
+  PipelineResult r = run_country_pipeline(s, quick_options());
+  ASSERT_GT(r.blocked_remote(), 0u);
+
+  int in_path = 0, on_path = 0, drops = 0, delta_blocks = 0, device_located = 0;
+  for (const auto& t : r.remote_traces) {
+    if (!t.blocked) continue;
+    if (t.placement == trace::DevicePlacement::kInPath) ++in_path;
+    if (t.placement == trace::DevicePlacement::kOnPath) ++on_path;
+    if (t.blocking_type == trace::BlockingType::kTimeout) ++drops;
+    if (t.blocking_as && t.blocking_as->asn == 29049) ++delta_blocks;
+    if (t.blocking_hop_ip) ++device_located;
+  }
+  // AZ censorship is exclusively in-path (Fig. 4) and predominantly drops.
+  EXPECT_EQ(on_path, 0);
+  EXPECT_GT(drops, in_path / 2);
+  // The bulk of blocking is attributed to Delta Telecom (AS29049).
+  EXPECT_GT(delta_blocks, static_cast<int>(r.blocked_remote()) / 2);
+  EXPECT_GT(device_located, 0);
+}
+
+TEST(ScenarioAZ, InCountryClientSeesDeviceTwoHopsAway) {
+  CountryScenario s = make_country(Country::kAZ, Scale::kSmall);
+  PipelineOptions o = quick_options();
+  PipelineResult r = run_country_pipeline(s, o);
+  ASSERT_FALSE(r.incountry_traces.empty());
+  bool any_blocked = false;
+  for (const auto& t : r.incountry_traces) {
+    if (!t.blocked) continue;
+    any_blocked = true;
+    EXPECT_EQ(t.blocking_hop_ttl, 2);  // §4.3: AZ device 2 hops from the VP
+    ASSERT_TRUE(t.blocking_as);
+    EXPECT_EQ(t.blocking_as->asn, 29049u);
+    EXPECT_EQ(t.blocking_type, trace::BlockingType::kTimeout);
+  }
+  EXPECT_TRUE(any_blocked);
+}
+
+TEST(ScenarioBY, OnPathRstInjectionNearEndpoint) {
+  CountryScenario s = make_country(Country::kBY, Scale::kSmall);
+  PipelineResult r = run_country_pipeline(s, quick_options());
+  ASSERT_GT(r.blocked_remote(), 0u);
+
+  int on_path_rst = 0, total_rst = 0, close_to_endpoint = 0, blocked = 0;
+  for (const auto& t : r.remote_traces) {
+    if (!t.blocked) continue;
+    ++blocked;
+    if (t.blocking_type == trace::BlockingType::kRst) {
+      ++total_rst;
+      if (t.placement == trace::DevicePlacement::kOnPath) ++on_path_rst;
+      if (t.endpoint_hop_distance - t.blocking_hop_ttl <= 2) ++close_to_endpoint;
+    }
+  }
+  // Most BY blocking is RST injection by on-path taps near the endpoint AS.
+  EXPECT_GT(total_rst, blocked / 2);
+  EXPECT_GT(on_path_rst, total_rst / 2);
+  EXPECT_GT(close_to_endpoint, total_rst / 2);
+}
+
+TEST(ScenarioBY, TorBridgesDroppedUpstreamInCogent) {
+  CountryScenario s = make_country(Country::kBY, Scale::kSmall);
+  PipelineResult r = run_country_pipeline(s, quick_options());
+  int tor_in_cogent = 0, tor_blocked = 0;
+  for (const auto& t : r.remote_traces) {
+    if (t.test_domain != "bridges.torproject.org" || !t.blocked) continue;
+    ++tor_blocked;
+    if (t.blocking_as && t.blocking_as->asn == 174) ++tor_in_cogent;
+    EXPECT_EQ(t.blocking_type, trace::BlockingType::kTimeout);
+  }
+  ASSERT_GT(tor_blocked, 0);
+  // The anomaly: drops happen before traffic even enters BY (§4.3).
+  EXPECT_EQ(tor_in_cogent, tor_blocked);
+}
+
+TEST(ScenarioBY, NoInCountryVantagePoint) {
+  CountryScenario s = make_country(Country::kBY, Scale::kSmall);
+  EXPECT_EQ(s.incountry_client, sim::kInvalidNode);
+}
+
+TEST(ScenarioKZ, ExtraterritorialBlockingInRussia) {
+  CountryScenario s = make_country(Country::kKZ, Scale::kSmall);
+  PipelineResult r = run_country_pipeline(s, quick_options());
+  std::map<std::string, int> by_country = blocked_as_countries(r);
+  // Most blocking is in KZ (Kazakhtelecom), but a real share of KZ-bound
+  // measurements dies in Russian transit ASes (§4.3: 21.8% of hosts).
+  EXPECT_GT(by_country["KZ"], 0);
+  EXPECT_GT(by_country["RU"], 0);
+  int ru_transit = 0;
+  for (const auto& t : r.remote_traces) {
+    if (t.blocked && t.blocking_as &&
+        (t.blocking_as->asn == 31133 || t.blocking_as->asn == 43727)) {
+      ++ru_transit;
+    }
+  }
+  EXPECT_GT(ru_transit, 0);
+}
+
+TEST(ScenarioKZ, InCountryDeviceThreeHopsInKazakhtelecom) {
+  CountryScenario s = make_country(Country::kKZ, Scale::kSmall);
+  PipelineResult r = run_country_pipeline(s, quick_options());
+  bool any_blocked = false;
+  for (const auto& t : r.incountry_traces) {
+    if (!t.blocked) continue;
+    any_blocked = true;
+    EXPECT_EQ(t.blocking_hop_ttl, 3);  // §4.3: KZ device 3 hops from the VP
+    ASSERT_TRUE(t.blocking_as);
+    // The client is in hosting AS203087, the device in AS9198: attributing
+    // by client ASN (as OONI does) would be wrong.
+    EXPECT_EQ(t.blocking_as->asn, 9198u);
+  }
+  EXPECT_TRUE(any_blocked);
+}
+
+TEST(ScenarioRU, PastEndpointTtlCopyDetectedAndCorrected) {
+  CountryScenario s = make_country(Country::kRU, Scale::kSmall);
+  PipelineResult r = run_country_pipeline(s, quick_options());
+  int past_e = 0, corrected = 0;
+  for (const auto& t : r.remote_traces) {
+    if (!t.blocked) continue;
+    if (t.location == trace::BlockingLocation::kPastEndpoint) {
+      ++past_e;
+      EXPECT_TRUE(t.ttl_copy_detected);
+      ASSERT_TRUE(t.injected_packet);
+      EXPECT_LE(t.injected_packet->ip.ttl, 1);  // the TTL=1 reset artefact
+      if (t.blocking_hop_ttl <= t.endpoint_hop_distance) ++corrected;
+    }
+  }
+  ASSERT_GT(past_e, 0);
+  EXPECT_EQ(corrected, past_e);  // correction lands inside the real path
+}
+
+TEST(ScenarioRU, DecentralizedAcrossManyAses) {
+  CountryScenario s = make_country(Country::kRU, Scale::kSmall);
+  PipelineResult r = run_country_pipeline(s, quick_options());
+  std::set<std::uint32_t> blocking_asns;
+  std::set<std::string> types;
+  for (const auto& t : r.remote_traces) {
+    if (!t.blocked) continue;
+    if (t.blocking_as) blocking_asns.insert(t.blocking_as->asn);
+    types.insert(std::string(blocking_type_name(t.blocking_type)));
+  }
+  EXPECT_GE(blocking_asns.size(), 4u);  // many distinct censor ASNs
+  EXPECT_GE(types.size(), 2u);          // mixed censorship methods
+  // RU blocks a small share of measurements overall (Table 1: ~4%).
+  EXPECT_LT(r.blocked_remote() * 100, r.remote_traces.size() * 35);
+}
+
+TEST(ScenarioRU, InCountryClientUncensored) {
+  CountryScenario s = make_country(Country::kRU, Scale::kSmall);
+  PipelineResult r = run_country_pipeline(s, quick_options());
+  for (const auto& t : r.incountry_traces) {
+    EXPECT_FALSE(t.blocked) << t.test_domain;
+  }
+}
+
+TEST(ScenarioAll, GroundTruthDeviceCountsAtFullScale) {
+  std::map<std::string, int> vendor_counts;
+  for (Country c : all_countries()) {
+    CountryScenario s = make_country(c, Scale::kFull);
+    for (const DeviceTruth& d : s.devices) {
+      if (!d.vendor.empty()) vendor_counts[d.vendor]++;
+    }
+  }
+  // §5.3 deployment counts (banner-visible + blockpage-only Fortinets),
+  // plus one management-firewalled "dark" Cisco for the §7.4 propagation
+  // experiment.
+  EXPECT_EQ(vendor_counts["Cisco"], 8);
+  EXPECT_EQ(vendor_counts["Fortinet"], 9);  // 5 with banners + 4 blockpage-only
+  EXPECT_EQ(vendor_counts["Kerio"], 2);
+  EXPECT_EQ(vendor_counts["PaloAlto"], 2);
+  EXPECT_EQ(vendor_counts["DDoSGuard"], 1);
+  EXPECT_EQ(vendor_counts["MikroTik"], 1);
+  EXPECT_EQ(vendor_counts["Kaspersky"], 1);
+}
+
+TEST(ScenarioAll, EndpointCountsMatchTable1) {
+  EXPECT_EQ(make_country(Country::kAZ, Scale::kFull).remote_endpoints.size(), 29u);
+  EXPECT_EQ(make_country(Country::kBY, Scale::kFull).remote_endpoints.size(), 123u);
+  EXPECT_EQ(make_country(Country::kKZ, Scale::kFull).remote_endpoints.size(), 95u);
+  EXPECT_EQ(make_country(Country::kRU, Scale::kFull).remote_endpoints.size(), 1291u);
+}
+
+TEST(ScenarioAll, TenTestDomainsPerCountry) {
+  for (Country c : all_countries()) {
+    CountryScenario s = make_country(c, Scale::kSmall);
+    EXPECT_EQ(s.http_test_domains.size(), 5u);
+    EXPECT_EQ(s.https_test_domains.size(), 5u);
+    EXPECT_EQ(s.foreign_endpoints.size(), 10u);
+  }
+}
+
+TEST(ScenarioWorld, FunnelComposition) {
+  WorldScenario w = make_world(Scale::kFull);
+  ASSERT_EQ(w.endpoints.size(), 76u);
+  int on_path = 0, no_service = 0;
+  for (const DeviceTruth& d : w.devices) {
+    if (d.on_path) ++on_path;
+  }
+  for (const DeviceTruth& d : w.devices) {
+    if (!d.on_path && d.mgmt_ip.is_unspecified()) ++no_service;
+  }
+  EXPECT_EQ(on_path, 5);  // 76 endpoints -> 71 in-path device IPs (§5.2)
+}
+
+TEST(ScenarioWorld, BlockpageAndBannerLabelsAgree) {
+  WorldScenario w = make_world(Scale::kSmall);
+  PipelineOptions o = quick_options();
+  o.run_fuzz = false;
+  PipelineResult r = run_world_pipeline(w, o);
+  ASSERT_GT(r.blocked_remote(), 0u);
+  int both = 0;
+  for (const auto& m : r.measurements) {
+    if (!m.trace.blockpage_vendor || !m.banner || !m.banner->vendor) continue;
+    EXPECT_EQ(*m.trace.blockpage_vendor, *m.banner->vendor);
+    ++both;
+  }
+  EXPECT_GT(both, 0);  // the paper's validation: labels match exactly
+}
+
+TEST(ScenarioPipeline, MeasurementBundlesAreConsistent) {
+  CountryScenario s = make_country(Country::kAZ, Scale::kSmall);
+  PipelineResult r = run_country_pipeline(s, quick_options());
+  for (const auto& m : r.measurements) {
+    EXPECT_TRUE(m.trace.blocked);
+    EXPECT_EQ(m.country, "AZ");
+    if (m.fuzz) {
+      EXPECT_EQ(m.fuzz->test_domain, m.trace.test_domain);
+    }
+    if (m.banner && m.trace.blocking_hop_ip) {
+      EXPECT_EQ(m.banner->ip, *m.trace.blocking_hop_ip);
+    }
+  }
+}
+
+TEST(ScenarioPipeline, FeatureMatrixUsableForClustering) {
+  CountryScenario s = make_country(Country::kKZ, Scale::kSmall);
+  PipelineOptions o = quick_options();
+  o.fuzz_max_endpoints = 6;
+  PipelineResult r = run_country_pipeline(s, o);
+  ml::FeatureMatrix fm = ml::extract_features(r.measurements);
+  ASSERT_GT(fm.n_rows(), 0u);
+  ml::impute_median(fm);
+  ml::standardize(fm);
+  double eps = ml::estimate_epsilon(fm.rows, 3);
+  ml::DbscanResult clusters = ml::dbscan(fm.rows, std::max(eps, 0.1), 2);
+  EXPECT_GE(clusters.n_clusters, 1);
+}
+
+TEST(ScenarioGeo, EveryEndpointHasMetadata) {
+  for (Country c : all_countries()) {
+    CountryScenario s = make_country(c, Scale::kSmall);
+    for (net::Ipv4Address ep : s.remote_endpoints) {
+      auto as = s.network->geodb().lookup(ep);
+      ASSERT_TRUE(as) << ep.str();
+      EXPECT_EQ(as->country, std::string(country_code(c)));
+    }
+    for (net::Ipv4Address ep : s.foreign_endpoints) {
+      auto as = s.network->geodb().lookup(ep);
+      ASSERT_TRUE(as) << ep.str();
+      EXPECT_EQ(as->country, "US");
+    }
+  }
+}
+
+TEST(ScenarioGeo, DeviceTruthAsnsResolve) {
+  for (Country c : all_countries()) {
+    CountryScenario s = make_country(c, Scale::kSmall);
+    for (const DeviceTruth& d : s.devices) {
+      if (d.on_path) continue;
+      auto as = s.network->geodb().lookup(d.mgmt_ip);
+      ASSERT_TRUE(as) << d.device_id;
+      EXPECT_EQ(as->asn, d.asn) << d.device_id;
+    }
+  }
+}

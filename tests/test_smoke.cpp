@@ -1,0 +1,14 @@
+#include <gtest/gtest.h>
+
+#include "scenario/pipeline.hpp"
+
+TEST(Smoke, QuickPipeline) {
+  auto scenario = cen::scenario::make_country(cen::scenario::Country::kAZ,
+                                              cen::scenario::Scale::kSmall);
+  cen::scenario::PipelineOptions opts;
+  opts.centrace_repetitions = 3;
+  opts.max_domains = 1;
+  opts.run_fuzz = false;
+  auto result = run_country_pipeline(scenario, opts);
+  EXPECT_GT(result.remote_traces.size(), 0u);
+}

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "ml/stats.hpp"
+
+using namespace cen;
+using namespace cen::ml;
+
+TEST(Stats, MeanMedianVariance) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_NEAR(variance({2, 4, 4, 4, 5, 5, 7, 9}), 4.571428, 1e-5);
+  EXPECT_DOUBLE_EQ(variance({5}), 0.0);
+}
+
+TEST(Stats, RanksSimple) {
+  std::vector<double> r = ranks({10, 30, 20});
+  EXPECT_EQ(r, (std::vector<double>{1, 3, 2}));
+}
+
+TEST(Stats, RanksWithTies) {
+  std::vector<double> r = ranks({5, 5, 1, 9});
+  // value 1 -> rank 1; the two 5s share ranks 2,3 -> 2.5; 9 -> 4.
+  EXPECT_EQ(r, (std::vector<double>{2.5, 2.5, 1, 4}));
+}
+
+TEST(Stats, PearsonPerfect) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {2, 4, 6}), 0.0);
+}
+
+TEST(Stats, SpearmanMonotoneNonlinear) {
+  // Spearman sees through monotone nonlinearity (x vs x^3).
+  Correlation c = spearman({1, 2, 3, 4, 5}, {1, 8, 27, 64, 125});
+  EXPECT_NEAR(c.rho, 1.0, 1e-12);
+  EXPECT_NEAR(c.p_value, 0.0, 1e-9);
+}
+
+TEST(Stats, SpearmanAnticorrelated) {
+  Correlation c = spearman({1, 2, 3, 4, 5, 6}, {6, 5, 4, 3, 2, 1});
+  EXPECT_NEAR(c.rho, -1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanUncorrelatedHighP) {
+  Correlation c = spearman({1, 2, 3, 4, 5, 6, 7, 8},
+                           {3, 8, 1, 6, 2, 7, 4, 5});
+  EXPECT_LT(std::abs(c.rho), 0.6);
+  EXPECT_GT(c.p_value, 0.05);
+}
+
+TEST(Stats, SpearmanKnownValue) {
+  // Classic example: rho = 1 - 6*sum(d^2)/(n(n^2-1)).
+  std::vector<double> x = {106, 86, 100, 101, 99, 103, 97, 113, 112, 110};
+  std::vector<double> y = {7, 0, 27, 50, 28, 29, 20, 12, 6, 17};
+  Correlation c = spearman(x, y);
+  EXPECT_NEAR(c.rho, -0.1757, 1e-3);
+  EXPECT_GT(c.p_value, 0.5);
+}
+
+TEST(Stats, SpearmanDegenerate) {
+  Correlation c = spearman({1, 2}, {1, 2});
+  EXPECT_EQ(c.rho, 0.0);  // too few points
+  EXPECT_EQ(c.p_value, 1.0);
+}
+
+TEST(Stats, KfoldCoversAllFolds) {
+  Rng rng(5);
+  std::vector<std::size_t> fold = kfold_assignment(100, 5, rng);
+  ASSERT_EQ(fold.size(), 100u);
+  std::vector<int> counts(5, 0);
+  for (std::size_t f : fold) {
+    ASSERT_LT(f, 5u);
+    ++counts[f];
+  }
+  for (int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(Stats, KfoldShuffled) {
+  Rng rng(5);
+  std::vector<std::size_t> fold = kfold_assignment(50, 5, rng);
+  // Not simply i % 5 in order: at least one position deviates.
+  bool deviates = false;
+  for (std::size_t i = 0; i < fold.size(); ++i) {
+    if (fold[i] != i % 5) deviates = true;
+  }
+  EXPECT_TRUE(deviates);
+}

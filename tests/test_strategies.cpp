@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cenfuzz/strategies.hpp"
+#include "censor/dpi.hpp"
+#include "net/http.hpp"
+#include "net/tls.hpp"
+
+using namespace cen;
+using namespace cen::fuzz;
+
+TEST(Catalogue, TwentyFourStrategies) {
+  // Table 2: 16 HTTP + 8 TLS strategies.
+  int http = 0, tls = 0;
+  for (const StrategyInfo& s : strategy_catalogue()) (s.https ? tls : http)++;
+  EXPECT_EQ(http, 16);
+  EXPECT_EQ(tls, 8);
+}
+
+// Permutation counts must match Table 2 exactly, per strategy.
+class PermutationCounts : public ::testing::TestWithParam<StrategyInfo> {};
+
+TEST_P(PermutationCounts, MatchesTable2) {
+  const StrategyInfo& info = GetParam();
+  std::vector<FuzzProbe> probes = probes_for_strategy(info.name, "www.example.com");
+  EXPECT_EQ(static_cast<int>(probes.size()), info.permutations) << info.name;
+  for (const FuzzProbe& p : probes) {
+    EXPECT_EQ(p.strategy, info.name);
+    EXPECT_EQ(p.https, info.https);
+    EXPECT_FALSE(p.payload.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, PermutationCounts,
+                         ::testing::ValuesIn(strategy_catalogue()),
+                         [](const ::testing::TestParamInfo<StrategyInfo>& info) {
+                           std::string name = info.param.name;
+                           std::string out;
+                           for (char c : name) {
+                             if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+                           }
+                           return out;
+                         });
+
+TEST(Catalogue, TotalProbesPerProtocol) {
+  EXPECT_EQ(http_probes("www.example.com").size(), 410u);  // sum of HTTP rows
+  EXPECT_EQ(tls_probes("www.example.com").size(), 69u);    // sum of TLS rows
+}
+
+TEST(Catalogue, UnknownStrategyThrows) {
+  EXPECT_THROW(probes_for_strategy("Nope", "x.com"), std::invalid_argument);
+}
+
+TEST(Strategies, Deterministic) {
+  auto a = http_probes("www.example.com");
+  auto b = http_probes("www.example.com");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].payload, b[i].payload);
+    EXPECT_EQ(a[i].permutation, b[i].permutation);
+  }
+}
+
+TEST(Strategies, TestAndControlExpansionsAlign) {
+  // The runner pairs test/control probes by index: permutation descriptors
+  // must line up between two different domains.
+  auto test = http_probes("www.blocked.example");
+  auto control = http_probes("www.example.com");
+  ASSERT_EQ(test.size(), control.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    EXPECT_EQ(test[i].strategy, control[i].strategy);
+  }
+}
+
+TEST(Strategies, NormalProbesAreCanonical) {
+  FuzzProbe n = normal_http_probe("www.example.com");
+  EXPECT_EQ(to_string(n.payload), "GET / HTTP/1.1\r\nHost: www.example.com\r\n\r\n");
+  FuzzProbe t = normal_tls_probe("www.example.com");
+  net::ClientHello ch = net::ClientHello::parse(t.payload);
+  EXPECT_EQ(*ch.sni(), "www.example.com");
+}
+
+TEST(CasePermutations, AllCombos) {
+  std::vector<std::string> perms = case_permutations("GET");
+  EXPECT_EQ(perms.size(), 8u);
+  std::set<std::string> unique(perms.begin(), perms.end());
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_TRUE(unique.count("get"));
+  EXPECT_TRUE(unique.count("GET"));
+  EXPECT_TRUE(unique.count("GeT"));
+}
+
+TEST(RemovalPermutations, GetWordSevenExact) {
+  std::vector<std::string> perms = removal_permutations("GET", 7);
+  ASSERT_EQ(perms.size(), 7u);
+  std::multiset<std::string> expected = {"ET", "GT", "GE", "T", "E", "G", ""};
+  EXPECT_EQ(std::multiset<std::string>(perms.begin(), perms.end()), expected);
+}
+
+TEST(RemovalPermutations, HostWordSixtyThree) {
+  // "Host: " has 6 distinct characters: 2^6 - 1 = 63 removals.
+  EXPECT_EQ(removal_permutations("Host: ", 63).size(), 63u);
+}
+
+TEST(RemovalPermutations, CapRespected) {
+  EXPECT_EQ(removal_permutations("HTTP/1.1", 167).size(), 167u);
+  EXPECT_EQ(removal_permutations("HTTP/1.1", 10).size(), 10u);
+}
+
+TEST(RemovalPermutations, SmallerFirst) {
+  std::vector<std::string> perms = removal_permutations("abcd", 100);
+  // single-char deletions come before pair deletions.
+  EXPECT_EQ(perms[0].size(), 3u);
+  EXPECT_EQ(perms.back().size(), 0u);
+}
+
+TEST(HttpStrategies, MutationsLandInRightField) {
+  for (const FuzzProbe& p : probes_for_strategy("Get Word Alt.", "www.x.com")) {
+    std::string raw = to_string(p.payload);
+    EXPECT_NE(raw.find(" / HTTP/1.1\r\n"), std::string::npos) << raw;
+    EXPECT_NE(raw.find("Host: www.x.com"), std::string::npos);
+  }
+  for (const FuzzProbe& p : probes_for_strategy("Path Alt.", "www.x.com")) {
+    std::string raw = to_string(p.payload);
+    EXPECT_EQ(raw.substr(0, 4), "GET ");
+    EXPECT_EQ(raw.find("GET / "), std::string::npos) << "path must differ from /";
+  }
+}
+
+TEST(HttpStrategies, HostnamePadShapes) {
+  std::set<std::string> hosts;
+  for (const FuzzProbe& p : probes_for_strategy("Hostname Pad.", "www.x.com")) {
+    net::ParsedHttpRequest req = net::parse_http_request(to_string(p.payload));
+    ASSERT_TRUE(req.host);
+    hosts.insert(*req.host);
+  }
+  EXPECT_EQ(hosts.size(), 9u);
+  EXPECT_TRUE(hosts.count("*www.x.com"));
+  EXPECT_TRUE(hosts.count("www.x.com*"));
+  EXPECT_TRUE(hosts.count("***www.x.com***"));
+  EXPECT_FALSE(hosts.count("www.x.com"));  // the unpadded host is "Normal"
+}
+
+TEST(HttpStrategies, TldAndSubdomain) {
+  for (const FuzzProbe& p : probes_for_strategy("Hostname TLD Alt.", "www.x.com")) {
+    net::ParsedHttpRequest req = net::parse_http_request(to_string(p.payload));
+    ASSERT_TRUE(req.host);
+    EXPECT_EQ(req.host->substr(0, 6), "www.x.");
+    EXPECT_NE(*req.host, "www.x.com");
+  }
+  for (const FuzzProbe& p : probes_for_strategy("Host. Subdomain Alt.", "www.x.com")) {
+    net::ParsedHttpRequest req = net::parse_http_request(to_string(p.payload));
+    ASSERT_TRUE(req.host);
+    EXPECT_TRUE(req.host->ends_with(".x.com"));
+    EXPECT_NE(req.host->substr(0, 4), "www.");
+  }
+}
+
+TEST(TlsStrategies, SniMutationsParseBack) {
+  for (const char* strategy : {"SNI TLD Alt.", "SNI Subdomain Alt.", "SNI Pad."}) {
+    for (const FuzzProbe& p : probes_for_strategy(strategy, "www.x.com")) {
+      net::ClientHello ch = net::ClientHello::parse(p.payload);
+      ASSERT_TRUE(ch.sni()) << strategy;
+      EXPECT_NE(*ch.sni(), "www.x.com") << strategy;
+    }
+  }
+}
+
+TEST(TlsStrategies, SniAltIncludesOmission) {
+  auto probes = probes_for_strategy("SNI Alt.", "www.x.com");
+  ASSERT_EQ(probes.size(), 4u);
+  int omitted = 0;
+  for (const FuzzProbe& p : probes) {
+    net::ClientHello ch = net::ClientHello::parse(p.payload);
+    if (!ch.sni()) ++omitted;
+  }
+  EXPECT_EQ(omitted, 1);
+}
+
+TEST(TlsStrategies, CipherSuiteAltOffersExactlyOneSuite) {
+  for (const FuzzProbe& p : probes_for_strategy("CipherSuite Alt.", "www.x.com")) {
+    net::ClientHello ch = net::ClientHello::parse(p.payload);
+    EXPECT_EQ(ch.cipher_suites.size(), 1u);
+    EXPECT_EQ(*ch.sni(), "www.x.com");  // SNI untouched
+  }
+}
+
+TEST(TlsStrategies, VersionAlternationsWellFormed) {
+  for (const FuzzProbe& p : probes_for_strategy("Min Version Alt.", "www.x.com")) {
+    net::ClientHello ch = net::ClientHello::parse(p.payload);
+    EXPECT_FALSE(ch.supported_versions().empty());
+  }
+  auto max13 = probes_for_strategy("Max Version Alt.", "www.x.com")[3];
+  net::ClientHello ch = net::ClientHello::parse(max13.payload);
+  EXPECT_EQ(ch.supported_versions().size(), 4u);
+}
+
+TEST(TlsStrategies, ClientCertCarriesMetadataOnly) {
+  auto probes = probes_for_strategy("Client Certificate Alt.", "www.x.com");
+  ASSERT_EQ(probes.size(), 3u);
+  EXPECT_TRUE(probes[0].client_cert_cn);
+  EXPECT_FALSE(probes[2].client_cert_cn);
+  // The hello bytes themselves are identical to Normal (cert comes later
+  // in a real handshake).
+  EXPECT_EQ(probes[0].payload, normal_tls_probe("www.x.com").payload);
+}
+
+// Property: every HTTP probe of every strategy still serializes to bytes a
+// *lenient* DPI (no CRLF requirement, any-token method, version ignored)
+// can at least attempt — i.e. our probes are structured fuzzing, not noise.
+class ProbeWellFormedness : public ::testing::TestWithParam<StrategyInfo> {};
+
+TEST_P(ProbeWellFormedness, PayloadNonEmptyAndTagged) {
+  for (const FuzzProbe& p : probes_for_strategy(GetParam().name, "www.example.com")) {
+    EXPECT_GT(p.payload.size(), 10u);
+    EXPECT_FALSE(p.permutation.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ProbeWellFormedness,
+                         ::testing::ValuesIn(strategy_catalogue()),
+                         [](const ::testing::TestParamInfo<StrategyInfo>& info) {
+                           std::string out;
+                           for (char c : info.param.name) {
+                             if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+                           }
+                           return out + "WF";
+                         });

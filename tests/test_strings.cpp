@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/strings.hpp"
+
+using namespace cen;
+
+TEST(Strings, CaseConversions) {
+  EXPECT_EQ(ascii_lower("HoSt: X"), "host: x");
+  EXPECT_EQ(ascii_upper("get /"), "GET /");
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("Host", "hOsT"));
+  EXPECT_FALSE(iequals("Host", "Hos"));
+  EXPECT_FALSE(iequals("Host", "Hosts"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b \r\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitChar) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitCharTrailingDelim) {
+  auto parts = split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitString) {
+  auto parts = split("a\r\nb\r\n\r\nc", std::string_view("\r\n"));
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitStringNoMatch) {
+  auto parts = split("abc", std::string_view("\r\n"));
+  ASSERT_EQ(parts.size(), 1u);
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("HTTP/1.1", "HTTP/"));
+  EXPECT_FALSE(starts_with("HTP", "HTTP"));
+  EXPECT_TRUE(ends_with("www.example.com", "example.com"));
+  EXPECT_FALSE(ends_with("com", "example.com"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(join({}, "."), "");
+  EXPECT_EQ(join({"only"}, "."), "only");
+}
+
+TEST(Strings, Reversed) {
+  EXPECT_EQ(reversed("abc"), "cba");
+  EXPECT_EQ(reversed(""), "");
+  EXPECT_EQ(reversed("www.example.com"), "moc.elpmaxe.www");
+}
+
+TEST(Strings, FmtFixed) {
+  EXPECT_EQ(fmt_fixed(42.1266, 2), "42.13");
+  EXPECT_EQ(fmt_fixed(0.0, 1), "0.0");
+}

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "net/tcp.hpp"
+
+using namespace cen;
+using namespace cen::net;
+
+TEST(TcpHeader, MinimalSerializeIs20Bytes) {
+  TcpHeader h;
+  EXPECT_EQ(h.serialize().size(), 20u);
+  EXPECT_EQ(h.data_offset_words(), 5);
+}
+
+TEST(TcpHeader, RoundTripNoOptions) {
+  TcpHeader h;
+  h.src_port = 40000;
+  h.dst_port = 443;
+  h.seq = 0xdeadbeef;
+  h.ack = 0x01020304;
+  h.flags = TcpFlags::kSyn | TcpFlags::kAck;
+  h.window = 29200;
+  h.urgent = 7;
+  Bytes wire = h.serialize();
+  ByteReader r(wire);
+  EXPECT_EQ(TcpHeader::parse(r), h);
+}
+
+TEST(TcpHeader, RoundTripWithOptions) {
+  TcpHeader h;
+  h.options = {TcpOption::mss(1460), TcpOption::nop(), TcpOption::window_scale(7),
+               TcpOption::sack_permitted()};
+  Bytes wire = h.serialize();
+  EXPECT_EQ(wire.size() % 4, 0u);
+  ByteReader r(wire);
+  TcpHeader parsed = TcpHeader::parse(r);
+  EXPECT_EQ(parsed.options, h.options);
+}
+
+TEST(TcpHeader, OptionsPaddedTo32Bits) {
+  TcpHeader h;
+  h.options = {TcpOption::window_scale(2)};  // 3 bytes -> padded to 4
+  EXPECT_EQ(h.data_offset_words(), 6);
+  EXPECT_EQ(h.serialize().size(), 24u);
+}
+
+TEST(TcpHeader, FlagsPredicate) {
+  TcpHeader h;
+  h.flags = TcpFlags::kRst | TcpFlags::kAck;
+  EXPECT_TRUE(h.has(TcpFlags::kRst));
+  EXPECT_TRUE(h.has(TcpFlags::kAck));
+  EXPECT_FALSE(h.has(TcpFlags::kSyn));
+}
+
+TEST(TcpHeader, FlagsString) {
+  TcpHeader h;
+  h.flags = TcpFlags::kSyn | TcpFlags::kAck;
+  EXPECT_EQ(h.flags_str(), "SYN|ACK");
+  h.flags = 0;
+  EXPECT_EQ(h.flags_str(), "NONE");
+  h.flags = TcpFlags::kFin;
+  EXPECT_EQ(h.flags_str(), "FIN");
+}
+
+TEST(TcpHeader, ParseRejectsBadOffset) {
+  TcpHeader h;
+  Bytes wire = h.serialize();
+  wire[12] = 0x20;  // data offset 2 words (< 5)
+  ByteReader r(wire);
+  EXPECT_THROW(TcpHeader::parse(r), ParseError);
+}
+
+TEST(TcpOption, Encodings) {
+  EXPECT_EQ(TcpOption::mss(1460).data, (Bytes{0x05, 0xb4}));
+  EXPECT_EQ(TcpOption::window_scale(9).data, Bytes{9});
+  EXPECT_TRUE(TcpOption::sack_permitted().data.empty());
+  EXPECT_EQ(TcpOption::nop().kind, 1);
+}

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "censor/vendors.hpp"
+#include "ml/textsim.hpp"
+
+using namespace cen::ml;
+
+TEST(Shingles, Basics) {
+  std::set<std::string> s = shingles("abcde", 3);
+  EXPECT_EQ(s, (std::set<std::string>{"abc", "bcd", "cde"}));
+}
+
+TEST(Shingles, ShortTextIsSingleShingle) {
+  EXPECT_EQ(shingles("ab", 4), (std::set<std::string>{"ab"}));
+  EXPECT_TRUE(shingles("", 4).empty());
+}
+
+TEST(Jaccard, KnownValues) {
+  std::set<std::string> a = {"x", "y", "z"};
+  std::set<std::string> b = {"y", "z", "w"};
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard(a, {}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard({}, {}), 1.0);
+}
+
+TEST(ClusterDocuments, GroupsNearDuplicates) {
+  std::vector<std::string> docs = {
+      "Web Page Blocked! You have tried to access a web page in violation.",
+      "Web Page Blocked! You have tried to access a web page in violation!!",
+      "Access denied by Kerio Control web filter policy.",
+      "Access denied by Kerio Control web filter policies.",
+      "completely unrelated content about cats",
+  };
+  TextClusterResult r = cluster_documents(docs, 4, 0.6);
+  EXPECT_EQ(r.n_clusters, 3);
+  EXPECT_EQ(r.labels[0], r.labels[1]);
+  EXPECT_EQ(r.labels[2], r.labels[3]);
+  EXPECT_NE(r.labels[0], r.labels[2]);
+  EXPECT_NE(r.labels[4], r.labels[0]);
+  EXPECT_NE(r.labels[4], r.labels[2]);
+}
+
+TEST(ClusterDocuments, ThresholdOneRequiresExactness) {
+  std::vector<std::string> docs = {"aaaa", "aaaa", "aaab"};
+  TextClusterResult r = cluster_documents(docs, 4, 1.0);
+  EXPECT_EQ(r.labels[0], r.labels[1]);
+  EXPECT_NE(r.labels[0], r.labels[2]);
+}
+
+TEST(ClusterDocuments, EmptyInput) {
+  TextClusterResult r = cluster_documents({});
+  EXPECT_EQ(r.n_clusters, 0);
+  EXPECT_TRUE(r.labels.empty());
+}
+
+TEST(ClusterDocuments, VendorBlockpagesSeparate) {
+  // The built-in vendor blockpages must land in distinct clusters — this
+  // is the invariant FilterMap-style identification relies on.
+  std::vector<std::string> pages;
+  pages.push_back(cen::censor::make_vendor_device("Fortinet", "a").blockpage_html);
+  pages.push_back(cen::censor::make_vendor_device("Fortinet", "b").blockpage_html);
+  TextClusterResult r = cluster_documents(pages, 4, 0.7);
+  EXPECT_EQ(r.n_clusters, 1);  // identical vendor pages cluster together
+}

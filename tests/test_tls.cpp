@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "net/tls.hpp"
+
+using namespace cen;
+using namespace cen::net;
+
+TEST(ClientHello, MakeCarriesSni) {
+  ClientHello ch = ClientHello::make("www.example.com");
+  ASSERT_TRUE(ch.sni());
+  EXPECT_EQ(*ch.sni(), "www.example.com");
+}
+
+TEST(ClientHello, SerializeParseRoundTrip) {
+  ClientHello ch = ClientHello::make("www.blocked.example");
+  Bytes wire = ch.serialize();
+  ClientHello parsed = ClientHello::parse(wire);
+  EXPECT_EQ(parsed.legacy_version, ch.legacy_version);
+  EXPECT_EQ(parsed.cipher_suites, ch.cipher_suites);
+  EXPECT_EQ(parsed.compression_methods, ch.compression_methods);
+  EXPECT_EQ(parsed.extensions, ch.extensions);
+  ASSERT_TRUE(parsed.sni());
+  EXPECT_EQ(*parsed.sni(), "www.blocked.example");
+}
+
+TEST(ClientHello, RecordStructure) {
+  Bytes wire = ClientHello::make("a.b").serialize();
+  EXPECT_EQ(wire[0], 22);  // handshake record
+  EXPECT_EQ(wire[5], 1);   // client_hello
+  std::uint16_t record_len = static_cast<std::uint16_t>(wire[3] << 8 | wire[4]);
+  EXPECT_EQ(record_len + 5u, wire.size());
+}
+
+TEST(ClientHello, SetSniReplacesExisting) {
+  ClientHello ch = ClientHello::make("first.com");
+  ch.set_sni("second.org");
+  EXPECT_EQ(*ch.sni(), "second.org");
+  int sni_exts = 0;
+  for (const auto& e : ch.extensions) {
+    if (e.type == TlsExtensionType::kServerName) ++sni_exts;
+  }
+  EXPECT_EQ(sni_exts, 1);
+}
+
+TEST(ClientHello, RemoveSni) {
+  ClientHello ch = ClientHello::make("x.com");
+  ch.remove_sni();
+  EXPECT_FALSE(ch.sni());
+  ClientHello parsed = ClientHello::parse(ch.serialize());
+  EXPECT_FALSE(parsed.sni());
+}
+
+TEST(ClientHello, EmptySniRoundTrips) {
+  ClientHello ch = ClientHello::make("");
+  ClientHello parsed = ClientHello::parse(ch.serialize());
+  ASSERT_TRUE(parsed.sni());
+  EXPECT_EQ(*parsed.sni(), "");
+}
+
+TEST(ClientHello, SupportedVersions) {
+  ClientHello ch = ClientHello::make("x.com");
+  ch.set_supported_versions({TlsVersion::kTls11, TlsVersion::kTls10});
+  auto versions = ClientHello::parse(ch.serialize()).supported_versions();
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0], TlsVersion::kTls11);
+  EXPECT_EQ(versions[1], TlsVersion::kTls10);
+}
+
+TEST(ClientHello, NoSupportedVersionsFallsBackToLegacy) {
+  ClientHello ch;
+  ch.legacy_version = TlsVersion::kTls11;
+  ch.cipher_suites = {0x1301};
+  auto versions = ch.supported_versions();
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0], TlsVersion::kTls11);
+}
+
+TEST(ClientHello, PaddingExtension) {
+  ClientHello ch = ClientHello::make("x.com");
+  std::size_t before = ch.serialize().size();
+  ch.add_padding(100);
+  EXPECT_EQ(ch.serialize().size(), before + 104);  // 4-byte TLV header + body
+}
+
+TEST(ClientHello, ParseRejectsGarbage) {
+  EXPECT_THROW(ClientHello::parse(Bytes{0x17, 0x03, 0x03}), ParseError);
+  EXPECT_THROW(ClientHello::parse(Bytes{}), ParseError);
+  Bytes truncated = ClientHello::make("x.com").serialize();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(ClientHello::parse(truncated), ParseError);
+}
+
+TEST(ClientHello, ParseRejectsLengthMismatch) {
+  Bytes wire = ClientHello::make("x.com").serialize();
+  wire[4] = static_cast<std::uint8_t>(wire[4] + 1);  // corrupt record length
+  EXPECT_THROW(ClientHello::parse(wire), ParseError);
+}
+
+TEST(CipherSuites, ExactlyTwentyFive) {
+  // Table 2: the CipherSuite Alternation strategy has 25 permutations.
+  EXPECT_EQ(standard_cipher_suites().size(), 25u);
+}
+
+TEST(CipherSuites, NamesResolve) {
+  EXPECT_EQ(cipher_suite_name(0x1301), "TLS_AES_128_GCM_SHA256");
+  EXPECT_EQ(cipher_suite_name(0x0005), "TLS_RSA_WITH_RC4_128_SHA");
+  EXPECT_EQ(cipher_suite_name(0xeeee).substr(0, 7), "UNKNOWN");
+}
+
+TEST(TlsVersionName, All) {
+  EXPECT_EQ(tls_version_name(TlsVersion::kTls10), "TLS 1.0");
+  EXPECT_EQ(tls_version_name(TlsVersion::kTls13), "TLS 1.3");
+}
+
+TEST(ServerHello, RoundTrip) {
+  ServerHello sh;
+  sh.version = TlsVersion::kTls13;
+  sh.cipher_suite = 0x1302;
+  sh.certificate_domain = "www.example.org";
+  auto parsed = ServerHello::parse(sh.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->version, TlsVersion::kTls13);
+  EXPECT_EQ(parsed->cipher_suite, 0x1302);
+  EXPECT_EQ(parsed->certificate_domain, "www.example.org");
+}
+
+TEST(ServerHello, ParseRejectsClientHello) {
+  Bytes ch = ClientHello::make("x.com").serialize();
+  EXPECT_FALSE(ServerHello::parse(ch));
+}
+
+TEST(TlsAlert, RoundTrip) {
+  TlsAlert alert{TlsAlert::kUnrecognizedName};
+  auto parsed = TlsAlert::parse(alert.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->description, TlsAlert::kUnrecognizedName);
+}
+
+TEST(TlsAlert, ParseRejectsHandshake) {
+  EXPECT_FALSE(TlsAlert::parse(ClientHello::make("x").serialize()));
+}
+
+// Property: SNI of any hostname round-trips, including fuzzer shapes.
+class SniRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SniRoundTrip, Preserved) {
+  ClientHello ch = ClientHello::make(GetParam());
+  ClientHello parsed = ClientHello::parse(ch.serialize());
+  ASSERT_TRUE(parsed.sni());
+  EXPECT_EQ(*parsed.sni(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzShapes, SniRoundTrip,
+                         ::testing::Values("www.example.com", "moc.elpmaxe.www",
+                                           "**www.example.com*",
+                                           "www.example.comwww.example.com",
+                                           "m.example.com", "www.example.biz", "a",
+                                           "xn--e1afmkfd.xn--p1ai"));
+
+// Property: every catalogue cipher suite survives a single-suite hello.
+class SingleSuiteHello : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SingleSuiteHello, RoundTrips) {
+  const CipherSuite& cs = standard_cipher_suites()[GetParam()];
+  ClientHello ch = ClientHello::make("x.com");
+  ch.cipher_suites = {cs.code};
+  ClientHello parsed = ClientHello::parse(ch.serialize());
+  ASSERT_EQ(parsed.cipher_suites.size(), 1u);
+  EXPECT_EQ(parsed.cipher_suites[0], cs.code);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSuites, SingleSuiteHello, ::testing::Range<std::size_t>(0, 25));

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netsim/topology.hpp"
+
+using namespace cen;
+using namespace cen::sim;
+
+namespace {
+Topology line(int n) {
+  Topology t;
+  for (int i = 0; i < n; ++i) {
+    t.add_node("n" + std::to_string(i), net::Ipv4Address(10, 0, 0, static_cast<uint8_t>(i + 1)));
+  }
+  for (int i = 0; i + 1 < n; ++i) t.add_link(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  return t;
+}
+}  // namespace
+
+TEST(Topology, SinglePathOnALine) {
+  Topology t = line(5);
+  const auto& paths = t.equal_cost_paths(0, 4);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Topology, NoPathWhenDisconnected) {
+  Topology t;
+  t.add_node("a", net::Ipv4Address(1, 0, 0, 1));
+  t.add_node("b", net::Ipv4Address(1, 0, 0, 2));
+  EXPECT_TRUE(t.equal_cost_paths(0, 1).empty());
+  EXPECT_TRUE(t.route(0, 1, 99).empty());
+}
+
+TEST(Topology, SelfPath) {
+  Topology t = line(2);
+  const auto& paths = t.equal_cost_paths(0, 0);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], std::vector<NodeId>{0});
+}
+
+TEST(Topology, DiamondHasTwoEqualCostPaths) {
+  // 0 - {1,2} - 3
+  Topology t;
+  for (int i = 0; i < 4; ++i) {
+    t.add_node("n", net::Ipv4Address(10, 0, 0, static_cast<uint8_t>(i + 1)));
+  }
+  t.add_link(0, 1);
+  t.add_link(0, 2);
+  t.add_link(1, 3);
+  t.add_link(2, 3);
+  const auto& paths = t.equal_cost_paths(0, 3);
+  ASSERT_EQ(paths.size(), 2u);
+  std::set<std::vector<NodeId>> unique(paths.begin(), paths.end());
+  EXPECT_TRUE(unique.count({0, 1, 3}));
+  EXPECT_TRUE(unique.count({0, 2, 3}));
+}
+
+TEST(Topology, ShorterPathPreferredOverDetour) {
+  // 0-1-3 (length 2) vs 0-1-2-3 (length 3): only the shortest is ECMP.
+  Topology t;
+  for (int i = 0; i < 4; ++i) {
+    t.add_node("n", net::Ipv4Address(10, 0, 0, static_cast<uint8_t>(i + 1)));
+  }
+  t.add_link(0, 1);
+  t.add_link(1, 3);
+  t.add_link(1, 2);
+  t.add_link(2, 3);
+  const auto& paths = t.equal_cost_paths(0, 3);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(Topology, RouteIsDeterministicPerHash) {
+  Topology t;
+  for (int i = 0; i < 4; ++i) {
+    t.add_node("n", net::Ipv4Address(10, 0, 0, static_cast<uint8_t>(i + 1)));
+  }
+  t.add_link(0, 1);
+  t.add_link(0, 2);
+  t.add_link(1, 3);
+  t.add_link(2, 3);
+  const auto& p1 = t.route(0, 3, 12345);
+  const auto& p2 = t.route(0, 3, 12345);
+  EXPECT_EQ(p1, p2);
+  // Different hashes cover both ECMP paths.
+  std::set<std::vector<NodeId>> seen;
+  for (std::uint64_t h = 0; h < 16; ++h) seen.insert(t.route(0, 3, h));
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Topology, EcmpCapHolds) {
+  // A ladder of k parallel 2-node rungs yields 2^k shortest paths; the
+  // enumerator must cap at kMaxEcmpPaths instead of exploding.
+  Topology t;
+  NodeId prev = t.add_node("s", net::Ipv4Address(10, 0, 1, 0));
+  for (int stage = 0; stage < 10; ++stage) {
+    NodeId a = t.add_node("a", net::Ipv4Address(10, 1, static_cast<uint8_t>(stage), 1));
+    NodeId b = t.add_node("b", net::Ipv4Address(10, 1, static_cast<uint8_t>(stage), 2));
+    NodeId join = t.add_node("j", net::Ipv4Address(10, 1, static_cast<uint8_t>(stage), 3));
+    t.add_link(prev, a);
+    t.add_link(prev, b);
+    t.add_link(a, join);
+    t.add_link(b, join);
+    prev = join;
+  }
+  const auto& paths = t.equal_cost_paths(0, prev);
+  EXPECT_EQ(paths.size(), kMaxEcmpPaths);
+}
+
+TEST(Topology, FindByIp) {
+  Topology t = line(3);
+  auto id = t.find_by_ip(net::Ipv4Address(10, 0, 0, 2));
+  ASSERT_TRUE(id);
+  EXPECT_EQ(*id, 1u);
+  EXPECT_FALSE(t.find_by_ip(net::Ipv4Address(10, 0, 0, 99)));
+}
+
+TEST(Topology, BadLinkThrows) {
+  Topology t = line(2);
+  EXPECT_THROW(t.add_link(0, 5), std::out_of_range);
+}
+
+TEST(Topology, PathCacheInvalidatedByNewLink) {
+  Topology t;
+  for (int i = 0; i < 4; ++i) {
+    t.add_node("n", net::Ipv4Address(10, 0, 0, static_cast<uint8_t>(i + 1)));
+  }
+  t.add_link(0, 1);
+  t.add_link(1, 3);
+  EXPECT_EQ(t.equal_cost_paths(0, 3).size(), 1u);
+  t.add_link(0, 2);
+  t.add_link(2, 3);
+  EXPECT_EQ(t.equal_cost_paths(0, 3).size(), 2u);
+}

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scenario/variance.hpp"
+
+using namespace cen;
+using namespace cen::scenario;
+
+TEST(VarianceScenario, TwentyEndpoints) {
+  VarianceScenario s = make_variance_world();
+  EXPECT_EQ(s.endpoints.size(), 20u);
+  EXPECT_EQ(s.true_path_counts.size(), 20u);
+}
+
+TEST(VarianceScenario, ExactlyOnePathologicalEndpoint) {
+  VarianceScenario s = make_variance_world();
+  int over_100 = 0;
+  for (std::size_t n : s.true_path_counts) {
+    if (n > 100) ++over_100;
+  }
+  EXPECT_EQ(over_100, 1);  // the paper's single high-variance outlier
+  EXPECT_EQ(s.true_path_counts.back(), 125u);  // 5^3 ECMP fabric
+}
+
+TEST(VarianceScenario, PathCountSpreadCoversLowEcmp) {
+  VarianceScenario s = make_variance_world();
+  std::set<std::size_t> distinct(s.true_path_counts.begin(), s.true_path_counts.end());
+  EXPECT_TRUE(distinct.count(1));
+  EXPECT_GE(distinct.size(), 4u);
+}
+
+TEST(VarianceScenario, FreshConnectionsSampleDistinctPaths) {
+  VarianceScenario s = make_variance_world();
+  // The pathological endpoint: 50 connections should ride many paths.
+  std::set<std::vector<sim::NodeId>> unique;
+  for (int i = 0; i < 50; ++i) {
+    sim::Connection conn = s.network->open_connection(s.client, s.endpoints.back());
+    unique.insert(conn.path());
+  }
+  EXPECT_GT(unique.size(), 15u);
+  // A single-path endpoint always rides the same path.
+  std::set<std::vector<sim::NodeId>> single;
+  for (int i = 0; i < 10; ++i) {
+    sim::Connection conn = s.network->open_connection(s.client, s.endpoints[0]);
+    single.insert(conn.path());
+  }
+  EXPECT_EQ(single.size(), 1u);
+}
+
+TEST(VarianceScenario, EndpointsAnswerHttp) {
+  VarianceScenario s = make_variance_world();
+  sim::Connection conn = s.network->open_connection(s.client, s.endpoints[3]);
+  ASSERT_EQ(conn.connect(), sim::ConnectResult::kEstablished);
+  EXPECT_FALSE(conn.send(to_bytes("GET / HTTP/1.1\r\nHost: x\r\n\r\n"), 64).empty());
+}

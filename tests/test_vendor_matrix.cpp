@@ -1,0 +1,140 @@
+// The vendor × strategy outcome matrix: for each commercial vendor profile,
+// pin down which representative CenFuzz permutations evade and which stay
+// blocked. This codifies every parser-quirk interaction in one regression
+// net — any change to a vendor profile or DPI semantics that shifts a cell
+// fails loudly here.
+#include <gtest/gtest.h>
+
+#include "cenfuzz/strategies.hpp"
+#include "censor/device.hpp"
+#include "censor/vendors.hpp"
+
+using namespace cen;
+
+namespace {
+
+/// Does a probe for the rule-covered domain trigger the vendor's DPI?
+bool triggers(const std::string& vendor, const fuzz::FuzzProbe& probe) {
+  censor::DeviceConfig cfg = censor::make_vendor_device(vendor, "matrix");
+  // Suffix rule on the registrable domain — the paper's most common form —
+  // except the exact-hostname vendors, mirroring scenario::make_rules.
+  bool exact = vendor == "Cisco" || vendor == "PaloAlto" || vendor == "MikroTik";
+  censor::MatchStyle style = exact ? censor::MatchStyle::kExact
+                                   : censor::MatchStyle::kSuffix;
+  std::string rule = exact ? "www.blocked.example" : "blocked.example";
+  cfg.http_rules.add(rule, style);
+  cfg.sni_rules.add(rule, style);
+  cfg.http_rules.set_case_insensitive(vendor != "MikroTik");
+  cfg.sni_rules.set_case_insensitive(vendor != "MikroTik");
+  censor::Device dev(cfg);
+  return dev.payload_triggers(probe.payload);
+}
+
+fuzz::FuzzProbe probe_of(const std::string& strategy, const std::string& permutation) {
+  for (const fuzz::FuzzProbe& p : fuzz::probes_for_strategy(strategy, "www.blocked.example")) {
+    if (p.permutation == permutation) return p;
+  }
+  ADD_FAILURE() << "no permutation " << permutation << " in " << strategy;
+  return fuzz::normal_http_probe("www.blocked.example");
+}
+
+struct Cell {
+  const char* strategy;
+  const char* permutation;
+  const char* vendor;
+  bool still_triggers;  // true = permutation does NOT evade this vendor
+};
+
+}  // namespace
+
+class VendorMatrix : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(VendorMatrix, OutcomeIsPinned) {
+  const Cell& c = GetParam();
+  EXPECT_EQ(triggers(c.vendor, probe_of(c.strategy, c.permutation)), c.still_triggers)
+      << c.vendor << " vs " << c.strategy << "/" << c.permutation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, VendorMatrix,
+    ::testing::Values(
+        // --- Normal baseline triggers everyone. ---
+        Cell{"Get Word Cap.", "GET", "Fortinet", true},
+        Cell{"Get Word Cap.", "GET", "Cisco", true},
+        Cell{"Get Word Cap.", "GET", "Kerio", true},
+        Cell{"Get Word Cap.", "GET", "MikroTik", true},
+        // --- Method alternation: PATCH evades all but the TSPU profile
+        //     (not a commercial vendor); POST evades no one here. ---
+        Cell{"Get Word Alt.", "PATCH", "Fortinet", false},
+        Cell{"Get Word Alt.", "PATCH", "Cisco", false},
+        Cell{"Get Word Alt.", "PATCH", "Kerio", false},
+        Cell{"Get Word Alt.", "POST", "Fortinet", true},
+        Cell{"Get Word Alt.", "POST", "Cisco", true},
+        Cell{"Get Word Alt.", "POST", "Sandvine", true},
+        Cell{"Get Word Alt.", "HEAD", "Kerio", false},   // Kerio: GET/POST/PUT only
+        Cell{"Get Word Alt.", "HEAD", "Cisco", true},
+        Cell{"Get Word Alt.", "<empty>", "Fortinet", false},
+        Cell{"Get Word Alt.", "<empty>", "BlueCoat", false},
+        // --- Method capitalization: everyone but MikroTik-style exact
+        //     matchers is case-insensitive; "GeT" stays caught. ---
+        Cell{"Get Word Cap.", "GeT", "Fortinet", true},
+        Cell{"Get Word Cap.", "GeT", "Cisco", true},
+        // --- Version token: Kerio and BlueCoat demand a valid version
+        //     (HTTP/9 evades them); Fortinet ignores it; Cisco needs the
+        //     prefix only. ---
+        Cell{"Http Word Alt.", "HTTP/9", "Kerio", false},
+        Cell{"Http Word Alt.", "HTTP/9", "BlueCoat", false},
+        Cell{"Http Word Alt.", "HTTP/9", "Fortinet", true},
+        Cell{"Http Word Alt.", "HTTP/9", "Cisco", true},
+        Cell{"Http Word Alt.", "XXXX/1.1", "Cisco", false},
+        Cell{"Http Word Alt.", "XXXX/1.1", "Fortinet", true},
+        Cell{"Http Word Alt.", "http/1.1", "PaloAlto", false},  // case-sensitive prefix
+        Cell{"Http Word Alt.", "http/1.1", "Cisco", true},
+        // --- Host keyword: Kerio/Netsweeper match any header containing
+        //     "host"; the exact matchers don't. ---
+        Cell{"Host Word Alt.", "HostHeader: ", "Kerio", true},
+        Cell{"Host Word Alt.", "HostHeader: ", "Netsweeper", true},
+        Cell{"Host Word Alt.", "HostHeader: ", "Fortinet", false},
+        Cell{"Host Word Alt.", "HostHeader: ", "Cisco", false},
+        Cell{"Host Word Rem.", "ost: ", "Fortinet", false},
+        Cell{"Host Word Rem.", "ost: ", "Kerio", false},
+        Cell{"Host Word Cap.", "hOST: ", "Fortinet", true},
+        Cell{"Host Word Cap.", "hOST: ", "MikroTik", false},  // case-sensitive keyword
+        // --- CRLF discipline: Fortinet/Cisco/PaloAlto disengage on bare
+        //     LF; Kerio/MikroTik tolerate it. ---
+        Cell{"Http Delimiter Rem.", "\\n", "Fortinet", false},
+        Cell{"Http Delimiter Rem.", "\\n", "Cisco", false},
+        Cell{"Http Delimiter Rem.", "\\n", "Kerio", true},
+        Cell{"Http Delimiter Rem.", "\\n", "MikroTik", true},
+        // --- Hostname mutations vs rule granularity: trailing pads evade
+        //     suffix rules, leading pads do not; exact rules lose both. ---
+        Cell{"Hostname Pad.", "1*host*0", "Fortinet", true},
+        Cell{"Hostname Pad.", "0*host*1", "Fortinet", false},
+        Cell{"Hostname Pad.", "1*host*0", "Cisco", false},
+        Cell{"Host. Subdomain Alt.", "m.", "Fortinet", true},   // suffix still matches
+        Cell{"Host. Subdomain Alt.", "m.", "Cisco", false},     // exact rule misses
+        Cell{"Hostname TLD Alt.", ".net", "Fortinet", false},
+        Cell{"Hostname TLD Alt.", ".net", "Kerio", false},
+        // --- TLS: SNI strategies mirror hostname; version tolerance is
+        //     Kaspersky's (and BY-DPI's) weakness; Cisco is RC4-blind. ---
+        Cell{"SNI Pad.", "0*sni*1", "Fortinet", false},
+        Cell{"SNI Pad.", "1*sni*0", "Fortinet", true},
+        Cell{"Min Version Alt.", "TLS 1.3", "Kaspersky", false},
+        Cell{"Min Version Alt.", "TLS 1.3", "Fortinet", true},
+        Cell{"Min Version Alt.", "TLS 1.0", "Kaspersky", true},
+        Cell{"CipherSuite Alt.", "TLS_RSA_WITH_RC4_128_SHA", "Cisco", false},
+        Cell{"CipherSuite Alt.", "TLS_RSA_WITH_RC4_128_SHA", "Fortinet", true},
+        Cell{"CipherSuite Alt.", "TLS_AES_128_GCM_SHA256", "Cisco", true},
+        Cell{"Client Certificate Alt.", "<none>", "Fortinet", true},
+        Cell{"Client Certificate Alt.", "<none>", "Cisco", true}),
+    [](const ::testing::TestParamInfo<Cell>& info) {
+      std::string out = std::string(info.param.vendor) + "_";
+      for (const char* s : {info.param.strategy, info.param.permutation}) {
+        for (const char* c = s; *c != 0; ++c) {
+          if (std::isalnum(static_cast<unsigned char>(*c))) out += *c;
+        }
+        out += "_";
+      }
+      out += info.param.still_triggers ? "blocked" : "evades";
+      return out;
+    });

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "censor/vendors.hpp"
+#include "net/http.hpp"
+
+using namespace cen;
+using namespace cen::censor;
+
+TEST(Vendors, AllKnownProfilesConstruct) {
+  for (const std::string& vendor : known_vendors()) {
+    DeviceConfig cfg = make_vendor_device(vendor, "id-" + vendor);
+    EXPECT_EQ(cfg.id, "id-" + vendor);
+  }
+}
+
+TEST(Vendors, UnknownNameThrows) {
+  EXPECT_THROW(make_vendor_device("NotAVendor", "x"), std::invalid_argument);
+}
+
+TEST(Vendors, CommercialSubset) {
+  // The seven commercial vendors the paper identifies in AZ/BY/KZ/RU
+  // (§5.3) plus the three classic worldwide products its related work
+  // documents (Netsweeper [16], Blue Coat [46], Sandvine [44]).
+  EXPECT_EQ(commercial_vendors().size(), 10u);
+  for (const std::string& vendor : commercial_vendors()) {
+    DeviceConfig cfg = make_vendor_device(vendor, "x");
+    EXPECT_EQ(cfg.vendor, vendor);
+    EXPECT_FALSE(cfg.services.empty()) << vendor << " must expose banners";
+  }
+}
+
+TEST(Vendors, UnattributedProfilesHaveNoVendorString) {
+  for (const char* name : {"BY-DPI", "TSPU", "RU-RSTCOPY", "Unknown"}) {
+    EXPECT_EQ(make_vendor_device(name, "x").vendor, "");
+  }
+}
+
+TEST(Vendors, FortinetInjectsIdentifiableBlockpage) {
+  DeviceConfig cfg = make_vendor_device("Fortinet", "x");
+  EXPECT_EQ(cfg.action, BlockAction::kBlockpage);
+  auto vendor = match_blockpage(cfg.blockpage_html);
+  ASSERT_TRUE(vendor);
+  EXPECT_EQ(*vendor, "Fortinet");
+  // ...but resets TLS, where no page can be placed.
+  ASSERT_TRUE(cfg.tls_action);
+  EXPECT_EQ(*cfg.tls_action, BlockAction::kRstInject);
+}
+
+TEST(Vendors, BannersSelfIdentify) {
+  for (const std::string& vendor : commercial_vendors()) {
+    DeviceConfig cfg = make_vendor_device(vendor, "x");
+    bool any_match = false;
+    for (const ServiceBanner& svc : cfg.services) {
+      if (auto m = match_banner(svc.banner)) {
+        EXPECT_EQ(*m, vendor) << svc.banner;
+        any_match = true;
+      }
+    }
+    EXPECT_TRUE(any_match) << vendor;
+  }
+}
+
+TEST(Vendors, GenericBannersDontMatch) {
+  EXPECT_FALSE(match_banner("SSH-2.0-OpenSSH_8.2p1"));
+  EXPECT_FALSE(match_banner("login:"));
+  EXPECT_FALSE(match_banner(""));
+}
+
+TEST(Vendors, BlockpageMatcherIgnoresPlainPages) {
+  EXPECT_FALSE(match_blockpage("<html><body>hello world</body></html>"));
+  EXPECT_FALSE(match_blockpage(""));
+}
+
+TEST(Vendors, RstCopyProfileCopiesTtl) {
+  DeviceConfig cfg = make_vendor_device("RU-RSTCOPY", "x");
+  EXPECT_TRUE(cfg.injection.copy_ttl_from_trigger);
+  EXPECT_EQ(cfg.action, BlockAction::kRstInject);
+}
+
+TEST(Vendors, ByDpiIsOnPath) {
+  DeviceConfig cfg = make_vendor_device("BY-DPI", "x");
+  EXPECT_TRUE(cfg.on_path);
+  EXPECT_EQ(cfg.action, BlockAction::kRstInject);
+}
+
+TEST(Vendors, KasperskyMissesTls13OnlyHellos) {
+  DeviceConfig cfg = make_vendor_device("Kaspersky", "x");
+  EXPECT_EQ(cfg.tls_quirks.parses_versions.size(), 3u);
+}
+
+TEST(Vendors, DistinctInjectionFingerprints) {
+  // Injection profiles must differ across injecting vendors — that is what
+  // makes InjectedIPTTL & co. useful clustering features (Fig. 9).
+  DeviceConfig pa = make_vendor_device("PaloAlto", "x");
+  DeviceConfig ddg = make_vendor_device("DDoSGuard", "x");
+  DeviceConfig by = make_vendor_device("BY-DPI", "x");
+  EXPECT_NE(pa.injection.init_ttl, ddg.injection.init_ttl);
+  EXPECT_NE(pa.injection.tcp_window, by.injection.tcp_window);
+  EXPECT_NE(ddg.injection.ip_id, by.injection.ip_id);
+}
+
+TEST(Vendors, QuirkDiversityCoversFuzzAxes) {
+  // At least one vendor must exhibit each parser-quirk axis CenFuzz
+  // exploits; otherwise the strategy sweep could not differentiate them.
+  bool any_valid_only = false, any_contains_host = false, any_case_sensitive_host = false,
+       any_tolerant_crlf = false, any_blind_cipher = false;
+  for (const std::string& vendor : known_vendors()) {
+    DeviceConfig cfg = make_vendor_device(vendor, "x");
+    any_valid_only |= cfg.http_quirks.version_check == VersionCheck::kValidOnly;
+    any_contains_host |= cfg.http_quirks.host_word_check == HostWordCheck::kContainsHost;
+    any_case_sensitive_host |=
+        cfg.http_quirks.host_word_check == HostWordCheck::kExactCaseSensitive;
+    any_tolerant_crlf |= !cfg.http_quirks.requires_crlf;
+    any_blind_cipher |= !cfg.tls_quirks.blind_cipher_suites.empty();
+  }
+  EXPECT_TRUE(any_valid_only);
+  EXPECT_TRUE(any_contains_host);
+  EXPECT_TRUE(any_case_sensitive_host);
+  EXPECT_TRUE(any_tolerant_crlf);
+  EXPECT_TRUE(any_blind_cipher);
+}
+
+TEST(Vendors, NoVendorAcceptsPatchOrEmptyMethodExceptTspu) {
+  // PATCH evades 82% and the empty method 92% (§6.3): only the TSPU-style
+  // profile covers PATCH, and none cover the empty token.
+  for (const std::string& vendor : known_vendors()) {
+    DeviceConfig cfg = make_vendor_device(vendor, "x");
+    bool has_patch = false, has_empty = false;
+    for (const std::string& m : cfg.http_quirks.method_allowlist) {
+      if (m == "PATCH") has_patch = true;
+      if (m.empty()) has_empty = true;
+    }
+    EXPECT_EQ(has_patch, vendor == "TSPU") << vendor;
+    EXPECT_FALSE(has_empty) << vendor;
+  }
+}

@@ -1,0 +1,72 @@
+// cenfuzz — fuzz a blocked connection against a built-in scenario.
+//
+//   cenfuzz --country KZ [--scale full|small] [--endpoint N] [--domain D]
+//           [--json] [--successful-only]
+//
+// Picks the first test domain and endpoint unless told otherwise; prints a
+// per-strategy summary, permutation detail for evading probes, or JSONL.
+#include "cli_common.hpp"
+#include "report/json_report.hpp"
+
+using namespace cen;
+
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv);
+  if (args.has("help") || !args.has("country")) {
+    std::printf(
+        "usage: cenfuzz --country AZ|BY|KZ|RU [--scale full|small]\n"
+        "               [--endpoint N] [--domain D] [--json] [--successful-only]\n");
+    return args.has("help") ? 0 : 2;
+  }
+
+  scenario::CountryScenario s = scenario::make_country(
+      cli::parse_country(args.get("country")), cli::parse_scale(args.get("scale")));
+
+  int index = args.get_int("endpoint", 0);
+  if (index < 0 || index >= static_cast<int>(s.remote_endpoints.size())) {
+    std::fprintf(stderr, "endpoint index out of range (0..%zu)\n",
+                 s.remote_endpoints.size() - 1);
+    return 2;
+  }
+  std::string domain = args.get("domain", s.http_test_domains.front());
+
+  fuzz::CenFuzz fuzzer(*s.network, s.remote_client);
+  fuzz::CenFuzzReport report = fuzzer.run(
+      s.remote_endpoints[static_cast<std::size_t>(index)], domain, s.control_domain);
+
+  if (args.has("json")) {
+    std::printf("%s\n", report::to_json(report).c_str());
+    return 0;
+  }
+
+  std::printf("endpoint %s, test domain %s\n", report.endpoint.str().c_str(),
+              domain.c_str());
+  std::printf("baseline blocked: http=%s tls=%s (%zu requests total)\n",
+              report.http_baseline_blocked ? "yes" : "no",
+              report.tls_baseline_blocked ? "yes" : "no", report.total_requests);
+  if (!report.http_baseline_blocked && !report.tls_baseline_blocked) {
+    std::printf("nothing to fuzz: the Normal request is not blocked.\n");
+    return 0;
+  }
+
+  std::map<std::string, std::array<int, 3>> per_strategy;  // succ / fail / untestable
+  for (const fuzz::FuzzMeasurement& m : report.measurements) {
+    auto& row = per_strategy[m.strategy];
+    switch (m.outcome) {
+      case fuzz::FuzzOutcome::kSuccessful: ++row[0]; break;
+      case fuzz::FuzzOutcome::kNotSuccessful: ++row[1]; break;
+      case fuzz::FuzzOutcome::kUntestable: ++row[2]; break;
+    }
+    if (args.has("successful-only") && m.outcome == fuzz::FuzzOutcome::kSuccessful) {
+      std::printf("  evades: %-24s %s%s\n", m.strategy.c_str(), m.permutation.c_str(),
+                  m.circumvented ? "  [circumvents]" : "");
+    }
+  }
+  if (!args.has("successful-only")) {
+    std::printf("%-26s %6s %6s %6s\n", "strategy", "evade", "block", "n/a");
+    for (const auto& [strategy, row] : per_strategy) {
+      std::printf("%-26s %6d %6d %6d\n", strategy.c_str(), row[0], row[1], row[2]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// centrace — run censorship traceroutes against a built-in scenario.
+//
+//   centrace --country KZ [--scale full|small] [--protocol http|https|dns]
+//            [--endpoint N] [--domain D] [--reps 11] [--json] [--sweeps]
+//            [--pcap out.pcap]
+//
+// Measures every (endpoint, test domain) pair by default; --endpoint
+// restricts to one endpoint index and --domain to one test domain. With
+// --json, one JSON document per measurement is written to stdout (JSONL);
+// --pcap stores the raw client-side capture of the whole run.
+#include "cli_common.hpp"
+#include "net/pcap.hpp"
+#include "report/json_report.hpp"
+
+using namespace cen;
+
+namespace {
+
+void print_text(const trace::CenTraceReport& r) {
+  std::printf("%-28s %-5s %s", r.test_domain.c_str(),
+              std::string(trace::probe_protocol_name(r.protocol)).c_str(),
+              r.blocked ? "BLOCKED" : "ok");
+  if (r.blocked) {
+    std::printf(" [%s, %s, hop %d",
+                std::string(trace::blocking_type_name(r.blocking_type)).c_str(),
+                std::string(trace::device_placement_name(r.placement)).c_str(),
+                r.blocking_hop_ttl);
+    if (r.blocking_hop_ip) std::printf(" @ %s", r.blocking_hop_ip->str().c_str());
+    if (r.blocking_as) {
+      std::printf(" AS%u %s (%s)", r.blocking_as->asn, r.blocking_as->name.c_str(),
+                  r.blocking_as->country.c_str());
+    }
+    std::printf("]");
+    if (r.ttl_copy_detected) std::printf(" [ttl-copy]");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv);
+  if (args.has("help") || !args.has("country")) {
+    std::printf(
+        "usage: centrace --country AZ|BY|KZ|RU [--scale full|small]\n"
+        "                [--protocol http|https|dns] [--endpoint N] [--domain D]\n"
+        "                [--reps N] [--json] [--sweeps] [--pcap FILE]\n");
+    return args.has("help") ? 0 : 2;
+  }
+
+  scenario::CountryScenario s = scenario::make_country(
+      cli::parse_country(args.get("country")), cli::parse_scale(args.get("scale")));
+
+  trace::CenTraceOptions opts;
+  opts.repetitions = args.get_int("reps", 11);
+  opts.protocol = cli::parse_protocol(args.get("protocol"));
+  trace::CenTrace tracer(*s.network, s.remote_client, opts);
+
+  net::PcapWriter capture;
+  if (args.has("pcap")) s.network->set_capture(&capture);
+
+  std::vector<std::string> domains = opts.protocol == trace::ProbeProtocol::kHttps
+                                         ? s.https_test_domains
+                                         : s.http_test_domains;
+  if (args.has("domain")) domains = {args.get("domain")};
+
+  std::vector<net::Ipv4Address> endpoints = s.remote_endpoints;
+  if (args.has("endpoint")) {
+    int index = args.get_int("endpoint", 0);
+    if (index < 0 || index >= static_cast<int>(s.remote_endpoints.size())) {
+      std::fprintf(stderr, "endpoint index out of range (0..%zu)\n",
+                   s.remote_endpoints.size() - 1);
+      return 2;
+    }
+    endpoints = {s.remote_endpoints[static_cast<std::size_t>(index)]};
+  }
+
+  for (net::Ipv4Address endpoint : endpoints) {
+    for (const std::string& domain : domains) {
+      trace::CenTraceReport r = tracer.measure(endpoint, domain, s.control_domain);
+      if (args.has("json")) {
+        std::printf("%s\n", report::to_json(r, args.has("sweeps")).c_str());
+      } else {
+        print_text(r);
+      }
+    }
+  }
+
+  if (args.has("pcap")) {
+    s.network->set_capture(nullptr);
+    if (!capture.write_file(args.get("pcap"))) {
+      std::fprintf(stderr, "failed to write %s\n", args.get("pcap").c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu packets to %s\n", capture.size(),
+                 args.get("pcap").c_str());
+  }
+  return 0;
+}

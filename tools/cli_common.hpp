@@ -1,0 +1,77 @@
+// Shared command-line plumbing for the cendevice tools. The CLIs operate
+// on the built-in scenarios (this is a simulator release: --country picks
+// the AZ/BY/KZ/RU deployment, --scale its size).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/pipeline.hpp"
+
+namespace cli {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      std::string name = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        named_[name] = argv[++i];
+      } else {
+        named_[name] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return named_.count(name) != 0; }
+  std::string get(const std::string& name, const std::string& fallback = "") const {
+    auto it = named_.find(name);
+    return it == named_.end() ? fallback : it->second;
+  }
+  int get_int(const std::string& name, int fallback) const {
+    auto it = named_.find(name);
+    return it == named_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> named_;
+};
+
+inline cen::scenario::Country parse_country(const std::string& code) {
+  using cen::scenario::Country;
+  if (code == "AZ" || code == "az") return Country::kAZ;
+  if (code == "BY" || code == "by") return Country::kBY;
+  if (code == "KZ" || code == "kz") return Country::kKZ;
+  if (code == "RU" || code == "ru") return Country::kRU;
+  std::fprintf(stderr, "unknown country '%s' (expected AZ, BY, KZ or RU)\n",
+               code.c_str());
+  std::exit(2);
+}
+
+inline cen::scenario::Scale parse_scale(const std::string& scale) {
+  if (scale == "small") return cen::scenario::Scale::kSmall;
+  if (scale == "full" || scale.empty()) return cen::scenario::Scale::kFull;
+  std::fprintf(stderr, "unknown scale '%s' (expected full or small)\n", scale.c_str());
+  std::exit(2);
+}
+
+inline cen::trace::ProbeProtocol parse_protocol(const std::string& proto) {
+  using cen::trace::ProbeProtocol;
+  if (proto == "http" || proto.empty()) return ProbeProtocol::kHttp;
+  if (proto == "https" || proto == "tls") return ProbeProtocol::kHttps;
+  if (proto == "dns") return ProbeProtocol::kDns;
+  if (proto == "dns-udp" || proto == "dnsudp") return ProbeProtocol::kDnsUdp;
+  std::fprintf(stderr, "unknown protocol '%s' (expected http, https, dns or dns-udp)\n",
+               proto.c_str());
+  std::exit(2);
+}
+
+}  // namespace cli
