@@ -1,5 +1,7 @@
 #include "cenfuzz/cenfuzz.hpp"
 
+#include <algorithm>
+
 #include "censor/vendors.hpp"
 #include "core/strings.hpp"
 #include "net/http.hpp"
@@ -119,13 +121,25 @@ CenFuzzReport CenFuzz::run(net::Ipv4Address endpoint, const std::string& test_do
     FuzzProbe normal_control =
         https ? normal_tls_probe(control_domain) : normal_http_probe(control_domain);
 
-    RequestResult normal_test_result = issue(endpoint, normal_test);
-    pace(normal_test_result);
-    RequestResult normal_control_result = issue(endpoint, normal_control);
-    pace(normal_control_result);
-
-    bool baseline_blocked =
-        request_blocked(normal_test_result) && !request_blocked(normal_control_result);
+    // Majority-voted baseline: one dropped request on a lossy network must
+    // not write off the whole protocol. One round (the default) reduces to
+    // the single Normal Test / Normal Control pair.
+    const int rounds = std::max(1, options_.baseline_attempts);
+    RequestResult normal_test_result = RequestResult::kOk;
+    RequestResult normal_control_result = RequestResult::kOk;
+    int blocked_votes = 0;
+    for (int round = 0; round < rounds; ++round) {
+      RequestResult test_r = issue(endpoint, normal_test);
+      pace(test_r);
+      RequestResult control_r = issue(endpoint, normal_control);
+      pace(control_r);
+      if (round == 0) {
+        normal_test_result = test_r;
+        normal_control_result = control_r;
+      }
+      if (request_blocked(test_r) && !request_blocked(control_r)) ++blocked_votes;
+    }
+    bool baseline_blocked = 2 * blocked_votes > rounds;
     (https ? report.tls_baseline_blocked : report.http_baseline_blocked) = baseline_blocked;
 
     // Record the Normal baseline as a pseudo-strategy (it appears in
@@ -160,7 +174,10 @@ CenFuzzReport CenFuzz::run(net::Ipv4Address endpoint, const std::string& test_do
       pace(m.control_result);
 
       if (request_blocked(m.control_result)) {
+        // Per-strategy baseline failure: skip and record, never abort.
         m.outcome = FuzzOutcome::kUntestable;
+        m.baseline_failed = true;
+        ++report.skipped_strategies;
       } else if (!request_blocked(m.test_result)) {
         m.outcome = FuzzOutcome::kSuccessful;
         m.circumvented = fetched_legit_content(test_body, test_domain, https);

@@ -47,6 +47,10 @@ struct FuzzMeasurement {
   RequestResult control_result = RequestResult::kOk;
   FuzzOutcome outcome = FuzzOutcome::kUntestable;
   bool circumvented = false;
+  /// The permuted Control request was blocked — the per-strategy baseline
+  /// failed (loss or collateral blocking), so this strategy was recorded
+  /// as untestable and skipped rather than aborting the run.
+  bool baseline_failed = false;
 };
 
 struct CenFuzzOptions {
@@ -55,6 +59,10 @@ struct CenFuzzOptions {
   SimTime wait_after_ok = 3 * kSecond;
   bool run_http = true;
   bool run_tls = true;
+  /// Rounds of the Normal Test/Control baseline pair, majority-voted.
+  /// Raise on lossy networks so one dropped baseline request cannot
+  /// write off a whole protocol. 1 = single round (fault-free default).
+  int baseline_attempts = 1;
 };
 
 struct CenFuzzReport {
@@ -68,6 +76,9 @@ struct CenFuzzReport {
   bool tls_baseline_blocked = false;
   std::vector<FuzzMeasurement> measurements;
   std::size_t total_requests = 0;
+  /// Strategies recorded untestable because their own Control baseline
+  /// failed (see FuzzMeasurement::baseline_failed).
+  std::size_t skipped_strategies = 0;
 };
 
 class CenFuzz {

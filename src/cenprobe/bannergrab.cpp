@@ -26,7 +26,29 @@ std::vector<BannerGrab> grab_banners(const sim::Network& network,
     grab.ip = scan.ip;
     grab.port = svc.port;
     grab.protocol = svc.protocol;
-    grab.banner = svc.banner;
+
+    // Bounded-retry handshake: a management plane under fault injection may
+    // drop the connection (retry) or cut the read short (keep the partial
+    // banner — §5.1 fingerprints match substrings, so a prefix still
+    // identifies the vendor). Exhausted attempts record an empty,
+    // incomplete grab instead of silently omitting the service.
+    sim::FaultInjector& faults = network.faults();
+    bool connected = false;
+    for (int attempt = 0; attempt < kGrabAttempts; ++attempt) {
+      grab.attempts = attempt + 1;
+      if (faults.mgmt_unreachable()) continue;
+      connected = true;
+      grab.banner = svc.banner;
+      if (faults.truncate_banner() && !grab.banner.empty()) {
+        grab.banner.resize(grab.banner.size() / 2);
+        grab.complete = false;
+      }
+      break;
+    }
+    if (!connected) {
+      grab.banner.clear();
+      grab.complete = false;
+    }
     out.push_back(std::move(grab));
   }
   return out;

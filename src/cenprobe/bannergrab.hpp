@@ -15,7 +15,16 @@ struct BannerGrab {
   std::uint16_t port = 0;
   std::string protocol;
   std::string banner;
+  /// False when the grab degraded: the connection died mid-read (partial
+  /// banner kept — fingerprints match on substrings, so a prefix is still
+  /// useful evidence) or every attempt timed out (empty banner).
+  bool complete = true;
+  /// Handshake attempts spent, including the successful one (1 = clean).
+  int attempts = 1;
 };
+
+/// Handshake attempts per service before recording a failed, empty grab.
+inline constexpr int kGrabAttempts = 3;
 
 /// Protocols the grabber speaks (the paper's §5.1 list).
 const std::vector<std::string>& grab_protocols();

@@ -158,16 +158,35 @@ std::optional<T> majority(const std::vector<T>& values) {
 
 }  // namespace
 
+int CenTrace::retry_budget() const {
+  // Escalate only after a probe demonstrably recovered via retry: that
+  // signal is impossible on a clean network, so clean measurements run
+  // with exactly `retries` attempts — byte-identical to the base budget.
+  if (loss_recovered_probes_ > 0) {
+    return std::max(options_.retries, options_.adaptive_max_retries);
+  }
+  return options_.retries;
+}
+
+void CenTrace::backoff_wait(int attempt) {
+  if (options_.retry_backoff <= 0 || attempt <= 0) return;
+  // Exponential: backoff, 2*backoff, 4*backoff, ... before each retry.
+  network_.clock().advance(options_.retry_backoff << (attempt - 1));
+}
+
 HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, int ttl) {
   HopObservation obs;
   obs.ttl = ttl;
 
   if (options_.protocol == ProbeProtocol::kDnsUdp) {
     // Connectionless probing: one datagram per attempt, fresh source port.
-    for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+    const int budget = retry_budget();
+    for (int attempt = 0; attempt <= budget; ++attempt) {
+      backoff_wait(attempt);
       std::vector<sim::Event> events =
           network_.send_udp(client_, endpoint, 53, payload, static_cast<std::uint8_t>(ttl));
       if (events.empty()) continue;
+      if (attempt > 0) ++loss_recovered_probes_;
       bool got_icmp = false, got_answer = false;
       for (const sim::Event& ev : events) {
         if (const auto* icmp = std::get_if<sim::IcmpEvent>(&ev)) {
@@ -207,11 +226,14 @@ HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, 
                              : options_.protocol == ProbeProtocol::kDns ? 53
                                                                         : 80;
 
-  for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+  const int budget = retry_budget();
+  for (int attempt = 0; attempt <= budget; ++attempt) {
+    backoff_wait(attempt);
     sim::Connection conn = network_.open_connection(client_, endpoint, port);
     if (conn.connect() != sim::ConnectResult::kEstablished) continue;
     std::vector<sim::Event> events = conn.send(payload, static_cast<std::uint8_t>(ttl));
     if (events.empty()) continue;  // transient loss or genuine drop: retry
+    if (attempt > 0) ++loss_recovered_probes_;
 
     obs.sent = conn.last_sent();
     bool got_icmp = false;
@@ -310,6 +332,7 @@ CenTraceReport CenTrace::measure(net::Ipv4Address endpoint, const std::string& t
   report.endpoint = endpoint;
   report.protocol = options_.protocol;
 
+  loss_recovered_probes_ = 0;
   for (int rep = 0; rep < options_.repetitions; ++rep) {
     report.control_traces.push_back(sweep(endpoint, control_domain));
   }
@@ -317,7 +340,88 @@ CenTraceReport CenTrace::measure(net::Ipv4Address endpoint, const std::string& t
     report.test_traces.push_back(sweep(endpoint, test_domain));
   }
   aggregate(report);
+  score_confidence(report);
   return report;
+}
+
+void CenTrace::score_confidence(CenTraceReport& report) const {
+  TraceConfidence& c = report.confidence;
+  c.loss_recovered_probes = loss_recovered_probes_;
+
+  // ---- Control-path stability: per-hop agreement across control sweeps.
+  // A hop counts as stable if the sweeps that probed it agree — either on
+  // one router IP, or on consistent silence (a genuinely quiet router is
+  // not evidence of unreliability; *mixed* silence is).
+  const std::size_t max_hops = report.control_path.size();
+  c.hop_confidence.assign(max_hops, 1.0);
+  double stability_sum = 0.0;
+  int stability_hops = 0;
+  for (std::size_t h = 0; h < max_hops; ++h) {
+    std::map<std::uint32_t, int> votes;
+    int timeouts = 0;
+    for (const SingleTrace& t : report.control_traces) {
+      if (h >= t.hops.size()) continue;
+      const HopObservation& obs = t.hops[h];
+      if (obs.icmp_router) {
+        ++votes[obs.icmp_router->value()];
+      } else if (obs.response == ProbeResponse::kTimeout) {
+        ++timeouts;
+      }
+      // Endpoint-data / injected terminators are not router evidence.
+    }
+    int answered = 0, best_ip = 0;
+    for (const auto& [ip, n] : votes) {
+      answered += n;
+      best_ip = std::max(best_ip, n);
+    }
+    const int observed = answered + timeouts;
+    if (observed == 0) continue;  // hop beyond every sweep's reach
+    const double share =
+        static_cast<double>(std::max(best_ip, timeouts)) / observed;
+    c.hop_confidence[h] = share;
+    stability_sum += share;
+    ++stability_hops;
+    if (votes.size() >= 2) c.path_churn = true;
+    // Same single router both answering and timing out at one hop: the
+    // router exists and responds, so the gaps are rate limiting or loss.
+    if (votes.size() == 1 && timeouts > 0 && answered > 0) {
+      c.icmp_rate_limited = true;
+    }
+  }
+  c.control_path_stability =
+      stability_hops > 0 ? stability_sum / stability_hops : 1.0;
+
+  // ---- Test-sweep agreement on the verdict.
+  std::vector<ProbeResponse> responses;
+  for (const SingleTrace& t : report.test_traces) {
+    responses.push_back(t.terminating_response);
+  }
+  if (auto maj = majority(responses)) {
+    int agree = 0;
+    std::vector<int> ttls;
+    for (const SingleTrace& t : report.test_traces) {
+      if (t.terminating_response != *maj) continue;
+      ++agree;
+      if (t.terminating_ttl > 0) ttls.push_back(t.terminating_ttl);
+    }
+    c.response_agreement = static_cast<double>(agree) / responses.size();
+    if (!ttls.empty()) {
+      auto maj_ttl = majority(ttls);
+      int ttl_agree = 0;
+      for (int ttl : ttls) {
+        if (maj_ttl && ttl == *maj_ttl) ++ttl_agree;
+      }
+      c.ttl_agreement = static_cast<double>(ttl_agree) / ttls.size();
+    }
+  }
+
+  // ---- Composite score: agreement dominates, stability and churn shade
+  // it. All factors are 1.0 (and the flags false) on a clean network.
+  c.overall = c.response_agreement * (0.5 + 0.5 * c.ttl_agreement) *
+              (0.5 + 0.5 * c.control_path_stability);
+  if (c.icmp_rate_limited) c.overall *= 0.9;
+  if (c.path_churn) c.overall *= 0.9;
+  c.overall = std::clamp(c.overall, 0.0, 1.0);
 }
 
 void CenTrace::aggregate(CenTraceReport& report) const {

@@ -96,6 +96,41 @@ struct CenTraceOptions {
   /// Must exceed the longest silent-router run and the TTL-copy gap.
   int timeout_run_stop = 16;
   ProbeProtocol protocol = ProbeProtocol::kHttp;
+  /// Simulated-time wait before a probe retry, doubled each further
+  /// attempt (exponential backoff). 0 keeps the paper's timing model:
+  /// retries cost no simulated time.
+  SimTime retry_backoff = 0;
+  /// Adaptive retries: once any probe in the current measurement needed
+  /// a retry to elicit a response (a live transient-loss signal), later
+  /// probes may spend up to this many retries instead of `retries`.
+  /// Inert on clean networks, where no probe ever recovers via retry.
+  int adaptive_max_retries = 6;
+};
+
+/// Reliability annotations for a CenTrace verdict, computed from the
+/// repetition set itself — how much the sweeps agreed, whether the
+/// control path looked rate-limited or churned, and how much transient
+/// loss the retry layer absorbed. `overall` is 1.0 on a clean network.
+struct TraceConfidence {
+  double overall = 1.0;
+  /// Share of test sweeps agreeing with the majority terminating response.
+  double response_agreement = 1.0;
+  /// Among agreeing sweeps, share that also agree on the terminating TTL.
+  double ttl_agreement = 1.0;
+  /// Mean per-hop agreement of the control sweeps (majority router IP or
+  /// consistent silence at every hop = 1.0).
+  double control_path_stability = 1.0;
+  /// Some control sweeps got an ICMP from a hop while others timed out at
+  /// it with the *same* router answering otherwise — the signature of
+  /// ICMP rate limiting (or heavy loss) rather than a silent router.
+  bool icmp_rate_limited = false;
+  /// Two or more distinct router IPs observed at one hop across control
+  /// sweeps — ECMP path variance or active route flapping.
+  bool path_churn = false;
+  /// Probes that only answered after one or more retries (absorbed loss).
+  int loss_recovered_probes = 0;
+  /// Per-control-hop agreement share (parallel to control_path).
+  std::vector<double> hop_confidence;
 };
 
 struct CenTraceReport {
@@ -125,6 +160,9 @@ struct CenTraceReport {
   /// Tracebox-style quote analysis from the Control sweeps.
   std::vector<QuoteDiff> quote_diffs;
 
+  /// How trustworthy this verdict is given the observed conditions.
+  TraceConfidence confidence;
+
   /// Majority Control-path IP per hop (nullopt = silent hop).
   std::vector<std::optional<net::Ipv4Address>> control_path;
 
@@ -150,10 +188,18 @@ class CenTrace {
   Bytes build_payload(const std::string& domain) const;
   HopObservation probe(net::Ipv4Address endpoint, const Bytes& payload, int ttl);
   void aggregate(CenTraceReport& report) const;
+  void score_confidence(CenTraceReport& report) const;
+  /// Retry budget for the next probe (adaptive under observed loss) and
+  /// the backoff pause before retry `attempt`.
+  int retry_budget() const;
+  void backoff_wait(int attempt);
 
   sim::Network& network_;
   sim::NodeId client_;
   CenTraceOptions options_;
+  /// Probes in the current measurement that answered only after retries —
+  /// the live loss signal driving the adaptive retry budget.
+  int loss_recovered_probes_ = 0;
 };
 
 }  // namespace cen::trace

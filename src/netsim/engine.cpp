@@ -4,7 +4,18 @@
 namespace cen::sim {
 
 Network::Network(Topology topology, geo::IpMetadataDb geodb, std::uint64_t seed)
-    : topology_(std::move(topology)), geodb_(std::move(geodb)), rng_(seed) {}
+    : topology_(std::move(topology)),
+      geodb_(std::move(geodb)),
+      rng_(seed),
+      faults_(mix64(seed ^ 0x66616c7453696dULL)) {}
+
+std::uint16_t Network::allocate_ephemeral_port() {
+  std::uint16_t sport = next_ephemeral_port_++;
+  if (next_ephemeral_port_ >= kEphemeralPortCeiling) {
+    next_ephemeral_port_ = kEphemeralPortFloor;
+  }
+  return sport;
+}
 
 void Network::attach_device(NodeId at, std::shared_ptr<censor::Device> device) {
   attachments_[at].push_back({at, device});
@@ -18,9 +29,7 @@ void Network::add_endpoint(NodeId node, EndpointProfile profile) {
 
 Connection Network::open_connection(NodeId client, net::Ipv4Address dst,
                                     std::uint16_t dst_port) {
-  std::uint16_t sport = next_ephemeral_port_++;
-  if (next_ephemeral_port_ >= 65000) next_ephemeral_port_ = 40000;
-  return Connection(this, client, dst, dst_port, sport);
+  return Connection(this, client, dst, dst_port, allocate_ephemeral_port());
 }
 
 std::vector<censor::ServiceBanner> Network::scan_services(net::Ipv4Address ip) const {
@@ -54,47 +63,90 @@ void Network::reset_device_state() {
 
 void Network::reverse_deliver(net::Packet pkt, const std::vector<NodeId>& path,
                               std::size_t from_index, std::vector<Event>& events) {
-  (void)path;  // return routing is symmetric; only the hop count matters
+  // Return routing is symmetric — only the hop count matters for TTL —
+  // but the fault layer still charges each traversed link's faults.
+  const bool faulty = faults_.active();
   // Routers between the origin point and the client decrement the TTL of
   // the returning packet; a TTL-copying injection may die en route — the
   // mechanism behind the paper's "Past E" observations.
   for (std::size_t i = from_index; i-- > 1;) {
-    (void)i;
+    if (faulty) {
+      if (faults_.lose_on_link(path[i], path[i - 1])) return;
+      faults_.mangle_payload(path[i], path[i - 1], pkt.payload);
+    }
     if (pkt.ip.ttl == 0) return;
     pkt.ip.ttl -= 1;
     if (pkt.ip.ttl == 0) return;  // expired mid-return; no ICMP to a spoofed source
   }
   if (capture_ != nullptr) capture_->add(clock_.now(), pkt.serialize());
-  events.push_back(TcpEvent{std::move(pkt)});
+  // Access-link delivery faults: duplication hands the client two copies,
+  // reordering delivers this packet "before" earlier-captured ones.
+  bool duplicated = faulty && faults_.duplicate_delivery(path[1], path[0]);
+  bool late = faulty && faults_.reorder_delivery(path[1], path[0]);
+  if (late && !events.empty()) {
+    events.insert(events.begin(), TcpEvent{pkt});
+  } else {
+    events.push_back(TcpEvent{pkt});
+  }
+  if (duplicated) events.push_back(TcpEvent{std::move(pkt)});
 }
 
 void Network::reverse_deliver_udp(net::UdpDatagram dgram, std::size_t from_index,
                                   std::vector<Event>& events) {
+  // No path is threaded here, so the default link profile governs the
+  // whole return trip (per-link overrides apply to TCP flows only).
+  const bool faulty = faults_.active();
   for (std::size_t i = from_index; i-- > 1;) {
-    (void)i;
+    if (faulty) {
+      if (faults_.lose_on_link(kInvalidNode, kInvalidNode)) return;
+      faults_.mangle_payload(kInvalidNode, kInvalidNode, dgram.payload);
+    }
     if (dgram.ip.ttl == 0) return;
     dgram.ip.ttl -= 1;
     if (dgram.ip.ttl == 0) return;
   }
   if (capture_ != nullptr) capture_->add(clock_.now(), dgram.serialize());
-  events.push_back(UdpEvent{std::move(dgram)});
+  bool duplicated = faulty && faults_.duplicate_delivery(kInvalidNode, kInvalidNode);
+  bool late = faulty && faults_.reorder_delivery(kInvalidNode, kInvalidNode);
+  if (late && !events.empty()) {
+    events.insert(events.begin(), UdpEvent{dgram});
+  } else {
+    events.push_back(UdpEvent{dgram});
+  }
+  if (duplicated) events.push_back(UdpEvent{std::move(dgram)});
+}
+
+Network::IcmpDelivery Network::icmp_delivery(const std::vector<NodeId>& path,
+                                             std::size_t from_index) {
+  IcmpDelivery d;
+  for (std::size_t i = from_index; i-- > 1;) {
+    if (faults_.lose_on_link(path[i], path[i - 1])) {
+      d.delivered = false;
+      return d;
+    }
+  }
+  d.duplicated = faults_.duplicate_delivery(path[1], path[0]);
+  d.late = faults_.reorder_delivery(path[1], path[0]);
+  return d;
 }
 
 std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
                                      std::uint16_t dst_port, Bytes payload,
                                      std::uint8_t ttl) {
   std::vector<Event> events;
-  std::uint16_t sport = next_ephemeral_port_++;
-  if (next_ephemeral_port_ >= 65000) next_ephemeral_port_ = 40000;
+  std::uint16_t sport = allocate_ephemeral_port();
   std::optional<NodeId> dst_node = topology_.find_by_ip(dst);
   if (!dst_node) return events;
   const net::Ipv4Address src_ip = topology_.node(client).ip;
   std::uint64_t flow_hash =
       mix64(static_cast<std::uint64_t>(src_ip.value()) << 32 | dst.value()) ^
       mix64(static_cast<std::uint64_t>(sport) << 16 | dst_port);
-  const std::vector<NodeId>& path = topology_.route(client, *dst_node, flow_hash);
+  const std::vector<NodeId>& path =
+      topology_.route(client, *dst_node, flow_hash, faults_.flow_salt(clock_.now()));
   if (path.size() < 2) return events;
-  if (transient_loss_ > 0.0 && rng_.chance(transient_loss_)) return events;
+  const double transient_loss = faults_.plan().transient_loss;
+  if (transient_loss > 0.0 && rng_.chance(transient_loss)) return events;
+  const bool faulty = faults_.active();
 
   net::UdpDatagram dgram =
       net::make_udp_datagram(src_ip, dst, sport, dst_port, std::move(payload), ttl);
@@ -102,6 +154,10 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
 
   for (std::size_t i = 1; i < path.size(); ++i) {
     NodeId nid = path[i];
+    if (faulty) {
+      if (faults_.lose_on_link(path[i - 1], nid)) return events;
+      faults_.mangle_payload(path[i - 1], nid, dgram.payload);
+    }
     auto att_it = attachments_.find(nid);
     if (att_it != attachments_.end()) {
       for (const Attachment& att : att_it->second) {
@@ -118,10 +174,21 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
     if (!is_endpoint_hop) {
       dgram.ip.ttl -= 1;
       if (dgram.ip.ttl == 0) {
-        if (n.profile.responds_icmp) {
-          net::IcmpTimeExceeded icmp = net::IcmpTimeExceeded::make(
-              n.ip, dgram.serialize(), n.profile.quote_policy);
-          events.push_back(IcmpEvent{n.ip, std::move(icmp.quoted)});
+        if (n.profile.responds_icmp &&
+            (!faulty || faults_.allow_icmp(nid, clock_.now()))) {
+          IcmpDelivery d;
+          if (faulty) d = icmp_delivery(path, i);
+          if (d.delivered) {
+            net::IcmpTimeExceeded icmp = net::IcmpTimeExceeded::make(
+                n.ip, dgram.serialize(), n.profile.quote_policy);
+            IcmpEvent ev{n.ip, std::move(icmp.quoted)};
+            if (d.late && !events.empty()) {
+              events.insert(events.begin(), ev);
+            } else {
+              events.push_back(ev);
+            }
+            if (d.duplicated) events.push_back(std::move(ev));
+          }
         }
         return events;
       }
@@ -145,10 +212,20 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
 bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
                            std::vector<Event>& events, bool payload_phase) {
   if (path.size() < 2) return false;
-  if (transient_loss_ > 0.0 && rng_.chance(transient_loss_)) return false;
+  const double transient_loss = faults_.plan().transient_loss;
+  if (transient_loss > 0.0 && rng_.chance(transient_loss)) return false;
+  const bool faulty = faults_.active();
 
   for (std::size_t i = 1; i < path.size(); ++i) {
     NodeId nid = path[i];
+
+    // Link faults strike before anything on the far side can inspect:
+    // a lost packet is gone, a mangled payload is what the censor (and
+    // eventually the endpoint) actually sees.
+    if (faulty) {
+      if (faults_.lose_on_link(path[i - 1], nid)) return false;
+      faults_.mangle_payload(path[i - 1], nid, pkt.payload);
+    }
 
     // Devices deployed on the link entering this node inspect first.
     auto att_it = attachments_.find(nid);
@@ -169,7 +246,12 @@ bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
       // Router: decrement, possibly expire, possibly rewrite header bits.
       pkt.ip.ttl -= 1;
       if (pkt.ip.ttl == 0) {
-        if (n.profile.responds_icmp) {
+        // Emission (rate limit consumes a token even if the reply later
+        // dies on a return link), then return-trip delivery faults.
+        IcmpDelivery d;
+        if (n.profile.responds_icmp &&
+            (!faulty || faults_.allow_icmp(nid, clock_.now())) &&
+            (!faulty || (d = icmp_delivery(path, i)).delivered)) {
           net::IcmpTimeExceeded icmp = net::IcmpTimeExceeded::make(
               n.ip, pkt.serialize(), n.profile.quote_policy);
           if (capture_ != nullptr) {
@@ -185,7 +267,13 @@ bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
             w.raw(icmp_bytes);
             capture_->add(clock_.now(), std::move(w).take());
           }
-          events.push_back(IcmpEvent{n.ip, std::move(icmp.quoted)});
+          IcmpEvent ev{n.ip, std::move(icmp.quoted)};
+          if (d.late && !events.empty()) {
+            events.insert(events.begin(), ev);
+          } else {
+            events.push_back(ev);
+          }
+          if (d.duplicated) events.push_back(std::move(ev));
         }
         return false;
       }
@@ -270,7 +358,10 @@ Connection::Connection(Network* net, NodeId client, net::Ipv4Address dst,
     std::uint64_t flow_hash =
         mix64(static_cast<std::uint64_t>(src_ip.value()) << 32 | dst.value()) ^
         mix64(static_cast<std::uint64_t>(sport_) << 16 | dport_);
-    path_ = net_->topology_.route(client_, *dst_node, flow_hash);
+    // Route flapping: the fault layer's epoch salt can swap this flow
+    // onto a different equal-cost path than the same 5-tuple rode before.
+    path_ = net_->topology_.route(client_, *dst_node, flow_hash,
+                                  net_->faults_.flow_salt(net_->clock_.now()));
   }
 }
 

@@ -30,6 +30,7 @@
 #include "net/packet.hpp"
 #include "net/pcap.hpp"
 #include "netsim/endpoint.hpp"
+#include "netsim/faults.hpp"
 #include "netsim/topology.hpp"
 
 namespace cen::sim {
@@ -53,6 +54,11 @@ struct UdpEvent {
 };
 
 using Event = std::variant<IcmpEvent, TcpEvent, UdpEvent>;
+
+/// Ephemeral source-port pool [floor, ceiling): fresh connections draw
+/// from it and wrap back to the floor, never entering reserved ranges.
+constexpr std::uint16_t kEphemeralPortFloor = 40000;
+constexpr std::uint16_t kEphemeralPortCeiling = 65000;
 
 /// Outcome of a connection attempt.
 enum class ConnectResult : std::uint8_t { kEstablished, kTimeout, kReset };
@@ -121,7 +127,21 @@ class Network {
 
   /// Independent transient packet loss applied to each forward walk
   /// (models the network failures CenTrace's 3 retries absorb).
-  void set_transient_loss(double probability) { transient_loss_ = probability; }
+  /// Compatibility shim over the fault layer: clamps to [0, 1], throws
+  /// std::invalid_argument on NaN.
+  void set_transient_loss(double probability) {
+    faults_.set_transient_loss(probability);
+  }
+
+  /// Install a fault plan (sanitized; resets all runtime fault state).
+  /// The default-constructed plan is inert: with it installed the
+  /// simulation is byte-identical to a fault-free network.
+  void set_fault_plan(FaultPlan plan) { faults_.set_plan(std::move(plan)); }
+  /// The runtime fault state. Mutable through a const Network because
+  /// fault bookkeeping (token buckets, the fault RNG) is deterministic
+  /// simulation scaffolding, not logical network state — const paths like
+  /// scan_services still experience management-plane faults.
+  FaultInjector& faults() const { return faults_; }
 
   /// Management-plane scan: open services on a device management IP.
   std::vector<censor::ServiceBanner> scan_services(net::Ipv4Address ip) const;
@@ -163,13 +183,28 @@ class Network {
   void reverse_deliver_udp(net::UdpDatagram dgram, std::size_t from_index,
                            std::vector<Event>& events);
 
+  /// Fault outcome of an ICMP Time Exceeded travelling back from
+  /// path[from_index] to the client: lost on a return link, duplicated or
+  /// reordered on the access link. Only called when faults are active.
+  struct IcmpDelivery {
+    bool delivered = true;
+    bool duplicated = false;
+    bool late = false;
+  };
+  IcmpDelivery icmp_delivery(const std::vector<NodeId>& path, std::size_t from_index);
+
+  /// Assign the next ephemeral source port, wrapping explicitly back to
+  /// kEphemeralPortFloor before the pool exhausts (long chaos/bench runs
+  /// must never bleed into reserved or well-known ranges).
+  std::uint16_t allocate_ephemeral_port();
+
   Topology topology_;
   geo::IpMetadataDb geodb_;
   SimClock clock_;
   Rng rng_;
+  mutable FaultInjector faults_;
   net::PcapWriter* capture_ = nullptr;
-  double transient_loss_ = 0.0;
-  std::uint16_t next_ephemeral_port_ = 40000;
+  std::uint16_t next_ephemeral_port_ = kEphemeralPortFloor;
   std::map<NodeId, std::vector<Attachment>> attachments_;
   std::map<std::uint32_t, EndpointHost> endpoints_;  // by IP value
   std::vector<std::shared_ptr<censor::Device>> devices_;

@@ -1,0 +1,177 @@
+#include "netsim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace cen::sim {
+
+double sanitize_probability(double p, const char* what) {
+  if (std::isnan(p)) {
+    throw std::invalid_argument(std::string(what) + ": probability is NaN");
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+bool FaultProfile::inert() const {
+  return loss == 0.0 && duplicate == 0.0 && reorder == 0.0 && truncate == 0.0 &&
+         corrupt == 0.0;
+}
+
+FaultProfile FaultProfile::sanitized(const char* what) const {
+  FaultProfile p;
+  p.loss = sanitize_probability(loss, what);
+  p.duplicate = sanitize_probability(duplicate, what);
+  p.reorder = sanitize_probability(reorder, what);
+  p.truncate = sanitize_probability(truncate, what);
+  p.corrupt = sanitize_probability(corrupt, what);
+  return p;
+}
+
+bool NodeFaultProfile::inert() const {
+  return !icmp_blackhole && icmp_rate_per_sec <= 0.0;
+}
+
+NodeFaultProfile NodeFaultProfile::sanitized(const char* what) const {
+  NodeFaultProfile p = *this;
+  if (std::isnan(p.icmp_rate_per_sec) || std::isnan(p.icmp_burst)) {
+    throw std::invalid_argument(std::string(what) + ": ICMP rate parameter is NaN");
+  }
+  p.icmp_rate_per_sec = std::max(0.0, p.icmp_rate_per_sec);
+  // A rate limiter with no capacity would silence the router outright;
+  // keep at least one token of burst so "rate limited" != "blackholed".
+  p.icmp_burst = p.icmp_rate_per_sec > 0.0 ? std::max(1.0, p.icmp_burst) : p.icmp_burst;
+  return p;
+}
+
+bool FaultPlan::inert() const {
+  if (transient_loss != 0.0 || route_flap_period != 0 || mgmt_drop != 0.0 ||
+      banner_truncate != 0.0) {
+    return false;
+  }
+  if (!default_link.inert() || !default_node.inert()) return false;
+  for (const auto& [key, p] : link_overrides) {
+    if (!p.inert()) return false;
+  }
+  for (const auto& [key, p] : node_overrides) {
+    if (!p.inert()) return false;
+  }
+  return true;
+}
+
+FaultPlan FaultPlan::sanitized() const {
+  FaultPlan p = *this;
+  p.transient_loss = sanitize_probability(transient_loss, "FaultPlan.transient_loss");
+  p.default_link = default_link.sanitized("FaultPlan.default_link");
+  p.default_node = default_node.sanitized("FaultPlan.default_node");
+  for (auto& [key, lp] : p.link_overrides) lp = lp.sanitized("FaultPlan.link_override");
+  for (auto& [key, np] : p.node_overrides) np = np.sanitized("FaultPlan.node_override");
+  p.mgmt_drop = sanitize_probability(mgmt_drop, "FaultPlan.mgmt_drop");
+  p.banner_truncate = sanitize_probability(banner_truncate, "FaultPlan.banner_truncate");
+  return p;
+}
+
+const FaultProfile& FaultPlan::link(NodeId a, NodeId b) const {
+  if (!link_overrides.empty()) {
+    auto it = link_overrides.find(std::minmax(a, b));
+    if (it != link_overrides.end()) return it->second;
+  }
+  return default_link;
+}
+
+const NodeFaultProfile& FaultPlan::node(NodeId n) const {
+  if (!node_overrides.empty()) {
+    auto it = node_overrides.find(n);
+    if (it != node_overrides.end()) return it->second;
+  }
+  return default_node;
+}
+
+void FaultPlan::set_link(NodeId a, NodeId b, FaultProfile profile) {
+  link_overrides[std::minmax(a, b)] = profile;
+}
+
+std::uint64_t FaultPlan::flow_salt(SimTime now) const {
+  if (route_flap_period == 0) return 0;
+  return mix64(0x9e3779b97f4a7c15ULL ^ (now / route_flap_period));
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+void FaultInjector::set_plan(FaultPlan plan) {
+  plan_ = plan.sanitized();
+  // `active_` gates the per-hop checks; the transient-loss shim is drawn
+  // from the engine RNG regardless, so exclude it from the gate.
+  FaultPlan gate = plan_;
+  gate.transient_loss = 0.0;
+  active_ = !gate.inert();
+  reset_state();
+}
+
+void FaultInjector::set_transient_loss(double p) {
+  plan_.transient_loss = sanitize_probability(p, "set_transient_loss");
+}
+
+void FaultInjector::reset_state() {
+  buckets_.clear();
+  rng_ = Rng(seed_);
+}
+
+bool FaultInjector::lose_on_link(NodeId a, NodeId b) {
+  const FaultProfile& p = plan_.link(a, b);
+  return p.loss > 0.0 && rng_.chance(p.loss);
+}
+
+void FaultInjector::mangle_payload(NodeId a, NodeId b, Bytes& payload) {
+  if (payload.empty()) return;
+  const FaultProfile& p = plan_.link(a, b);
+  if (p.truncate > 0.0 && rng_.chance(p.truncate)) {
+    payload.resize(payload.size() / 2);
+    if (payload.empty()) return;
+  }
+  if (p.corrupt > 0.0 && rng_.chance(p.corrupt)) {
+    payload[rng_.index(payload.size())] ^= 0xff;
+  }
+}
+
+bool FaultInjector::duplicate_delivery(NodeId a, NodeId b) {
+  const FaultProfile& p = plan_.link(a, b);
+  return p.duplicate > 0.0 && rng_.chance(p.duplicate);
+}
+
+bool FaultInjector::reorder_delivery(NodeId a, NodeId b) {
+  const FaultProfile& p = plan_.link(a, b);
+  return p.reorder > 0.0 && rng_.chance(p.reorder);
+}
+
+bool FaultInjector::allow_icmp(NodeId router, SimTime now) {
+  const NodeFaultProfile& np = plan_.node(router);
+  if (np.icmp_blackhole) return false;
+  if (np.icmp_rate_per_sec <= 0.0) return true;
+  TokenBucket& bucket = buckets_[router];
+  if (!bucket.primed) {
+    bucket.primed = true;
+    bucket.tokens = np.icmp_burst;
+    bucket.last = now;
+  } else {
+    double elapsed_s = static_cast<double>(now - bucket.last) / 1000.0;
+    bucket.tokens = std::min(np.icmp_burst, bucket.tokens + elapsed_s * np.icmp_rate_per_sec);
+    bucket.last = now;
+  }
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::mgmt_unreachable() {
+  return plan_.mgmt_drop > 0.0 && rng_.chance(plan_.mgmt_drop);
+}
+
+bool FaultInjector::truncate_banner() {
+  return plan_.banner_truncate > 0.0 && rng_.chance(plan_.banner_truncate);
+}
+
+}  // namespace cen::sim

@@ -1,0 +1,177 @@
+// Fault-injection layer for the network simulator.
+//
+// The paper's tools are engineered around hostile network conditions:
+// CenTrace retries probes 3x to absorb transient loss and repeats sweeps
+// 11x to tame ECMP path variance (§4), and real vantage points routinely
+// see rate-limited ICMP, flaky links and partial application responses.
+// This layer makes those conditions first-class and deterministic so the
+// tool-side resilience machinery can actually be stress-tested:
+//
+//   - per-link `FaultProfile`: packet loss, duplication, reordered (late)
+//     delivery, payload truncation and corruption;
+//   - per-node `NodeFaultProfile`: ICMP Time Exceeded blackholing and
+//     token-bucket rate limiting (the classic cause of silent hops);
+//   - scheduled route flapping: a time-epoch salt folded into the flow
+//     hash so a flow's ECMP path swaps mid-measurement (path churn);
+//   - management-plane faults: dropped and truncated banner grabs
+//     (CenProbe's partial-response degradation).
+//
+// Every random draw flows through a dedicated seeded `Rng`, independent
+// of the engine's main generator, and every roll is gated on its
+// probability being non-zero — an all-zero (inert) plan consumes no
+// randomness and leaves the simulation byte-identical to a network with
+// no fault layer at all.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "core/bytes.hpp"
+#include "core/clock.hpp"
+#include "core/rng.hpp"
+#include "netsim/topology.hpp"
+
+namespace cen::sim {
+
+/// Validate a probability: throws std::invalid_argument on NaN, clamps
+/// everything else to [0, 1]. `what` names the offending knob in the
+/// exception message.
+double sanitize_probability(double p, const char* what);
+
+/// Packet-level faults applied per link traversal.
+struct FaultProfile {
+  /// Probability the packet dies on this link (per traversal, both
+  /// directions).
+  double loss = 0.0;
+  /// Probability a delivered reply is duplicated to the client.
+  double duplicate = 0.0;
+  /// Probability a delivered reply arrives "late" — after packets that
+  /// were sent later (the client observes a reordered capture).
+  double reorder = 0.0;
+  /// Probability the payload is truncated to half its length in transit.
+  double truncate = 0.0;
+  /// Probability one payload byte is flipped in transit.
+  double corrupt = 0.0;
+
+  bool inert() const;
+  /// Clamped copy; throws std::invalid_argument on NaN fields.
+  FaultProfile sanitized(const char* what) const;
+};
+
+/// ICMP-generation faults applied per router.
+struct NodeFaultProfile {
+  /// The router never answers TTL exhaustion (on top of its RouterProfile).
+  bool icmp_blackhole = false;
+  /// Token-bucket rate limit on ICMP Time Exceeded generation: tokens
+  /// refill at this rate (0 = unlimited) up to `icmp_burst`, one token per
+  /// message. Mirrors the per-interface ICMP rate limiting of real gear.
+  double icmp_rate_per_sec = 0.0;
+  double icmp_burst = 4.0;
+
+  bool inert() const;
+  NodeFaultProfile sanitized(const char* what) const;
+};
+
+/// A complete fault configuration for a Network. Pure data: install it
+/// with Network::set_fault_plan (which sanitizes and resets all runtime
+/// fault state). The default-constructed plan is inert.
+struct FaultPlan {
+  /// Whole-walk transient loss, drawn from the *engine* RNG at the start
+  /// of each forward walk — the legacy `set_transient_loss` behaviour,
+  /// kept bit-compatible with the pre-fault-layer simulator.
+  double transient_loss = 0.0;
+
+  /// Faults applied to every link without an override.
+  FaultProfile default_link;
+  /// Per-link overrides, keyed by normalized (min, max) node pair.
+  std::map<std::pair<NodeId, NodeId>, FaultProfile> link_overrides;
+
+  /// ICMP faults applied to every router without an override.
+  NodeFaultProfile default_node;
+  std::map<NodeId, NodeFaultProfile> node_overrides;
+
+  /// Route flapping: every `route_flap_period` of simulated time the
+  /// ECMP flow-hash salt changes, swapping flows onto different
+  /// equal-cost paths (0 = stable routing).
+  SimTime route_flap_period = 0;
+
+  /// Management-plane faults (CenProbe's world): probability a banner
+  /// grab attempt times out, and probability a grabbed banner comes back
+  /// truncated to half length.
+  double mgmt_drop = 0.0;
+  double banner_truncate = 0.0;
+
+  bool inert() const;
+  FaultPlan sanitized() const;
+
+  /// Effective profile for the link a—b (override or default). Order of
+  /// the endpoints does not matter.
+  const FaultProfile& link(NodeId a, NodeId b) const;
+  const NodeFaultProfile& node(NodeId n) const;
+  /// Register a per-link override (normalizes the key).
+  void set_link(NodeId a, NodeId b, FaultProfile profile);
+
+  /// Flow-hash salt for the routing epoch containing `now` (0 when route
+  /// flapping is disabled).
+  std::uint64_t flow_salt(SimTime now) const;
+};
+
+/// Runtime fault state: the sanitized plan plus its dedicated RNG and the
+/// per-router ICMP token buckets. Owned by Network; the engine consults
+/// it at every fault point. All methods are cheap no-ops under an inert
+/// plan and never consume randomness for zero-probability faults, which
+/// is what makes the layer provably inert when disabled.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed);
+
+  /// Install a plan: sanitize, reset token buckets, reseed the fault RNG
+  /// (so identical plans replay identically on the same network).
+  void set_plan(FaultPlan plan);
+  const FaultPlan& plan() const { return plan_; }
+  /// Legacy shim: update only the transient-loss knob (clamped; NaN
+  /// throws), preserving the rest of the plan and all runtime state.
+  void set_transient_loss(double p);
+
+  /// True when any fault other than the legacy transient loss is enabled
+  /// (the engine's fast gate around per-hop fault checks).
+  bool active() const { return active_; }
+
+  /// The packet dies traversing link a—b.
+  bool lose_on_link(NodeId a, NodeId b);
+  /// Apply truncation/corruption of link a—b to a payload in transit.
+  void mangle_payload(NodeId a, NodeId b, Bytes& payload);
+  /// A reply delivered over link a—b is duplicated to the client.
+  bool duplicate_delivery(NodeId a, NodeId b);
+  /// A reply delivered over link a—b arrives late (reordered capture).
+  bool reorder_delivery(NodeId a, NodeId b);
+  /// May router `router` emit an ICMP Time Exceeded at `now`? Consumes a
+  /// token when rate limiting is configured.
+  bool allow_icmp(NodeId router, SimTime now);
+  /// Flow-hash salt for the current routing epoch.
+  std::uint64_t flow_salt(SimTime now) const { return plan_.flow_salt(now); }
+
+  /// One management-plane request attempt is dropped.
+  bool mgmt_unreachable();
+  /// A grabbed banner is truncated.
+  bool truncate_banner();
+
+  /// Reset token buckets and rewind the fault RNG to its seed.
+  void reset_state();
+
+ private:
+  struct TokenBucket {
+    double tokens = 0.0;
+    SimTime last = 0;
+    bool primed = false;
+  };
+
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  Rng rng_;
+  std::map<NodeId, TokenBucket> buckets_;
+  bool active_ = false;
+};
+
+}  // namespace cen::sim

@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "core/rng.hpp"
+
 namespace cen::sim {
 
 NodeId Topology::add_node(std::string name, net::Ipv4Address ip, RouterProfile profile) {
@@ -96,6 +98,12 @@ const std::vector<NodeId>& Topology::route(NodeId src, NodeId dst,
     return kEmpty;
   }
   return paths[flow_hash % paths.size()];
+}
+
+const std::vector<NodeId>& Topology::route(NodeId src, NodeId dst,
+                                           std::uint64_t flow_hash,
+                                           std::uint64_t salt) const {
+  return route(src, dst, salt == 0 ? flow_hash : mix64(flow_hash ^ salt));
 }
 
 }  // namespace cen::sim

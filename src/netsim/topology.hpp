@@ -73,6 +73,11 @@ class Topology {
   /// Pick the path a given flow hash rides.
   const std::vector<NodeId>& route(NodeId src, NodeId dst, std::uint64_t flow_hash) const;
 
+  /// Route with a routing-epoch salt folded in (the fault layer's route
+  /// flapping). A zero salt selects exactly the unsalted path.
+  const std::vector<NodeId>& route(NodeId src, NodeId dst, std::uint64_t flow_hash,
+                                   std::uint64_t salt) const;
+
  private:
   std::vector<Node> nodes_;
   std::vector<std::vector<NodeId>> adjacency_;

@@ -68,6 +68,19 @@ std::string to_json(const trace::CenTraceReport& report, bool include_sweeps) {
   } else {
     w.key("blockpage_vendor").null();
   }
+  w.key("confidence").begin_object();
+  w.key("overall").value(report.confidence.overall);
+  w.key("response_agreement").value(report.confidence.response_agreement);
+  w.key("ttl_agreement").value(report.confidence.ttl_agreement);
+  w.key("control_path_stability").value(report.confidence.control_path_stability);
+  w.key("icmp_rate_limited").value(report.confidence.icmp_rate_limited);
+  w.key("path_churn").value(report.confidence.path_churn);
+  w.key("loss_recovered_probes").value(
+      static_cast<std::int64_t>(report.confidence.loss_recovered_probes));
+  w.key("hop_confidence").begin_array();
+  for (double hc : report.confidence.hop_confidence) w.value(hc);
+  w.end_array();
+  w.end_object();
   w.key("control_path").begin_array();
   for (const auto& hop : report.control_path) {
     write_optional_ip(w, hop);
@@ -105,6 +118,7 @@ std::string to_json(const fuzz::CenFuzzReport& report) {
   w.key("http_baseline_blocked").value(report.http_baseline_blocked);
   w.key("tls_baseline_blocked").value(report.tls_baseline_blocked);
   w.key("total_requests").value(static_cast<std::uint64_t>(report.total_requests));
+  w.key("skipped_strategies").value(static_cast<std::uint64_t>(report.skipped_strategies));
   w.key("measurements").begin_array();
   for (const fuzz::FuzzMeasurement& m : report.measurements) {
     w.begin_object();
@@ -113,6 +127,7 @@ std::string to_json(const fuzz::CenFuzzReport& report) {
     w.key("https").value(m.https);
     w.key("outcome").value(fuzz::fuzz_outcome_name(m.outcome));
     w.key("circumvented").value(m.circumvented);
+    w.key("baseline_failed").value(m.baseline_failed);
     w.end_object();
   }
   w.end_array();
@@ -134,6 +149,8 @@ std::string to_json(const probe::DeviceProbeReport& report) {
     w.key("port").value(static_cast<std::int64_t>(grab.port));
     w.key("protocol").value(grab.protocol);
     w.key("banner").value(grab.banner);
+    w.key("complete").value(grab.complete);
+    w.key("attempts").value(static_cast<std::int64_t>(grab.attempts));
     w.end_object();
   }
   w.end_array();

@@ -10,6 +10,13 @@ std::size_t PipelineResult::blocked_remote() const {
       [](const trace::CenTraceReport& r) { return r.blocked; }));
 }
 
+double PipelineResult::mean_remote_confidence() const {
+  if (remote_traces.empty()) return 1.0;
+  double sum = 0.0;
+  for (const trace::CenTraceReport& r : remote_traces) sum += r.confidence.overall;
+  return sum / static_cast<double>(remote_traces.size());
+}
+
 namespace {
 
 std::vector<net::Ipv4Address> sample(const std::vector<net::Ipv4Address>& v, int cap) {
@@ -43,10 +50,13 @@ PipelineResult run(const PipelineInput& in, const PipelineOptions& options) {
   PipelineResult result;
   result.country = in.country;
   sim::Network& net = *in.network;
-  net.set_transient_loss(options.transient_loss);
+  net.set_fault_plan(options.faults);
+  if (options.transient_loss > 0.0) net.set_transient_loss(options.transient_loss);
 
   trace::CenTraceOptions http_opts;
   http_opts.repetitions = options.centrace_repetitions;
+  http_opts.retry_backoff = options.centrace_retry_backoff;
+  http_opts.adaptive_max_retries = options.centrace_adaptive_retries;
   trace::CenTraceOptions https_opts = http_opts;
   https_opts.protocol = trace::ProbeProtocol::kHttps;
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ml/features.hpp"
+#include "netsim/faults.hpp"
 #include "scenario/country.hpp"
 #include "scenario/world.hpp"
 
@@ -29,6 +30,13 @@ struct PipelineOptions {
   /// most request-hungry stage; the cap samples evenly across devices.
   int fuzz_max_endpoints = -1;
   double transient_loss = 0.0;
+  /// Fault plan installed on the network before measuring (the default
+  /// plan is inert — identical to a fault-free run). A non-zero
+  /// `transient_loss` above overrides the plan's own field.
+  sim::FaultPlan faults;
+  /// CenTrace backoff/adaptive-retry knobs for runs under faults.
+  SimTime centrace_retry_backoff = 0;
+  int centrace_adaptive_retries = 6;
 };
 
 struct PipelineResult {
@@ -44,6 +52,8 @@ struct PipelineResult {
   std::vector<ml::EndpointMeasurement> measurements;
 
   std::size_t blocked_remote() const;
+  /// Mean CenTrace confidence over the remote traces (1.0 when empty).
+  double mean_remote_confidence() const;
 };
 
 PipelineResult run_country_pipeline(CountryScenario& scenario,

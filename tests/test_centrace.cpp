@@ -340,6 +340,122 @@ TEST(CenTrace, MaxTtlTruncationFallsBackToTrailingRun) {
   EXPECT_EQ(r.blocking_hop_ttl, 2);
 }
 
+TEST(CenTrace, CleanRunHasFullConfidence) {
+  // A fault-free network must yield a fully confident report: perfect
+  // agreement, no churn/rate-limit flags, zero retry recoveries.
+  TraceNet tn;
+  censor::DeviceConfig cfg;
+  cfg.id = "rst";
+  cfg.action = censor::BlockAction::kRstInject;
+  tn.attach(cfg, 2);
+  CenTraceReport r = tn.measure();
+  EXPECT_EQ(r.confidence.overall, 1.0);
+  EXPECT_EQ(r.confidence.response_agreement, 1.0);
+  EXPECT_EQ(r.confidence.ttl_agreement, 1.0);
+  EXPECT_EQ(r.confidence.control_path_stability, 1.0);
+  EXPECT_FALSE(r.confidence.icmp_rate_limited);
+  EXPECT_FALSE(r.confidence.path_churn);
+  EXPECT_EQ(r.confidence.loss_recovered_probes, 0);
+  ASSERT_EQ(r.confidence.hop_confidence.size(), r.control_path.size());
+  for (double hc : r.confidence.hop_confidence) EXPECT_EQ(hc, 1.0);
+}
+
+TEST(CenTrace, ConsistentlySilentRouterKeepsConfidence) {
+  // A genuinely ICMP-silent router is *consistent* across sweeps — it must
+  // not read as instability (only mixed answer/timeout at one hop should).
+  TraceNet tn;
+  tn.net->topology().node(tn.routers[1]).profile.responds_icmp = false;
+  CenTraceReport r = tn.measure();
+  EXPECT_EQ(r.confidence.control_path_stability, 1.0);
+  EXPECT_FALSE(r.confidence.icmp_rate_limited);
+  EXPECT_EQ(r.confidence.overall, 1.0);
+}
+
+// ---- CenTraceOptions edge cases (ISSUE satellite). ----
+
+TEST(CenTraceOptions, ZeroRetriesStillMeasuresCleanNetworks) {
+  // retries=0 means exactly one attempt per probe; on a fault-free
+  // network nothing is lost, so the report is identical to the default.
+  TraceNet tn;
+  censor::DeviceConfig cfg;
+  cfg.id = "rst";
+  cfg.action = censor::BlockAction::kRstInject;
+  tn.attach(cfg, 2);
+  CenTraceOptions opts;
+  opts.repetitions = 3;
+  opts.retries = 0;
+  CenTrace tracer(*tn.net, tn.client, opts);
+  CenTraceReport r = tracer.measure(net::Ipv4Address(10, 0, 9, 1),
+                                    "www.blocked.example", "www.example.org");
+  EXPECT_TRUE(r.blocked);
+  EXPECT_EQ(r.blocking_hop_ttl, 3);
+  EXPECT_EQ(r.confidence.overall, 1.0);
+}
+
+TEST(CenTraceOptions, ShortTimeoutRunStopMisreadsSilentRun) {
+  // timeout_run_stop shorter than a silent-router run: the sweep gives up
+  // inside the silent stretch and the trace terminates as a timeout at its
+  // start. With no device present the aggregate rejects the "blocked"
+  // reading because the control sweeps are truncated the same way and
+  // never reach the endpoint (endpoint_hop_distance stays -1).
+  TraceNet tn;
+  tn.net->topology().node(tn.routers[1]).profile.responds_icmp = false;  // hop 2
+  tn.net->topology().node(tn.routers[2]).profile.responds_icmp = false;  // hop 3
+  CenTraceOptions opts;
+  opts.repetitions = 3;
+  opts.timeout_run_stop = 2;  // shorter than the 2-hop silent run + margin
+  CenTrace tracer(*tn.net, tn.client, opts);
+  CenTraceReport r = tracer.measure(net::Ipv4Address(10, 0, 9, 1),
+                                    "www.blocked.example", "www.example.org");
+  EXPECT_FALSE(r.blocked);
+  EXPECT_EQ(r.endpoint_hop_distance, -1);
+  EXPECT_EQ(r.location, BlockingLocation::kNotBlocked);
+}
+
+TEST(CenTraceOptions, SingleRepetitionProducesValidReport) {
+  // repetitions=1: no voting, but the report must still be complete and
+  // its (trivial) agreement scores saturate at 1.0.
+  TraceNet tn;
+  censor::DeviceConfig cfg;
+  cfg.id = "rst";
+  cfg.action = censor::BlockAction::kRstInject;
+  tn.attach(cfg, 2);
+  CenTraceOptions opts;
+  opts.repetitions = 1;
+  CenTrace tracer(*tn.net, tn.client, opts);
+  CenTraceReport r = tracer.measure(net::Ipv4Address(10, 0, 9, 1),
+                                    "www.blocked.example", "www.example.org");
+  ASSERT_EQ(r.test_traces.size(), 1u);
+  ASSERT_EQ(r.control_traces.size(), 1u);
+  EXPECT_TRUE(r.blocked);
+  EXPECT_EQ(r.blocking_hop_ttl, 3);
+  EXPECT_EQ(r.endpoint_hop_distance, 6);
+  EXPECT_EQ(r.confidence.response_agreement, 1.0);
+  EXPECT_EQ(r.confidence.ttl_agreement, 1.0);
+}
+
+TEST(CenTraceOptions, BackoffAdvancesSimulatedClockOnlyOnRetry) {
+  // With total loss the probe retries through its whole budget; each retry
+  // doubles the wait. A zero backoff (the default) must not advance the
+  // clock at all beyond the usual pacing.
+  TraceNet tn;
+  tn.net->set_fault_plan([] {
+    sim::FaultPlan p;
+    p.default_link.loss = 1.0;
+    return p;
+  }());
+  CenTraceOptions opts;
+  opts.repetitions = 1;
+  opts.max_ttl = 1;
+  opts.retries = 3;
+  opts.retry_backoff = 1000;
+  CenTrace tracer(*tn.net, tn.client, opts);
+  SimTime before = tn.net->now();
+  tracer.sweep(net::Ipv4Address(10, 0, 9, 1), "www.example.org");
+  // 3 retries: 1 s + 2 s + 4 s backoff, plus the 120 s inter-probe wait.
+  EXPECT_EQ(tn.net->now() - before, 7000 + opts.inter_probe_wait);
+}
+
 TEST(CenTrace, UnreachableEndpointNotBlocked) {
   // No endpoint at the target IP: every sweep times out everywhere and the
   // conservative verdict is "not blocked" (no control baseline).
