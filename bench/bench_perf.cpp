@@ -28,6 +28,55 @@ static void BM_ClientHelloSerialize(benchmark::State& state) {
 }
 BENCHMARK(BM_ClientHelloSerialize);
 
+// Buffer-reuse regression guards: the *_Reuse variants must stay at or
+// below their allocating counterparts — they serialize into a buffer whose
+// capacity survives iterations, so a regression here means the reuse path
+// lost its zero-allocation property.
+static void BM_HttpSerializeReuse(benchmark::State& state) {
+  net::HttpRequest req = net::HttpRequest::get("www.example.com");
+  Bytes buf;
+  for (auto _ : state) {
+    req.serialize_into(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_HttpSerializeReuse);
+
+static void BM_ClientHelloSerializeReuse(benchmark::State& state) {
+  net::ClientHello ch = net::ClientHello::make("www.example.com");
+  Bytes buf;
+  for (auto _ : state) {
+    ch.serialize_into(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_ClientHelloSerializeReuse);
+
+static void BM_PacketSerializeFull(benchmark::State& state) {
+  net::Packet pkt = net::make_tcp_packet(
+      net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 9, 1), 40000, 80,
+      net::TcpFlags::kPsh | net::TcpFlags::kAck, 1, 1,
+      net::HttpRequest::get("www.example.com").serialize_bytes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkt.serialize());
+  }
+}
+BENCHMARK(BM_PacketSerializeFull);
+
+static void BM_PacketSerializePrefixQuote(benchmark::State& state) {
+  // The ICMP-quote hot path: at most 128 wire bytes into a reused buffer.
+  net::Packet pkt = net::make_tcp_packet(
+      net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 9, 1), 40000, 80,
+      net::TcpFlags::kPsh | net::TcpFlags::kAck, 1, 1,
+      net::HttpRequest::get("www.example.com").serialize_bytes());
+  Bytes buf;
+  for (auto _ : state) {
+    pkt.serialize_prefix(buf, net::quote_limit(net::QuotePolicy::kRfc1812Full));
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_PacketSerializePrefixQuote);
+
 static void BM_ClientHelloParse(benchmark::State& state) {
   Bytes bytes = net::ClientHello::make("www.example.com").serialize();
   for (auto _ : state) {

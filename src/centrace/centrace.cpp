@@ -80,6 +80,14 @@ Bytes CenTrace::build_payload(const std::string& domain) const {
   return net::HttpRequest::get(domain).serialize_bytes();
 }
 
+const Bytes& CenTrace::payload_for(const std::string& domain) {
+  auto it = payload_cache_.find(domain);
+  if (it == payload_cache_.end()) {
+    it = payload_cache_.emplace(domain, build_payload(domain)).first;
+  }
+  return it->second;
+}
+
 namespace {
 
 /// Classify a bare DNS answer received over UDP.
@@ -268,7 +276,7 @@ HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, 
 SingleTrace CenTrace::sweep(net::Ipv4Address endpoint, const std::string& domain) {
   SingleTrace trace;
   trace.domain = domain;
-  Bytes payload = build_payload(domain);
+  const Bytes& payload = payload_for(domain);
 
   int consecutive_timeouts = 0;
   for (int ttl = 1; ttl <= options_.max_ttl; ++ttl) {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -186,6 +187,9 @@ class CenTrace {
 
  private:
   Bytes build_payload(const std::string& domain) const;
+  /// Cached wire payload for `domain` (the protocol is fixed per instance,
+  /// so one entry per domain serves every repetition of every sweep).
+  const Bytes& payload_for(const std::string& domain);
   HopObservation probe(net::Ipv4Address endpoint, const Bytes& payload, int ttl);
   void aggregate(CenTraceReport& report) const;
   void score_confidence(CenTraceReport& report) const;
@@ -200,6 +204,8 @@ class CenTrace {
   /// Probes in the current measurement that answered only after retries —
   /// the live loss signal driving the adaptive retry budget.
   int loss_recovered_probes_ = 0;
+  /// Serialized payloads by domain, built once instead of per sweep.
+  std::map<std::string, Bytes> payload_cache_;
 };
 
 }  // namespace cen::trace

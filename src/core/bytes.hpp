@@ -28,6 +28,13 @@ class ParseError : public std::runtime_error {
 /// Append-only big-endian encoder.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Adopt an existing buffer to reuse its capacity: the buffer is moved
+  /// in and cleared. Pair with `std::move(w).take()` to hand it back —
+  /// the serialize-into-scratch pattern the hot paths use to avoid
+  /// per-call allocations.
+  explicit ByteWriter(Bytes&& reuse) : buf_(std::move(reuse)) { buf_.clear(); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
   void u24(std::uint32_t v);

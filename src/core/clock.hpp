@@ -17,6 +17,8 @@ class SimClock {
  public:
   SimTime now() const { return now_ms_; }
   void advance(SimTime delta_ms) { now_ms_ += delta_ms; }
+  /// Rewind to simulation start (fresh measurement epoch).
+  void reset() { now_ms_ = 0; }
 
  private:
   SimTime now_ms_ = 0;

@@ -1,0 +1,83 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cen {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::hardware_threads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(int, std::size_t)>& fn) {
+  if (count == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_count_ = count;
+    cursor_.store(0, std::memory_order_relaxed);
+    workers_running_ = workers_.size();
+    error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return workers_running_ == 0; });
+    job_ = nullptr;
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_loop(int id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int, std::size_t)>* job = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      count = job_count_;
+    }
+    for (;;) {
+      std::size_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) break;
+      try {
+        (*job)(id, index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace cen

@@ -1,0 +1,64 @@
+// Minimal persistent worker pool for deterministic measurement fan-out.
+//
+// A pool owns N long-lived worker threads. `parallel_for(count, fn)`
+// dispatches indices [0, count) to the workers through an atomic cursor
+// (dynamic load balancing — measurement tasks vary wildly in cost) and
+// blocks until every index has been processed. Each invocation receives
+// the id of the worker running it, which callers use to select
+// worker-private state (e.g. a per-worker `sim::Network` replica) without
+// locking. Determinism is the *caller's* contract: tasks must be hermetic
+// (result a pure function of the index), so the scheduling order the
+// cursor happens to produce can never leak into results.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cen {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Run fn(worker_id, index) for every index in [0, count); returns when
+  /// all invocations completed. The first exception a task throws is
+  /// rethrown here (remaining indices are still drained). Not reentrant:
+  /// tasks must not call parallel_for on the same pool.
+  void parallel_for(std::size_t count,
+                    const std::function<void(int, std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a sane floor of 1.
+  static int hardware_threads();
+
+ private:
+  void worker_loop(int id);
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+
+  // Current job (guarded by mu_ for publication; cursor is atomic).
+  const std::function<void(int, std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::atomic<std::size_t> cursor_{0};
+  std::size_t workers_running_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace cen

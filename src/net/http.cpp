@@ -34,6 +34,36 @@ std::string HttpRequest::serialize() const {
   return out;
 }
 
+void HttpRequest::serialize_into(Bytes& out) const {
+  out.clear();
+  std::size_t total = method.size() + 1 + path.size() + 1 + version.size() +
+                      request_line_delim.size() + host_word.size() + host.size() +
+                      host_delim.size() + trailer.size();
+  for (const auto& [name, value] : extra_headers) {
+    total += name.size() + 2 + value.size() + 2;
+  }
+  out.reserve(total);
+  auto append = [&out](std::string_view s) {
+    out.insert(out.end(), s.begin(), s.end());
+  };
+  append(method);
+  out.push_back(' ');
+  append(path);
+  out.push_back(' ');
+  append(version);
+  append(request_line_delim);
+  append(host_word);
+  append(host);
+  append(host_delim);
+  for (const auto& [name, value] : extra_headers) {
+    append(name);
+    append(": ");
+    append(value);
+    append("\r\n");
+  }
+  append(trailer);
+}
+
 Bytes HttpRequest::serialize_bytes() const { return to_bytes(serialize()); }
 
 bool is_registered_http_method(std::string_view method) {

@@ -33,6 +33,9 @@ struct HttpRequest {
   static HttpRequest get(std::string hostname);
   /// Exact on-the-wire bytes.
   std::string serialize() const;
+  /// Append the wire bytes into a reused buffer (cleared first, capacity
+  /// kept) — the repeated-sweep hot path.
+  void serialize_into(Bytes& out) const;
   Bytes serialize_bytes() const;
 };
 

@@ -4,20 +4,23 @@
 
 namespace cen::net {
 
+std::size_t quote_limit(QuotePolicy policy) {
+  switch (policy) {
+    case QuotePolicy::kRfc792:
+      // 20-byte IP header (we never emit IP options) + 8 bytes of payload.
+      return 28;
+    case QuotePolicy::kRfc1812Full:
+      return 128;
+  }
+  return 28;
+}
+
 IcmpTimeExceeded IcmpTimeExceeded::make(Ipv4Address router, BytesView original_packet,
                                         QuotePolicy policy) {
   IcmpTimeExceeded msg;
   msg.router = router;
-  std::size_t quote_len = 0;
-  switch (policy) {
-    case QuotePolicy::kRfc792:
-      // 20-byte IP header (we never emit IP options) + 8 bytes of payload.
-      quote_len = std::min<std::size_t>(original_packet.size(), 28);
-      break;
-    case QuotePolicy::kRfc1812Full:
-      quote_len = std::min<std::size_t>(original_packet.size(), 128);
-      break;
-  }
+  std::size_t quote_len =
+      std::min<std::size_t>(original_packet.size(), quote_limit(policy));
   msg.quoted.assign(original_packet.begin(),
                     original_packet.begin() + static_cast<std::ptrdiff_t>(quote_len));
   return msg;

@@ -19,6 +19,9 @@ enum class QuotePolicy : std::uint8_t {
   kRfc1812Full  // entire original datagram (up to 128 bytes, as many stacks cap)
 };
 
+/// Maximum bytes a policy quotes (28 for RFC 792, 128 for RFC 1812).
+std::size_t quote_limit(QuotePolicy policy);
+
 struct IcmpTimeExceeded {
   static constexpr std::uint8_t kType = 11;
   static constexpr std::uint8_t kCodeTtlExceeded = 0;

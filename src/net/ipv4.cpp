@@ -48,8 +48,8 @@ std::uint16_t internet_checksum(BytesView data) {
   return static_cast<std::uint16_t>(~sum);
 }
 
-Bytes Ipv4Header::serialize() const {
-  ByteWriter w;
+void Ipv4Header::serialize_into(ByteWriter& w) const {
+  const std::size_t start = w.size();
   w.u8(static_cast<std::uint8_t>(version << 4 | (ihl & 0xf)));
   w.u8(tos);
   w.u16(total_length);
@@ -60,11 +60,14 @@ Bytes Ipv4Header::serialize() const {
   w.u16(0);  // checksum placeholder
   w.u32(src.value());
   w.u32(dst.value());
-  Bytes out = std::move(w).take();
-  std::uint16_t csum = internet_checksum(out);
-  out[10] = static_cast<std::uint8_t>(csum >> 8);
-  out[11] = static_cast<std::uint8_t>(csum);
-  return out;
+  std::uint16_t csum = internet_checksum(BytesView(w.bytes()).subspan(start, 20));
+  w.patch_u16(start + 10, csum);
+}
+
+Bytes Ipv4Header::serialize() const {
+  ByteWriter w;
+  serialize_into(w);
+  return std::move(w).take();
 }
 
 Ipv4Header Ipv4Header::parse(ByteReader& r) {

@@ -56,6 +56,9 @@ struct Ipv4Header {
 
   /// Serialize to exactly 20 bytes with a correct header checksum.
   Bytes serialize() const;
+  /// Append the same 20 bytes to an existing writer (allocation-free when
+  /// the writer's buffer has capacity).
+  void serialize_into(ByteWriter& w) const;
   /// Parse 20 bytes; throws ParseError on truncation or bad version.
   static Ipv4Header parse(ByteReader& r);
 

@@ -1,17 +1,33 @@
 #include "net/packet.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace cen::net {
 
 Bytes Packet::serialize() const {
-  Bytes tcp_bytes = tcp.serialize();
+  Bytes out;
+  serialize_into(out);
+  return out;
+}
+
+void Packet::serialize_into(Bytes& out) const {
+  serialize_prefix(out, std::numeric_limits<std::size_t>::max());
+}
+
+void Packet::serialize_prefix(Bytes& out, std::size_t max_len) const {
+  ByteWriter w(std::move(out));
   Ipv4Header hdr = ip;
   hdr.total_length =
-      static_cast<std::uint16_t>(20 + tcp_bytes.size() + payload.size());
-  ByteWriter w;
-  w.raw(hdr.serialize());
-  w.raw(tcp_bytes);
-  w.raw(payload);
-  return std::move(w).take();
+      static_cast<std::uint16_t>(20 + tcp.wire_size() + payload.size());
+  hdr.serialize_into(w);
+  tcp.serialize_into(w);
+  if (w.size() < max_len) {
+    BytesView tail(payload);
+    w.raw(tail.first(std::min(max_len - w.size(), tail.size())));
+  }
+  out = std::move(w).take();
+  if (out.size() > max_len) out.resize(max_len);
 }
 
 Packet Packet::parse(BytesView bytes) {

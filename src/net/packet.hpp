@@ -21,6 +21,14 @@ struct Packet {
 
   /// Serialize IP + TCP + payload, fixing up ip.total_length.
   Bytes serialize() const;
+  /// Serialize into a reused buffer (cleared first, capacity kept).
+  void serialize_into(Bytes& out) const;
+  /// Serialize at most the first `max_len` wire bytes into a reused
+  /// buffer. The IP total_length field still describes the *full* packet,
+  /// exactly as in a truncated quote of the real datagram — this is the
+  /// allocation-light path ICMP quoted-packet construction uses (quotes
+  /// cap at 28/128 bytes, so large payloads are never copied).
+  void serialize_prefix(Bytes& out, std::size_t max_len) const;
   /// Parse a full packet from bytes (IP proto must be TCP).
   static Packet parse(BytesView bytes);
   /// Parse possibly-truncated bytes, as quoted inside ICMP errors:

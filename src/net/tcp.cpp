@@ -30,39 +30,52 @@ TcpOption TcpOption::nop() {
 
 namespace {
 
-Bytes encode_options(const std::vector<TcpOption>& options) {
-  ByteWriter w;
+/// Encoded option-list length including EOL padding to a 4-byte multiple.
+std::size_t options_wire_size(const std::vector<TcpOption>& options) {
+  std::size_t n = 0;
+  for (const TcpOption& o : options) {
+    n += (o.kind == 0 || o.kind == 1) ? 1 : 2 + o.data.size();
+  }
+  return (n + 3) & ~static_cast<std::size_t>(3);
+}
+
+void encode_options_into(const std::vector<TcpOption>& options, ByteWriter& w) {
+  std::size_t start = w.size();
   for (const TcpOption& o : options) {
     w.u8(o.kind);
     if (o.kind == 0 || o.kind == 1) continue;  // EOL / NOP have no length
     w.u8(static_cast<std::uint8_t>(o.data.size() + 2));
     w.raw(o.data);
   }
-  Bytes out = std::move(w).take();
-  while (out.size() % 4 != 0) out.push_back(0);  // pad with EOL
-  return out;
+  while ((w.size() - start) % 4 != 0) w.u8(0);  // pad with EOL
 }
 
 }  // namespace
 
 std::uint8_t TcpHeader::data_offset_words() const {
-  return static_cast<std::uint8_t>(5 + encode_options(options).size() / 4);
+  return static_cast<std::uint8_t>(5 + options_wire_size(options) / 4);
 }
 
-Bytes TcpHeader::serialize() const {
-  Bytes opt_bytes = encode_options(options);
-  ByteWriter w;
+std::size_t TcpHeader::wire_size() const {
+  return 20 + options_wire_size(options);
+}
+
+void TcpHeader::serialize_into(ByteWriter& w) const {
   w.u16(src_port);
   w.u16(dst_port);
   w.u32(seq);
   w.u32(ack);
-  std::uint8_t offset = static_cast<std::uint8_t>(5 + opt_bytes.size() / 4);
-  w.u8(static_cast<std::uint8_t>(offset << 4));
+  w.u8(static_cast<std::uint8_t>(data_offset_words() << 4));
   w.u8(flags);
   w.u16(window);
   w.u16(0);  // checksum unused in simulation
   w.u16(urgent);
-  w.raw(opt_bytes);
+  encode_options_into(options, w);
+}
+
+Bytes TcpHeader::serialize() const {
+  ByteWriter w;
+  serialize_into(w);
   return std::move(w).take();
 }
 

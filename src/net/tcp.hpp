@@ -52,6 +52,11 @@ struct TcpHeader {
   std::uint8_t data_offset_words() const;
   /// Serialize; checksum field is zero (the simulator does not corrupt data).
   Bytes serialize() const;
+  /// Append the same bytes to an existing writer without intermediate
+  /// option-buffer allocations.
+  void serialize_into(ByteWriter& w) const;
+  /// On-the-wire header size (20 + padded options), without serializing.
+  std::size_t wire_size() const;
   static TcpHeader parse(ByteReader& r);
   /// Short human-readable flag string, e.g. "SYN|ACK".
   std::string flags_str() const;

@@ -116,34 +116,43 @@ void ClientHello::add_padding(std::size_t len) {
 }
 
 Bytes ClientHello::serialize() const {
-  // Handshake body.
-  ByteWriter body;
-  body.u16(static_cast<std::uint16_t>(legacy_version));
-  body.raw(BytesView(random.data(), random.size()));
-  body.u8(static_cast<std::uint8_t>(session_id.size()));
-  body.raw(session_id);
-  body.u16(static_cast<std::uint16_t>(cipher_suites.size() * 2));
-  for (std::uint16_t cs : cipher_suites) body.u16(cs);
-  body.u8(static_cast<std::uint8_t>(compression_methods.size()));
-  for (std::uint8_t cm : compression_methods) body.u8(cm);
-  ByteWriter exts;
-  for (const TlsExtension& ext : extensions) {
-    exts.u16(ext.type);
-    exts.u16(static_cast<std::uint16_t>(ext.data.size()));
-    exts.raw(ext.data);
-  }
-  body.u16(static_cast<std::uint16_t>(exts.size()));
-  body.raw(exts.bytes());
+  Bytes out;
+  serialize_into(out);
+  return out;
+}
 
-  // Handshake header (type 1 = client_hello) + record header (type 22).
-  ByteWriter rec;
-  rec.u8(22);  // handshake record
-  rec.u16(static_cast<std::uint16_t>(record_version));
-  rec.u16(static_cast<std::uint16_t>(body.size() + 4));
-  rec.u8(1);  // client_hello
-  rec.u24(static_cast<std::uint32_t>(body.size()));
-  rec.raw(body.bytes());
-  return std::move(rec).take();
+void ClientHello::serialize_into(Bytes& out) const {
+  // All lengths are computable up front, so the record is written in one
+  // pass with no intermediate body/extension buffers.
+  std::size_t ext_total = 0;
+  for (const TlsExtension& ext : extensions) ext_total += 4 + ext.data.size();
+  std::size_t body_len = 2 + 32 + 1 + session_id.size() + 2 +
+                         cipher_suites.size() * 2 + 1 + compression_methods.size() +
+                         2 + ext_total;
+
+  ByteWriter w(std::move(out));
+  // Record header (type 22) + handshake header (type 1 = client_hello).
+  w.u8(22);
+  w.u16(static_cast<std::uint16_t>(record_version));
+  w.u16(static_cast<std::uint16_t>(body_len + 4));
+  w.u8(1);
+  w.u24(static_cast<std::uint32_t>(body_len));
+  // Handshake body.
+  w.u16(static_cast<std::uint16_t>(legacy_version));
+  w.raw(BytesView(random.data(), random.size()));
+  w.u8(static_cast<std::uint8_t>(session_id.size()));
+  w.raw(session_id);
+  w.u16(static_cast<std::uint16_t>(cipher_suites.size() * 2));
+  for (std::uint16_t cs : cipher_suites) w.u16(cs);
+  w.u8(static_cast<std::uint8_t>(compression_methods.size()));
+  for (std::uint8_t cm : compression_methods) w.u8(cm);
+  w.u16(static_cast<std::uint16_t>(ext_total));
+  for (const TlsExtension& ext : extensions) {
+    w.u16(ext.type);
+    w.u16(static_cast<std::uint16_t>(ext.data.size()));
+    w.raw(ext.data);
+  }
+  out = std::move(w).take();
 }
 
 ClientHello ClientHello::parse(BytesView bytes) {

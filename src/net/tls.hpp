@@ -71,6 +71,10 @@ struct ClientHello {
 
   /// Full record bytes: record header + handshake header + body.
   Bytes serialize() const;
+  /// Serialize into a reused buffer (cleared first, capacity kept).
+  /// Single pass with precomputed lengths — no intermediate body/extension
+  /// buffers — producing bytes identical to serialize().
+  void serialize_into(Bytes& out) const;
   /// Parse full record bytes; throws ParseError on malformed input.
   static ClientHello parse(BytesView bytes);
 };

@@ -3,11 +3,36 @@
 
 namespace cen::sim {
 
+namespace {
+/// Salt folded into a seed to derive the fault-layer RNG stream.
+constexpr std::uint64_t kFaultSeedSalt = 0x66616c7453696dULL;
+}  // namespace
+
 Network::Network(Topology topology, geo::IpMetadataDb geodb, std::uint64_t seed)
     : topology_(std::move(topology)),
       geodb_(std::move(geodb)),
+      seed_(seed),
       rng_(seed),
-      faults_(mix64(seed ^ 0x66616c7453696dULL)) {}
+      faults_(mix64(seed ^ kFaultSeedSalt)) {}
+
+std::unique_ptr<Network> Network::clone() const {
+  auto replica = std::make_unique<Network>(topology_, geodb_, seed_);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    replica->attach_device(device_nodes_[i],
+                           std::make_shared<censor::Device>(devices_[i]->config()));
+  }
+  replica->endpoints_ = endpoints_;
+  replica->faults_.set_plan(faults_.plan());
+  return replica;
+}
+
+void Network::reset_epoch(std::uint64_t substream_seed) {
+  clock_.reset();
+  rng_ = Rng(substream_seed);
+  faults_.reset_state(mix64(substream_seed ^ kFaultSeedSalt));
+  next_ephemeral_port_ = kEphemeralPortFloor;
+  for (const auto& dev : devices_) dev->reset_state();
+}
 
 std::uint16_t Network::allocate_ephemeral_port() {
   std::uint16_t sport = next_ephemeral_port_++;
@@ -20,6 +45,7 @@ std::uint16_t Network::allocate_ephemeral_port() {
 void Network::attach_device(NodeId at, std::shared_ptr<censor::Device> device) {
   attachments_[at].push_back({at, device});
   devices_.push_back(std::move(device));
+  device_nodes_.push_back(at);
 }
 
 void Network::add_endpoint(NodeId node, EndpointProfile profile) {
@@ -252,8 +278,14 @@ bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
         if (n.profile.responds_icmp &&
             (!faulty || faults_.allow_icmp(nid, clock_.now())) &&
             (!faulty || (d = icmp_delivery(path, i)).delivered)) {
-          net::IcmpTimeExceeded icmp = net::IcmpTimeExceeded::make(
-              n.ip, pkt.serialize(), n.profile.quote_policy);
+          // Quotes cap at 28/128 bytes, so only that prefix of the wire
+          // bytes is serialized — into a reused scratch buffer, not a
+          // fresh full-packet Bytes per expiring hop.
+          pkt.serialize_prefix(quote_scratch_,
+                               net::quote_limit(n.profile.quote_policy));
+          net::IcmpTimeExceeded icmp;
+          icmp.router = n.ip;
+          icmp.quoted.assign(quote_scratch_.begin(), quote_scratch_.end());
           if (capture_ != nullptr) {
             // Reconstruct the full ICMP datagram for the capture file.
             net::Ipv4Header ip;

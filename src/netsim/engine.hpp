@@ -102,6 +102,25 @@ class Network {
  public:
   Network(Topology topology, geo::IpMetadataDb geodb, std::uint64_t seed = 1);
 
+  /// Deep-copy the network for a parallel worker: same topology, geo
+  /// metadata, endpoints, fault plan and construction seed, but *fresh*
+  /// device instances (no inherited flow/residual state), a rewound clock,
+  /// a reset ephemeral-port pool and no capture sink. Replicas are fully
+  /// independent — no state is shared with the original.
+  std::unique_ptr<Network> clone() const;
+
+  /// Reset all mutable simulation state to a deterministic epoch derived
+  /// from `substream_seed`: clock to 0, ephemeral ports to the floor,
+  /// device flow/residual state cleared, the engine RNG reseeded with the
+  /// substream and the fault RNG rebased on a substream-derived seed. Two
+  /// networks built from the same topology that reset to the same seed
+  /// replay byte-identical measurements — the contract the parallel
+  /// pipeline's hermetic tasks rely on.
+  void reset_epoch(std::uint64_t substream_seed);
+
+  /// The seed the network was constructed with (substream derivation).
+  std::uint64_t seed() const { return seed_; }
+
   Topology& topology() { return topology_; }
   const Topology& topology() const { return topology_; }
   const geo::IpMetadataDb& geodb() const { return geodb_; }
@@ -201,6 +220,7 @@ class Network {
   Topology topology_;
   geo::IpMetadataDb geodb_;
   SimClock clock_;
+  std::uint64_t seed_ = 1;
   Rng rng_;
   mutable FaultInjector faults_;
   net::PcapWriter* capture_ = nullptr;
@@ -208,6 +228,13 @@ class Network {
   std::map<NodeId, std::vector<Attachment>> attachments_;
   std::map<std::uint32_t, EndpointHost> endpoints_;  // by IP value
   std::vector<std::shared_ptr<censor::Device>> devices_;
+  /// Deployment node of devices_[i] (clone() rebuilds attachments in the
+  /// original deployment order so device iteration order is preserved).
+  std::vector<NodeId> device_nodes_;
+  /// Reused scratch for ICMP quoted-packet construction (the per-hop hot
+  /// path serializes at most the quote cap into this buffer instead of
+  /// the whole probe).
+  Bytes quote_scratch_;
 };
 
 }  // namespace cen::sim

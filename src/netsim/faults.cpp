@@ -118,6 +118,11 @@ void FaultInjector::reset_state() {
   rng_ = Rng(seed_);
 }
 
+void FaultInjector::reset_state(std::uint64_t seed) {
+  seed_ = seed;
+  reset_state();
+}
+
 bool FaultInjector::lose_on_link(NodeId a, NodeId b) {
   const FaultProfile& p = plan_.link(a, b);
   return p.loss > 0.0 && rng_.chance(p.loss);

@@ -159,6 +159,10 @@ class FaultInjector {
 
   /// Reset token buckets and rewind the fault RNG to its seed.
   void reset_state();
+  /// Rebase the fault RNG on a new seed, then reset. Used by hermetic
+  /// measurement epochs (Network::reset_epoch) so each parallel task
+  /// replays its own independent fault substream.
+  void reset_state(std::uint64_t seed);
 
  private:
   struct TokenBucket {

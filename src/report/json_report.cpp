@@ -174,4 +174,39 @@ std::string to_json(const probe::DeviceProbeReport& report) {
   return w.str();
 }
 
+std::string to_json(const scenario::PipelineResult& result) {
+  // Composed from the per-report serializers (each emits a complete JSON
+  // document), so the envelope is assembled textually.
+  std::string out;
+  out += "{\"country\":\"" + json_escape(result.country) + "\"";
+  out += ",\"remote_traces\":[";
+  for (std::size_t i = 0; i < result.remote_traces.size(); ++i) {
+    if (i > 0) out += ',';
+    out += to_json(result.remote_traces[i], /*include_sweeps=*/true);
+  }
+  out += "],\"incountry_traces\":[";
+  for (std::size_t i = 0; i < result.incountry_traces.size(); ++i) {
+    if (i > 0) out += ',';
+    out += to_json(result.incountry_traces[i], /*include_sweeps=*/true);
+  }
+  out += "],\"device_probes\":{";
+  bool first = true;
+  for (const auto& [ip, rep] : result.device_probes) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + net::Ipv4Address(ip).str() + "\":" + to_json(rep);
+  }
+  out += "},\"measurements\":[";
+  for (std::size_t i = 0; i < result.measurements.size(); ++i) {
+    const ml::EndpointMeasurement& m = result.measurements[i];
+    if (i > 0) out += ',';
+    out += "{\"endpoint_id\":\"" + json_escape(m.endpoint_id) + "\"";
+    out += ",\"fuzz\":" + (m.fuzz ? to_json(*m.fuzz) : std::string("null"));
+    out += ",\"banner\":" + (m.banner ? to_json(*m.banner) : std::string("null"));
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace cen::report

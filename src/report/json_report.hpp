@@ -8,6 +8,7 @@
 #include "cenfuzz/cenfuzz.hpp"
 #include "cenprobe/fingerprints.hpp"
 #include "centrace/centrace.hpp"
+#include "scenario/pipeline.hpp"
 
 namespace cen::report {
 
@@ -19,5 +20,11 @@ std::string to_json(const fuzz::CenFuzzReport& report);
 
 /// CenProbe device report: ports, banners, vendor label.
 std::string to_json(const probe::DeviceProbeReport& report);
+
+/// Whole pipeline result: country, every remote/in-country trace (with
+/// per-sweep hop logs), device probes keyed by IP and the per-endpoint
+/// measurement bundles. This is the canonical golden-file format the
+/// serial-vs-parallel determinism tests byte-compare.
+std::string to_json(const scenario::PipelineResult& result);
 
 }  // namespace cen::report

@@ -1,0 +1,52 @@
+#include "scenario/executor.hpp"
+
+namespace cen::scenario {
+
+int resolve_threads(int requested) {
+  if (requested >= 1) return requested;
+  if (requested == 0) return 1;
+  return ThreadPool::hardware_threads();
+}
+
+std::uint64_t task_key(std::uint32_t endpoint, std::string_view domain,
+                       std::uint64_t tag) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (char c : domain) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV-1a prime
+  }
+  h ^= mix64((static_cast<std::uint64_t>(endpoint) << 16) ^ tag);
+  return mix64(h);
+}
+
+std::vector<std::uint64_t> derive_task_seeds(std::uint64_t network_seed,
+                                             std::uint64_t stage_salt,
+                                             const std::vector<std::uint64_t>& keys) {
+  Rng base(mix64(network_seed ^ stage_salt));
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(keys.size());
+  for (std::uint64_t key : keys) {
+    Rng sub = base.fork();
+    seeds.push_back(sub.next() ^ key);
+  }
+  return seeds;
+}
+
+ParallelExecutor::ParallelExecutor(const sim::Network& prototype, int threads)
+    : pool_(resolve_threads(threads)) {
+  replicas_.reserve(static_cast<std::size_t>(pool_.size()));
+  for (int i = 0; i < pool_.size(); ++i) {
+    replicas_.push_back(prototype.clone());
+  }
+}
+
+void ParallelExecutor::run(const std::vector<std::uint64_t>& seeds,
+                           const std::function<void(sim::Network&, std::size_t)>& fn) {
+  pool_.parallel_for(seeds.size(), [&](int worker, std::size_t index) {
+    sim::Network& replica = *replicas_[static_cast<std::size_t>(worker)];
+    replica.reset_epoch(seeds[index]);
+    fn(replica, index);
+  });
+}
+
+}  // namespace cen::scenario

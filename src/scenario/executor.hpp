@@ -1,0 +1,68 @@
+// Deterministic parallel fan-out of measurement tasks over worker-private
+// Network replicas.
+//
+// Real measurement campaigns run vantage points concurrently; the paper's
+// pipeline is embarrassingly parallel at the (endpoint, domain, protocol)
+// grain. The executor makes that parallelism *deterministic*: every task
+// is hermetic — before it runs, the worker's replica is reset to an epoch
+// derived purely from the task's identity (via `Rng::fork()` substreams),
+// so the result is a function of the task alone. Scheduling order, thread
+// count and cursor interleaving can never leak into results, which is what
+// lets the golden tests assert byte-identical JSON for 1, 2, 4, ... threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "netsim/engine.hpp"
+
+namespace cen::scenario {
+
+/// Resolve a PipelineOptions::threads value to a concrete worker count:
+/// -1 (or any negative) = one worker per hardware thread, >= 1 = exactly
+/// that many. 0 is the caller's serial-path sentinel and never reaches
+/// the executor; it resolves to 1 defensively.
+int resolve_threads(int requested);
+
+/// Order-free identity hash of a hermetic task: FNV-1a over the domain
+/// mixed with the endpoint and a small stage/protocol tag. Deliberately
+/// not std::hash (implementation-defined) — seeds must be stable across
+/// platforms and standard libraries.
+std::uint64_t task_key(std::uint32_t endpoint, std::string_view domain,
+                       std::uint64_t tag);
+
+/// Substream seeds for an ordered task list. A base generator seeded from
+/// (network seed, stage salt) is forked once per slot — the fork chain
+/// encodes the task's position — and each fork's first draw is folded
+/// with the task's identity key. Depends only on the list, never on how
+/// the tasks are later scheduled.
+std::vector<std::uint64_t> derive_task_seeds(std::uint64_t network_seed,
+                                             std::uint64_t stage_salt,
+                                             const std::vector<std::uint64_t>& keys);
+
+class ParallelExecutor {
+ public:
+  /// Clone one replica of `prototype` per worker. The prototype is only
+  /// read during construction; afterwards workers touch only their own
+  /// replica.
+  ParallelExecutor(const sim::Network& prototype, int threads);
+
+  int threads() const { return pool_.size(); }
+
+  /// Run one hermetic task per seed: task i executes fn(replica, i) on a
+  /// worker-private replica freshly reset_epoch(seeds[i]). fn must write
+  /// its result into a caller-owned per-index slot (no shared mutable
+  /// state). Blocks until every task completed.
+  void run(const std::vector<std::uint64_t>& seeds,
+           const std::function<void(sim::Network&, std::size_t)>& fn);
+
+ private:
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<sim::Network>> replicas_;
+};
+
+}  // namespace cen::scenario

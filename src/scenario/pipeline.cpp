@@ -1,6 +1,9 @@
 #include "scenario/pipeline.hpp"
 
 #include <algorithm>
+#include <set>
+
+#include "scenario/executor.hpp"
 
 namespace cen::scenario {
 
@@ -17,15 +20,35 @@ double PipelineResult::mean_remote_confidence() const {
   return sum / static_cast<double>(remote_traces.size());
 }
 
+std::vector<std::size_t> stride_sample_indices(std::size_t n, int cap) {
+  std::vector<std::size_t> out;
+  if (cap < 0 || static_cast<std::size_t>(cap) >= n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  out.reserve(static_cast<std::size_t>(cap));
+  const std::uint64_t n64 = n;
+  const std::uint64_t cap64 = static_cast<std::uint64_t>(cap);
+  for (std::uint64_t i = 0; i < cap64; ++i) {
+    // (i*n)/cap is strictly increasing for cap < n, so no index repeats —
+    // the float-stride version this replaces could truncate two i values
+    // onto the same element and silently measure it twice.
+    out.push_back(static_cast<std::size_t>(i * n64 / cap64));
+  }
+  return out;
+}
+
 namespace {
 
+// Stage salts separating the substream universes of the three fan-outs.
+constexpr std::uint64_t kTraceStageSalt = 0x747261636531ULL;  // "trace1"
+constexpr std::uint64_t kProbeStageSalt = 0x70726f626532ULL;  // "probe2"
+constexpr std::uint64_t kFuzzStageSalt = 0x66757a7a33ULL;     // "fuzz3"
+
 std::vector<net::Ipv4Address> sample(const std::vector<net::Ipv4Address>& v, int cap) {
-  if (cap < 0 || static_cast<int>(v.size()) <= cap) return v;
   std::vector<net::Ipv4Address> out;
-  double stride = static_cast<double>(v.size()) / cap;
-  for (int i = 0; i < cap; ++i) {
-    out.push_back(v[static_cast<std::size_t>(i * stride)]);
-  }
+  for (std::size_t idx : stride_sample_indices(v.size(), cap)) out.push_back(v[idx]);
   return out;
 }
 
@@ -46,19 +69,47 @@ struct PipelineInput {
   std::string country;
 };
 
-PipelineResult run(const PipelineInput& in, const PipelineOptions& options) {
+trace::CenTraceOptions trace_options(const PipelineOptions& options,
+                                     trace::ProbeProtocol protocol) {
+  trace::CenTraceOptions o;
+  o.repetitions = options.centrace_repetitions;
+  o.retry_backoff = options.centrace_retry_backoff;
+  o.adaptive_max_retries = options.centrace_adaptive_retries;
+  o.protocol = protocol;
+  return o;
+}
+
+// ---- Stage 4: bundle (shared by the serial and hermetic paths). ----
+void bundle(PipelineResult& result, const std::string& country,
+            const std::map<std::uint32_t, const trace::CenTraceReport*>& blocked_by_endpoint,
+            const std::map<std::uint32_t, fuzz::CenFuzzReport>& fuzz_by_endpoint) {
+  for (const auto& [ep, rep] : blocked_by_endpoint) {
+    ml::EndpointMeasurement m;
+    m.endpoint_id = net::Ipv4Address(ep).str();
+    m.country = country;
+    m.trace = *rep;
+    auto fz = fuzz_by_endpoint.find(ep);
+    if (fz != fuzz_by_endpoint.end()) m.fuzz = fz->second;
+    if (rep->blocking_hop_ip) {
+      auto pb = result.device_probes.find(rep->blocking_hop_ip->value());
+      if (pb != result.device_probes.end()) m.banner = pb->second;
+    }
+    result.measurements.push_back(std::move(m));
+  }
+}
+
+/// The historical single-network path (threads = 0): every measurement
+/// shares one network whose RNG/clock/port state flows through the whole
+/// campaign. Byte-for-byte the pre-parallel behaviour.
+PipelineResult run_serial(const PipelineInput& in, const PipelineOptions& options) {
   PipelineResult result;
   result.country = in.country;
   sim::Network& net = *in.network;
   net.set_fault_plan(options.faults);
   if (options.transient_loss > 0.0) net.set_transient_loss(options.transient_loss);
 
-  trace::CenTraceOptions http_opts;
-  http_opts.repetitions = options.centrace_repetitions;
-  http_opts.retry_backoff = options.centrace_retry_backoff;
-  http_opts.adaptive_max_retries = options.centrace_adaptive_retries;
-  trace::CenTraceOptions https_opts = http_opts;
-  https_opts.protocol = trace::ProbeProtocol::kHttps;
+  trace::CenTraceOptions http_opts = trace_options(options, trace::ProbeProtocol::kHttp);
+  trace::CenTraceOptions https_opts = trace_options(options, trace::ProbeProtocol::kHttps);
 
   std::vector<std::string> http_domains = take(in.http_domains, options.max_domains);
   std::vector<std::string> https_domains = take(in.https_domains, options.max_domains);
@@ -116,16 +167,10 @@ PipelineResult run(const PipelineInput& in, const PipelineOptions& options) {
   // ---- Stage 3: CenFuzz blocked endpoints (sampled under the cap). ----
   std::vector<std::uint32_t> blocked_eps;
   for (const auto& [ip, report] : blocked_by_endpoint) blocked_eps.push_back(ip);
-  std::vector<std::uint32_t> fuzz_targets = blocked_eps;
-  if (options.fuzz_max_endpoints >= 0 &&
-      static_cast<int>(fuzz_targets.size()) > options.fuzz_max_endpoints) {
-    std::vector<std::uint32_t> sampled;
-    double stride =
-        static_cast<double>(fuzz_targets.size()) / options.fuzz_max_endpoints;
-    for (int i = 0; i < options.fuzz_max_endpoints; ++i) {
-      sampled.push_back(fuzz_targets[static_cast<std::size_t>(i * stride)]);
-    }
-    fuzz_targets = std::move(sampled);
+  std::vector<std::uint32_t> fuzz_targets;
+  for (std::size_t idx :
+       stride_sample_indices(blocked_eps.size(), options.fuzz_max_endpoints)) {
+    fuzz_targets.push_back(blocked_eps[idx]);
   }
   std::map<std::uint32_t, fuzz::CenFuzzReport> fuzz_by_endpoint;
   if (options.run_fuzz) {
@@ -137,22 +182,151 @@ PipelineResult run(const PipelineInput& in, const PipelineOptions& options) {
     }
   }
 
-  // ---- Stage 4: bundle. ----
-  for (std::uint32_t ep : blocked_eps) {
-    const trace::CenTraceReport* rep = blocked_by_endpoint.at(ep);
-    ml::EndpointMeasurement m;
-    m.endpoint_id = net::Ipv4Address(ep).str();
-    m.country = in.country;
-    m.trace = *rep;
-    auto fz = fuzz_by_endpoint.find(ep);
-    if (fz != fuzz_by_endpoint.end()) m.fuzz = fz->second;
-    if (rep->blocking_hop_ip) {
-      auto pb = result.device_probes.find(rep->blocking_hop_ip->value());
-      if (pb != result.device_probes.end()) m.banner = pb->second;
-    }
-    result.measurements.push_back(std::move(m));
-  }
+  bundle(result, in.country, blocked_by_endpoint, fuzz_by_endpoint);
   return result;
+}
+
+/// The hermetic parallel path (threads >= 1 or auto): every measurement
+/// runs on a worker-private replica reset to a task-derived epoch, so the
+/// merged result is identical for every worker count.
+PipelineResult run_hermetic(const PipelineInput& in, const PipelineOptions& options) {
+  PipelineResult result;
+  result.country = in.country;
+  sim::Network& net = *in.network;
+  // Install the plan on the prototype BEFORE cloning so replicas carry it.
+  net.set_fault_plan(options.faults);
+  if (options.transient_loss > 0.0) net.set_transient_loss(options.transient_loss);
+
+  ParallelExecutor exec(net, options.threads);
+
+  const trace::CenTraceOptions http_opts =
+      trace_options(options, trace::ProbeProtocol::kHttp);
+  const trace::CenTraceOptions https_opts =
+      trace_options(options, trace::ProbeProtocol::kHttps);
+
+  std::vector<std::string> http_domains = take(in.http_domains, options.max_domains);
+  std::vector<std::string> https_domains = take(in.https_domains, options.max_domains);
+
+  // ---- Stage 1: remote + in-country CenTrace as one hermetic batch. ----
+  struct TraceTask {
+    sim::NodeId client;
+    net::Ipv4Address endpoint;
+    const std::string* domain;
+    const trace::CenTraceOptions* opts;
+    bool incountry;
+  };
+  std::vector<TraceTask> tasks;
+  for (net::Ipv4Address endpoint : sample(in.remote_endpoints, options.max_endpoints)) {
+    for (const std::string& domain : http_domains) {
+      tasks.push_back({in.remote_client, endpoint, &domain, &http_opts, false});
+    }
+    for (const std::string& domain : https_domains) {
+      tasks.push_back({in.remote_client, endpoint, &domain, &https_opts, false});
+    }
+  }
+  const std::size_t n_remote = tasks.size();
+  if (in.incountry_client != sim::kInvalidNode && !in.foreign_endpoints.empty()) {
+    std::size_t idx = 0;
+    for (const std::string& domain : in.http_domains) {
+      if (idx >= in.foreign_endpoints.size()) break;
+      tasks.push_back(
+          {in.incountry_client, in.foreign_endpoints[idx++], &domain, &http_opts, true});
+    }
+    for (const std::string& domain : in.https_domains) {
+      if (idx >= in.foreign_endpoints.size()) break;
+      tasks.push_back(
+          {in.incountry_client, in.foreign_endpoints[idx++], &domain, &https_opts, true});
+    }
+  }
+
+  std::vector<std::uint64_t> trace_keys;
+  trace_keys.reserve(tasks.size());
+  for (const TraceTask& t : tasks) {
+    std::uint64_t tag = static_cast<std::uint64_t>(t.opts->protocol) |
+                        (t.incountry ? 0x8u : 0x0u);
+    trace_keys.push_back(task_key(t.endpoint.value(), *t.domain, tag));
+  }
+  std::vector<trace::CenTraceReport> reports(tasks.size());
+  exec.run(derive_task_seeds(net.seed(), kTraceStageSalt, trace_keys),
+           [&](sim::Network& replica, std::size_t i) {
+             const TraceTask& t = tasks[i];
+             trace::CenTrace ct(replica, t.client, *t.opts);
+             reports[i] = ct.measure(t.endpoint, *t.domain, in.control_domain);
+           });
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    (i < n_remote ? result.remote_traces : result.incountry_traces)
+        .push_back(std::move(reports[i]));
+  }
+
+  // ---- Representative blocked trace per endpoint. ----
+  std::map<std::uint32_t, const trace::CenTraceReport*> blocked_by_endpoint;
+  for (const trace::CenTraceReport& r : result.remote_traces) {
+    if (r.blocked) blocked_by_endpoint.emplace(r.endpoint.value(), &r);
+  }
+
+  // ---- Stage 2: CenProbe every distinct in-path blocking-hop IP. ----
+  if (options.run_banner) {
+    std::vector<net::Ipv4Address> probe_ips;
+    std::set<std::uint32_t> seen;
+    for (const trace::CenTraceReport& r : result.remote_traces) {
+      if (!r.blocked || !r.blocking_hop_ip ||
+          r.placement == trace::DevicePlacement::kOnPath) {
+        continue;
+      }
+      if (seen.insert(r.blocking_hop_ip->value()).second) {
+        probe_ips.push_back(*r.blocking_hop_ip);
+      }
+    }
+    std::vector<std::uint64_t> probe_keys;
+    probe_keys.reserve(probe_ips.size());
+    for (net::Ipv4Address ip : probe_ips) {
+      probe_keys.push_back(task_key(ip.value(), {}, 0x10));
+    }
+    std::vector<probe::DeviceProbeReport> probes(probe_ips.size());
+    exec.run(derive_task_seeds(net.seed(), kProbeStageSalt, probe_keys),
+             [&](sim::Network& replica, std::size_t i) {
+               probes[i] = probe::probe_device(replica, probe_ips[i]);
+             });
+    for (std::size_t i = 0; i < probe_ips.size(); ++i) {
+      result.device_probes.emplace(probe_ips[i].value(), std::move(probes[i]));
+    }
+  }
+
+  // ---- Stage 3: CenFuzz blocked endpoints (sampled under the cap). ----
+  std::vector<std::uint32_t> blocked_eps;
+  for (const auto& [ip, report] : blocked_by_endpoint) blocked_eps.push_back(ip);
+  std::map<std::uint32_t, fuzz::CenFuzzReport> fuzz_by_endpoint;
+  if (options.run_fuzz) {
+    std::vector<std::uint32_t> fuzz_targets;
+    for (std::size_t idx :
+         stride_sample_indices(blocked_eps.size(), options.fuzz_max_endpoints)) {
+      fuzz_targets.push_back(blocked_eps[idx]);
+    }
+    std::vector<std::uint64_t> fuzz_keys;
+    fuzz_keys.reserve(fuzz_targets.size());
+    for (std::uint32_t ep : fuzz_targets) {
+      fuzz_keys.push_back(task_key(ep, blocked_by_endpoint.at(ep)->test_domain, 0x20));
+    }
+    std::vector<fuzz::CenFuzzReport> fuzzes(fuzz_targets.size());
+    exec.run(derive_task_seeds(net.seed(), kFuzzStageSalt, fuzz_keys),
+             [&](sim::Network& replica, std::size_t i) {
+               const trace::CenTraceReport* rep = blocked_by_endpoint.at(fuzz_targets[i]);
+               fuzz::CenFuzz fuzzer(replica, in.remote_client);
+               fuzzes[i] = fuzzer.run(net::Ipv4Address(fuzz_targets[i]), rep->test_domain,
+                                      in.control_domain);
+             });
+    for (std::size_t i = 0; i < fuzz_targets.size(); ++i) {
+      fuzz_by_endpoint.emplace(fuzz_targets[i], std::move(fuzzes[i]));
+    }
+  }
+
+  bundle(result, in.country, blocked_by_endpoint, fuzz_by_endpoint);
+  return result;
+}
+
+PipelineResult run(const PipelineInput& in, const PipelineOptions& options) {
+  if (options.threads == 0) return run_serial(in, options);
+  return run_hermetic(in, options);
 }
 
 }  // namespace

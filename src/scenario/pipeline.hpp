@@ -37,6 +37,16 @@ struct PipelineOptions {
   /// CenTrace backoff/adaptive-retry knobs for runs under faults.
   SimTime centrace_retry_backoff = 0;
   int centrace_adaptive_retries = 6;
+  /// Worker threads for the measurement stages.
+  ///   -1  one worker per hardware thread (default);
+  ///    0  the legacy serial path — a single shared network, byte-for-byte
+  ///       the historical pre-parallel behaviour;
+  ///   >=1 the hermetic parallel path with that many workers. Results are
+  ///       identical for EVERY value >= 1 (1 is the serial reference the
+  ///       golden tests compare against): each task runs on a replica
+  ///       reset to an epoch derived from the task identity alone, so
+  ///       scheduling cannot influence results.
+  int threads = -1;
 };
 
 struct PipelineResult {
@@ -75,5 +85,12 @@ struct ConsistencyStats {
 };
 
 ConsistencyStats localisation_consistency(const PipelineResult& result);
+
+/// Indices of an even stride sample of `cap` items out of [0, n). Pure
+/// integer arithmetic — index i maps to (i*n)/cap — so the indices are
+/// strictly increasing (no duplicates, unlike float-stride truncation)
+/// and spread across the whole range, keeping every AS represented.
+/// cap < 0 or cap >= n returns all n indices.
+std::vector<std::size_t> stride_sample_indices(std::size_t n, int cap);
 
 }  // namespace cen::scenario

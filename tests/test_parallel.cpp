@@ -1,0 +1,210 @@
+// Determinism contract of the parallel measurement pipeline: the merged
+// PipelineResult must be byte-identical (as JSON) for every worker count
+// >= 1, with threads=1 as the serial reference — on clean networks AND
+// under a non-inert fault plan. Also unit-covers the ThreadPool and the
+// integer stride sampler. This suite is the one the TSan preset runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/json.hpp"
+#include "core/thread_pool.hpp"
+#include "report/json_report.hpp"
+#include "scenario/executor.hpp"
+#include "scenario/pipeline.hpp"
+
+using namespace cen;
+using namespace cen::scenario;
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](int worker, std::size_t i) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 4);
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroCountReturnsImmediately) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](int, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(10, [&](int, std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [&](int, std::size_t i) {
+                          if (i == 3) throw std::runtime_error("task failed");
+                        }),
+      std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<int> count{0};
+  pool.parallel_for(5, [&](int, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+// ------------------------------------------------------------ stride sampler
+
+TEST(StrideSample, CapAtLeastSizeReturnsAll) {
+  auto all = stride_sample_indices(5, 5);
+  ASSERT_EQ(all.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(all[i], i);
+  EXPECT_EQ(stride_sample_indices(5, 9).size(), 5u);
+  EXPECT_EQ(stride_sample_indices(5, -1).size(), 5u);
+  EXPECT_TRUE(stride_sample_indices(0, -1).empty());
+  EXPECT_TRUE(stride_sample_indices(0, 3).empty());
+}
+
+TEST(StrideSample, NoDuplicatesStrictlyIncreasingInRange) {
+  // Exhaustive over small (n, cap): the float-stride version this replaced
+  // could truncate two slots onto one element; the integer version is
+  // provably strictly increasing.
+  for (std::size_t n = 1; n <= 150; ++n) {
+    for (int cap = 1; cap <= static_cast<int>(n); ++cap) {
+      auto idx = stride_sample_indices(n, cap);
+      ASSERT_EQ(idx.size(), static_cast<std::size_t>(cap));
+      EXPECT_EQ(idx.front(), 0u);
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        ASSERT_LT(idx[i], n);
+        if (i > 0) ASSERT_GT(idx[i], idx[i - 1]);
+      }
+    }
+  }
+}
+
+TEST(StrideSample, SpreadsAcrossWholeRange) {
+  // cap of 4 out of 100 must not bunch at the front (AS representation).
+  auto idx = stride_sample_indices(100, 4);
+  ASSERT_EQ(idx.size(), 4u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 25u);
+  EXPECT_EQ(idx[2], 50u);
+  EXPECT_EQ(idx[3], 75u);
+}
+
+// ----------------------------------------------------------- substream seeds
+
+TEST(Executor, TaskSeedsAreReproducibleAndDistinct) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint32_t ep = 0; ep < 64; ++ep) {
+    keys.push_back(task_key(ep, "blocked.example", ep % 4));
+  }
+  auto a = derive_task_seeds(7, 0x1234, keys);
+  auto b = derive_task_seeds(7, 0x1234, keys);
+  EXPECT_EQ(a, b);
+  std::set<std::uint64_t> distinct(a.begin(), a.end());
+  EXPECT_EQ(distinct.size(), a.size());
+  // Different stage salt = disjoint substream universe.
+  auto c = derive_task_seeds(7, 0x9999, keys);
+  EXPECT_NE(a, c);
+}
+
+TEST(Executor, KeyDependsOnEveryComponent) {
+  std::uint64_t base = task_key(42, "a.example", 1);
+  EXPECT_NE(base, task_key(43, "a.example", 1));
+  EXPECT_NE(base, task_key(42, "b.example", 1));
+  EXPECT_NE(base, task_key(42, "a.example", 2));
+}
+
+// ------------------------------------------------- pipeline determinism
+
+namespace {
+
+PipelineOptions parallel_opts(int threads) {
+  PipelineOptions o;
+  o.centrace_repetitions = 3;
+  o.run_banner = true;
+  o.run_fuzz = true;
+  o.fuzz_max_endpoints = 1;
+  o.threads = threads;
+  return o;
+}
+
+std::string pipeline_json(Country country, const PipelineOptions& options) {
+  CountryScenario s = make_country(country, Scale::kSmall);
+  PipelineResult r = run_country_pipeline(s, options);
+  return report::to_json(r);
+}
+
+}  // namespace
+
+TEST(ParallelPipeline, ByteIdenticalAcrossThreadCounts) {
+  const std::string reference = pipeline_json(Country::kKZ, parallel_opts(1));
+  EXPECT_FALSE(reference.empty());
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(reference, pipeline_json(Country::kKZ, parallel_opts(threads)))
+        << "thread count " << threads << " changed the result";
+  }
+  // Auto thread count (-1) rides the same hermetic path.
+  EXPECT_EQ(reference, pipeline_json(Country::kKZ, parallel_opts(-1)));
+}
+
+TEST(ParallelPipeline, ByteIdenticalUnderNonInertFaultPlan) {
+  auto faulty = [](int threads) {
+    PipelineOptions o = parallel_opts(threads);
+    o.transient_loss = 0.05;
+    o.faults.transient_loss = 0.05;
+    o.faults.default_link.duplicate = 0.02;
+    o.faults.default_link.reorder = 0.02;
+    o.faults.default_node.icmp_rate_per_sec = 2.0;
+    o.centrace_retry_backoff = kSecond;
+    return o;
+  };
+  const std::string reference = pipeline_json(Country::kAZ, faulty(1));
+  for (int threads : {2, 5}) {
+    EXPECT_EQ(reference, pipeline_json(Country::kAZ, faulty(threads)))
+        << "thread count " << threads << " changed the faulty-run result";
+  }
+}
+
+TEST(ParallelPipeline, SerialLegacyPathIsStableAndFlagged) {
+  // threads = 0 keeps the historical shared-network behaviour; it need not
+  // match the hermetic path, but it must be deterministic with itself.
+  PipelineOptions o = parallel_opts(0);
+  const std::string a = pipeline_json(Country::kBY, o);
+  const std::string b = pipeline_json(Country::kBY, o);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelPipeline, HermeticResultIsValidJson) {
+  EXPECT_TRUE(json_valid(pipeline_json(Country::kKZ, parallel_opts(2))));
+}
+
+TEST(ParallelPipeline, WorldPipelineIdenticalAcrossThreadCounts) {
+  auto world_json = [](int threads) {
+    WorldScenario s = make_world(Scale::kSmall);
+    PipelineOptions o;
+    o.centrace_repetitions = 3;
+    o.run_fuzz = false;  // keep the big scenario fast
+    o.threads = threads;
+    return report::to_json(run_world_pipeline(s, o));
+  };
+  const std::string reference = world_json(1);
+  EXPECT_EQ(reference, world_json(4));
+}
