@@ -9,6 +9,7 @@
 #include "net/dns.hpp"
 #include "net/http.hpp"
 #include "net/tls.hpp"
+#include "obs/observer.hpp"
 
 using namespace cen;
 
@@ -165,6 +166,42 @@ static void BM_CenTraceMeasurement(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CenTraceMeasurement)->Unit(benchmark::kMillisecond);
+
+// Instrumentation-overhead guard pairs: the *Observed variants run the
+// same hot loops with an obs::Observer attached (metrics + spans +
+// journal live); the plain variants above run with the sink detached.
+// The enforced <2% disabled-sink budget lives in bench_obs (ctest/bench-
+// json); these pairs make the enabled-path cost visible alongside it.
+static void BM_EnginePacketWalkObserved(benchmark::State& state) {
+  PerfNet pn;
+  obs::Observer observer;
+  pn.net->set_observer(&observer);
+  Bytes payload = net::HttpRequest::get("www.example.org").serialize_bytes();
+  for (auto _ : state) {
+    sim::Connection conn = pn.net->open_connection(pn.client, net::Ipv4Address(10, 0, 9, 1));
+    conn.connect();
+    benchmark::DoNotOptimize(conn.send(payload, 64));
+  }
+}
+BENCHMARK(BM_EnginePacketWalkObserved);
+
+static void BM_CenTraceMeasurementObserved(benchmark::State& state) {
+  PerfNet pn;
+  obs::Observer observer;
+  pn.net->set_observer(&observer);
+  trace::CenTraceOptions opts;
+  opts.repetitions = 3;
+  trace::CenTrace tracer(*pn.net, pn.client, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracer.measure(net::Ipv4Address(10, 0, 9, 1),
+                                            "www.blocked.example", "www.example.org"));
+    // Keep the shards bounded over long benchmark runs: the registry
+    // keeps its bound counters, only spans/journal entries are dropped.
+    observer.tracer().clear();
+    observer.journal().clear();
+  }
+}
+BENCHMARK(BM_CenTraceMeasurementObserved)->Unit(benchmark::kMillisecond);
 
 static void BM_DeviceInspect(benchmark::State& state) {
   censor::DeviceConfig cfg = censor::make_vendor_device("Fortinet", "perf");

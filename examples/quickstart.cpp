@@ -8,6 +8,7 @@
 #include "centrace/centrace.hpp"
 #include "censor/vendors.hpp"
 #include "netsim/engine.hpp"
+#include "obs/observer.hpp"
 
 using namespace cen;
 
@@ -30,6 +31,11 @@ int main() {
   topo.add_link(r3, server);
 
   sim::Network network(std::move(topo), std::move(geodb));
+
+  // Optional: attach an observer — every tool run below then feeds the
+  // metrics registry, span tracer and measurement journal (src/obs/).
+  obs::Observer observer;
+  network.set_observer(&observer);
 
   sim::EndpointProfile web;
   web.hosted_domains = {"www.example.org"};
@@ -72,5 +78,9 @@ int main() {
   }
   std::printf("fuzz: %zu requests, %zu evading permutations\n", fz.total_requests,
               evasions);
+
+  // 5. What did all of that cost? One-screen digest of the run's metrics
+  //    (probe counts, retries, fault fires, confidence, spans, journal).
+  std::printf("%s", observer.summary().c_str());
   return 0;
 }

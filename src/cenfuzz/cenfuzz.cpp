@@ -6,6 +6,7 @@
 #include "core/strings.hpp"
 #include "net/http.hpp"
 #include "net/tls.hpp"
+#include "obs/observer.hpp"
 
 namespace cen::fuzz {
 
@@ -109,10 +110,31 @@ CenFuzzReport CenFuzz::run(net::Ipv4Address endpoint, const std::string& test_do
   report.test_domain = test_domain;
   report.control_domain = control_domain;
 
+  obs::Observer* o = network_.observer();
+  obs::ScopedSpan span(o != nullptr ? &o->tracer() : nullptr, &network_.clock(),
+                       "cenfuzz:" + test_domain, "cenfuzz");
+
   auto pace = [&](RequestResult r) {
     network_.clock().advance(request_blocked(r) ? options_.wait_after_blocked
                                                 : options_.wait_after_ok);
     ++report.total_requests;
+    if (o != nullptr) o->tools().fuzz_requests->inc();
+  };
+
+  // Per-measurement bookkeeping: outcome counters plus a journal line
+  // recording the strategy's verdict.
+  auto observe_measurement = [&](const FuzzMeasurement& m) {
+    if (o == nullptr) return;
+    switch (m.outcome) {
+      case FuzzOutcome::kSuccessful: o->tools().fuzz_successful->inc(); break;
+      case FuzzOutcome::kNotSuccessful: o->tools().fuzz_not_successful->inc(); break;
+      case FuzzOutcome::kUntestable: o->tools().fuzz_untestable->inc(); break;
+    }
+    if (m.baseline_failed) o->tools().fuzz_baseline_failed->inc();
+    o->journal().record(network_.now(), "fuzz",
+                        m.strategy + "/" + m.permutation + " " +
+                            (m.https ? "tls" : "http") + " -> " +
+                            std::string(fuzz_outcome_name(m.outcome)));
   };
 
   auto run_protocol = [&](bool https) {
@@ -152,6 +174,7 @@ CenFuzzReport CenFuzz::run(net::Ipv4Address endpoint, const std::string& test_do
     normal_m.control_result = normal_control_result;
     normal_m.outcome =
         baseline_blocked ? FuzzOutcome::kNotSuccessful : FuzzOutcome::kUntestable;
+    observe_measurement(normal_m);
     report.measurements.push_back(normal_m);
 
     if (!baseline_blocked) return;  // nothing to fuzz on this protocol
@@ -178,12 +201,14 @@ CenFuzzReport CenFuzz::run(net::Ipv4Address endpoint, const std::string& test_do
         m.outcome = FuzzOutcome::kUntestable;
         m.baseline_failed = true;
         ++report.skipped_strategies;
+        if (o != nullptr) o->tools().fuzz_skipped->inc();
       } else if (!request_blocked(m.test_result)) {
         m.outcome = FuzzOutcome::kSuccessful;
         m.circumvented = fetched_legit_content(test_body, test_domain, https);
       } else {
         m.outcome = FuzzOutcome::kNotSuccessful;
       }
+      observe_measurement(m);
       report.measurements.push_back(std::move(m));
     }
   };

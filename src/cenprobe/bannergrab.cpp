@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/observer.hpp"
+
 namespace cen::probe {
 
 const std::vector<std::string>& grab_protocols() {
@@ -33,9 +35,12 @@ std::vector<BannerGrab> grab_banners(const sim::Network& network,
     // identifies the vendor). Exhausted attempts record an empty,
     // incomplete grab instead of silently omitting the service.
     sim::FaultInjector& faults = network.faults();
+    obs::Observer* o = network.observer();
+    if (o != nullptr) o->tools().banner_grabs->inc();
     bool connected = false;
     for (int attempt = 0; attempt < kGrabAttempts; ++attempt) {
       grab.attempts = attempt + 1;
+      if (attempt > 0 && o != nullptr) o->tools().banner_retries->inc();
       if (faults.mgmt_unreachable()) continue;
       connected = true;
       grab.banner = svc.banner;
@@ -49,6 +54,7 @@ std::vector<BannerGrab> grab_banners(const sim::Network& network,
       grab.banner.clear();
       grab.complete = false;
     }
+    if (!grab.complete && o != nullptr) o->tools().banner_partials->inc();
     out.push_back(std::move(grab));
   }
   return out;

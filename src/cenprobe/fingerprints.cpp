@@ -1,6 +1,7 @@
 #include "cenprobe/fingerprints.hpp"
 
 #include "core/strings.hpp"
+#include "obs/observer.hpp"
 
 namespace cen::probe {
 
@@ -41,6 +42,10 @@ std::optional<std::string> match_fingerprint(const BannerGrab& grab) {
 DeviceProbeReport probe_device(const sim::Network& network, net::Ipv4Address ip) {
   DeviceProbeReport report;
   report.ip = ip;
+  obs::Observer* o = network.observer();
+  obs::ScopedSpan span(o != nullptr ? &o->tracer() : nullptr, &network.clock(),
+                       "cenprobe:" + ip.str(), "cenprobe");
+  if (o != nullptr) o->tools().devices_probed->inc();
   PortScanResult scan = scan_ports(network, ip);
   report.open_ports = scan.open_ports;
   report.banners = grab_banners(network, scan);
@@ -48,6 +53,11 @@ DeviceProbeReport probe_device(const sim::Network& network, net::Ipv4Address ip)
   for (const BannerGrab& grab : report.banners) {
     if (auto vendor = match_fingerprint(grab)) {
       report.vendor = vendor;
+      if (o != nullptr) {
+        o->tools().banner_matches->inc();
+        o->journal().record(network.now(), "banner_match",
+                            ip.str() + " " + grab.protocol + " -> " + *vendor);
+      }
       break;
     }
   }

@@ -7,6 +7,7 @@
 #include "net/dns.hpp"
 #include "net/http.hpp"
 #include "net/tls.hpp"
+#include "obs/observer.hpp"
 
 namespace cen::trace {
 
@@ -81,9 +82,13 @@ Bytes CenTrace::build_payload(const std::string& domain) const {
 }
 
 const Bytes& CenTrace::payload_for(const std::string& domain) {
+  obs::Observer* o = network_.observer();
   auto it = payload_cache_.find(domain);
   if (it == payload_cache_.end()) {
+    if (o != nullptr) o->tools().trace_cache_misses->inc();
     it = payload_cache_.emplace(domain, build_payload(domain)).first;
+  } else if (o != nullptr) {
+    o->tools().trace_cache_hits->inc();
   }
   return it->second;
 }
@@ -182,19 +187,38 @@ void CenTrace::backoff_wait(int attempt) {
   network_.clock().advance(options_.retry_backoff << (attempt - 1));
 }
 
-HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, int ttl) {
+HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, int ttl,
+                               const std::string& domain) {
   HopObservation obs;
   obs.ttl = ttl;
+  obs::Observer* o = network_.observer();
+  if (o != nullptr) o->tools().trace_probes->inc();
+  // Journal the probe's outcome (one event per probe, not per attempt).
+  auto journal_probe = [&](const HopObservation& result) {
+    if (o == nullptr) return;
+    o->journal().record(network_.now(), "probe",
+                        domain + " ttl=" + std::to_string(ttl) + " -> " +
+                            std::string(probe_response_name(result.response)));
+  };
 
   if (options_.protocol == ProbeProtocol::kDnsUdp) {
     // Connectionless probing: one datagram per attempt, fresh source port.
     const int budget = retry_budget();
     for (int attempt = 0; attempt <= budget; ++attempt) {
       backoff_wait(attempt);
+      if (attempt > 0 && o != nullptr) o->tools().trace_retries->inc();
       std::vector<sim::Event> events =
           network_.send_udp(client_, endpoint, 53, payload, static_cast<std::uint8_t>(ttl));
       if (events.empty()) continue;
-      if (attempt > 0) ++loss_recovered_probes_;
+      if (attempt > 0) {
+        ++loss_recovered_probes_;
+        if (o != nullptr) {
+          o->tools().trace_retry_recovered->inc();
+          o->journal().record(network_.now(), "retry",
+                              domain + " ttl=" + std::to_string(ttl) +
+                                  " recovered on attempt " + std::to_string(attempt));
+        }
+      }
       bool got_icmp = false, got_answer = false;
       for (const sim::Event& ev : events) {
         if (const auto* icmp = std::get_if<sim::IcmpEvent>(&ev)) {
@@ -224,9 +248,11 @@ HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, 
         obs.response = ProbeResponse::kIcmpTtlExceeded;
       }
       obs.tcp_and_icmp = got_icmp && got_answer;
+      journal_probe(obs);
       return obs;
     }
     obs.response = ProbeResponse::kTimeout;
+    journal_probe(obs);
     return obs;
   }
 
@@ -237,11 +263,20 @@ HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, 
   const int budget = retry_budget();
   for (int attempt = 0; attempt <= budget; ++attempt) {
     backoff_wait(attempt);
+    if (attempt > 0 && o != nullptr) o->tools().trace_retries->inc();
     sim::Connection conn = network_.open_connection(client_, endpoint, port);
     if (conn.connect() != sim::ConnectResult::kEstablished) continue;
     std::vector<sim::Event> events = conn.send(payload, static_cast<std::uint8_t>(ttl));
     if (events.empty()) continue;  // transient loss or genuine drop: retry
-    if (attempt > 0) ++loss_recovered_probes_;
+    if (attempt > 0) {
+      ++loss_recovered_probes_;
+      if (o != nullptr) {
+        o->tools().trace_retry_recovered->inc();
+        o->journal().record(network_.now(), "retry",
+                            domain + " ttl=" + std::to_string(ttl) +
+                                " recovered on attempt " + std::to_string(attempt));
+      }
+    }
 
     obs.sent = conn.last_sent();
     bool got_icmp = false;
@@ -266,21 +301,26 @@ HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, 
       obs.response = ProbeResponse::kIcmpTtlExceeded;
     }
     obs.tcp_and_icmp = got_icmp && got_tcp;
+    journal_probe(obs);
     return obs;
   }
   // All attempts timed out.
   obs.response = ProbeResponse::kTimeout;
+  journal_probe(obs);
   return obs;
 }
 
 SingleTrace CenTrace::sweep(net::Ipv4Address endpoint, const std::string& domain) {
   SingleTrace trace;
   trace.domain = domain;
+  obs::Observer* o = network_.observer();
+  obs::ScopedSpan span(o != nullptr ? &o->tracer() : nullptr, &network_.clock(),
+                       "sweep:" + domain, "centrace");
   const Bytes& payload = payload_for(domain);
 
   int consecutive_timeouts = 0;
   for (int ttl = 1; ttl <= options_.max_ttl; ++ttl) {
-    HopObservation obs = probe(endpoint, payload, ttl);
+    HopObservation obs = probe(endpoint, payload, ttl, domain);
     trace.hops.push_back(obs);
     // Stateful censors track flows for a window; CenTrace spaces probes out
     // (the simulated clock makes the 120 s wait free).
@@ -340,6 +380,11 @@ CenTraceReport CenTrace::measure(net::Ipv4Address endpoint, const std::string& t
   report.endpoint = endpoint;
   report.protocol = options_.protocol;
 
+  obs::Observer* o = network_.observer();
+  obs::ScopedSpan span(o != nullptr ? &o->tracer() : nullptr, &network_.clock(),
+                       "centrace:" + test_domain, "centrace");
+  if (o != nullptr) o->tools().trace_measurements->inc();
+
   loss_recovered_probes_ = 0;
   for (int rep = 0; rep < options_.repetitions; ++rep) {
     report.control_traces.push_back(sweep(endpoint, control_domain));
@@ -349,6 +394,12 @@ CenTraceReport CenTrace::measure(net::Ipv4Address endpoint, const std::string& t
   }
   aggregate(report);
   score_confidence(report);
+  if (o != nullptr) {
+    if (report.blocked) o->tools().trace_blocked->inc();
+    // Milli-units keep the histogram integral (determinism contract).
+    o->tools().trace_confidence->observe(
+        static_cast<std::uint64_t>(report.confidence.overall * 1000.0 + 0.5));
+  }
   return report;
 }
 
@@ -460,12 +511,23 @@ void CenTrace::aggregate(CenTraceReport& report) const {
 
   // Tracebox quote analysis: one diff per distinct responding router.
   {
+    obs::Observer* o = network_.observer();
     std::map<std::uint32_t, bool> seen;
     for (const SingleTrace& t : report.control_traces) {
       for (const HopObservation& h : t.hops) {
         if (!h.icmp_router || !h.icmp_quoted) continue;
         if (seen.emplace(h.icmp_router->value(), true).second) {
           report.quote_diffs.push_back(diff_quote(h.sent, *h.icmp_quoted, *h.icmp_router));
+          if (o != nullptr) {
+            const QuoteDiff& d = report.quote_diffs.back();
+            o->journal().record(
+                network_.now(), "quote_diff",
+                h.icmp_router->str() +
+                    (d.tos_changed ? " tos_changed" : "") +
+                    (d.ip_flags_changed ? " ip_flags_changed" : "") +
+                    (d.rfc792_minimal ? " rfc792_minimal" : "") +
+                    (d.full_tcp_quoted ? " full_tcp" : ""));
+          }
         }
       }
     }

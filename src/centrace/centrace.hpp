@@ -190,7 +190,8 @@ class CenTrace {
   /// Cached wire payload for `domain` (the protocol is fixed per instance,
   /// so one entry per domain serves every repetition of every sweep).
   const Bytes& payload_for(const std::string& domain);
-  HopObservation probe(net::Ipv4Address endpoint, const Bytes& payload, int ttl);
+  HopObservation probe(net::Ipv4Address endpoint, const Bytes& payload, int ttl,
+                       const std::string& domain);
   void aggregate(CenTraceReport& report) const;
   void score_confidence(CenTraceReport& report) const;
   /// Retry budget for the next probe (adaptive under observed loss) and

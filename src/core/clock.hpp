@@ -17,7 +17,13 @@ class SimClock {
  public:
   SimTime now() const { return now_ms_; }
   void advance(SimTime delta_ms) { now_ms_ += delta_ms; }
-  /// Rewind to simulation start (fresh measurement epoch).
+  /// Rewind to simulation start. NOTE: rewinding the clock alone does not
+  /// begin a fresh measurement epoch — the engine RNG, fault RNG and
+  /// ephemeral-port pool would keep their mid-stream state and the run
+  /// would not be reproducible. Use sim::Network::reset_epoch(), which
+  /// re-seeds all of them together with the clock; that joint reset is
+  /// what the hermetic-task determinism contract (and the sim-clock span
+  /// timestamps riding on it) relies on.
   void reset() { now_ms_ = 0; }
 
  private:

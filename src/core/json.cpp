@@ -311,6 +311,12 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(std::string_view json) {
+  pre_value();
+  out_ += json;
+  return *this;
+}
+
 std::string JsonWriter::str() const {
   if (!stack_.empty()) throw std::logic_error("unterminated JSON scopes");
   return out_;

@@ -38,6 +38,10 @@ class JsonWriter {
   JsonWriter& value(double v);
   JsonWriter& value(bool v);
   JsonWriter& null();
+  /// Splice a pre-serialized JSON document in value position (e.g. a
+  /// sub-report rendered by another writer). The caller vouches for its
+  /// validity; scope/comma handling is still enforced here.
+  JsonWriter& raw_value(std::string_view json);
 
   /// The finished document; throws if scopes are still open.
   std::string str() const;

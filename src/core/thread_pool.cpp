@@ -1,8 +1,23 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace cen {
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+void ThreadPool::set_stats(PoolStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = stats;
+}
 
 ThreadPool::ThreadPool(int threads) {
   const int n = std::max(threads, 1);
@@ -29,6 +44,8 @@ int ThreadPool::hardware_threads() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(int, std::size_t)>& fn) {
   if (count == 0) return;
+  PoolStats* stats = nullptr;
+  std::uint64_t t0 = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &fn;
@@ -37,6 +54,16 @@ void ThreadPool::parallel_for(std::size_t count,
     workers_running_ = workers_.size();
     error_ = nullptr;
     ++generation_;
+    stats = stats_;
+  }
+  if (stats != nullptr) {
+    stats->jobs.fetch_add(1, std::memory_order_relaxed);
+    stats->tasks.fetch_add(count, std::memory_order_relaxed);
+    std::uint64_t peak = stats->peak_pending.load(std::memory_order_relaxed);
+    while (count > peak && !stats->peak_pending.compare_exchange_weak(
+                               peak, count, std::memory_order_relaxed)) {
+    }
+    t0 = now_ns();
   }
   start_cv_.notify_all();
   std::exception_ptr error;
@@ -46,6 +73,9 @@ void ThreadPool::parallel_for(std::size_t count,
     job_ = nullptr;
     error = error_;
   }
+  if (stats != nullptr) {
+    stats->wall_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  }
   if (error) std::rethrow_exception(error);
 }
 
@@ -54,6 +84,7 @@ void ThreadPool::worker_loop(int id) {
   for (;;) {
     const std::function<void(int, std::size_t)>* job = nullptr;
     std::size_t count = 0;
+    PoolStats* stats = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       start_cv_.wait(lock,
@@ -62,15 +93,20 @@ void ThreadPool::worker_loop(int id) {
       seen_generation = generation_;
       job = job_;
       count = job_count_;
+      stats = stats_;
     }
     for (;;) {
       std::size_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
       if (index >= count) break;
+      std::uint64_t t0 = stats != nullptr ? now_ns() : 0;
       try {
         (*job)(id, index);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);
         if (!error_) error_ = std::current_exception();
+      }
+      if (stats != nullptr) {
+        stats->busy_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
       }
     }
     {

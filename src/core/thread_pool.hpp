@@ -22,6 +22,21 @@
 
 namespace cen {
 
+/// Execution statistics a pool publishes when a sink is attached.
+/// `jobs`, `tasks` and `peak_pending` are scheduling-independent (they
+/// depend only on what was submitted — deterministic, sim domain);
+/// `busy_ns` and `wall_ns` are host-clock measurements (wall domain,
+/// excluded from deterministic snapshots). All fields are atomics so
+/// workers can add without locks; readers use relaxed loads after the
+/// job has completed.
+struct PoolStats {
+  std::atomic<std::uint64_t> jobs{0};          // parallel_for invocations
+  std::atomic<std::uint64_t> tasks{0};         // total indices dispatched
+  std::atomic<std::uint64_t> peak_pending{0};  // largest single job
+  std::atomic<std::uint64_t> busy_ns{0};       // summed task execution time
+  std::atomic<std::uint64_t> wall_ns{0};       // summed parallel_for wall time
+};
+
 class ThreadPool {
  public:
   /// Spawn `threads` workers (clamped to at least 1).
@@ -32,6 +47,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Attach (or detach with nullptr) a stats sink. Must be called while
+  /// no job is in flight; the sink must outlive the pool or the next
+  /// set_stats(nullptr). When no sink is attached the pool takes no
+  /// timestamps at all — the disabled path costs one pointer test.
+  void set_stats(PoolStats* stats);
 
   /// Run fn(worker_id, index) for every index in [0, count); returns when
   /// all invocations completed. The first exception a task throws is
@@ -59,6 +80,7 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   std::exception_ptr error_;
   bool stop_ = false;
+  PoolStats* stats_ = nullptr;  // guarded by mu_ for publication
 };
 
 }  // namespace cen

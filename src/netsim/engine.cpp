@@ -1,6 +1,8 @@
 #include "netsim/engine.hpp"
 #include <algorithm>
 
+#include "obs/observer.hpp"
+
 namespace cen::sim {
 
 namespace {
@@ -87,6 +89,12 @@ void Network::reset_device_state() {
   for (const auto& dev : devices_) dev->reset_state();
 }
 
+void Network::set_observer(obs::Observer* obs) {
+  obs_ = obs;
+  ec_ = obs != nullptr ? &obs->engine() : nullptr;
+  faults_.set_counters(obs != nullptr ? &obs->faults() : nullptr);
+}
+
 void Network::reverse_deliver(net::Packet pkt, const std::vector<NodeId>& path,
                               std::size_t from_index, std::vector<Event>& events) {
   // Return routing is symmetric — only the hop count matters for TTL —
@@ -160,6 +168,7 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
                                      std::uint16_t dst_port, Bytes payload,
                                      std::uint8_t ttl) {
   std::vector<Event> events;
+  if (ec_ != nullptr) ec_->udp_sends->inc();
   std::uint16_t sport = allocate_ephemeral_port();
   std::optional<NodeId> dst_node = topology_.find_by_ip(dst);
   if (!dst_node) return events;
@@ -171,7 +180,10 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
       topology_.route(client, *dst_node, flow_hash, faults_.flow_salt(clock_.now()));
   if (path.size() < 2) return events;
   const double transient_loss = faults_.plan().transient_loss;
-  if (transient_loss > 0.0 && rng_.chance(transient_loss)) return events;
+  if (transient_loss > 0.0 && rng_.chance(transient_loss)) {
+    if (ec_ != nullptr) ec_->transient_drops->inc();
+    return events;
+  }
   const bool faulty = faults_.active();
 
   net::UdpDatagram dgram =
@@ -180,6 +192,7 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
 
   for (std::size_t i = 1; i < path.size(); ++i) {
     NodeId nid = path[i];
+    if (ec_ != nullptr) ec_->hops->inc();
     if (faulty) {
       if (faults_.lose_on_link(path[i - 1], nid)) return events;
       faults_.mangle_payload(path[i - 1], nid, dgram.payload);
@@ -188,6 +201,9 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
     if (att_it != attachments_.end()) {
       for (const Attachment& att : att_it->second) {
         censor::UdpVerdict v = att.device->inspect_udp(dgram, clock_.now());
+        if (ec_ != nullptr && !v.inject_to_client.empty()) {
+          ec_->injections->inc(v.inject_to_client.size());
+        }
         for (net::UdpDatagram& inj : v.inject_to_client) {
           reverse_deliver_udp(std::move(inj), i, events);
         }
@@ -205,6 +221,7 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
           IcmpDelivery d;
           if (faulty) d = icmp_delivery(path, i);
           if (d.delivered) {
+            if (ec_ != nullptr) ec_->icmp_quotes->inc();
             net::IcmpTimeExceeded icmp = net::IcmpTimeExceeded::make(
                 n.ip, dgram.serialize(), n.profile.quote_policy);
             IcmpEvent ev{n.ip, std::move(icmp.quoted)};
@@ -238,12 +255,17 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
 bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
                            std::vector<Event>& events, bool payload_phase) {
   if (path.size() < 2) return false;
+  if (ec_ != nullptr) ec_->forward_walks->inc();
   const double transient_loss = faults_.plan().transient_loss;
-  if (transient_loss > 0.0 && rng_.chance(transient_loss)) return false;
+  if (transient_loss > 0.0 && rng_.chance(transient_loss)) {
+    if (ec_ != nullptr) ec_->transient_drops->inc();
+    return false;
+  }
   const bool faulty = faults_.active();
 
   for (std::size_t i = 1; i < path.size(); ++i) {
     NodeId nid = path[i];
+    if (ec_ != nullptr) ec_->hops->inc();
 
     // Link faults strike before anything on the far side can inspect:
     // a lost packet is gone, a mangled payload is what the censor (and
@@ -258,6 +280,9 @@ bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
     if (att_it != attachments_.end()) {
       for (const Attachment& att : att_it->second) {
         censor::Verdict v = att.device->inspect(pkt, clock_.now());
+        if (ec_ != nullptr && !v.inject_to_client.empty()) {
+          ec_->injections->inc(v.inject_to_client.size());
+        }
         for (net::Packet& inj : v.inject_to_client) {
           reverse_deliver(std::move(inj), path, i, events);
         }
@@ -278,6 +303,7 @@ bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
         if (n.profile.responds_icmp &&
             (!faulty || faults_.allow_icmp(nid, clock_.now())) &&
             (!faulty || (d = icmp_delivery(path, i)).delivered)) {
+          if (ec_ != nullptr) ec_->icmp_quotes->inc();
           // Quotes cap at 28/128 bytes, so only that prefix of the wire
           // bytes is serialized — into a reused scratch buffer, not a
           // fresh full-packet Bytes per expiring hop.

@@ -33,6 +33,11 @@
 #include "netsim/faults.hpp"
 #include "netsim/topology.hpp"
 
+namespace cen::obs {
+class Observer;
+struct EngineCounters;
+}
+
 namespace cen::sim {
 
 /// ICMP Time Exceeded received by the client.
@@ -125,6 +130,7 @@ class Network {
   const Topology& topology() const { return topology_; }
   const geo::IpMetadataDb& geodb() const { return geodb_; }
   SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
   SimTime now() const { return clock_.now(); }
 
   /// Deploy a device on the link entering `at` (in-path) or as a tap on
@@ -176,6 +182,15 @@ class Network {
   /// writer must outlive the network or be detached first.
   void set_capture(net::PcapWriter* capture) { capture_ = capture; }
 
+  /// Attach an observability sink (metrics + journal; see src/obs/).
+  /// Pass nullptr to detach — detaching also unhooks the fault-layer
+  /// counters, restoring the zero-instrumentation fast path. Like the
+  /// capture sink, the observer is per-instance runtime scaffolding:
+  /// clone() deliberately does not copy it (parallel replicas get their
+  /// own per-task observers), and reset_epoch() leaves it attached.
+  void set_observer(obs::Observer* obs);
+  obs::Observer* observer() const { return obs_; }
+
   /// Devices deployed in the network (scenario bookkeeping/ground truth).
   const std::vector<std::shared_ptr<censor::Device>>& devices() const { return devices_; }
   /// Reset all device state (fresh measurement epoch).
@@ -224,6 +239,10 @@ class Network {
   Rng rng_;
   mutable FaultInjector faults_;
   net::PcapWriter* capture_ = nullptr;
+  obs::Observer* obs_ = nullptr;
+  /// Cached &obs_->engine() so the per-hop hot path costs one pointer
+  /// test when observability is disabled.
+  obs::EngineCounters* ec_ = nullptr;
   std::uint16_t next_ephemeral_port_ = kEphemeralPortFloor;
   std::map<NodeId, std::vector<Attachment>> attachments_;
   std::map<std::uint32_t, EndpointHost> endpoints_;  // by IP value

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/observer.hpp"
+
 namespace cen::sim {
 
 double sanitize_probability(double p, const char* what) {
@@ -125,34 +127,45 @@ void FaultInjector::reset_state(std::uint64_t seed) {
 
 bool FaultInjector::lose_on_link(NodeId a, NodeId b) {
   const FaultProfile& p = plan_.link(a, b);
-  return p.loss > 0.0 && rng_.chance(p.loss);
+  bool fired = p.loss > 0.0 && rng_.chance(p.loss);
+  if (fired && counters_ != nullptr) counters_->link_loss->inc();
+  return fired;
 }
 
 void FaultInjector::mangle_payload(NodeId a, NodeId b, Bytes& payload) {
   if (payload.empty()) return;
   const FaultProfile& p = plan_.link(a, b);
   if (p.truncate > 0.0 && rng_.chance(p.truncate)) {
+    if (counters_ != nullptr) counters_->payload_truncates->inc();
     payload.resize(payload.size() / 2);
     if (payload.empty()) return;
   }
   if (p.corrupt > 0.0 && rng_.chance(p.corrupt)) {
+    if (counters_ != nullptr) counters_->payload_corruptions->inc();
     payload[rng_.index(payload.size())] ^= 0xff;
   }
 }
 
 bool FaultInjector::duplicate_delivery(NodeId a, NodeId b) {
   const FaultProfile& p = plan_.link(a, b);
-  return p.duplicate > 0.0 && rng_.chance(p.duplicate);
+  bool fired = p.duplicate > 0.0 && rng_.chance(p.duplicate);
+  if (fired && counters_ != nullptr) counters_->duplicates->inc();
+  return fired;
 }
 
 bool FaultInjector::reorder_delivery(NodeId a, NodeId b) {
   const FaultProfile& p = plan_.link(a, b);
-  return p.reorder > 0.0 && rng_.chance(p.reorder);
+  bool fired = p.reorder > 0.0 && rng_.chance(p.reorder);
+  if (fired && counters_ != nullptr) counters_->reorders->inc();
+  return fired;
 }
 
 bool FaultInjector::allow_icmp(NodeId router, SimTime now) {
   const NodeFaultProfile& np = plan_.node(router);
-  if (np.icmp_blackhole) return false;
+  if (np.icmp_blackhole) {
+    if (counters_ != nullptr) counters_->icmp_blackholed->inc();
+    return false;
+  }
   if (np.icmp_rate_per_sec <= 0.0) return true;
   TokenBucket& bucket = buckets_[router];
   if (!bucket.primed) {
@@ -168,15 +181,20 @@ bool FaultInjector::allow_icmp(NodeId router, SimTime now) {
     bucket.tokens -= 1.0;
     return true;
   }
+  if (counters_ != nullptr) counters_->icmp_rate_limited->inc();
   return false;
 }
 
 bool FaultInjector::mgmt_unreachable() {
-  return plan_.mgmt_drop > 0.0 && rng_.chance(plan_.mgmt_drop);
+  bool fired = plan_.mgmt_drop > 0.0 && rng_.chance(plan_.mgmt_drop);
+  if (fired && counters_ != nullptr) counters_->mgmt_drops->inc();
+  return fired;
 }
 
 bool FaultInjector::truncate_banner() {
-  return plan_.banner_truncate > 0.0 && rng_.chance(plan_.banner_truncate);
+  bool fired = plan_.banner_truncate > 0.0 && rng_.chance(plan_.banner_truncate);
+  if (fired && counters_ != nullptr) counters_->banner_truncates->inc();
+  return fired;
 }
 
 }  // namespace cen::sim

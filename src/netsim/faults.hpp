@@ -32,6 +32,10 @@
 #include "core/rng.hpp"
 #include "netsim/topology.hpp"
 
+namespace cen::obs {
+struct FaultCounters;
+}
+
 namespace cen::sim {
 
 /// Validate a probability: throws std::invalid_argument on NaN, clamps
@@ -164,6 +168,11 @@ class FaultInjector {
   /// replays its own independent fault substream.
   void reset_state(std::uint64_t seed);
 
+  /// Attach (or detach with nullptr) per-fault-type fire counters.
+  /// Counting never touches the fault RNG, so an observed run draws the
+  /// exact same random sequence as an unobserved one.
+  void set_counters(obs::FaultCounters* counters) { counters_ = counters; }
+
  private:
   struct TokenBucket {
     double tokens = 0.0;
@@ -176,6 +185,7 @@ class FaultInjector {
   Rng rng_;
   std::map<NodeId, TokenBucket> buckets_;
   bool active_ = false;
+  obs::FaultCounters* counters_ = nullptr;
 };
 
 }  // namespace cen::sim

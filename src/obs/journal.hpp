@@ -1,0 +1,55 @@
+// Measurement journal: a bounded, ordered log of structured events
+// (probe sent, ICMP quote diffed, retry fired, fault injected, banner
+// matched, fuzz verdict) stamped with sim time.
+//
+// Like the metrics registry, journals are sharded per hermetic task and
+// merged in task-identity order, so the merged event stream is
+// deterministic across worker counts. The capacity bound is also
+// deterministic: each shard truncates at the same per-task cap and
+// counts what it dropped, so "journal full" behaves identically no
+// matter how tasks were scheduled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/clock.hpp"
+
+namespace cen::obs {
+
+struct JournalEvent {
+  SimTime t_ms = 0;
+  std::string kind;    // e.g. "probe", "retry", "quote_diff", "fault"
+  std::string detail;  // free-form, human-readable
+  std::uint32_t tid = 0;
+};
+
+class Journal {
+ public:
+  static constexpr std::size_t kDefaultCap = 1 << 16;
+
+  explicit Journal(std::size_t cap = kDefaultCap) : cap_(cap) {}
+
+  void record(SimTime t_ms, std::string kind, std::string detail);
+  /// Append another journal's events shifted by `ts_offset_ms`, stamped
+  /// with `tid`; the donor's drop count carries over.
+  void append_from(const Journal& other, std::uint32_t tid,
+                   SimTime ts_offset_ms);
+
+  const std::vector<JournalEvent>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+  bool empty() const { return events_.empty() && dropped_ == 0; }
+  void clear();
+
+  /// JSON document: {"events":[{"t_ms","kind","detail","tid"}...],
+  /// "dropped":N}.
+  std::string to_json() const;
+
+ private:
+  std::size_t cap_;
+  std::vector<JournalEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace cen::obs

@@ -1,0 +1,118 @@
+// Deterministic metrics registry: counters, gauges and fixed-bucket
+// histograms.
+//
+// The registry is deliberately *not* thread-safe: the determinism contract
+// of the parallel pipeline is preserved by sharding — every hermetic task
+// records into its own private `Registry` (owned by a per-task
+// `obs::Observer`), and the shards are merged in task-identity order after
+// the fan-out completes. Counter and histogram merging is pure uint64
+// addition (commutative and associative), gauges merge by max, and every
+// exporter iterates metrics in sorted name order — so the merged snapshot
+// is byte-identical for any worker count, the same rule the measurement
+// results themselves obey.
+//
+// Metrics live in one of two domains:
+//   - kSim  — derived purely from simulation state (packet counts, sim-time
+//     histograms). Deterministic; included in every snapshot.
+//   - kWall — derived from the host clock (worker busy time, utilization).
+//     Excluded from snapshots unless explicitly requested, so the default
+//     `--metrics` output stays byte-identical across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cen::obs {
+
+enum class Domain : std::uint8_t { kSim, kWall };
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  friend class Registry;
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time value. Merges by max (the only order-free combination for
+/// last-write semantics), so keep gauges to high-water marks and
+/// end-of-run summaries.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void set_max(std::int64_t v) {
+    if (v > value_) value_ = v;
+  }
+  std::int64_t value() const { return value_; }
+
+ private:
+  friend class Registry;
+  std::int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram over uint64 samples. Bucket `i` counts samples
+/// `v <= bounds[i]` that no earlier bucket claimed (Prometheus `le`
+/// semantics; the exporter emits cumulative counts plus a +Inf bucket).
+/// The sum is integral, so merging shards never hits float reassociation.
+class Histogram {
+ public:
+  void observe(std::uint64_t v);
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  /// Non-cumulative per-bucket counts; counts_[bounds.size()] is +Inf.
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+
+ private:
+  friend class Registry;
+  std::vector<std::uint64_t> bounds_;  // strictly increasing upper edges
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+class Registry {
+ public:
+  /// Find-or-create. Returned references are stable for the registry's
+  /// lifetime (node-based storage), so hot paths bind them once instead of
+  /// paying a name lookup per increment. Re-requesting an existing metric
+  /// with a different kind or domain throws std::logic_error.
+  Counter& counter(const std::string& name, Domain domain = Domain::kSim);
+  Gauge& gauge(const std::string& name, Domain domain = Domain::kSim);
+  Histogram& histogram(const std::string& name, std::vector<std::uint64_t> bounds,
+                       Domain domain = Domain::kSim);
+
+  /// Value lookups for summaries and tests; 0 / nullptr when absent.
+  std::uint64_t counter_value(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Fold another registry in: counters and histograms add (bucket bounds
+  /// must match; throws std::logic_error otherwise), gauges take the max.
+  /// Metrics absent here are created with the donor's domain.
+  void merge_from(const Registry& other);
+
+  bool empty() const;
+  void clear();
+
+  /// Prometheus-style text exposition, sorted by metric name. Dots in
+  /// names become underscores and everything is prefixed `cen_`.
+  std::string to_prometheus(bool include_wall = false) const;
+  /// JSON snapshot (core/json writer), sorted by metric name.
+  std::string to_json(bool include_wall = false) const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    T metric;
+    Domain domain = Domain::kSim;
+  };
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+}  // namespace cen::obs

@@ -1,0 +1,109 @@
+#include "obs/observer.hpp"
+
+namespace cen::obs {
+
+Observer::Observer(Options options) : journal_(options.journal_cap) {
+  engine_.forward_walks = &metrics_.counter("engine.forward_walks");
+  engine_.hops = &metrics_.counter("engine.hops_traversed");
+  engine_.injections = &metrics_.counter("engine.injections");
+  engine_.icmp_quotes = &metrics_.counter("engine.icmp_quotes");
+  engine_.udp_sends = &metrics_.counter("engine.udp_sends");
+  engine_.transient_drops = &metrics_.counter("engine.transient_drops");
+
+  faults_.link_loss = &metrics_.counter("faults.link_loss");
+  faults_.duplicates = &metrics_.counter("faults.duplicates");
+  faults_.reorders = &metrics_.counter("faults.reorders");
+  faults_.payload_truncates = &metrics_.counter("faults.payload_truncates");
+  faults_.payload_corruptions = &metrics_.counter("faults.payload_corruptions");
+  faults_.icmp_blackholed = &metrics_.counter("faults.icmp_blackholed");
+  faults_.icmp_rate_limited = &metrics_.counter("faults.icmp_rate_limited");
+  faults_.mgmt_drops = &metrics_.counter("faults.mgmt_drops");
+  faults_.banner_truncates = &metrics_.counter("faults.banner_truncates");
+
+  tools_.trace_probes = &metrics_.counter("centrace.probes");
+  tools_.trace_retries = &metrics_.counter("centrace.retries");
+  tools_.trace_retry_recovered = &metrics_.counter("centrace.retry_recovered");
+  tools_.trace_cache_hits = &metrics_.counter("centrace.payload_cache_hits");
+  tools_.trace_cache_misses = &metrics_.counter("centrace.payload_cache_misses");
+  tools_.trace_measurements = &metrics_.counter("centrace.measurements");
+  tools_.trace_blocked = &metrics_.counter("centrace.blocked_verdicts");
+  tools_.trace_confidence = &metrics_.histogram(
+      "centrace.confidence_milli", {250, 500, 750, 900, 950, 1000});
+
+  tools_.banner_grabs = &metrics_.counter("cenprobe.banner_grabs");
+  tools_.banner_retries = &metrics_.counter("cenprobe.banner_retries");
+  tools_.banner_partials = &metrics_.counter("cenprobe.banner_partials");
+  tools_.banner_matches = &metrics_.counter("cenprobe.banner_matches");
+  tools_.devices_probed = &metrics_.counter("cenprobe.devices_probed");
+
+  tools_.fuzz_requests = &metrics_.counter("cenfuzz.requests");
+  tools_.fuzz_successful = &metrics_.counter("cenfuzz.successful");
+  tools_.fuzz_not_successful = &metrics_.counter("cenfuzz.not_successful");
+  tools_.fuzz_untestable = &metrics_.counter("cenfuzz.untestable");
+  tools_.fuzz_baseline_failed = &metrics_.counter("cenfuzz.baseline_failed");
+  tools_.fuzz_skipped = &metrics_.counter("cenfuzz.skipped_strategies");
+}
+
+void Observer::merge_from(const Observer& other, std::uint32_t tid,
+                          SimTime ts_offset_ms, SimTime task_now_ms) {
+  metrics_.merge_from(other.metrics_);
+  tracer_.append_from(other.tracer_, tid, ts_offset_ms, task_now_ms);
+  journal_.append_from(other.journal_, tid, ts_offset_ms);
+}
+
+std::string Observer::summary() const {
+  // Sim-domain only: the digest is deterministic and diffable between
+  // runs. Rows with a zero count are suppressed to keep it one screen.
+  std::string out = "-- metrics summary --------------------------------\n";
+  struct Row {
+    const char* label;
+    const char* name;
+  };
+  static constexpr Row kCounterRows[] = {
+      {"forward walks", "engine.forward_walks"},
+      {"hops traversed", "engine.hops_traversed"},
+      {"device injections", "engine.injections"},
+      {"ICMP quotes", "engine.icmp_quotes"},
+      {"UDP sends", "engine.udp_sends"},
+      {"transient drops", "engine.transient_drops"},
+      {"fault: link loss", "faults.link_loss"},
+      {"fault: duplicates", "faults.duplicates"},
+      {"fault: reorders", "faults.reorders"},
+      {"fault: icmp rate-limited", "faults.icmp_rate_limited"},
+      {"probes sent", "centrace.probes"},
+      {"probe retries", "centrace.retries"},
+      {"retry-recovered probes", "centrace.retry_recovered"},
+      {"payload cache hits", "centrace.payload_cache_hits"},
+      {"payload cache misses", "centrace.payload_cache_misses"},
+      {"banner grabs", "cenprobe.banner_grabs"},
+      {"banner retries", "cenprobe.banner_retries"},
+      {"fuzz requests", "cenfuzz.requests"},
+      {"fuzz successful", "cenfuzz.successful"},
+      {"fuzz unsuccessful", "cenfuzz.not_successful"},
+  };
+  for (const Row& row : kCounterRows) {
+    std::uint64_t v = metrics_.counter_value(row.name);
+    if (v == 0) continue;
+    std::string label = row.label;
+    label.resize(26, ' ');
+    out += "  " + label + std::to_string(v) + "\n";
+  }
+  if (const Histogram* h = metrics_.find_histogram("centrace.confidence_milli")) {
+    if (h->count() > 0) {
+      std::string label = "trace confidence (mean %)";
+      label.resize(26, ' ');
+      out += "  " + label +
+             std::to_string(h->sum() / (10 * h->count())) + "\n";
+    }
+  }
+  std::size_t spans = tracer_.spans().size();
+  std::size_t events = journal_.events().size();
+  if (spans > 0) out += "  spans recorded            " + std::to_string(spans) + "\n";
+  if (events > 0) {
+    out += "  journal events            " + std::to_string(events) + "\n";
+  }
+  out += "---------------------------------------------------\n";
+  return out;
+}
+
+}  // namespace cen::obs

@@ -1,0 +1,123 @@
+// Observer: the bundle handed to instrumented code — one metrics
+// registry, one span tracer and one measurement journal, plus pre-bound
+// counter groups for the per-packet hot paths (engine and fault layer),
+// so instrumentation costs a pointer test + increment rather than a
+// name lookup.
+//
+// Ownership model: every component takes a raw `Observer*` that may be
+// null; null means "observability disabled" and all instrumentation
+// collapses to one predictable branch. The parallel pipeline constructs
+// a private Observer per hermetic task and merges the shards in
+// task-identity order (merge_from), which is what makes the snapshots
+// byte-identical across worker counts — see docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/clock.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cen::obs {
+
+/// Engine (netsim) hot-path counters, bound once at Observer
+/// construction. All in the sim domain.
+struct EngineCounters {
+  Counter* forward_walks = nullptr;    // engine.forward_walks
+  Counter* hops = nullptr;             // engine.hops_traversed
+  Counter* injections = nullptr;       // engine.injections
+  Counter* icmp_quotes = nullptr;      // engine.icmp_quotes
+  Counter* udp_sends = nullptr;        // engine.udp_sends
+  Counter* transient_drops = nullptr;  // engine.transient_drops
+};
+
+/// Measurement-tool counters (CenTrace / CenProbe / CenFuzz), bound once
+/// at Observer construction. All in the sim domain.
+struct ToolCounters {
+  // CenTrace
+  Counter* trace_probes = nullptr;        // centrace.probes
+  Counter* trace_retries = nullptr;       // centrace.retries
+  Counter* trace_retry_recovered = nullptr;  // centrace.retry_recovered
+  Counter* trace_cache_hits = nullptr;    // centrace.payload_cache_hits
+  Counter* trace_cache_misses = nullptr;  // centrace.payload_cache_misses
+  Counter* trace_measurements = nullptr;  // centrace.measurements
+  Counter* trace_blocked = nullptr;       // centrace.blocked_verdicts
+  Histogram* trace_confidence = nullptr;  // centrace.confidence_milli
+  // CenProbe
+  Counter* banner_grabs = nullptr;     // cenprobe.banner_grabs
+  Counter* banner_retries = nullptr;   // cenprobe.banner_retries
+  Counter* banner_partials = nullptr;  // cenprobe.banner_partials
+  Counter* banner_matches = nullptr;   // cenprobe.banner_matches
+  Counter* devices_probed = nullptr;   // cenprobe.devices_probed
+  // CenFuzz
+  Counter* fuzz_requests = nullptr;         // cenfuzz.requests
+  Counter* fuzz_successful = nullptr;       // cenfuzz.successful
+  Counter* fuzz_not_successful = nullptr;   // cenfuzz.not_successful
+  Counter* fuzz_untestable = nullptr;       // cenfuzz.untestable
+  Counter* fuzz_baseline_failed = nullptr;  // cenfuzz.baseline_failed
+  Counter* fuzz_skipped = nullptr;          // cenfuzz.skipped_strategies
+};
+
+/// Per-fault-type fire counters for the fault-injection layer.
+struct FaultCounters {
+  Counter* link_loss = nullptr;          // faults.link_loss
+  Counter* duplicates = nullptr;         // faults.duplicates
+  Counter* reorders = nullptr;           // faults.reorders
+  Counter* payload_truncates = nullptr;  // faults.payload_truncates
+  Counter* payload_corruptions = nullptr;  // faults.payload_corruptions
+  Counter* icmp_blackholed = nullptr;    // faults.icmp_blackholed
+  Counter* icmp_rate_limited = nullptr;  // faults.icmp_rate_limited
+  Counter* mgmt_drops = nullptr;         // faults.mgmt_drops
+  Counter* banner_truncates = nullptr;   // faults.banner_truncates
+};
+
+/// Construction knobs (namespace scope so it is complete when used as a
+/// defaulted constructor argument).
+struct ObserverOptions {
+  std::size_t journal_cap = Journal::kDefaultCap;
+};
+
+class Observer {
+ public:
+  using Options = ObserverOptions;
+
+  explicit Observer(Options options = {});
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  Registry& metrics() { return metrics_; }
+  const Registry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  Journal& journal() { return journal_; }
+  const Journal& journal() const { return journal_; }
+
+  EngineCounters& engine() { return engine_; }
+  FaultCounters& faults() { return faults_; }
+  ToolCounters& tools() { return tools_; }
+
+  /// Fold a per-task shard into this observer. `tid` is the task's
+  /// stable identity (its index in the batch), `ts_offset_ms` rebases
+  /// the task's sim timeline (each hermetic task starts at 0) and
+  /// `task_now_ms` is the task's final sim time (used to close any
+  /// spans it left open). Merging shards in ascending tid order yields
+  /// identical state for every worker count.
+  void merge_from(const Observer& other, std::uint32_t tid,
+                  SimTime ts_offset_ms, SimTime task_now_ms);
+
+  /// One-screen human-readable digest of the sim-domain metrics, for
+  /// end-of-run CLI summaries.
+  std::string summary() const;
+
+ private:
+  Registry metrics_;
+  Tracer tracer_;
+  Journal journal_;
+  EngineCounters engine_;
+  FaultCounters faults_;
+  ToolCounters tools_;
+};
+
+}  // namespace cen::obs

@@ -1,0 +1,94 @@
+// Nested span tracer against the simulated clock.
+//
+// Spans are recorded as complete events (begin time + duration) against
+// `SimClock` milliseconds, which makes traces deterministic: the same
+// scenario and seed yield byte-identical trace files for any worker
+// count, because the sim clock — not the host — supplies every
+// timestamp. The exporter emits the Chrome `trace_event` JSON array
+// format (`ph:"X"` complete events, microsecond units) that loads
+// directly into chrome://tracing and ui.perfetto.dev.
+//
+// Thread model mirrors the metrics registry: one Tracer per hermetic
+// task, merged in task-identity order via `append_from`, which rebases
+// timestamps and assigns the task index as the trace `tid` so parallel
+// tasks land on separate rows in the viewer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/clock.hpp"
+
+namespace cen::obs {
+
+struct Span {
+  std::string name;
+  std::string category;
+  SimTime begin_ms = 0;
+  SimTime duration_ms = 0;
+  std::uint32_t tid = 0;    // task lane in the trace viewer
+  std::uint32_t depth = 0;  // nesting level at begin time
+};
+
+class Tracer {
+ public:
+  /// Open a span at `now`; close with the matching end(). Nesting is
+  /// tracked per tracer (one tracer == one logical task == one lane).
+  void begin(std::string name, std::string category, SimTime now);
+  void end(SimTime now);
+
+  /// Record an already-measured span without touching the open stack.
+  void complete(std::string name, std::string category, SimTime begin_ms,
+                SimTime end_ms);
+
+  /// Append another tracer's spans (closing any still open at
+  /// `other_now`), shifting them by `ts_offset_ms` and stamping `tid`.
+  /// Used by the pipeline merge: per-task tracers all start at sim time
+  /// 0 (reset_epoch), so the merger rebases each task into a common
+  /// timeline while the tid keeps lanes distinct.
+  void append_from(const Tracer& other, std::uint32_t tid,
+                   SimTime ts_offset_ms, SimTime other_now);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::size_t open_depth() const { return open_.size(); }
+  bool empty() const { return spans_.empty() && open_.empty(); }
+  void clear();
+
+  /// Chrome trace_event JSON: an array of complete ("ph":"X") events,
+  /// timestamps and durations in microseconds (sim ms × 1000).
+  std::string to_chrome_json() const;
+
+ private:
+  struct OpenSpan {
+    std::string name;
+    std::string category;
+    SimTime begin_ms;
+  };
+  std::vector<Span> spans_;
+  std::vector<OpenSpan> open_;
+};
+
+/// RAII span guard; inert when `tracer` is null, so instrumented code
+/// pays one branch when observability is disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const SimClock* clock, std::string name,
+             std::string category)
+      : tracer_(tracer), clock_(clock) {
+    if (tracer_ != nullptr) {
+      tracer_->begin(std::move(name), std::move(category), clock_->now());
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->end(clock_->now());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const SimClock* clock_;
+};
+
+}  // namespace cen::obs

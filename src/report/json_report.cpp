@@ -176,37 +176,57 @@ std::string to_json(const probe::DeviceProbeReport& report) {
 
 std::string to_json(const scenario::PipelineResult& result) {
   // Composed from the per-report serializers (each emits a complete JSON
-  // document), so the envelope is assembled textually.
-  std::string out;
-  out += "{\"country\":\"" + json_escape(result.country) + "\"";
-  out += ",\"remote_traces\":[";
-  for (std::size_t i = 0; i < result.remote_traces.size(); ++i) {
-    if (i > 0) out += ',';
-    out += to_json(result.remote_traces[i], /*include_sweeps=*/true);
+  // document spliced in via raw_value), so escaping and comma/structure
+  // bookkeeping all live in JsonWriter — no hand-rolled string assembly.
+  JsonWriter w;
+  w.begin_object();
+  w.key("country").value(result.country);
+  w.key("remote_traces").begin_array();
+  for (const trace::CenTraceReport& t : result.remote_traces) {
+    w.raw_value(to_json(t, /*include_sweeps=*/true));
   }
-  out += "],\"incountry_traces\":[";
-  for (std::size_t i = 0; i < result.incountry_traces.size(); ++i) {
-    if (i > 0) out += ',';
-    out += to_json(result.incountry_traces[i], /*include_sweeps=*/true);
+  w.end_array();
+  w.key("incountry_traces").begin_array();
+  for (const trace::CenTraceReport& t : result.incountry_traces) {
+    w.raw_value(to_json(t, /*include_sweeps=*/true));
   }
-  out += "],\"device_probes\":{";
-  bool first = true;
+  w.end_array();
+  w.key("device_probes").begin_object();
   for (const auto& [ip, rep] : result.device_probes) {
-    if (!first) out += ',';
-    first = false;
-    out += "\"" + net::Ipv4Address(ip).str() + "\":" + to_json(rep);
+    w.key(net::Ipv4Address(ip).str()).raw_value(to_json(rep));
   }
-  out += "},\"measurements\":[";
-  for (std::size_t i = 0; i < result.measurements.size(); ++i) {
-    const ml::EndpointMeasurement& m = result.measurements[i];
-    if (i > 0) out += ',';
-    out += "{\"endpoint_id\":\"" + json_escape(m.endpoint_id) + "\"";
-    out += ",\"fuzz\":" + (m.fuzz ? to_json(*m.fuzz) : std::string("null"));
-    out += ",\"banner\":" + (m.banner ? to_json(*m.banner) : std::string("null"));
-    out += "}";
+  w.end_object();
+  w.key("measurements").begin_array();
+  for (const ml::EndpointMeasurement& m : result.measurements) {
+    w.begin_object();
+    w.key("endpoint_id").value(m.endpoint_id);
+    w.key("fuzz");
+    if (m.fuzz) {
+      w.raw_value(to_json(*m.fuzz));
+    } else {
+      w.null();
+    }
+    w.key("banner");
+    if (m.banner) {
+      w.raw_value(to_json(*m.banner));
+    } else {
+      w.null();
+    }
+    w.end_object();
   }
-  out += "]}";
-  return out;
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string to_json(const obs::Observer& observer, bool include_wall) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("metrics").raw_value(observer.metrics().to_json(include_wall));
+  w.key("journal").raw_value(observer.journal().to_json());
+  w.key("span_count").value(static_cast<std::uint64_t>(observer.tracer().spans().size()));
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace cen::report

@@ -8,6 +8,7 @@
 #include "cenfuzz/cenfuzz.hpp"
 #include "cenprobe/fingerprints.hpp"
 #include "centrace/centrace.hpp"
+#include "obs/observer.hpp"
 #include "scenario/pipeline.hpp"
 
 namespace cen::report {
@@ -26,5 +27,13 @@ std::string to_json(const probe::DeviceProbeReport& report);
 /// measurement bundles. This is the canonical golden-file format the
 /// serial-vs-parallel determinism tests byte-compare.
 std::string to_json(const scenario::PipelineResult& result);
+
+/// Observability snapshot: the metrics registry plus the measurement
+/// journal as one JSON document (spans are exported separately, in Chrome
+/// trace-event format — obs::Tracer::to_chrome_json). With
+/// `include_wall = false` (default) only sim-domain metrics are emitted,
+/// so the document is byte-identical across worker counts; passing true
+/// adds the host-clock wall-domain series for profiling.
+std::string to_json(const obs::Observer& observer, bool include_wall = false);
 
 }  // namespace cen::report

@@ -53,6 +53,10 @@ class ParallelExecutor {
 
   int threads() const { return pool_.size(); }
 
+  /// Attach (or detach with nullptr) a PoolStats sink on the underlying
+  /// pool. Must not be called while a run() is in flight.
+  void set_stats(PoolStats* stats) { pool_.set_stats(stats); }
+
   /// Run one hermetic task per seed: task i executes fn(replica, i) on a
   /// worker-private replica freshly reset_epoch(seeds[i]). fn must write
   /// its result into a caller-owned per-index slot (no shared mutable

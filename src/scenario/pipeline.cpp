@@ -1,8 +1,10 @@
 #include "scenario/pipeline.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
+#include "obs/observer.hpp"
 #include "scenario/executor.hpp"
 
 namespace cen::scenario {
@@ -69,6 +71,80 @@ struct PipelineInput {
   std::string country;
 };
 
+/// Per-task observability shards for one hermetic stage, merged into the
+/// pipeline-level observer in task-identity order. Each task records into
+/// a private Observer (attached to its replica for the task's duration),
+/// so no lock sits on any hot path; the merge then lays the per-task
+/// timelines end to end on one synthetic axis — task i's spans/journal
+/// entries are offset by the summed sim durations of tasks 0..i-1 and
+/// stamped with tid i. Everything about the merged state is a function of
+/// the task list alone, never of scheduling, which is what makes the
+/// exported snapshots byte-identical across worker counts.
+class ShardMerger {
+ public:
+  explicit ShardMerger(obs::Observer* sink) : sink_(sink) {}
+
+  bool enabled() const { return sink_ != nullptr; }
+
+  /// Allocate one shard per task of the upcoming stage. No-op when no
+  /// sink is attached (shard() then returns nullptr for every index).
+  void begin_stage(std::size_t n_tasks) {
+    shards_.clear();
+    ends_.assign(n_tasks, 0);
+    shards_.resize(n_tasks);
+    if (!enabled()) return;
+    for (auto& s : shards_) s = std::make_unique<obs::Observer>();
+  }
+
+  obs::Observer* shard(std::size_t i) { return shards_[i].get(); }
+
+  /// Record the task-local sim clock at task completion (its duration,
+  /// since every hermetic task starts at sim time 0).
+  void record_end(std::size_t i, SimTime end) { ends_[i] = end; }
+
+  /// Merge the stage's shards in index order and wrap them in one
+  /// aggregate stage span named `stage_name`.
+  void merge_stage(const char* stage_name) {
+    if (!enabled()) return;
+    const SimTime stage_begin = offset_;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      sink_->merge_from(*shards_[i], next_tid_, offset_, ends_[i]);
+      ++next_tid_;
+      offset_ += ends_[i];
+    }
+    if (!shards_.empty()) {
+      sink_->tracer().complete(stage_name, "pipeline", stage_begin, offset_);
+    }
+    shards_.clear();
+    ends_.clear();
+  }
+
+ private:
+  obs::Observer* sink_;
+  std::vector<std::unique_ptr<obs::Observer>> shards_;
+  std::vector<SimTime> ends_;
+  std::uint32_t next_tid_ = 0;
+  SimTime offset_ = 0;
+};
+
+/// Export pool scheduling statistics into the observer's registry. The
+/// submission-side numbers (jobs, tasks, peak pending) are deterministic
+/// and live in the sim domain; worker count and host-clock timings vary
+/// with the machine and thread count, so they are wall-domain gauges and
+/// excluded from deterministic snapshots.
+void export_pool_stats(obs::Observer& o, const PoolStats& ps, int workers) {
+  obs::Registry& m = o.metrics();
+  m.counter("pool.jobs").inc(ps.jobs.load(std::memory_order_relaxed));
+  m.counter("pool.tasks").inc(ps.tasks.load(std::memory_order_relaxed));
+  m.gauge("pool.peak_pending")
+      .set_max(static_cast<std::int64_t>(ps.peak_pending.load(std::memory_order_relaxed)));
+  m.gauge("pool.workers", obs::Domain::kWall).set_max(workers);
+  m.gauge("pool.busy_ns", obs::Domain::kWall)
+      .set_max(static_cast<std::int64_t>(ps.busy_ns.load(std::memory_order_relaxed)));
+  m.gauge("pool.wall_ns", obs::Domain::kWall)
+      .set_max(static_cast<std::int64_t>(ps.wall_ns.load(std::memory_order_relaxed)));
+}
+
 trace::CenTraceOptions trace_options(const PipelineOptions& options,
                                      trace::ProbeProtocol protocol) {
   trace::CenTraceOptions o;
@@ -107,6 +183,10 @@ PipelineResult run_serial(const PipelineInput& in, const PipelineOptions& option
   sim::Network& net = *in.network;
   net.set_fault_plan(options.faults);
   if (options.transient_loss > 0.0) net.set_transient_loss(options.transient_loss);
+  // Single shared network: the observer rides the shared clock directly
+  // (no shards to merge). Restore whatever was attached before.
+  obs::Observer* prev_observer = net.observer();
+  if (options.observer != nullptr) net.set_observer(options.observer);
 
   trace::CenTraceOptions http_opts = trace_options(options, trace::ProbeProtocol::kHttp);
   trace::CenTraceOptions https_opts = trace_options(options, trace::ProbeProtocol::kHttps);
@@ -183,6 +263,7 @@ PipelineResult run_serial(const PipelineInput& in, const PipelineOptions& option
   }
 
   bundle(result, in.country, blocked_by_endpoint, fuzz_by_endpoint);
+  if (options.observer != nullptr) net.set_observer(prev_observer);
   return result;
 }
 
@@ -198,6 +279,9 @@ PipelineResult run_hermetic(const PipelineInput& in, const PipelineOptions& opti
   if (options.transient_loss > 0.0) net.set_transient_loss(options.transient_loss);
 
   ParallelExecutor exec(net, options.threads);
+  ShardMerger merger(options.observer);
+  PoolStats pool_stats;
+  if (options.observer != nullptr) exec.set_stats(&pool_stats);
 
   const trace::CenTraceOptions http_opts =
       trace_options(options, trace::ProbeProtocol::kHttp);
@@ -247,12 +331,20 @@ PipelineResult run_hermetic(const PipelineInput& in, const PipelineOptions& opti
     trace_keys.push_back(task_key(t.endpoint.value(), *t.domain, tag));
   }
   std::vector<trace::CenTraceReport> reports(tasks.size());
+  merger.begin_stage(tasks.size());
   exec.run(derive_task_seeds(net.seed(), kTraceStageSalt, trace_keys),
            [&](sim::Network& replica, std::size_t i) {
              const TraceTask& t = tasks[i];
+             obs::Observer* shard = merger.shard(i);
+             if (shard != nullptr) replica.set_observer(shard);
              trace::CenTrace ct(replica, t.client, *t.opts);
              reports[i] = ct.measure(t.endpoint, *t.domain, in.control_domain);
+             if (shard != nullptr) {
+               merger.record_end(i, replica.now());
+               replica.set_observer(nullptr);
+             }
            });
+  merger.merge_stage("stage:centrace");
   for (std::size_t i = 0; i < reports.size(); ++i) {
     (i < n_remote ? result.remote_traces : result.incountry_traces)
         .push_back(std::move(reports[i]));
@@ -283,10 +375,18 @@ PipelineResult run_hermetic(const PipelineInput& in, const PipelineOptions& opti
       probe_keys.push_back(task_key(ip.value(), {}, 0x10));
     }
     std::vector<probe::DeviceProbeReport> probes(probe_ips.size());
+    merger.begin_stage(probe_ips.size());
     exec.run(derive_task_seeds(net.seed(), kProbeStageSalt, probe_keys),
              [&](sim::Network& replica, std::size_t i) {
+               obs::Observer* shard = merger.shard(i);
+               if (shard != nullptr) replica.set_observer(shard);
                probes[i] = probe::probe_device(replica, probe_ips[i]);
+               if (shard != nullptr) {
+                 merger.record_end(i, replica.now());
+                 replica.set_observer(nullptr);
+               }
              });
+    merger.merge_stage("stage:cenprobe");
     for (std::size_t i = 0; i < probe_ips.size(); ++i) {
       result.device_probes.emplace(probe_ips[i].value(), std::move(probes[i]));
     }
@@ -308,19 +408,31 @@ PipelineResult run_hermetic(const PipelineInput& in, const PipelineOptions& opti
       fuzz_keys.push_back(task_key(ep, blocked_by_endpoint.at(ep)->test_domain, 0x20));
     }
     std::vector<fuzz::CenFuzzReport> fuzzes(fuzz_targets.size());
+    merger.begin_stage(fuzz_targets.size());
     exec.run(derive_task_seeds(net.seed(), kFuzzStageSalt, fuzz_keys),
              [&](sim::Network& replica, std::size_t i) {
                const trace::CenTraceReport* rep = blocked_by_endpoint.at(fuzz_targets[i]);
+               obs::Observer* shard = merger.shard(i);
+               if (shard != nullptr) replica.set_observer(shard);
                fuzz::CenFuzz fuzzer(replica, in.remote_client);
                fuzzes[i] = fuzzer.run(net::Ipv4Address(fuzz_targets[i]), rep->test_domain,
                                       in.control_domain);
+               if (shard != nullptr) {
+                 merger.record_end(i, replica.now());
+                 replica.set_observer(nullptr);
+               }
              });
+    merger.merge_stage("stage:cenfuzz");
     for (std::size_t i = 0; i < fuzz_targets.size(); ++i) {
       fuzz_by_endpoint.emplace(fuzz_targets[i], std::move(fuzzes[i]));
     }
   }
 
   bundle(result, in.country, blocked_by_endpoint, fuzz_by_endpoint);
+  if (options.observer != nullptr) {
+    export_pool_stats(*options.observer, pool_stats, exec.threads());
+    exec.set_stats(nullptr);
+  }
   return result;
 }
 
@@ -379,6 +491,83 @@ ConsistencyStats localisation_consistency(const PipelineResult& result) {
         hop_sum / static_cast<double>(stats.endpoints_with_multiple_blocked);
   }
   return stats;
+}
+
+std::vector<trace::CenTraceReport> run_trace_fanout(
+    sim::Network& net, sim::NodeId client,
+    const std::vector<net::Ipv4Address>& endpoints,
+    const std::vector<std::string>& domains, const std::string& control_domain,
+    const trace::CenTraceOptions& trace_opts, int threads, obs::Observer* observer) {
+  struct Task {
+    net::Ipv4Address endpoint;
+    const std::string* domain;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(endpoints.size() * domains.size());
+  for (net::Ipv4Address endpoint : endpoints) {
+    for (const std::string& domain : domains) tasks.push_back({endpoint, &domain});
+  }
+
+  // Same key/salt scheme as the pipeline's stage 1, so a fan-out of the
+  // same (endpoint, domain, protocol) set replays the same substreams.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(tasks.size());
+  for (const Task& t : tasks) {
+    keys.push_back(task_key(t.endpoint.value(), *t.domain,
+                            static_cast<std::uint64_t>(trace_opts.protocol)));
+  }
+  const std::vector<std::uint64_t> seeds =
+      derive_task_seeds(net.seed(), kTraceStageSalt, keys);
+
+  std::vector<trace::CenTraceReport> reports(tasks.size());
+  ShardMerger merger(observer);
+  merger.begin_stage(tasks.size());
+  auto run_task = [&](sim::Network& replica, std::size_t i) {
+    obs::Observer* shard = merger.shard(i);
+    if (shard != nullptr) replica.set_observer(shard);
+    trace::CenTrace ct(replica, client, trace_opts);
+    reports[i] = ct.measure(tasks[i].endpoint, *tasks[i].domain, control_domain);
+    if (shard != nullptr) {
+      merger.record_end(i, replica.now());
+      replica.set_observer(nullptr);
+    }
+  };
+
+  if (threads == 0) {
+    // Inline-hermetic: run every task on `net` itself, reset to the same
+    // task-derived epoch a pool replica would use. Identical results to
+    // the pool path by construction. The caller's observer attachment is
+    // saved around the loop (tasks record into their own shards).
+    obs::Observer* prev = net.observer();
+    net.set_observer(nullptr);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      net.reset_epoch(seeds[i]);
+      run_task(net, i);
+    }
+    net.set_observer(prev);
+  } else {
+    ParallelExecutor exec(net, threads);
+    PoolStats pool_stats;
+    if (observer != nullptr) exec.set_stats(&pool_stats);
+    exec.run(seeds, run_task);
+    if (observer != nullptr) {
+      // Deliberately NOT exported into sim-domain metrics here: the
+      // inline path (threads = 0) has no pool, and the identity contract
+      // across {0, 1, N} must hold for the default snapshot. Wall-domain
+      // gauges only.
+      obs::Registry& m = observer->metrics();
+      m.gauge("pool.workers", obs::Domain::kWall).set_max(exec.threads());
+      m.gauge("pool.busy_ns", obs::Domain::kWall)
+          .set_max(static_cast<std::int64_t>(
+              pool_stats.busy_ns.load(std::memory_order_relaxed)));
+      m.gauge("pool.wall_ns", obs::Domain::kWall)
+          .set_max(static_cast<std::int64_t>(
+              pool_stats.wall_ns.load(std::memory_order_relaxed)));
+      exec.set_stats(nullptr);
+    }
+  }
+  merger.merge_stage("stage:centrace");
+  return reports;
 }
 
 PipelineResult run_world_pipeline(WorldScenario& scenario, const PipelineOptions& options) {

@@ -15,6 +15,10 @@
 #include "scenario/country.hpp"
 #include "scenario/world.hpp"
 
+namespace cen::obs {
+class Observer;
+}
+
 namespace cen::scenario {
 
 struct PipelineOptions {
@@ -47,6 +51,14 @@ struct PipelineOptions {
   ///       reset to an epoch derived from the task identity alone, so
   ///       scheduling cannot influence results.
   int threads = -1;
+  /// Observability sink (see src/obs/). On the hermetic path every task
+  /// records into a private per-task shard; shards are merged into this
+  /// observer in task-identity order, so the sim-domain metrics, spans
+  /// and journal are byte-identical for every worker count >= 1 — the
+  /// same contract the measurement results obey. The serial legacy path
+  /// (threads = 0) attaches the observer directly to the shared network.
+  /// nullptr disables all instrumentation (near-zero cost).
+  obs::Observer* observer = nullptr;
 };
 
 struct PipelineResult {
@@ -85,6 +97,27 @@ struct ConsistencyStats {
 };
 
 ConsistencyStats localisation_consistency(const PipelineResult& result);
+
+/// CenTrace fan-out over every (endpoint × domain) pair with the same
+/// hermetic per-task seeding the pipeline's parallel path uses. Backs
+/// `centrace_cli --threads`: the task seeds depend only on the task
+/// identity (endpoint, domain, protocol) and the network's construction
+/// seed, so the reports — and, when `observer` is non-null, the merged
+/// sim-domain metrics/spans/journal — are byte-identical for every
+/// `threads` value. `threads` semantics:
+///   0   inline-hermetic: each task runs on `net` itself after a
+///       reset_epoch() to its task seed (no pool, no replicas);
+///   >=1 hermetic pool with that many workers (replicas of `net`);
+///   -1  hermetic pool with one worker per hardware thread.
+/// Note threads = 0 here is NOT the pipeline's legacy shared-state serial
+/// path: fan-out tasks are independent by definition, so the inline path
+/// can afford full hermeticity and join the identity contract.
+std::vector<trace::CenTraceReport> run_trace_fanout(
+    sim::Network& net, sim::NodeId client,
+    const std::vector<net::Ipv4Address>& endpoints,
+    const std::vector<std::string>& domains, const std::string& control_domain,
+    const trace::CenTraceOptions& trace_options, int threads,
+    obs::Observer* observer = nullptr);
 
 /// Indices of an even stride sample of `cap` items out of [0, n). Pure
 /// integer arithmetic — index i maps to (i*n)/cap — so the indices are

@@ -3,6 +3,7 @@
 //
 //   cencluster [--countries AZ,BY,KZ,RU] [--scale full|small]
 //              [--fuzz-cap N] [--reps N] [--top-k 10] [--export features.csv]
+//              [--threads N] [--metrics FILE] [--trace FILE] [--journal FILE]
 #include "cli_common.hpp"
 #include "core/strings.hpp"
 #include "ml/dbscan.hpp"
@@ -16,13 +17,19 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: cencluster [--countries AZ,BY,KZ,RU] [--scale full|small]\n"
         "                  [--fuzz-cap N] [--reps N] [--top-k K]\n"
-        "                  [--export features.csv]\n");
+        "                  [--export features.csv] [--threads N]\n"
+        "                  [--metrics FILE] [--trace FILE] [--journal FILE]\n");
     return 0;
   }
+
+  obs::Observer observer;
+  obs::Observer* obs_ptr = cli::wants_observer(args) ? &observer : nullptr;
 
   scenario::PipelineOptions o;
   o.centrace_repetitions = args.get_int("reps", 5);
   o.fuzz_max_endpoints = args.get_int("fuzz-cap", 40);
+  o.threads = args.get_int("threads", -1);
+  o.observer = obs_ptr;
   scenario::Scale scale = cli::parse_scale(args.get("scale"));
 
   std::vector<ml::EndpointMeasurement> all;
@@ -39,7 +46,7 @@ int main(int argc, char** argv) {
   }
   if (all.empty()) {
     std::printf("no blocked endpoints with fuzz data — nothing to cluster\n");
-    return 0;
+    return obs_ptr != nullptr ? cli::write_observability(args, observer) : 0;
   }
 
   ml::FeatureMatrix fm = ml::extract_features(all);
@@ -99,5 +106,5 @@ int main(int argc, char** argv) {
     for (const auto& [label, n] : by_label) std::printf("  [%s x%d]", label.c_str(), n);
     std::printf("\n");
   }
-  return 0;
+  return obs_ptr != nullptr ? cli::write_observability(args, observer) : 0;
 }

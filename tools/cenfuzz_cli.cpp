@@ -2,11 +2,11 @@
 //
 //   cenfuzz --country KZ [--scale full|small] [--endpoint N] [--domain D]
 //           [--json] [--successful-only]
+//           [--metrics FILE] [--trace FILE] [--journal FILE]
 //
 // Picks the first test domain and endpoint unless told otherwise; prints a
 // per-strategy summary, permutation detail for evading probes, or JSONL.
 #include "cli_common.hpp"
-#include "report/json_report.hpp"
 
 using namespace cen;
 
@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   if (args.has("help") || !args.has("country")) {
     std::printf(
         "usage: cenfuzz --country AZ|BY|KZ|RU [--scale full|small]\n"
-        "               [--endpoint N] [--domain D] [--json] [--successful-only]\n");
+        "               [--endpoint N] [--domain D] [--json] [--successful-only]\n"
+        "               [--metrics FILE] [--trace FILE] [--journal FILE]\n");
     return args.has("help") ? 0 : 2;
   }
 
@@ -30,13 +31,20 @@ int main(int argc, char** argv) {
   }
   std::string domain = args.get("domain", s.http_test_domains.front());
 
+  obs::Observer observer;
+  obs::Observer* obs_ptr = cli::wants_observer(args) ? &observer : nullptr;
+  if (obs_ptr != nullptr) s.network->set_observer(obs_ptr);
+
   fuzz::CenFuzz fuzzer(*s.network, s.remote_client);
   fuzz::CenFuzzReport report = fuzzer.run(
       s.remote_endpoints[static_cast<std::size_t>(index)], domain, s.control_domain);
 
+  if (obs_ptr != nullptr) s.network->set_observer(nullptr);
+  int obs_rc = obs_ptr != nullptr ? cli::write_observability(args, observer) : 0;
+
   if (args.has("json")) {
     std::printf("%s\n", report::to_json(report).c_str());
-    return 0;
+    return obs_rc;
   }
 
   std::printf("endpoint %s, test domain %s\n", report.endpoint.str().c_str(),
@@ -46,7 +54,7 @@ int main(int argc, char** argv) {
               report.tls_baseline_blocked ? "yes" : "no", report.total_requests);
   if (!report.http_baseline_blocked && !report.tls_baseline_blocked) {
     std::printf("nothing to fuzz: the Normal request is not blocked.\n");
-    return 0;
+    return obs_rc;
   }
 
   std::map<std::string, std::array<int, 3>> per_strategy;  // succ / fail / untestable
@@ -68,5 +76,5 @@ int main(int argc, char** argv) {
       std::printf("%-26s %6d %6d %6d\n", strategy.c_str(), row[0], row[1], row[2]);
     }
   }
-  return 0;
+  return obs_rc;
 }

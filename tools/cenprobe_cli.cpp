@@ -2,9 +2,9 @@
 // port-scan and banner-grab them.
 //
 //   cenprobe --country KZ [--scale full|small] [--reps 5] [--json]
+//            [--threads N] [--metrics FILE] [--trace FILE] [--journal FILE]
 //   cenprobe --country KZ --ip 10.0.80.1 [--json]    (probe one IP directly)
 #include "cli_common.hpp"
-#include "report/json_report.hpp"
 
 using namespace cen;
 
@@ -26,12 +26,16 @@ int main(int argc, char** argv) {
   if (args.has("help") || !args.has("country")) {
     std::printf(
         "usage: cenprobe --country AZ|BY|KZ|RU [--scale full|small] [--reps N]\n"
-        "                [--ip A.B.C.D] [--json]\n");
+        "                [--ip A.B.C.D] [--json] [--threads N]\n"
+        "                [--metrics FILE] [--trace FILE] [--journal FILE]\n");
     return args.has("help") ? 0 : 2;
   }
 
   scenario::CountryScenario s = scenario::make_country(
       cli::parse_country(args.get("country")), cli::parse_scale(args.get("scale")));
+
+  obs::Observer observer;
+  obs::Observer* obs_ptr = cli::wants_observer(args) ? &observer : nullptr;
 
   if (args.has("ip")) {
     auto ip = net::Ipv4Address::parse(args.get("ip"));
@@ -39,18 +43,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "malformed IP: %s\n", args.get("ip").c_str());
       return 2;
     }
+    if (obs_ptr != nullptr) s.network->set_observer(obs_ptr);
     probe::DeviceProbeReport r = probe::probe_device(*s.network, *ip);
+    if (obs_ptr != nullptr) s.network->set_observer(nullptr);
     if (args.has("json")) {
       std::printf("%s\n", report::to_json(r).c_str());
     } else {
       print_text(r);
     }
-    return 0;
+    return obs_ptr != nullptr ? cli::write_observability(args, observer) : 0;
   }
 
   scenario::PipelineOptions o;
   o.centrace_repetitions = args.get_int("reps", 5);
   o.run_fuzz = false;
+  o.threads = args.get_int("threads", -1);
+  o.observer = obs_ptr;
   scenario::PipelineResult result = run_country_pipeline(s, o);
   std::fprintf(stderr, "CenTrace: %zu measurements, %zu blocked, %zu device IPs\n",
                result.remote_traces.size(), result.blocked_remote(),
@@ -62,5 +70,5 @@ int main(int argc, char** argv) {
       print_text(r);
     }
   }
-  return 0;
+  return obs_ptr != nullptr ? cli::write_observability(args, observer) : 0;
 }

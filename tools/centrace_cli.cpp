@@ -2,15 +2,24 @@
 //
 //   centrace --country KZ [--scale full|small] [--protocol http|https|dns]
 //            [--endpoint N] [--domain D] [--reps 11] [--json] [--sweeps]
-//            [--pcap out.pcap]
+//            [--pcap out.pcap] [--threads N] [--backoff MS] [--retries N]
+//            [--loss P] [--fault-loss P] [--fault-dup P] [--fault-reorder P]
+//            [--fault-icmp-rate R]
+//            [--metrics FILE] [--trace FILE] [--journal FILE]
 //
 // Measures every (endpoint, test domain) pair by default; --endpoint
 // restricts to one endpoint index and --domain to one test domain. With
 // --json, one JSON document per measurement is written to stdout (JSONL);
 // --pcap stores the raw client-side capture of the whole run.
+//
+// With --threads the run uses the hermetic fan-out: every task is seeded
+// from its (endpoint, domain, protocol) identity, so the reports AND the
+// --metrics/--trace/--journal outputs are byte-identical for every
+// --threads value (0 = inline, N = pool of N workers) — including under
+// a non-inert fault plan. Without --threads the legacy shared-network
+// serial path runs (byte-compatible with earlier releases).
 #include "cli_common.hpp"
 #include "net/pcap.hpp"
-#include "report/json_report.hpp"
 
 using namespace cen;
 
@@ -44,17 +53,23 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: centrace --country AZ|BY|KZ|RU [--scale full|small]\n"
         "                [--protocol http|https|dns] [--endpoint N] [--domain D]\n"
-        "                [--reps N] [--json] [--sweeps] [--pcap FILE]\n");
+        "                [--reps N] [--json] [--sweeps] [--pcap FILE]\n"
+        "                [--threads N] [--backoff MS] [--retries N]\n"
+        "                [--loss P] [--fault-loss P] [--fault-dup P]\n"
+        "                [--fault-reorder P] [--fault-icmp-rate R]\n"
+        "                [--metrics FILE] [--trace FILE] [--journal FILE]\n");
     return args.has("help") ? 0 : 2;
   }
 
   scenario::CountryScenario s = scenario::make_country(
       cli::parse_country(args.get("country")), cli::parse_scale(args.get("scale")));
+  s.network->set_fault_plan(cli::parse_fault_plan(args));
 
   trace::CenTraceOptions opts;
   opts.repetitions = args.get_int("reps", 11);
   opts.protocol = cli::parse_protocol(args.get("protocol"));
-  trace::CenTrace tracer(*s.network, s.remote_client, opts);
+  opts.retry_backoff = static_cast<SimTime>(args.get_int("backoff", 0));
+  opts.adaptive_max_retries = args.get_int("retries", 6);
 
   net::PcapWriter capture;
   if (args.has("pcap")) s.network->set_capture(&capture);
@@ -75,14 +90,32 @@ int main(int argc, char** argv) {
     endpoints = {s.remote_endpoints[static_cast<std::size_t>(index)]};
   }
 
-  for (net::Ipv4Address endpoint : endpoints) {
-    for (const std::string& domain : domains) {
-      trace::CenTraceReport r = tracer.measure(endpoint, domain, s.control_domain);
-      if (args.has("json")) {
-        std::printf("%s\n", report::to_json(r, args.has("sweeps")).c_str());
-      } else {
-        print_text(r);
+  obs::Observer observer;
+  obs::Observer* obs_ptr = cli::wants_observer(args) ? &observer : nullptr;
+
+  std::vector<trace::CenTraceReport> reports;
+  if (args.has("threads")) {
+    // Hermetic fan-out: identical output for every --threads value.
+    reports = scenario::run_trace_fanout(*s.network, s.remote_client, endpoints,
+                                         domains, s.control_domain, opts,
+                                         args.get_int("threads", 0), obs_ptr);
+  } else {
+    // Legacy shared-network serial path.
+    if (obs_ptr != nullptr) s.network->set_observer(obs_ptr);
+    trace::CenTrace tracer(*s.network, s.remote_client, opts);
+    for (net::Ipv4Address endpoint : endpoints) {
+      for (const std::string& domain : domains) {
+        reports.push_back(tracer.measure(endpoint, domain, s.control_domain));
       }
+    }
+    if (obs_ptr != nullptr) s.network->set_observer(nullptr);
+  }
+
+  for (const trace::CenTraceReport& r : reports) {
+    if (args.has("json")) {
+      std::printf("%s\n", report::to_json(r, args.has("sweeps")).c_str());
+    } else {
+      print_text(r);
     }
   }
 
@@ -95,5 +128,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %zu packets to %s\n", capture.size(),
                  args.get("pcap").c_str());
   }
+  if (obs_ptr != nullptr) return cli::write_observability(args, observer);
   return 0;
 }

@@ -9,6 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "core/strings.hpp"
+#include "obs/observer.hpp"
+#include "report/json_report.hpp"
 #include "scenario/pipeline.hpp"
 
 namespace cli {
@@ -40,10 +43,72 @@ class Args {
     auto it = named_.find(name);
     return it == named_.end() ? fallback : std::atoi(it->second.c_str());
   }
+  double get_double(const std::string& name, double fallback) const {
+    auto it = named_.find(name);
+    return it == named_.end() ? fallback : std::atof(it->second.c_str());
+  }
 
  private:
   std::map<std::string, std::string> named_;
 };
+
+inline bool write_file(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+/// Shared observability flags (all four CLIs):
+///   --metrics FILE   deterministic metrics snapshot — Prometheus text
+///                    exposition when FILE ends in ".prom", otherwise a
+///                    JSON document with metrics + journal;
+///   --trace FILE     Chrome trace-event JSON (load in chrome://tracing
+///                    or https://ui.perfetto.dev);
+///   --journal FILE   the structured measurement journal alone (JSON).
+inline bool wants_observer(const Args& args) {
+  return args.has("metrics") || args.has("trace") || args.has("journal");
+}
+
+/// Write every requested observability sink; returns 0, or 1 on I/O error.
+inline int write_observability(const Args& args, const cen::obs::Observer& obs) {
+  int rc = 0;
+  if (args.has("metrics")) {
+    const std::string path = args.get("metrics");
+    const std::string body = cen::ends_with(path, ".prom")
+                                 ? obs.metrics().to_prometheus()
+                                 : cen::report::to_json(obs);
+    if (!write_file(path, body)) rc = 1;
+  }
+  if (args.has("trace") && !write_file(args.get("trace"), obs.tracer().to_chrome_json())) {
+    rc = 1;
+  }
+  if (args.has("journal") && !write_file(args.get("journal"), obs.journal().to_json())) {
+    rc = 1;
+  }
+  return rc;
+}
+
+/// Fault-plan knobs shared by the CLIs (inert unless a flag is passed):
+///   --loss P              whole-walk transient loss (engine RNG — the
+///                         legacy knob);
+///   --fault-loss P        per-link packet loss on every link;
+///   --fault-dup P         reply duplication probability;
+///   --fault-reorder P     late-delivery (reordering) probability;
+///   --fault-icmp-rate R   token-bucket ICMP rate limit per router (msgs/s).
+inline cen::sim::FaultPlan parse_fault_plan(const Args& args) {
+  cen::sim::FaultPlan plan;
+  plan.transient_loss = args.get_double("loss", 0.0);
+  plan.default_link.loss = args.get_double("fault-loss", 0.0);
+  plan.default_link.duplicate = args.get_double("fault-dup", 0.0);
+  plan.default_link.reorder = args.get_double("fault-reorder", 0.0);
+  plan.default_node.icmp_rate_per_sec = args.get_double("fault-icmp-rate", 0.0);
+  return plan;
+}
 
 inline cen::scenario::Country parse_country(const std::string& code) {
   using cen::scenario::Country;
