@@ -1,0 +1,85 @@
+// Campaign cache effectiveness: cold vs warm wall time and cache hit
+// ratio, with the warm-run guard the cache contract promises — a fully
+// warm re-run must execute ZERO tool tasks (everything spliced from the
+// JSONL cache). Exit 1 when the guard fails.
+//
+//   ./bench_campaign [output.json]      (default BENCH_campaign.json)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "core/json.hpp"
+
+using namespace cen;
+
+namespace {
+
+double run_ms(const campaign::CampaignSpec& spec, const std::string& cache,
+              campaign::CampaignResult& out) {
+  campaign::RunControl control;
+  control.threads = -1;
+  control.cache_path = cache;
+  auto t0 = std::chrono::steady_clock::now();
+  out = campaign::run(spec, control);
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_campaign.json";
+
+  campaign::CampaignSpec spec;
+  spec.name = "bench";
+  spec.countries = {scenario::Country::kAZ, scenario::Country::kKZ};
+  spec.scale = scenario::Scale::kSmall;
+  spec.trace.repetitions = 3;
+  spec.max_endpoints = 4;
+  spec.max_domains = 2;
+  spec.fuzz_max_endpoints = 3;
+
+  const std::string cache = "BENCH_campaign_cache.jsonl";
+  std::remove(cache.c_str());
+
+  campaign::CampaignResult cold, warm;
+  const double cold_ms = run_ms(spec, cache, cold);
+  const double warm_ms = run_ms(spec, cache, warm);
+  std::remove(cache.c_str());
+
+  const std::size_t tasks = warm.trace.tasks + warm.probe.tasks + warm.fuzz.tasks;
+  const double hit_ratio =
+      tasks == 0 ? 0.0 : static_cast<double>(warm.cache_hits()) / static_cast<double>(tasks);
+  const bool identical = warm.to_jsonl() == cold.to_jsonl();
+  const bool guard_pass = warm.tool_tasks_executed() == 0 && identical;
+
+  std::printf("campaign cache bench (%zu tool tasks over %zu countries)\n", tasks,
+              spec.countries.size());
+  std::printf("  cold run: %8.1f ms  (%zu executed)\n", cold_ms,
+              cold.tool_tasks_executed());
+  std::printf("  warm run: %8.1f ms  (%zu executed, hit ratio %.2f, speedup %.1fx)\n",
+              warm_ms, warm.tool_tasks_executed(), hit_ratio,
+              warm_ms > 0 ? cold_ms / warm_ms : 0.0);
+  std::printf("warm-run guard (zero executions, identical output): %s\n",
+              guard_pass ? "PASS" : "FAIL");
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("campaign_cache");
+  w.key("countries").value(static_cast<std::uint64_t>(spec.countries.size()));
+  w.key("tool_tasks").value(static_cast<std::uint64_t>(tasks));
+  w.key("cold_ms").value(cold_ms);
+  w.key("warm_ms").value(warm_ms);
+  w.key("speedup").value(warm_ms > 0 ? cold_ms / warm_ms : 0.0);
+  w.key("cold_executed").value(static_cast<std::uint64_t>(cold.tool_tasks_executed()));
+  w.key("warm_executed").value(static_cast<std::uint64_t>(warm.tool_tasks_executed()));
+  w.key("warm_cache_hit_ratio").value(hit_ratio);
+  w.key("outputs_identical").value(identical);
+  w.key("guard_pass").value(guard_pass);
+  w.end_object();
+  std::ofstream(out_path) << w.str() << "\n";
+  std::printf("wrote %s\n", out_path);
+  return guard_pass ? 0 : 1;
+}

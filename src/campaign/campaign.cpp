@@ -1,0 +1,425 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "campaign/cache.hpp"
+#include "core/json.hpp"
+#include "ml/dbscan.hpp"
+#include "obs/observer.hpp"
+#include "report/from_json.hpp"
+#include "report/json_report.hpp"
+#include "scenario/executor.hpp"
+#include "scenario/pipeline.hpp"
+
+namespace cen::campaign {
+
+namespace {
+
+// The pipeline's per-stage substream salts (scenario/pipeline.cpp). The
+// campaign derives its seeds with the same salts and identity keys, so a
+// campaign trace of (endpoint, domain, protocol) is the same measurement
+// the pipeline would have produced for that task.
+constexpr std::uint64_t kTraceStageSalt = 0x747261636531ULL;  // "trace1"
+constexpr std::uint64_t kProbeStageSalt = 0x70726f626532ULL;  // "probe2"
+constexpr std::uint64_t kFuzzStageSalt = 0x66757a7a33ULL;     // "fuzz3"
+
+/// Campaign-wide executed-batch budget (RunControl::max_batches).
+struct Budget {
+  int max_batches = -1;
+  int used = 0;
+  bool exhausted() const { return max_batches >= 0 && used >= max_batches; }
+};
+
+/// One stage's compiled task list: parallel arrays over task index.
+struct StageTasks {
+  std::vector<std::string> ids;        // "<CC>:<stage>:<subject>..."
+  std::vector<std::string> cache_keys; // 128-bit content-hash keys
+  std::vector<std::uint64_t> identity; // task_key() for seed derivation
+};
+
+/// Execute one stage's uncached tasks in batches, filling `docs` (one
+/// result document per task, cache hits included). Returns false when the
+/// batch budget ran out with work still pending; `docs` is then only
+/// partially filled and the campaign must stop.
+bool run_stage(sim::Network& net, const CampaignSpec& spec, const RunControl& control,
+               ResultCache& cache, Budget& budget, StageStats& stats,
+               std::unique_ptr<scenario::ParallelExecutor>& exec, std::string_view stage,
+               const StageTasks& tasks, std::uint64_t salt,
+               const std::function<bool(std::string_view)>& validate,
+               const std::function<std::string(sim::Network&, std::size_t)>& execute,
+               std::vector<std::string>& docs) {
+  const std::size_t n = tasks.ids.size();
+  stats.tasks += n;
+  docs.assign(n, std::string());
+  if (n == 0) return true;
+
+  // Seeds always derive over the FULL task list: the cache state must
+  // never be able to change which substream a task runs under.
+  const std::vector<std::uint64_t> seeds =
+      scenario::derive_task_seeds(net.seed(), salt, tasks.identity);
+
+  const auto batch = static_cast<std::size_t>(spec.batch_size);
+  for (std::size_t start = 0; start < n; start += batch) {
+    const std::size_t end = std::min(start + batch, n);
+    std::vector<std::size_t> missing;
+    for (std::size_t i = start; i < end; ++i) {
+      const std::string* hit = cache.find(tasks.cache_keys[i]);
+      // A cached record that no longer decodes (hand-edited file, torn
+      // write that still parsed) is treated as absent and re-executed.
+      if (hit != nullptr && validate(*hit)) {
+        docs[i] = *hit;
+        ++stats.cache_hits;
+      } else {
+        missing.push_back(i);
+      }
+    }
+    if (missing.empty()) continue;
+    if (budget.exhausted()) return false;
+
+    if (control.threads == 0) {
+      // Inline hermetic path: the scenario network itself, reset to the
+      // task's epoch before each measurement — same substreams the pool
+      // replicas would use.
+      for (std::size_t i : missing) {
+        net.reset_epoch(seeds[i]);
+        docs[i] = execute(net, i);
+      }
+    } else {
+      if (exec == nullptr) {
+        exec = std::make_unique<scenario::ParallelExecutor>(net, control.threads);
+      }
+      std::vector<std::uint64_t> sub_seeds;
+      sub_seeds.reserve(missing.size());
+      for (std::size_t i : missing) sub_seeds.push_back(seeds[i]);
+      std::vector<std::string> fresh(missing.size());
+      exec->run(sub_seeds, [&](sim::Network& replica, std::size_t j) {
+        fresh[j] = execute(replica, missing[j]);
+      });
+      for (std::size_t j = 0; j < missing.size(); ++j) {
+        docs[missing[j]] = std::move(fresh[j]);
+      }
+    }
+
+    for (std::size_t i : missing) {
+      cache.put(tasks.cache_keys[i], stage, tasks.ids[i], docs[i]);
+    }
+    cache.flush();  // batch boundary == crash-checkpoint boundary
+    ++budget.used;
+    ++stats.batches;
+    stats.executed += missing.size();
+  }
+  return true;
+}
+
+std::vector<std::string> sampled(const std::vector<std::string>& all, int cap) {
+  std::vector<std::string> out;
+  for (std::size_t idx : scenario::stride_sample_indices(all.size(), cap)) {
+    out.push_back(all[idx]);
+  }
+  return out;
+}
+
+void stage_span(obs::Observer* observer, const std::string& country,
+                std::string_view stage, std::size_t task_count) {
+  if (observer == nullptr) return;
+  // Span boundaries must be run-invariant (span counts and contents show
+  // up in deterministic snapshots), so the "duration" encodes the task
+  // count rather than any execution timing.
+  observer->tracer().complete("campaign:" + country + ":" + std::string(stage),
+                              "campaign", 0, static_cast<SimTime>(task_count));
+}
+
+}  // namespace
+
+CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
+  CampaignResult result;
+  result.name = spec.name;
+  const std::vector<scenario::Country> countries = spec.effective_countries();
+  for (scenario::Country c : countries) {
+    result.countries.emplace_back(scenario::country_code(c));
+  }
+
+  ResultCache cache(control.cache_path);
+  const std::size_t preloaded = cache.load();
+  Budget budget{control.max_batches, 0};
+  obs::Observer* observer = control.observer;
+  if (observer != nullptr) {
+    // Cache/batch bookkeeping depends on the run history, not the spec —
+    // wall domain, excluded from deterministic snapshots.
+    observer->metrics()
+        .counter("campaign.cache_preloaded", obs::Domain::kWall)
+        .inc(preloaded);
+  }
+
+  const std::uint64_t fault_fp = spec.faults.fingerprint();
+
+  for (scenario::Country c : countries) {
+    scenario::CountryScenario sc = scenario::make_country(c, spec.scale, spec.seed);
+    sim::Network& net = *sc.network;
+    net.set_fault_plan(spec.faults);
+    const std::uint64_t net_fp = net.fingerprint();
+    const std::string code(scenario::country_code(c));
+    std::unique_ptr<scenario::ParallelExecutor> exec;  // lazy, shared by stages
+
+    // ---- Stage 1: CenTrace over (endpoint × domain × protocol). ----
+    std::vector<net::Ipv4Address> endpoints;
+    for (std::size_t idx : scenario::stride_sample_indices(sc.remote_endpoints.size(),
+                                                           spec.max_endpoints)) {
+      endpoints.push_back(sc.remote_endpoints[idx]);
+    }
+    const std::vector<std::string> http_domains = sampled(
+        spec.http_domains.empty() ? sc.http_test_domains : spec.http_domains,
+        spec.max_domains);
+    const std::vector<std::string> https_domains = sampled(
+        spec.https_domains.empty() ? sc.https_test_domains : spec.https_domains,
+        spec.max_domains);
+
+    trace::CenTraceOptions http_opts = spec.trace;
+    http_opts.protocol = trace::ProbeProtocol::kHttp;
+    trace::CenTraceOptions https_opts = spec.trace;
+    https_opts.protocol = trace::ProbeProtocol::kHttps;
+
+    struct TraceTask {
+      net::Ipv4Address endpoint;
+      const std::string* domain = nullptr;
+      const trace::CenTraceOptions* opts = nullptr;
+    };
+    std::vector<TraceTask> trace_tasks;
+    StageTasks trace_stage;
+    if (spec.stages.trace) {
+      for (const net::Ipv4Address& ep : endpoints) {
+        for (const std::string& d : http_domains) trace_tasks.push_back({ep, &d, &http_opts});
+        for (const std::string& d : https_domains) trace_tasks.push_back({ep, &d, &https_opts});
+      }
+      for (const TraceTask& t : trace_tasks) {
+        trace_stage.ids.push_back(code + ":trace:" + t.endpoint.str() + ":" + *t.domain +
+                                  ":" + std::string(trace::probe_protocol_name(t.opts->protocol)));
+        trace_stage.identity.push_back(scenario::task_key(
+            t.endpoint.value(), *t.domain, static_cast<std::uint64_t>(t.opts->protocol)));
+        trace_stage.cache_keys.push_back(task_cache_key(net_fp, spec.seed, fault_fp, "trace",
+                                                        trace_stage.ids.back(),
+                                                        t.opts->fingerprint()));
+      }
+    }
+    std::vector<std::string> trace_docs;
+    if (!run_stage(
+            net, spec, control, cache, budget, result.trace, exec, "trace", trace_stage,
+            kTraceStageSalt,
+            [](std::string_view doc) { return report::trace_report_from_json(doc).has_value(); },
+            [&](sim::Network& worker, std::size_t i) {
+              const TraceTask& t = trace_tasks[i];
+              trace::CenTraceReport rep = trace::run(
+                  worker, {sc.remote_client, t.endpoint, *t.domain,
+                           sc.control_domain, *t.opts});
+              return report::to_json(rep);
+            },
+            trace_docs)) {
+      return result;  // budget exhausted: incomplete, resume via the cache
+    }
+
+    // Every downstream decision runs off DECODED records — identical
+    // whether the record was fresh or cached.
+    std::vector<trace::CenTraceReport> traces;
+    traces.reserve(trace_docs.size());
+    for (std::size_t i = 0; i < trace_docs.size(); ++i) {
+      traces.push_back(*report::trace_report_from_json(trace_docs[i]));
+      result.records.push_back({"trace", trace_stage.ids[i], code, trace_docs[i]});
+    }
+    stage_span(observer, code, "trace", trace_stage.ids.size());
+
+    // ---- Stage 2: CenProbe every distinct in-path blocking-hop IP. ----
+    std::set<std::uint32_t> device_ips;
+    for (const trace::CenTraceReport& r : traces) {
+      if (r.blocked && r.blocking_hop_ip &&
+          r.placement != trace::DevicePlacement::kOnPath) {
+        device_ips.insert(r.blocking_hop_ip->value());
+      }
+    }
+    StageTasks probe_stage;
+    std::vector<std::uint32_t> probe_targets;
+    if (spec.stages.probe) {
+      for (std::uint32_t ip : device_ips) {
+        probe_targets.push_back(ip);
+        probe_stage.ids.push_back(code + ":probe:" + net::Ipv4Address(ip).str());
+        probe_stage.identity.push_back(scenario::task_key(ip, "", 0x10));
+        probe_stage.cache_keys.push_back(
+            task_cache_key(net_fp, spec.seed, fault_fp, "probe", probe_stage.ids.back(), 0));
+      }
+    }
+    std::vector<std::string> probe_docs;
+    if (!run_stage(
+            net, spec, control, cache, budget, result.probe, exec, "probe", probe_stage,
+            kProbeStageSalt,
+            [](std::string_view doc) { return report::probe_report_from_json(doc).has_value(); },
+            [&](sim::Network& worker, std::size_t i) {
+              probe::DeviceProbeReport rep =
+                  probe::run(worker, probe::ProbeRunOptions{net::Ipv4Address(probe_targets[i])});
+              return report::to_json(rep);
+            },
+            probe_docs)) {
+      return result;
+    }
+    std::map<std::uint32_t, probe::DeviceProbeReport> device_probes;
+    for (std::size_t i = 0; i < probe_docs.size(); ++i) {
+      device_probes.emplace(probe_targets[i], *report::probe_report_from_json(probe_docs[i]));
+      result.records.push_back({"probe", probe_stage.ids[i], code, probe_docs[i]});
+    }
+    stage_span(observer, code, "probe", probe_stage.ids.size());
+
+    // ---- Stage 3: CenFuzz blocked endpoints (first blocked trace per
+    // endpoint is the representative, as in the pipeline). ----
+    std::map<std::uint32_t, const trace::CenTraceReport*> blocked_by_endpoint;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      if (traces[i].blocked) {
+        blocked_by_endpoint.emplace(trace_tasks[i].endpoint.value(), &traces[i]);
+      }
+    }
+    result.blocked_endpoints += blocked_by_endpoint.size();
+
+    std::vector<std::uint32_t> blocked_eps;
+    for (const auto& [ip, rep] : blocked_by_endpoint) blocked_eps.push_back(ip);
+    StageTasks fuzz_stage;
+    std::vector<std::uint32_t> fuzz_targets;
+    if (spec.stages.fuzz) {
+      for (std::size_t idx :
+           scenario::stride_sample_indices(blocked_eps.size(), spec.fuzz_max_endpoints)) {
+        fuzz_targets.push_back(blocked_eps[idx]);
+      }
+      for (std::uint32_t ep : fuzz_targets) {
+        const std::string& domain = blocked_by_endpoint.at(ep)->test_domain;
+        fuzz_stage.ids.push_back(code + ":fuzz:" + net::Ipv4Address(ep).str() + ":" + domain);
+        fuzz_stage.identity.push_back(scenario::task_key(ep, domain, 0x20));
+        fuzz_stage.cache_keys.push_back(task_cache_key(
+            net_fp, spec.seed, fault_fp, "fuzz", fuzz_stage.ids.back(), spec.fuzz.fingerprint()));
+      }
+    }
+    std::vector<std::string> fuzz_docs;
+    if (!run_stage(
+            net, spec, control, cache, budget, result.fuzz, exec, "fuzz", fuzz_stage,
+            kFuzzStageSalt,
+            [](std::string_view doc) { return report::fuzz_report_from_json(doc).has_value(); },
+            [&](sim::Network& worker, std::size_t i) {
+              const trace::CenTraceReport* rep = blocked_by_endpoint.at(fuzz_targets[i]);
+              fuzz::CenFuzzReport fz = fuzz::run(
+                  worker, {sc.remote_client, net::Ipv4Address(fuzz_targets[i]),
+                           rep->test_domain, sc.control_domain, spec.fuzz});
+              return report::to_json(fz);
+            },
+            fuzz_docs)) {
+      return result;
+    }
+    std::map<std::uint32_t, fuzz::CenFuzzReport> fuzz_by_endpoint;
+    for (std::size_t i = 0; i < fuzz_docs.size(); ++i) {
+      fuzz_by_endpoint.emplace(fuzz_targets[i], *report::fuzz_report_from_json(fuzz_docs[i]));
+      result.records.push_back({"fuzz", fuzz_stage.ids[i], code, fuzz_docs[i]});
+    }
+    stage_span(observer, code, "fuzz", fuzz_stage.ids.size());
+
+    // ---- Stage 4: bundle one measurement per blocked endpoint. ----
+    for (const auto& [ep, rep] : blocked_by_endpoint) {
+      ml::EndpointMeasurement m;
+      m.endpoint_id = net::Ipv4Address(ep).str();
+      m.country = code;
+      m.trace = *rep;
+      auto fz = fuzz_by_endpoint.find(ep);
+      if (fz != fuzz_by_endpoint.end()) m.fuzz = fz->second;
+      if (rep->blocking_hop_ip) {
+        auto pb = device_probes.find(rep->blocking_hop_ip->value());
+        if (pb != device_probes.end()) m.banner = pb->second;
+      }
+      result.measurements.push_back(std::move(m));
+    }
+  }
+
+  // ---- Stage 5: feature extraction + DBSCAN, exactly the cencluster
+  // convention (impute → standardize → k-distance ε with k = 4). ----
+  if (spec.stages.cluster && !result.measurements.empty()) {
+    ml::FeatureMatrix fm = ml::extract_features(result.measurements);
+    ml::impute_median(fm);
+    ml::standardize(fm);
+    result.row_ids = fm.row_ids;
+    if (fm.n_rows() > 4) {
+      const double eps = ml::estimate_epsilon(fm.rows, 4);
+      ml::DbscanResult db = ml::dbscan(fm.rows, eps, 4);
+      result.cluster_labels = std::move(db.labels);
+      result.n_clusters = db.n_clusters;
+    } else {
+      // Too few rows for the k = 4 heuristic: everything is noise.
+      result.cluster_labels.assign(fm.n_rows(), ml::kNoise);
+    }
+    for (int label : result.cluster_labels) {
+      if (label == ml::kNoise) ++result.noise_rows;
+    }
+  }
+
+  result.complete = true;
+
+  if (observer != nullptr) {
+    obs::Registry& m = observer->metrics();
+    // Record-derived metrics are functions of the spec alone — sim
+    // domain, identical across thread counts, cache states and resumes.
+    m.counter("campaign.trace_tasks").inc(result.trace.tasks);
+    m.counter("campaign.probe_tasks").inc(result.probe.tasks);
+    m.counter("campaign.fuzz_tasks").inc(result.fuzz.tasks);
+    m.counter("campaign.blocked_endpoints").inc(result.blocked_endpoints);
+    m.counter("campaign.measurements").inc(result.measurements.size());
+    m.gauge("campaign.clusters").set_max(result.n_clusters);
+    // Execution bookkeeping varies with the cache and the batch budget —
+    // wall domain.
+    m.counter("campaign.tasks_executed", obs::Domain::kWall).inc(result.tool_tasks_executed());
+    m.counter("campaign.cache_hits", obs::Domain::kWall).inc(result.cache_hits());
+    m.counter("campaign.batches_executed", obs::Domain::kWall)
+        .inc(result.trace.batches + result.probe.batches + result.fuzz.batches);
+  }
+  return result;
+}
+
+std::string CampaignResult::to_jsonl() const {
+  std::string out;
+  for (const CampaignRecord& r : records) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("stage").value(r.stage);
+    w.key("task").value(r.task_id);
+    w.key("country").value(r.country);
+    w.key("result").raw_value(r.json);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string CampaignResult::summary_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("campaign").value(name);
+  w.key("complete").value(complete);
+  w.key("countries").begin_array();
+  for (const std::string& c : countries) w.value(c);
+  w.end_array();
+  w.key("trace_tasks").value(static_cast<std::uint64_t>(trace.tasks));
+  w.key("probe_tasks").value(static_cast<std::uint64_t>(probe.tasks));
+  w.key("fuzz_tasks").value(static_cast<std::uint64_t>(fuzz.tasks));
+  w.key("blocked_endpoints").value(static_cast<std::uint64_t>(blocked_endpoints));
+  w.key("measurements").value(static_cast<std::uint64_t>(measurements.size()));
+  w.key("clusters").value(n_clusters);
+  w.key("noise_rows").value(static_cast<std::uint64_t>(noise_rows));
+  w.key("labels").begin_array();
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    w.begin_object();
+    w.key("endpoint").value(row_ids[i]);
+    w.key("cluster").value(i < cluster_labels.size() ? cluster_labels[i] : ml::kNoise);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cen::campaign

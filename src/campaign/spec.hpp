@@ -1,0 +1,87 @@
+// Declarative campaign specification.
+//
+// A CampaignSpec describes a paper-scale measurement campaign — which
+// countries to build, which endpoints/domains to cover, which tool stages
+// to run and under what options/faults — as plain data. The campaign
+// engine (campaign.hpp) compiles it into a deterministic task DAG
+// (CenTrace → CenProbe on discovered device IPs → CenFuzz per blocked
+// endpoint → feature extraction/clustering). Specs are constructible
+// programmatically or loadable from a JSON file (schema in
+// docs/CAMPAIGN.md); both paths produce identical campaigns.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cenfuzz/cenfuzz.hpp"
+#include "centrace/centrace.hpp"
+#include "netsim/faults.hpp"
+#include "scenario/country.hpp"
+
+namespace cen::campaign {
+
+/// Which tool stages of the DAG run. Disabling an upstream stage also
+/// starves its dependents (no trace → no discovered devices → no probe).
+struct StageToggles {
+  bool trace = true;
+  bool probe = true;
+  bool fuzz = true;
+  bool cluster = true;
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  /// Countries measured, in order. Empty = all four (paper order).
+  std::vector<scenario::Country> countries;
+  scenario::Scale scale = scenario::Scale::kSmall;
+  /// Scenario construction seed (also the root of every task substream).
+  std::uint64_t seed = 7;
+
+  /// Coverage caps, applied with the pipeline's stride sampling
+  /// (-1 = no cap).
+  int max_endpoints = -1;
+  int max_domains = -1;
+  int fuzz_max_endpoints = -1;
+
+  /// Domain overrides; empty = the scenario's own Citizen-Lab-style lists.
+  std::vector<std::string> http_domains;
+  std::vector<std::string> https_domains;
+
+  trace::CenTraceOptions trace;
+  fuzz::CenFuzzOptions fuzz;
+  StageToggles stages;
+
+  /// Fault plan installed on every country network before measuring
+  /// (default = inert).
+  sim::FaultPlan faults;
+
+  /// Tool tasks per execution batch. The result cache is flushed after
+  /// every batch, so this is also the crash-checkpoint granularity.
+  int batch_size = 8;
+
+  /// Countries with the empty-means-all default applied.
+  std::vector<scenario::Country> effective_countries() const;
+  /// Digest over every knob that selects or parameterizes tasks
+  /// (campaign cache-key component, alongside the per-network and
+  /// per-tool-option fingerprints).
+  std::uint64_t fingerprint() const;
+};
+
+/// Canonical JSON rendering of a spec (the same schema spec_from_json
+/// accepts — load(to_json(s)) == s).
+std::string to_json(const CampaignSpec& spec);
+
+/// Parse a spec document. On failure returns nullopt and, when `error`
+/// is non-null, stores a one-line description of the offending field.
+std::optional<CampaignSpec> spec_from_json(std::string_view text,
+                                           std::string* error = nullptr);
+
+/// Load a spec from a JSON file (nullopt + error on unreadable file or
+/// malformed document).
+std::optional<CampaignSpec> load_spec_file(const std::string& path,
+                                           std::string* error = nullptr);
+
+}  // namespace cen::campaign

@@ -3,12 +3,24 @@
 #include <algorithm>
 
 #include "censor/vendors.hpp"
+#include "core/fingerprint.hpp"
 #include "core/strings.hpp"
 #include "net/http.hpp"
 #include "net/tls.hpp"
 #include "obs/observer.hpp"
 
 namespace cen::fuzz {
+
+std::uint64_t CenFuzzOptions::fingerprint() const {
+  FingerprintBuilder fp;
+  fp.mix(static_cast<std::uint64_t>(retries));
+  fp.mix(static_cast<std::uint64_t>(wait_after_blocked));
+  fp.mix(static_cast<std::uint64_t>(wait_after_ok));
+  fp.mix(run_http);
+  fp.mix(run_tls);
+  fp.mix(static_cast<std::uint64_t>(baseline_attempts));
+  return fp.digest();
+}
 
 std::string_view fuzz_outcome_name(FuzzOutcome o) {
   switch (o) {
@@ -216,6 +228,13 @@ CenFuzzReport CenFuzz::run(net::Ipv4Address endpoint, const std::string& test_do
   if (options_.run_http) run_protocol(false);
   if (options_.run_tls) run_protocol(true);
   return report;
+}
+
+CenFuzzReport run(sim::Network& network, const FuzzRunOptions& options,
+                  obs::Observer* observer) {
+  sim::ScopedObserver guard(network, observer);
+  CenFuzz tool(network, options.client, options.fuzz);
+  return tool.run(options.endpoint, options.test_domain, options.control_domain);
 }
 
 }  // namespace cen::fuzz

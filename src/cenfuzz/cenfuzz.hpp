@@ -63,6 +63,9 @@ struct CenFuzzOptions {
   /// Raise on lossy networks so one dropped baseline request cannot
   /// write off a whole protocol. 1 = single round (fault-free default).
   int baseline_attempts = 1;
+
+  /// Digest over every option (campaign cache-key component).
+  std::uint64_t fingerprint() const;
 };
 
 struct CenFuzzReport {
@@ -101,5 +104,20 @@ class CenFuzz {
   sim::NodeId client_;
   CenFuzzOptions options_;
 };
+
+/// One complete CenFuzz invocation for the unified tool API.
+struct FuzzRunOptions {
+  sim::NodeId client = sim::kInvalidNode;
+  net::Ipv4Address endpoint;
+  std::string test_domain;
+  std::string control_domain;
+  CenFuzzOptions fuzz;
+};
+
+/// Unified entry point (same shape as trace::run / probe::run): run one
+/// fuzzing campaign on `network`, attaching `observer` for its duration
+/// (the previous observer is restored on return, exception-safe).
+CenFuzzReport run(sim::Network& network, const FuzzRunOptions& options,
+                  obs::Observer* observer = nullptr);
 
 }  // namespace cen::fuzz

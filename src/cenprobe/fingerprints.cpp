@@ -39,7 +39,9 @@ std::optional<std::string> match_fingerprint(const BannerGrab& grab) {
   return std::nullopt;
 }
 
-DeviceProbeReport probe_device(const sim::Network& network, net::Ipv4Address ip) {
+namespace {
+
+DeviceProbeReport probe_device_impl(const sim::Network& network, net::Ipv4Address ip) {
   DeviceProbeReport report;
   report.ip = ip;
   obs::Observer* o = network.observer();
@@ -62,6 +64,18 @@ DeviceProbeReport probe_device(const sim::Network& network, net::Ipv4Address ip)
     }
   }
   return report;
+}
+
+}  // namespace
+
+DeviceProbeReport run(sim::Network& network, const ProbeRunOptions& options,
+                      obs::Observer* observer) {
+  sim::ScopedObserver guard(network, observer);
+  return probe_device_impl(network, options.ip);
+}
+
+DeviceProbeReport probe_device(const sim::Network& network, net::Ipv4Address ip) {
+  return probe_device_impl(network, ip);
 }
 
 }  // namespace cen::probe

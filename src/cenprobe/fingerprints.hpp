@@ -37,7 +37,21 @@ struct DeviceProbeReport {
   bool has_any_service() const { return !open_ports.empty(); }
 };
 
+/// One complete CenProbe invocation for the unified tool API. Probing is
+/// clientless (the management plane is reached out-of-band), so the
+/// subject is just the device IP.
+struct ProbeRunOptions {
+  net::Ipv4Address ip;
+};
+
+/// Unified entry point (same shape as trace::run / fuzz::run): probe one
+/// device IP on `network`, attaching `observer` for the duration (the
+/// previous observer is restored on return, exception-safe).
+DeviceProbeReport run(sim::Network& network, const ProbeRunOptions& options,
+                      obs::Observer* observer = nullptr);
+
 /// Run the CenProbe pipeline against one IP.
-DeviceProbeReport probe_device(const sim::Network& network, net::Ipv4Address ip);
+[[deprecated("use probe::run(network, ProbeRunOptions{ip})")]] DeviceProbeReport
+probe_device(const sim::Network& network, net::Ipv4Address ip);
 
 }  // namespace cen::probe

@@ -4,12 +4,26 @@
 #include <map>
 
 #include "censor/vendors.hpp"
+#include "core/fingerprint.hpp"
 #include "net/dns.hpp"
 #include "net/http.hpp"
 #include "net/tls.hpp"
 #include "obs/observer.hpp"
 
 namespace cen::trace {
+
+std::uint64_t CenTraceOptions::fingerprint() const {
+  FingerprintBuilder fp;
+  fp.mix(static_cast<std::uint64_t>(max_ttl));
+  fp.mix(static_cast<std::uint64_t>(retries));
+  fp.mix(static_cast<std::uint64_t>(repetitions));
+  fp.mix(static_cast<std::uint64_t>(inter_probe_wait));
+  fp.mix(static_cast<std::uint64_t>(timeout_run_stop));
+  fp.mix(static_cast<std::uint64_t>(protocol));
+  fp.mix(static_cast<std::uint64_t>(retry_backoff));
+  fp.mix(static_cast<std::uint64_t>(adaptive_max_retries));
+  return fp.digest();
+}
 
 std::string_view probe_response_name(ProbeResponse r) {
   switch (r) {
@@ -651,6 +665,13 @@ void CenTrace::aggregate(CenTraceReport& report) const {
   if (report.blocking_hop_ip) {
     report.blocking_as = network_.geodb().lookup(*report.blocking_hop_ip);
   }
+}
+
+CenTraceReport run(sim::Network& network, const TraceRunOptions& options,
+                   obs::Observer* observer) {
+  sim::ScopedObserver guard(network, observer);
+  CenTrace tool(network, options.client, options.trace);
+  return tool.measure(options.endpoint, options.test_domain, options.control_domain);
 }
 
 }  // namespace cen::trace

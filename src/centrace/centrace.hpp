@@ -106,6 +106,9 @@ struct CenTraceOptions {
   /// probes may spend up to this many retries instead of `retries`.
   /// Inert on clean networks, where no probe ever recovers via retry.
   int adaptive_max_retries = 6;
+
+  /// Digest over every option (campaign cache-key component).
+  std::uint64_t fingerprint() const;
 };
 
 /// Reliability annotations for a CenTrace verdict, computed from the
@@ -208,5 +211,21 @@ class CenTrace {
   /// Serialized payloads by domain, built once instead of per sweep.
   std::map<std::string, Bytes> payload_cache_;
 };
+
+/// One complete CenTrace invocation for the unified tool API: the
+/// measurement subject plus the tool's tuning options.
+struct TraceRunOptions {
+  sim::NodeId client = sim::kInvalidNode;
+  net::Ipv4Address endpoint;
+  std::string test_domain;
+  std::string control_domain;
+  CenTraceOptions trace;
+};
+
+/// Unified entry point (same shape as probe::run / fuzz::run): run one
+/// measurement on `network`, attaching `observer` for its duration (the
+/// previous observer is restored on return, exception-safe).
+CenTraceReport run(sim::Network& network, const TraceRunOptions& options,
+                   obs::Observer* observer = nullptr);
 
 }  // namespace cen::trace

@@ -1,0 +1,58 @@
+// Structural fingerprinting for the campaign result cache.
+//
+// A fingerprint is a 64-bit digest of everything that determines a
+// simulated measurement's outcome: topology shape, fault plan, tool
+// options, seeds. The campaign cache keys results on these digests, so a
+// fingerprint MUST change whenever any behaviour-relevant knob changes —
+// a stale hit replays the wrong measurement — while remaining stable
+// across processes and runs (no pointers, no iteration over unordered
+// containers).
+//
+// This is a cache-invalidation hash, not a cryptographic one: mix64
+// chains give good avalanche behaviour and collisions merely cost a
+// (correct, deterministic) re-execution on the next key component.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "core/rng.hpp"
+
+namespace cen {
+
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder& mix(std::uint64_t v) {
+    h_ = mix64(h_ ^ mix64(v + 0x9e3779b97f4a7c15ull));
+    return *this;
+  }
+  FingerprintBuilder& mix(bool v) { return mix(static_cast<std::uint64_t>(v ? 1 : 2)); }
+  FingerprintBuilder& mix(double v) {
+    // Hash the bit pattern: distinguishes -0.0/+0.0 and needs no
+    // float-compare special cases.
+    return mix(std::bit_cast<std::uint64_t>(v));
+  }
+  FingerprintBuilder& mix(std::string_view s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    std::uint64_t word = 0;
+    int n = 0;
+    for (char c : s) {
+      word = (word << 8) | static_cast<unsigned char>(c);
+      if (++n == 8) {
+        mix(word);
+        word = 0;
+        n = 0;
+      }
+    }
+    if (n > 0) mix(word);
+    return *this;
+  }
+
+  std::uint64_t digest() const { return mix64(h_); }
+
+ private:
+  std::uint64_t h_ = 0x243f6a8885a308d3ull;  // pi, arbitrary non-zero start
+};
+
+}  // namespace cen

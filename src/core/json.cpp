@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace cen {
 
@@ -201,9 +202,262 @@ class JsonValidator {
   int depth_ = 0;
 };
 
+/// Recursive-descent parser producing a JsonValue DOM. Accepts exactly
+/// the grammar JsonValidator accepts; any violation yields failure.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool run(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+  bool string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            std::uint32_t cp = 0;
+            for (int i = 1; i <= 4; ++i) {
+              if (pos_ + static_cast<std::size_t>(i) >= text_.size()) return false;
+              char h = text_[pos_ + static_cast<std::size_t>(i)];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+              cp = cp * 16 + static_cast<std::uint32_t>(
+                                 h <= '9' ? h - '0' : (std::tolower(h) - 'a' + 10));
+            }
+            pos_ += 4;
+            append_utf8(out, cp);
+            break;
+          }
+          default: return false;
+        }
+        ++pos_;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+  bool number(double& out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_ = start;
+      return false;
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return false;
+      }
+    } else {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return false;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return false;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
+    return true;
+  }
+  bool value(JsonValue& out) {
+    if (depth_ > 64) return false;
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return string(out.string);
+    }
+    if (c == 't') {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.type = JsonValue::Type::kNull;
+      return literal("null");
+    }
+    out.type = JsonValue::Type::kNumber;
+    return number(out.number);
+  }
+  bool object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++depth_;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue member;
+      if (!value(member)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++depth_;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      JsonValue element;
+      if (!value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
 }  // namespace
 
 bool json_valid(std::string_view text) { return JsonValidator(text).run(); }
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const Member& m : object) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_bool() ? v->boolean : fallback;
+}
+
+double JsonValue::get_number(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+int JsonValue::get_int(std::string_view key, int fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? static_cast<int>(v->number) : fallback;
+}
+
+std::string JsonValue::get_string(std::string_view key, std::string_view fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->string : std::string(fallback);
+}
+
+std::unique_ptr<JsonValue> json_parse(std::string_view text) {
+  auto out = std::make_unique<JsonValue>();
+  if (!JsonParser(text).run(*out)) return nullptr;
+  return out;
+}
 
 void JsonWriter::pre_value() {
   if (stack_.empty()) {

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cen {
@@ -20,6 +22,43 @@ std::string json_escape(std::string_view s);
 /// trailing content). Used by tests to certify everything the report
 /// serializers and CLIs emit.
 bool json_valid(std::string_view text);
+
+/// Parsed JSON document node. Objects keep their members in source order
+/// (the canonical-key-order tests and the campaign cache depend on it);
+/// lookups are linear, which is fine for the small documents the tools
+/// exchange.
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<Member> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// Typed member accessors with fallbacks for optional spec fields.
+  /// A member that is present but of the wrong type returns the fallback.
+  bool get_bool(std::string_view key, bool fallback) const;
+  double get_number(std::string_view key, double fallback) const;
+  int get_int(std::string_view key, int fallback) const;
+  std::string get_string(std::string_view key, std::string_view fallback) const;
+};
+
+/// Parse one strict JSON document (same grammar json_valid accepts).
+/// Returns nullptr on any syntax error or trailing content.
+std::unique_ptr<JsonValue> json_parse(std::string_view text);
 
 class JsonWriter {
  public:

@@ -1,6 +1,7 @@
 #include "netsim/engine.hpp"
 #include <algorithm>
 
+#include "core/fingerprint.hpp"
 #include "obs/observer.hpp"
 
 namespace cen::sim {
@@ -26,6 +27,111 @@ std::unique_ptr<Network> Network::clone() const {
   replica->endpoints_ = endpoints_;
   replica->faults_.set_plan(faults_.plan());
   return replica;
+}
+
+namespace {
+
+void mix_ruleset(FingerprintBuilder& fp, const censor::RuleSet& rules) {
+  fp.mix(rules.case_insensitive());
+  fp.mix(static_cast<std::uint64_t>(rules.size()));
+  for (const censor::DomainRule& r : rules.rules()) {
+    fp.mix(r.domain);
+    fp.mix(static_cast<std::uint64_t>(r.style));
+  }
+}
+
+void mix_device(FingerprintBuilder& fp, const censor::DeviceConfig& c) {
+  fp.mix(c.id);
+  fp.mix(c.vendor);
+  fp.mix(c.on_path);
+  fp.mix(static_cast<std::uint64_t>(c.action));
+  fp.mix(c.tls_action.has_value());
+  if (c.tls_action) fp.mix(static_cast<std::uint64_t>(*c.tls_action));
+  fp.mix(static_cast<std::uint64_t>(c.residual_block_ms));
+  mix_ruleset(fp, c.http_rules);
+  mix_ruleset(fp, c.sni_rules);
+  mix_ruleset(fp, c.dns_rules);
+  fp.mix(c.dns_sinkhole.has_value());
+  if (c.dns_sinkhole) fp.mix(static_cast<std::uint64_t>(c.dns_sinkhole->value()));
+  for (const std::string& m : c.http_quirks.method_allowlist) fp.mix(m);
+  fp.mix(c.http_quirks.method_case_insensitive);
+  fp.mix(static_cast<std::uint64_t>(c.http_quirks.version_check));
+  fp.mix(c.http_quirks.version_prefix_case_insensitive);
+  fp.mix(static_cast<std::uint64_t>(c.http_quirks.host_word_check));
+  fp.mix(c.http_quirks.requires_crlf);
+  fp.mix(c.http_quirks.url_includes_path);
+  for (net::TlsVersion v : c.tls_quirks.parses_versions) {
+    fp.mix(static_cast<std::uint64_t>(v));
+  }
+  for (std::uint16_t suite : c.tls_quirks.blind_cipher_suites) {
+    fp.mix(static_cast<std::uint64_t>(suite));
+  }
+  fp.mix(c.tls_quirks.breaks_on_padding_extension);
+  fp.mix(c.tls_quirks.inspects_client_certificate);
+  fp.mix(static_cast<std::uint64_t>(c.injection.init_ttl));
+  fp.mix(c.injection.copy_ttl_from_trigger);
+  fp.mix(static_cast<std::uint64_t>(c.injection.ip_id));
+  fp.mix(static_cast<std::uint64_t>(c.injection.ip_flags));
+  fp.mix(static_cast<std::uint64_t>(c.injection.ip_tos));
+  fp.mix(static_cast<std::uint64_t>(c.injection.tcp_window));
+  fp.mix(static_cast<std::uint64_t>(c.injection.tcp_options.size()));
+  fp.mix(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(c.injection.max_injections_per_flow)));
+  fp.mix(c.blockpage_html);
+  fp.mix(c.mgmt_ip.has_value());
+  if (c.mgmt_ip) fp.mix(static_cast<std::uint64_t>(c.mgmt_ip->value()));
+  fp.mix(static_cast<std::uint64_t>(c.services.size()));
+  for (const censor::ServiceBanner& s : c.services) {
+    fp.mix(static_cast<std::uint64_t>(s.port));
+    fp.mix(s.protocol);
+    fp.mix(s.banner);
+  }
+  fp.mix(static_cast<std::uint64_t>(c.stack.synack_ttl));
+  fp.mix(static_cast<std::uint64_t>(c.stack.synack_window));
+  fp.mix(static_cast<std::uint64_t>(c.stack.mss));
+  fp.mix(c.stack.sack_permitted);
+  fp.mix(static_cast<std::uint64_t>(c.stack.rst_ttl));
+}
+
+void mix_endpoint(FingerprintBuilder& fp, const EndpointProfile& p) {
+  for (const std::string& d : p.hosted_domains) fp.mix(d);
+  fp.mix(static_cast<std::uint64_t>(p.open_ports.size()));
+  for (std::uint16_t port : p.open_ports) fp.mix(static_cast<std::uint64_t>(port));
+  fp.mix(p.serves_subdomains);
+  fp.mix(p.strict_http);
+  fp.mix(p.reject_unknown_host);
+  fp.mix(p.default_vhost_for_unknown);
+  fp.mix(p.reject_unknown_sni);
+  fp.mix(static_cast<std::uint64_t>(p.local_filter));
+  mix_ruleset(fp, p.local_filter_rules);
+  fp.mix(p.is_dns_resolver);
+  fp.mix(static_cast<std::uint64_t>(p.dns_zone.size()));
+  for (const auto& [name, addr] : p.dns_zone) {
+    fp.mix(name);
+    fp.mix(static_cast<std::uint64_t>(addr.value()));
+  }
+  fp.mix(p.static_payload.has_value());
+  if (p.static_payload) fp.mix(*p.static_payload);
+}
+
+}  // namespace
+
+std::uint64_t Network::fingerprint() const {
+  FingerprintBuilder fp;
+  fp.mix(topology_.fingerprint());
+  fp.mix(seed_);
+  fp.mix(static_cast<std::uint64_t>(endpoints_.size()));
+  for (const auto& [ip, host] : endpoints_) {
+    fp.mix(static_cast<std::uint64_t>(ip));
+    mix_endpoint(fp, host.profile());
+  }
+  fp.mix(static_cast<std::uint64_t>(devices_.size()));
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    fp.mix(static_cast<std::uint64_t>(device_nodes_[i]));
+    mix_device(fp, devices_[i]->config());
+  }
+  fp.mix(faults_.plan().fingerprint());
+  return fp.digest();
 }
 
 void Network::reset_epoch(std::uint64_t substream_seed) {

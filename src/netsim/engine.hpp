@@ -126,6 +126,12 @@ class Network {
   /// The seed the network was constructed with (substream derivation).
   std::uint64_t seed() const { return seed_; }
 
+  /// Digest of everything that determines measurement outcomes on this
+  /// network: topology, construction seed, endpoints, deployed devices
+  /// and the installed fault plan. Clones fingerprint identically to the
+  /// original; runtime state (clock, ports, observers) is excluded.
+  std::uint64_t fingerprint() const;
+
   Topology& topology() { return topology_; }
   const Topology& topology() const { return topology_; }
   const geo::IpMetadataDb& geodb() const { return geodb_; }
@@ -254,6 +260,26 @@ class Network {
   /// path serializes at most the quote cap into this buffer instead of
   /// the whole probe).
   Bytes quote_scratch_;
+};
+
+/// RAII observer attachment: installs `obs` on construction (a nullptr
+/// leaves the current observer in place) and restores the previous
+/// observer on destruction — exception-safe scaffolding for the unified
+/// tool entry points (`trace::run` / `probe::run` / `fuzz::run`), which
+/// must never leak a caller-supplied observer into the network.
+class ScopedObserver {
+ public:
+  ScopedObserver(Network& network, obs::Observer* obs)
+      : network_(network), previous_(network.observer()) {
+    if (obs != nullptr) network_.set_observer(obs);
+  }
+  ~ScopedObserver() { network_.set_observer(previous_); }
+  ScopedObserver(const ScopedObserver&) = delete;
+  ScopedObserver& operator=(const ScopedObserver&) = delete;
+
+ private:
+  Network& network_;
+  obs::Observer* previous_;
 };
 
 }  // namespace cen::sim

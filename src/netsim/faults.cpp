@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/fingerprint.hpp"
 #include "obs/observer.hpp"
 
 namespace cen::sim {
@@ -195,6 +196,46 @@ bool FaultInjector::truncate_banner() {
   bool fired = plan_.banner_truncate > 0.0 && rng_.chance(plan_.banner_truncate);
   if (fired && counters_ != nullptr) counters_->banner_truncates->inc();
   return fired;
+}
+
+namespace {
+
+void mix_profile(FingerprintBuilder& fp, const FaultProfile& p) {
+  fp.mix(p.loss);
+  fp.mix(p.duplicate);
+  fp.mix(p.reorder);
+  fp.mix(p.truncate);
+  fp.mix(p.corrupt);
+}
+
+void mix_node_profile(FingerprintBuilder& fp, const NodeFaultProfile& p) {
+  fp.mix(p.icmp_blackhole);
+  fp.mix(p.icmp_rate_per_sec);
+  fp.mix(p.icmp_burst);
+}
+
+}  // namespace
+
+std::uint64_t FaultPlan::fingerprint() const {
+  FingerprintBuilder fp;
+  fp.mix(transient_loss);
+  mix_profile(fp, default_link);
+  fp.mix(static_cast<std::uint64_t>(link_overrides.size()));
+  for (const auto& [key, profile] : link_overrides) {
+    fp.mix(static_cast<std::uint64_t>(key.first));
+    fp.mix(static_cast<std::uint64_t>(key.second));
+    mix_profile(fp, profile);
+  }
+  mix_node_profile(fp, default_node);
+  fp.mix(static_cast<std::uint64_t>(node_overrides.size()));
+  for (const auto& [node, profile] : node_overrides) {
+    fp.mix(static_cast<std::uint64_t>(node));
+    mix_node_profile(fp, profile);
+  }
+  fp.mix(static_cast<std::uint64_t>(route_flap_period));
+  fp.mix(mgmt_drop);
+  fp.mix(banner_truncate);
+  return fp.digest();
 }
 
 }  // namespace cen::sim

@@ -109,6 +109,10 @@ struct FaultPlan {
   bool inert() const;
   FaultPlan sanitized() const;
 
+  /// Digest over every knob, including overrides — a campaign cache-key
+  /// component: editing any fault parameter must change it.
+  std::uint64_t fingerprint() const;
+
   /// Effective profile for the link a—b (override or default). Order of
   /// the endpoints does not matter.
   const FaultProfile& link(NodeId a, NodeId b) const;

@@ -4,6 +4,7 @@
 #include <deque>
 #include <stdexcept>
 
+#include "core/fingerprint.hpp"
 #include "core/rng.hpp"
 
 namespace cen::sim {
@@ -104,6 +105,31 @@ const std::vector<NodeId>& Topology::route(NodeId src, NodeId dst,
                                            std::uint64_t flow_hash,
                                            std::uint64_t salt) const {
   return route(src, dst, salt == 0 ? flow_hash : mix64(flow_hash ^ salt));
+}
+
+std::uint64_t Topology::fingerprint() const {
+  FingerprintBuilder fp;
+  fp.mix(static_cast<std::uint64_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    fp.mix(n.name);
+    fp.mix(static_cast<std::uint64_t>(n.ip.value()));
+    fp.mix(n.profile.responds_icmp);
+    fp.mix(static_cast<std::uint64_t>(n.profile.quote_policy));
+    fp.mix(n.profile.rewrite_tos.has_value());
+    if (n.profile.rewrite_tos) fp.mix(static_cast<std::uint64_t>(*n.profile.rewrite_tos));
+    fp.mix(n.profile.clears_df_flag);
+    fp.mix(static_cast<std::uint64_t>(n.services.size()));
+    for (const censor::ServiceBanner& s : n.services) {
+      fp.mix(static_cast<std::uint64_t>(s.port));
+      fp.mix(s.protocol);
+      fp.mix(s.banner);
+    }
+  }
+  for (const std::vector<NodeId>& nbrs : adjacency_) {
+    fp.mix(static_cast<std::uint64_t>(nbrs.size()));
+    for (NodeId nb : nbrs) fp.mix(static_cast<std::uint64_t>(nb));
+  }
+  return fp.digest();
 }
 
 }  // namespace cen::sim

@@ -78,6 +78,11 @@ class Topology {
   const std::vector<NodeId>& route(NodeId src, NodeId dst, std::uint64_t flow_hash,
                                    std::uint64_t salt) const;
 
+  /// Structural digest over nodes (name, IP, router profile, services)
+  /// and links — a campaign cache-key component: any topology edit must
+  /// change it.
+  std::uint64_t fingerprint() const;
+
  private:
   std::vector<Node> nodes_;
   std::vector<std::vector<NodeId>> adjacency_;

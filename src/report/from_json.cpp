@@ -1,0 +1,216 @@
+#include "report/from_json.hpp"
+
+namespace cen::report {
+
+namespace {
+
+/// Parse an enum by matching its wire name over the value range
+/// [0, count) — the name tables are the single source of truth, so the
+/// decoders can never drift from the emitters.
+template <typename E, typename NameFn>
+std::optional<E> enum_from_name(std::string_view name, int count, NameFn name_of) {
+  for (int i = 0; i < count; ++i) {
+    E candidate = static_cast<E>(i);
+    if (name_of(candidate) == name) return candidate;
+  }
+  return std::nullopt;
+}
+
+std::optional<net::Ipv4Address> ip_field(const JsonValue& doc, std::string_view key) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return net::Ipv4Address::parse(v->string);
+}
+
+std::optional<std::string> optional_string(const JsonValue& doc, std::string_view key) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return v->string;
+}
+
+}  // namespace
+
+std::optional<trace::CenTraceReport> trace_report_from_json(const JsonValue& doc) {
+  if (!doc.is_object() || doc.get_string("tool", "") != "centrace") return std::nullopt;
+  trace::CenTraceReport r;
+  auto endpoint = ip_field(doc, "endpoint");
+  if (!endpoint) return std::nullopt;
+  r.endpoint = *endpoint;
+  r.test_domain = doc.get_string("test_domain", "");
+  r.control_domain = doc.get_string("control_domain", "");
+  auto protocol = enum_from_name<trace::ProbeProtocol>(doc.get_string("protocol", ""), 4,
+                                                       trace::probe_protocol_name);
+  if (!protocol) return std::nullopt;
+  r.protocol = *protocol;
+  r.blocked = doc.get_bool("blocked", false);
+  auto btype = enum_from_name<trace::BlockingType>(doc.get_string("blocking_type", ""),
+                                                   5, trace::blocking_type_name);
+  auto loc = enum_from_name<trace::BlockingLocation>(doc.get_string("location", ""), 5,
+                                                     trace::blocking_location_name);
+  auto placement = enum_from_name<trace::DevicePlacement>(
+      doc.get_string("placement", ""), 3, trace::device_placement_name);
+  if (!btype || !loc || !placement) return std::nullopt;
+  r.blocking_type = *btype;
+  r.location = *loc;
+  r.placement = *placement;
+  r.blocking_hop_ttl = doc.get_int("blocking_hop_ttl", -1);
+  r.blocking_hop_ip = ip_field(doc, "blocking_hop_ip");
+  if (const JsonValue* as = doc.find("blocking_as"); as != nullptr && as->is_object()) {
+    geo::AsInfo info;
+    info.asn = static_cast<std::uint32_t>(as->get_number("asn", 0));
+    info.name = as->get_string("name", "");
+    info.country = as->get_string("country", "");
+    r.blocking_as = info;
+  }
+  r.endpoint_hop_distance = doc.get_int("endpoint_hop_distance", -1);
+  r.ttl_copy_detected = doc.get_bool("ttl_copy_detected", false);
+  r.blockpage_vendor = optional_string(doc, "blockpage_vendor");
+  if (const JsonValue* inj = doc.find("injected_packet");
+      inj != nullptr && inj->is_object()) {
+    net::Packet p;
+    p.ip.ttl = static_cast<std::uint8_t>(inj->get_int("ip_ttl", 0));
+    p.ip.identification = static_cast<std::uint16_t>(inj->get_int("ip_id", 0));
+    p.ip.flags = static_cast<std::uint8_t>(inj->get_int("ip_flags", 0));
+    p.ip.tos = static_cast<std::uint8_t>(inj->get_int("ip_tos", 0));
+    p.tcp.window = static_cast<std::uint16_t>(inj->get_int("tcp_window", 0));
+    p.tcp.flags = static_cast<std::uint8_t>(inj->get_int("tcp_flags", 0));
+    r.injected_packet = std::move(p);
+  }
+  if (const JsonValue* conf = doc.find("confidence");
+      conf != nullptr && conf->is_object()) {
+    trace::TraceConfidence& c = r.confidence;
+    c.overall = conf->get_number("overall", 1.0);
+    c.response_agreement = conf->get_number("response_agreement", 1.0);
+    c.ttl_agreement = conf->get_number("ttl_agreement", 1.0);
+    c.control_path_stability = conf->get_number("control_path_stability", 1.0);
+    c.icmp_rate_limited = conf->get_bool("icmp_rate_limited", false);
+    c.path_churn = conf->get_bool("path_churn", false);
+    c.loss_recovered_probes = conf->get_int("loss_recovered_probes", 0);
+    if (const JsonValue* hc = conf->find("hop_confidence");
+        hc != nullptr && hc->is_array()) {
+      for (const JsonValue& v : hc->array) {
+        if (v.is_number()) c.hop_confidence.push_back(v.number);
+      }
+    }
+  }
+  if (const JsonValue* cp = doc.find("control_path"); cp != nullptr && cp->is_array()) {
+    for (const JsonValue& hop : cp->array) {
+      if (hop.is_string()) {
+        r.control_path.push_back(net::Ipv4Address::parse(hop.string));
+      } else {
+        r.control_path.push_back(std::nullopt);
+      }
+    }
+  }
+  if (const JsonValue* qd = doc.find("quote_diffs"); qd != nullptr && qd->is_array()) {
+    for (const JsonValue& d : qd->array) {
+      if (!d.is_object()) continue;
+      trace::QuoteDiff diff;
+      if (auto router = net::Ipv4Address::parse(d.get_string("router", ""))) {
+        diff.router = *router;
+      }
+      diff.parse_ok = d.get_bool("parse_ok", false);
+      diff.rfc792_minimal = d.get_bool("rfc792_minimal", false);
+      diff.full_tcp_quoted = d.get_bool("full_tcp_quoted", false);
+      diff.tos_changed = d.get_bool("tos_changed", false);
+      diff.ip_flags_changed = d.get_bool("ip_flags_changed", false);
+      diff.ports_match = d.get_bool("ports_match", true);
+      r.quote_diffs.push_back(diff);
+    }
+  }
+  return r;
+}
+
+std::optional<probe::DeviceProbeReport> probe_report_from_json(const JsonValue& doc) {
+  if (!doc.is_object() || doc.get_string("tool", "") != "cenprobe") return std::nullopt;
+  probe::DeviceProbeReport r;
+  auto ip = ip_field(doc, "ip");
+  if (!ip) return std::nullopt;
+  r.ip = *ip;
+  if (const JsonValue* ports = doc.find("open_ports"); ports != nullptr && ports->is_array()) {
+    for (const JsonValue& p : ports->array) {
+      if (p.is_number()) r.open_ports.push_back(static_cast<std::uint16_t>(p.number));
+    }
+  }
+  if (const JsonValue* banners = doc.find("banners"); banners != nullptr && banners->is_array()) {
+    for (const JsonValue& b : banners->array) {
+      if (!b.is_object()) continue;
+      probe::BannerGrab grab;
+      grab.ip = r.ip;
+      grab.port = static_cast<std::uint16_t>(b.get_int("port", 0));
+      grab.protocol = b.get_string("protocol", "");
+      grab.banner = b.get_string("banner", "");
+      grab.complete = b.get_bool("complete", true);
+      grab.attempts = b.get_int("attempts", 1);
+      r.banners.push_back(std::move(grab));
+    }
+  }
+  r.vendor = optional_string(doc, "vendor");
+  if (const JsonValue* stack = doc.find("stack"); stack != nullptr && stack->is_object()) {
+    censor::StackFingerprint fp;
+    fp.synack_ttl = static_cast<std::uint8_t>(stack->get_int("synack_ttl", 64));
+    fp.synack_window = static_cast<std::uint16_t>(stack->get_int("synack_window", 0));
+    fp.mss = static_cast<std::uint16_t>(stack->get_int("mss", 0));
+    fp.sack_permitted = stack->get_bool("sack_permitted", false);
+    fp.rst_ttl = static_cast<std::uint8_t>(stack->get_int("rst_ttl", 64));
+    r.stack = fp;
+  }
+  return r;
+}
+
+std::optional<fuzz::CenFuzzReport> fuzz_report_from_json(const JsonValue& doc) {
+  if (!doc.is_object() || doc.get_string("tool", "") != "cenfuzz") return std::nullopt;
+  fuzz::CenFuzzReport r;
+  auto endpoint = ip_field(doc, "endpoint");
+  if (!endpoint) return std::nullopt;
+  r.endpoint = *endpoint;
+  r.test_domain = doc.get_string("test_domain", "");
+  r.control_domain = doc.get_string("control_domain", "");
+  r.http_baseline_blocked = doc.get_bool("http_baseline_blocked", false);
+  r.tls_baseline_blocked = doc.get_bool("tls_baseline_blocked", false);
+  r.total_requests = static_cast<std::size_t>(doc.get_number("total_requests", 0));
+  r.skipped_strategies = static_cast<std::size_t>(doc.get_number("skipped_strategies", 0));
+  if (const JsonValue* ms = doc.find("measurements"); ms != nullptr && ms->is_array()) {
+    for (const JsonValue& m : ms->array) {
+      if (!m.is_object()) continue;
+      fuzz::FuzzMeasurement fm;
+      fm.strategy = m.get_string("strategy", "");
+      fm.permutation = m.get_string("permutation", "");
+      fm.https = m.get_bool("https", false);
+      auto outcome = enum_from_name<fuzz::FuzzOutcome>(m.get_string("outcome", ""), 3,
+                                                       fuzz::fuzz_outcome_name);
+      if (!outcome) return std::nullopt;
+      fm.outcome = *outcome;
+      fm.circumvented = m.get_bool("circumvented", false);
+      fm.baseline_failed = m.get_bool("baseline_failed", false);
+      r.measurements.push_back(std::move(fm));
+    }
+  }
+  return r;
+}
+
+namespace {
+
+template <typename Fn>
+auto parse_then(std::string_view text, Fn decode)
+    -> decltype(decode(std::declval<const JsonValue&>())) {
+  auto doc = json_parse(text);
+  if (doc == nullptr) return std::nullopt;
+  return decode(*doc);
+}
+
+}  // namespace
+
+std::optional<trace::CenTraceReport> trace_report_from_json(std::string_view text) {
+  return parse_then(text, [](const JsonValue& d) { return trace_report_from_json(d); });
+}
+
+std::optional<probe::DeviceProbeReport> probe_report_from_json(std::string_view text) {
+  return parse_then(text, [](const JsonValue& d) { return probe_report_from_json(d); });
+}
+
+std::optional<fuzz::CenFuzzReport> fuzz_report_from_json(std::string_view text) {
+  return parse_then(text, [](const JsonValue& d) { return fuzz_report_from_json(d); });
+}
+
+}  // namespace cen::report

@@ -1,0 +1,40 @@
+// Decoders for the tools' JSON report documents — the inverse of
+// report/json_report.hpp for every field those emitters write (sweep logs
+// excepted; cache records are stored sweep-less).
+//
+// The campaign engine runs every downstream stage off *decoded* records,
+// whether the record came from a fresh measurement or the incremental
+// cache, so a resumed campaign follows byte-identical control flow to an
+// uninterrupted one. That only works if decoding captures everything the
+// later stages consume: device-IP discovery (CenProbe targeting), blocked
+// endpoints (CenFuzz targeting) and the full Table 3 feature inputs.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "cenfuzz/cenfuzz.hpp"
+#include "cenprobe/fingerprints.hpp"
+#include "centrace/centrace.hpp"
+#include "core/json.hpp"
+
+namespace cen::report {
+
+/// Decode a CenTrace report document (as written by to_json without
+/// sweeps; sweep arrays, if present, are ignored). nullopt when the
+/// document is not a centrace report or a required field is malformed.
+std::optional<trace::CenTraceReport> trace_report_from_json(const JsonValue& doc);
+
+/// Decode a CenProbe device report document.
+std::optional<probe::DeviceProbeReport> probe_report_from_json(const JsonValue& doc);
+
+/// Decode a CenFuzz report document. Per-request results are not part of
+/// the wire format; only the classification fields round-trip.
+std::optional<fuzz::CenFuzzReport> fuzz_report_from_json(const JsonValue& doc);
+
+/// Convenience wrappers parsing from text.
+std::optional<trace::CenTraceReport> trace_report_from_json(std::string_view text);
+std::optional<probe::DeviceProbeReport> probe_report_from_json(std::string_view text);
+std::optional<fuzz::CenFuzzReport> fuzz_report_from_json(std::string_view text);
+
+}  // namespace cen::report

@@ -38,12 +38,18 @@ void write_sweep(JsonWriter& w, const trace::SingleTrace& sweep) {
 }  // namespace
 
 std::string to_json(const trace::CenTraceReport& report, bool include_sweeps) {
+  // Key order is canonical across all three tools (asserted by
+  // test_json): "tool", the measurement subject ("endpoint" / "ip"),
+  // then "test_domain" / "control_domain", then tool-specific fields in
+  // declaration order. The campaign cache splices these documents
+  // byte-for-byte, so the order must never depend on which tool or code
+  // path produced the record.
   JsonWriter w;
   w.begin_object();
   w.key("tool").value("centrace");
+  w.key("endpoint").value(report.endpoint.str());
   w.key("test_domain").value(report.test_domain);
   w.key("control_domain").value(report.control_domain);
-  w.key("endpoint").value(report.endpoint.str());
   w.key("protocol").value(trace::probe_protocol_name(report.protocol));
   w.key("blocked").value(report.blocked);
   w.key("blocking_type").value(trace::blocking_type_name(report.blocking_type));
@@ -68,6 +74,22 @@ std::string to_json(const trace::CenTraceReport& report, bool include_sweeps) {
   } else {
     w.key("blockpage_vendor").null();
   }
+  // Header fields of the injected packet — the Table 3 clustering
+  // features. Emitting them makes the document round-trippable: a cached
+  // record decodes back into a report that clusters identically.
+  if (report.injected_packet) {
+    const net::Packet& inj = *report.injected_packet;
+    w.key("injected_packet").begin_object();
+    w.key("ip_ttl").value(static_cast<std::int64_t>(inj.ip.ttl));
+    w.key("ip_id").value(static_cast<std::int64_t>(inj.ip.identification));
+    w.key("ip_flags").value(static_cast<std::int64_t>(inj.ip.flags));
+    w.key("ip_tos").value(static_cast<std::int64_t>(inj.ip.tos));
+    w.key("tcp_window").value(static_cast<std::int64_t>(inj.tcp.window));
+    w.key("tcp_flags").value(static_cast<std::int64_t>(inj.tcp.flags));
+    w.end_object();
+  } else {
+    w.key("injected_packet").null();
+  }
   w.key("confidence").begin_object();
   w.key("overall").value(report.confidence.overall);
   w.key("response_agreement").value(report.confidence.response_agreement);
@@ -90,9 +112,12 @@ std::string to_json(const trace::CenTraceReport& report, bool include_sweeps) {
   for (const trace::QuoteDiff& d : report.quote_diffs) {
     w.begin_object();
     w.key("router").value(d.router.str());
+    w.key("parse_ok").value(d.parse_ok);
     w.key("rfc792_minimal").value(d.rfc792_minimal);
+    w.key("full_tcp_quoted").value(d.full_tcp_quoted);
     w.key("tos_changed").value(d.tos_changed);
     w.key("ip_flags_changed").value(d.ip_flags_changed);
+    w.key("ports_match").value(d.ports_match);
     w.end_object();
   }
   w.end_array();

@@ -240,7 +240,8 @@ PipelineResult run_serial(const PipelineInput& in, const PipelineOptions& option
       }
       std::uint32_t key = r.blocking_hop_ip->value();
       if (result.device_probes.count(key) != 0) continue;
-      result.device_probes.emplace(key, probe::probe_device(net, *r.blocking_hop_ip));
+      result.device_probes.emplace(
+          key, probe::run(net, probe::ProbeRunOptions{*r.blocking_hop_ip}));
     }
   }
 
@@ -380,7 +381,7 @@ PipelineResult run_hermetic(const PipelineInput& in, const PipelineOptions& opti
              [&](sim::Network& replica, std::size_t i) {
                obs::Observer* shard = merger.shard(i);
                if (shard != nullptr) replica.set_observer(shard);
-               probes[i] = probe::probe_device(replica, probe_ips[i]);
+               probes[i] = probe::run(replica, probe::ProbeRunOptions{probe_ips[i]});
                if (shard != nullptr) {
                  merger.record_end(i, replica.now());
                  replica.set_observer(nullptr);

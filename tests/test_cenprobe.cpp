@@ -107,7 +107,7 @@ TEST(Fingerprints, CaseInsensitive) {
 
 TEST(ProbeDevice, FullPipelineLabelsVendor) {
   ProbeNet pn;
-  DeviceProbeReport report = probe_device(*pn.net, net::Ipv4Address(10, 0, 2, 1));
+  DeviceProbeReport report = run(*pn.net, ProbeRunOptions{net::Ipv4Address(10, 0, 2, 1)});
   EXPECT_TRUE(report.has_any_service());
   EXPECT_EQ(report.banners.size(), 2u);
   ASSERT_TRUE(report.vendor);
@@ -116,14 +116,14 @@ TEST(ProbeDevice, FullPipelineLabelsVendor) {
 
 TEST(ProbeDevice, GenericRouterGetsNoLabel) {
   ProbeNet pn;
-  DeviceProbeReport report = probe_device(*pn.net, net::Ipv4Address(10, 0, 1, 1));
+  DeviceProbeReport report = run(*pn.net, ProbeRunOptions{net::Ipv4Address(10, 0, 1, 1)});
   EXPECT_TRUE(report.has_any_service());
   EXPECT_FALSE(report.vendor);
 }
 
 TEST(ProbeDevice, SilentIpHasNothing) {
   ProbeNet pn;
-  DeviceProbeReport report = probe_device(*pn.net, net::Ipv4Address(9, 9, 9, 9));
+  DeviceProbeReport report = run(*pn.net, ProbeRunOptions{net::Ipv4Address(9, 9, 9, 9)});
   EXPECT_FALSE(report.has_any_service());
   EXPECT_TRUE(report.banners.empty());
   EXPECT_FALSE(report.vendor);
@@ -138,7 +138,7 @@ TEST(ProbeDevice, EveryCommercialVendorIdentifiable) {
     censor::DeviceConfig cfg = censor::make_vendor_device(vendor, "d");
     cfg.mgmt_ip = net::Ipv4Address(10, 0, 1, 1);
     net.attach_device(0, std::make_shared<censor::Device>(cfg));
-    DeviceProbeReport report = probe_device(net, net::Ipv4Address(10, 0, 1, 1));
+    DeviceProbeReport report = run(net, ProbeRunOptions{net::Ipv4Address(10, 0, 1, 1)});
     ASSERT_TRUE(report.vendor) << vendor;
     EXPECT_EQ(*report.vendor, vendor);
   }
@@ -179,7 +179,7 @@ TEST(StackProbe, VendorsDifferOnStack) {
 
 TEST(StackProbe, ReportCarriesStack) {
   ProbeNet pn;
-  DeviceProbeReport report = probe_device(*pn.net, net::Ipv4Address(10, 0, 2, 1));
+  DeviceProbeReport report = run(*pn.net, ProbeRunOptions{net::Ipv4Address(10, 0, 2, 1)});
   ASSERT_TRUE(report.stack);
   EXPECT_EQ(report.stack->synack_window, 5840);  // FortiOS
 }

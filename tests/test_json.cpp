@@ -2,6 +2,7 @@
 #include <cmath>
 
 #include "core/json.hpp"
+#include "report/from_json.hpp"
 #include "report/json_report.hpp"
 
 using namespace cen;
@@ -231,4 +232,150 @@ TEST(JsonValid, EveryEmittedReportValidates) {
   pr.banners.push_back(grab);
   pr.stack = censor::StackFingerprint{};
   EXPECT_TRUE(json_valid(report::to_json(pr)));
+}
+
+// ---- Canonical key order + decoder round trips -------------------------
+//
+// The campaign cache splices report documents byte-for-byte, so the key
+// order must be canonical: "tool" first, the measurement subject
+// ("endpoint" / "ip") second, then "test_domain" / "control_domain" /
+// "protocol" where applicable, then tool-specific fields in declaration
+// order. These tests pin the contract.
+
+namespace {
+
+/// Assert that the top-level keys appear in exactly this relative order.
+void expect_key_order(const std::string& json, const std::vector<std::string>& keys) {
+  std::size_t last = 0;
+  for (const std::string& key : keys) {
+    std::size_t pos = json.find("\"" + key + "\":");
+    ASSERT_NE(pos, std::string::npos) << "missing key " << key << " in " << json;
+    EXPECT_GT(pos, last) << "key " << key << " out of canonical order in " << json;
+    last = pos;
+  }
+}
+
+}  // namespace
+
+TEST(JsonReport, CanonicalKeyOrderAcrossTools) {
+  trace::CenTraceReport tr;
+  tr.endpoint = net::Ipv4Address(10, 0, 9, 1);
+  tr.test_domain = "t";
+  tr.control_domain = "c";
+  expect_key_order(report::to_json(tr),
+                   {"tool", "endpoint", "test_domain", "control_domain", "protocol",
+                    "blocked", "blocking_type", "location", "placement",
+                    "blocking_hop_ttl", "blocking_hop_ip", "blocking_as",
+                    "endpoint_hop_distance", "ttl_copy_detected", "blockpage_vendor",
+                    "injected_packet", "confidence", "control_path", "quote_diffs"});
+
+  fuzz::CenFuzzReport fz;
+  fz.endpoint = net::Ipv4Address(10, 0, 9, 1);
+  fz.test_domain = "t";
+  fz.control_domain = "c";
+  expect_key_order(report::to_json(fz),
+                   {"tool", "endpoint", "test_domain", "control_domain",
+                    "http_baseline_blocked", "tls_baseline_blocked", "total_requests",
+                    "skipped_strategies", "measurements"});
+
+  probe::DeviceProbeReport pr;
+  pr.ip = net::Ipv4Address(10, 0, 4, 1);
+  expect_key_order(report::to_json(pr),
+                   {"tool", "ip", "open_ports", "banners", "vendor", "stack"});
+}
+
+TEST(JsonReport, TraceDecodeEncodeIsIdentity) {
+  trace::CenTraceReport r;
+  r.endpoint = net::Ipv4Address(10, 0, 9, 1);
+  r.test_domain = "www.blocked.example";
+  r.control_domain = "www.example.org";
+  r.protocol = trace::ProbeProtocol::kHttps;
+  r.blocked = true;
+  r.blocking_type = trace::BlockingType::kRst;
+  r.location = trace::BlockingLocation::kOnPathToEndpoint;
+  r.placement = trace::DevicePlacement::kInPath;
+  r.blocking_hop_ttl = 4;
+  r.blocking_hop_ip = net::Ipv4Address(10, 0, 4, 1);
+  r.blocking_as = geo::AsInfo{9198, "JSC-KAZAKHTELECOM", "KZ"};
+  r.endpoint_hop_distance = 7;
+  r.ttl_copy_detected = true;
+  r.blockpage_vendor = "Cisco";
+  net::Packet inj;
+  inj.ip.ttl = 61;
+  inj.ip.identification = 0x1234;
+  inj.ip.flags = 2;
+  inj.tcp.window = 8192;
+  inj.tcp.flags = 0x14;
+  r.injected_packet = inj;
+  r.confidence.overall = 0.875;
+  r.confidence.hop_confidence = {1.0, 0.5};
+  r.control_path = {net::Ipv4Address(10, 0, 1, 1), std::nullopt};
+  trace::QuoteDiff qd;
+  qd.router = net::Ipv4Address(10, 0, 1, 1);
+  qd.parse_ok = true;
+  qd.tos_changed = true;
+  r.quote_diffs.push_back(qd);
+
+  const std::string encoded = report::to_json(r);
+  auto decoded = report::trace_report_from_json(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(report::to_json(*decoded), encoded);
+}
+
+TEST(JsonReport, FuzzDecodeEncodeIsIdentity) {
+  fuzz::CenFuzzReport r;
+  r.endpoint = net::Ipv4Address(10, 0, 9, 1);
+  r.test_domain = "t";
+  r.control_domain = "c";
+  r.http_baseline_blocked = true;
+  r.total_requests = 123;
+  r.skipped_strategies = 2;
+  fuzz::FuzzMeasurement m;
+  m.strategy = "Get Word Alt.";
+  m.permutation = "PATCH";
+  m.outcome = fuzz::FuzzOutcome::kSuccessful;
+  m.circumvented = true;
+  r.measurements.push_back(m);
+
+  const std::string encoded = report::to_json(r);
+  auto decoded = report::fuzz_report_from_json(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(report::to_json(*decoded), encoded);
+}
+
+TEST(JsonReport, ProbeDecodeEncodeIsIdentity) {
+  probe::DeviceProbeReport r;
+  r.ip = net::Ipv4Address(10, 0, 4, 1);
+  r.open_ports = {22, 443};
+  probe::BannerGrab grab;
+  grab.ip = r.ip;
+  grab.port = 22;
+  grab.protocol = "ssh";
+  grab.banner = "SSH-2.0-Cisco-1.25";
+  grab.complete = true;
+  grab.attempts = 2;
+  r.banners.push_back(grab);
+  r.vendor = "Cisco";
+  censor::StackFingerprint stack;
+  stack.synack_ttl = 64;
+  stack.synack_window = 29200;
+  stack.mss = 1460;
+  stack.sack_permitted = true;
+  stack.rst_ttl = 255;
+  r.stack = stack;
+
+  const std::string encoded = report::to_json(r);
+  auto decoded = report::probe_report_from_json(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(report::to_json(*decoded), encoded);
+}
+
+TEST(JsonReport, DecoderRejectsWrongTool) {
+  probe::DeviceProbeReport pr;
+  pr.ip = net::Ipv4Address(10, 0, 4, 1);
+  const std::string probe_doc = report::to_json(pr);
+  EXPECT_FALSE(report::trace_report_from_json(probe_doc).has_value());
+  EXPECT_FALSE(report::fuzz_report_from_json(probe_doc).has_value());
+  EXPECT_FALSE(report::probe_report_from_json("{\"tool\":\"centrace\"}").has_value());
+  EXPECT_FALSE(report::trace_report_from_json("not json").has_value());
 }

@@ -1,9 +1,8 @@
 // cencluster — run the full measurement pipeline over one or more built-in
 // scenarios and cluster the blocked endpoints (paper §7).
 //
-//   cencluster [--countries AZ,BY,KZ,RU] [--scale full|small]
-//              [--fuzz-cap N] [--reps N] [--top-k 10] [--export features.csv]
-//              [--threads N] [--metrics FILE] [--trace FILE] [--journal FILE]
+//   cencluster [--countries AZ,BY,KZ,RU] [--fuzz-cap N] [--reps N]
+//              [--top-k 10] [--export features.csv] [common flags]
 #include "cli_common.hpp"
 #include "core/strings.hpp"
 #include "ml/dbscan.hpp"
@@ -13,13 +12,13 @@ using namespace cen;
 
 int main(int argc, char** argv) {
   cli::Args args(argc, argv);
+  const cli::CommonOptions common = cli::parse_common(args);
   if (args.has("help")) {
     std::printf(
-        "usage: cencluster [--countries AZ,BY,KZ,RU] [--scale full|small]\n"
-        "                  [--fuzz-cap N] [--reps N] [--top-k K]\n"
-        "                  [--export features.csv] [--threads N]\n"
-        "                  [--metrics FILE] [--trace FILE] [--journal FILE]\n");
-    return 0;
+        "usage: cencluster [--countries AZ,BY,KZ,RU] [--fuzz-cap N] [--reps N]\n"
+        "                  [--top-k K] [--export features.csv] [common flags]\n%s",
+        cli::kCommonUsage);
+    return cli::kExitOk;
   }
 
   obs::Observer observer;
@@ -28,15 +27,15 @@ int main(int argc, char** argv) {
   scenario::PipelineOptions o;
   o.centrace_repetitions = args.get_int("reps", 5);
   o.fuzz_max_endpoints = args.get_int("fuzz-cap", 40);
-  o.threads = args.get_int("threads", -1);
+  o.threads = common.threads;
   o.observer = obs_ptr;
-  scenario::Scale scale = cli::parse_scale(args.get("scale"));
+  o.faults = common.faults;
 
   std::vector<ml::EndpointMeasurement> all;
   for (const std::string& code :
        split(args.get("countries", "AZ,BY,KZ,RU"), ',')) {
     scenario::CountryScenario s =
-        scenario::make_country(cli::parse_country(code), scale);
+        scenario::make_country(cli::parse_country(code), common.scale);
     scenario::PipelineResult r = run_country_pipeline(s, o);
     std::fprintf(stderr, "%s: %zu blocked endpoints\n", code.c_str(),
                  r.measurements.size());
@@ -55,7 +54,7 @@ int main(int argc, char** argv) {
     std::FILE* f = std::fopen(args.get("export").c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", args.get("export").c_str());
-      return 1;
+      return cli::kExitRuntime;
     }
     std::fwrite(csv.data(), 1, csv.size(), f);
     std::fclose(f);

@@ -1,8 +1,7 @@
 // cenfuzz — fuzz a blocked connection against a built-in scenario.
 //
-//   cenfuzz --country KZ [--scale full|small] [--endpoint N] [--domain D]
-//           [--json] [--successful-only]
-//           [--metrics FILE] [--trace FILE] [--journal FILE]
+//   cenfuzz --country KZ [--endpoint N] [--domain D] [--successful-only]
+//           [common flags: --scale/--json/--fault-*/--metrics/...]
 //
 // Picks the first test domain and endpoint unless told otherwise; prints a
 // per-strategy summary, permutation detail for evading probes, or JSONL.
@@ -12,22 +11,24 @@ using namespace cen;
 
 int main(int argc, char** argv) {
   cli::Args args(argc, argv);
+  const cli::CommonOptions common = cli::parse_common(args);
   if (args.has("help") || !args.has("country")) {
     std::printf(
-        "usage: cenfuzz --country AZ|BY|KZ|RU [--scale full|small]\n"
-        "               [--endpoint N] [--domain D] [--json] [--successful-only]\n"
-        "               [--metrics FILE] [--trace FILE] [--journal FILE]\n");
-    return args.has("help") ? 0 : 2;
+        "usage: cenfuzz --country AZ|BY|KZ|RU [--endpoint N] [--domain D]\n"
+        "               [--successful-only] [common flags]\n%s",
+        cli::kCommonUsage);
+    return args.has("help") ? cli::kExitOk : cli::kExitUsage;
   }
 
-  scenario::CountryScenario s = scenario::make_country(
-      cli::parse_country(args.get("country")), cli::parse_scale(args.get("scale")));
+  scenario::CountryScenario s =
+      scenario::make_country(cli::parse_country(args.get("country")), common.scale);
+  s.network->set_fault_plan(common.faults);
 
   int index = args.get_int("endpoint", 0);
   if (index < 0 || index >= static_cast<int>(s.remote_endpoints.size())) {
     std::fprintf(stderr, "endpoint index out of range (0..%zu)\n",
                  s.remote_endpoints.size() - 1);
-    return 2;
+    return cli::kExitUsage;
   }
   std::string domain = args.get("domain", s.http_test_domains.front());
 
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
   if (obs_ptr != nullptr) s.network->set_observer(nullptr);
   int obs_rc = obs_ptr != nullptr ? cli::write_observability(args, observer) : 0;
 
-  if (args.has("json")) {
+  if (common.json) {
     std::printf("%s\n", report::to_json(report).c_str());
     return obs_rc;
   }

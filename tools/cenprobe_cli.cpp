@@ -1,8 +1,7 @@
 // cenprobe — locate potential censorship devices with CenTrace, then
 // port-scan and banner-grab them.
 //
-//   cenprobe --country KZ [--scale full|small] [--reps 5] [--json]
-//            [--threads N] [--metrics FILE] [--trace FILE] [--journal FILE]
+//   cenprobe --country KZ [--reps 5] [common flags]
 //   cenprobe --country KZ --ip 10.0.80.1 [--json]    (probe one IP directly)
 #include "cli_common.hpp"
 
@@ -23,16 +22,18 @@ void print_text(const probe::DeviceProbeReport& r) {
 
 int main(int argc, char** argv) {
   cli::Args args(argc, argv);
+  const cli::CommonOptions common = cli::parse_common(args);
   if (args.has("help") || !args.has("country")) {
     std::printf(
-        "usage: cenprobe --country AZ|BY|KZ|RU [--scale full|small] [--reps N]\n"
-        "                [--ip A.B.C.D] [--json] [--threads N]\n"
-        "                [--metrics FILE] [--trace FILE] [--journal FILE]\n");
-    return args.has("help") ? 0 : 2;
+        "usage: cenprobe --country AZ|BY|KZ|RU [--reps N] [--ip A.B.C.D]\n"
+        "                [common flags]\n%s",
+        cli::kCommonUsage);
+    return args.has("help") ? cli::kExitOk : cli::kExitUsage;
   }
 
-  scenario::CountryScenario s = scenario::make_country(
-      cli::parse_country(args.get("country")), cli::parse_scale(args.get("scale")));
+  scenario::CountryScenario s =
+      scenario::make_country(cli::parse_country(args.get("country")), common.scale);
+  s.network->set_fault_plan(common.faults);
 
   obs::Observer observer;
   obs::Observer* obs_ptr = cli::wants_observer(args) ? &observer : nullptr;
@@ -41,12 +42,10 @@ int main(int argc, char** argv) {
     auto ip = net::Ipv4Address::parse(args.get("ip"));
     if (!ip) {
       std::fprintf(stderr, "malformed IP: %s\n", args.get("ip").c_str());
-      return 2;
+      return cli::kExitUsage;
     }
-    if (obs_ptr != nullptr) s.network->set_observer(obs_ptr);
-    probe::DeviceProbeReport r = probe::probe_device(*s.network, *ip);
-    if (obs_ptr != nullptr) s.network->set_observer(nullptr);
-    if (args.has("json")) {
+    probe::DeviceProbeReport r = probe::run(*s.network, probe::ProbeRunOptions{*ip}, obs_ptr);
+    if (common.json) {
       std::printf("%s\n", report::to_json(r).c_str());
     } else {
       print_text(r);
@@ -57,14 +56,14 @@ int main(int argc, char** argv) {
   scenario::PipelineOptions o;
   o.centrace_repetitions = args.get_int("reps", 5);
   o.run_fuzz = false;
-  o.threads = args.get_int("threads", -1);
+  o.threads = common.threads;
   o.observer = obs_ptr;
   scenario::PipelineResult result = run_country_pipeline(s, o);
   std::fprintf(stderr, "CenTrace: %zu measurements, %zu blocked, %zu device IPs\n",
                result.remote_traces.size(), result.blocked_remote(),
                result.device_probes.size());
   for (const auto& [ip, r] : result.device_probes) {
-    if (args.has("json")) {
+    if (common.json) {
       std::printf("%s\n", report::to_json(r).c_str());
     } else {
       print_text(r);

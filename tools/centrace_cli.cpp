@@ -49,27 +49,25 @@ void print_text(const trace::CenTraceReport& r) {
 
 int main(int argc, char** argv) {
   cli::Args args(argc, argv);
+  const cli::CommonOptions common = cli::parse_common(args);
   if (args.has("help") || !args.has("country")) {
     std::printf(
-        "usage: centrace --country AZ|BY|KZ|RU [--scale full|small]\n"
-        "                [--protocol http|https|dns] [--endpoint N] [--domain D]\n"
-        "                [--reps N] [--json] [--sweeps] [--pcap FILE]\n"
-        "                [--threads N] [--backoff MS] [--retries N]\n"
-        "                [--loss P] [--fault-loss P] [--fault-dup P]\n"
-        "                [--fault-reorder P] [--fault-icmp-rate R]\n"
-        "                [--metrics FILE] [--trace FILE] [--journal FILE]\n");
-    return args.has("help") ? 0 : 2;
+        "usage: centrace --country AZ|BY|KZ|RU [--protocol http|https|dns]\n"
+        "                [--endpoint N] [--domain D] [--reps N] [--sweeps]\n"
+        "                [--pcap FILE] [common flags]\n%s",
+        cli::kCommonUsage);
+    return args.has("help") ? cli::kExitOk : cli::kExitUsage;
   }
 
-  scenario::CountryScenario s = scenario::make_country(
-      cli::parse_country(args.get("country")), cli::parse_scale(args.get("scale")));
-  s.network->set_fault_plan(cli::parse_fault_plan(args));
+  scenario::CountryScenario s =
+      scenario::make_country(cli::parse_country(args.get("country")), common.scale);
+  s.network->set_fault_plan(common.faults);
 
   trace::CenTraceOptions opts;
   opts.repetitions = args.get_int("reps", 11);
   opts.protocol = cli::parse_protocol(args.get("protocol"));
-  opts.retry_backoff = static_cast<SimTime>(args.get_int("backoff", 0));
-  opts.adaptive_max_retries = args.get_int("retries", 6);
+  opts.retry_backoff = common.backoff;
+  opts.adaptive_max_retries = common.retries;
 
   net::PcapWriter capture;
   if (args.has("pcap")) s.network->set_capture(&capture);
@@ -85,7 +83,7 @@ int main(int argc, char** argv) {
     if (index < 0 || index >= static_cast<int>(s.remote_endpoints.size())) {
       std::fprintf(stderr, "endpoint index out of range (0..%zu)\n",
                    s.remote_endpoints.size() - 1);
-      return 2;
+      return cli::kExitUsage;
     }
     endpoints = {s.remote_endpoints[static_cast<std::size_t>(index)]};
   }
@@ -94,11 +92,11 @@ int main(int argc, char** argv) {
   obs::Observer* obs_ptr = cli::wants_observer(args) ? &observer : nullptr;
 
   std::vector<trace::CenTraceReport> reports;
-  if (args.has("threads")) {
+  if (common.has_threads) {
     // Hermetic fan-out: identical output for every --threads value.
     reports = scenario::run_trace_fanout(*s.network, s.remote_client, endpoints,
                                          domains, s.control_domain, opts,
-                                         args.get_int("threads", 0), obs_ptr);
+                                         common.threads, obs_ptr);
   } else {
     // Legacy shared-network serial path.
     if (obs_ptr != nullptr) s.network->set_observer(obs_ptr);
@@ -112,7 +110,7 @@ int main(int argc, char** argv) {
   }
 
   for (const trace::CenTraceReport& r : reports) {
-    if (args.has("json")) {
+    if (common.json) {
       std::printf("%s\n", report::to_json(r, args.has("sweeps")).c_str());
     } else {
       print_text(r);
@@ -123,11 +121,11 @@ int main(int argc, char** argv) {
     s.network->set_capture(nullptr);
     if (!capture.write_file(args.get("pcap"))) {
       std::fprintf(stderr, "failed to write %s\n", args.get("pcap").c_str());
-      return 1;
+      return cli::kExitRuntime;
     }
     std::fprintf(stderr, "wrote %zu packets to %s\n", capture.size(),
                  args.get("pcap").c_str());
   }
   if (obs_ptr != nullptr) return cli::write_observability(args, observer);
-  return 0;
+  return cli::kExitOk;
 }

@@ -16,6 +16,19 @@
 
 namespace cli {
 
+/// Exit-code contract shared by every cendevice CLI:
+///   0  success;
+///   1  runtime / I/O failure (unwritable output, failed measurement);
+///   2  usage error (unknown flag value, missing required argument);
+///   3  campaign checkpoint incomplete (cencampaign only: the batch
+///      budget ran out — re-run with the same --cache to resume).
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitRuntime = 1,
+  kExitUsage = 2,
+  kExitIncomplete = 3,
+};
+
 class Args {
  public:
   Args(int argc, char** argv) {
@@ -110,6 +123,12 @@ inline cen::sim::FaultPlan parse_fault_plan(const Args& args) {
   return plan;
 }
 
+/// True when any fault-plan flag was passed (the plan is inert otherwise).
+inline bool has_fault_flags(const Args& args) {
+  return args.has("loss") || args.has("fault-loss") || args.has("fault-dup") ||
+         args.has("fault-reorder") || args.has("fault-icmp-rate");
+}
+
 inline cen::scenario::Country parse_country(const std::string& code) {
   using cen::scenario::Country;
   if (code == "AZ" || code == "az") return Country::kAZ;
@@ -137,6 +156,53 @@ inline cen::trace::ProbeProtocol parse_protocol(const std::string& proto) {
   std::fprintf(stderr, "unknown protocol '%s' (expected http, https, dns or dns-udp)\n",
                proto.c_str());
   std::exit(2);
+}
+
+/// The flag set every cendevice CLI shares, parsed once. Declaring the
+/// flags here (instead of per tool) keeps names, defaults and help text
+/// consistent across centrace / cenfuzz / cenprobe / cencluster /
+/// cencampaign.
+struct CommonOptions {
+  cen::scenario::Scale scale = cen::scenario::Scale::kFull;
+  /// --threads N: -1 = one worker per hardware thread; 0 = the tool's
+  /// serial (or inline-hermetic) path; >= 1 = pool of N. `has_threads`
+  /// records whether the flag was passed at all (centrace keeps its
+  /// legacy serial path when it wasn't).
+  int threads = -1;
+  bool has_threads = false;
+  /// --retries N / --backoff MS: CenTrace adaptive-retry budget and
+  /// simulated-time retry backoff for runs under faults.
+  int retries = 6;
+  cen::SimTime backoff = 0;
+  bool json = false;
+  /// Fault plan assembled from the --loss / --fault-* knobs; inert when
+  /// none was passed (see has_fault_flags).
+  cen::sim::FaultPlan faults;
+};
+
+/// Usage text for the shared flags — print after the per-tool usage line.
+inline constexpr const char* kCommonUsage =
+    "common flags:\n"
+    "  --scale full|small    scenario size (default full)\n"
+    "  --threads N           workers: -1 hardware, 0 serial, N pool\n"
+    "  --retries N           adaptive retry budget under faults (default 6)\n"
+    "  --backoff MS          simulated retry backoff (default 0)\n"
+    "  --json                machine-readable JSON output\n"
+    "  --loss P --fault-loss P --fault-dup P --fault-reorder P\n"
+    "  --fault-icmp-rate R   fault-plan knobs (inert by default)\n"
+    "  --metrics FILE --trace FILE --journal FILE\n"
+    "                        observability sinks (.prom for Prometheus text)\n";
+
+inline CommonOptions parse_common(const Args& args) {
+  CommonOptions o;
+  o.scale = parse_scale(args.get("scale"));
+  o.has_threads = args.has("threads");
+  o.threads = args.get_int("threads", -1);
+  o.retries = args.get_int("retries", 6);
+  o.backoff = static_cast<cen::SimTime>(args.get_int("backoff", 0));
+  o.json = args.has("json");
+  o.faults = parse_fault_plan(args);
+  return o;
 }
 
 }  // namespace cli
