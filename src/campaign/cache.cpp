@@ -16,6 +16,106 @@ void append_hex64(std::string& out, std::uint64_t v) {
   }
 }
 
+/// Byte span [begin, end) of the value of top-level member `name` inside
+/// `line`, which must already have parsed as a JSON object. Matching is on
+/// the raw key token, so a key written with escape sequences is treated as
+/// absent — the caller then skips the record (a re-execution, never a wrong
+/// answer). Searching for the literal `"name":` substring is NOT safe here:
+/// the same bytes can occur inside an earlier string value (e.g. a task id),
+/// and members may appear in any order.
+bool member_value_span(std::string_view line, std::string_view name,
+                       std::size_t& begin, std::size_t& end) {
+  auto skip_ws = [&](std::size_t& p) {
+    while (p < line.size() && (line[p] == ' ' || line[p] == '\t' ||
+                               line[p] == '\n' || line[p] == '\r')) {
+      ++p;
+    }
+  };
+  auto skip_string = [&](std::size_t& p) {  // p at the opening quote
+    ++p;
+    while (p < line.size()) {
+      if (line[p] == '\\') {
+        p += 2;
+        continue;
+      }
+      if (line[p] == '"') {
+        ++p;
+        return;
+      }
+      ++p;
+    }
+  };
+  std::size_t p = 0;
+  skip_ws(p);
+  if (p >= line.size() || line[p] != '{') return false;
+  ++p;
+  for (;;) {
+    skip_ws(p);
+    if (p >= line.size() || line[p] == '}') return false;  // member absent
+    const std::size_t key_start = p;
+    skip_string(p);
+    const std::string_view key = line.substr(key_start, p - key_start);
+    skip_ws(p);
+    if (p >= line.size() || line[p] != ':') return false;
+    ++p;
+    skip_ws(p);
+    const std::size_t val_start = p;
+    // Walk exactly one value: balance braces/brackets outside strings.
+    int depth = 0;
+    while (p < line.size()) {
+      const char c = line[p];
+      if (c == '"') {
+        skip_string(p);
+        continue;
+      }
+      if (c == '{' || c == '[') {
+        ++depth;
+        ++p;
+        continue;
+      }
+      if (c == '}' || c == ']') {
+        if (depth == 0) break;  // closes the enclosing object
+        --depth;
+        ++p;
+        continue;
+      }
+      if (c == ',' && depth == 0) break;
+      ++p;
+    }
+    std::size_t val_end = p;
+    while (val_end > val_start &&
+           (line[val_end - 1] == ' ' || line[val_end - 1] == '\t')) {
+      --val_end;
+    }
+    if (key.size() == name.size() + 2 && key.front() == '"' && key.back() == '"' &&
+        key.substr(1, name.size()) == name) {
+      begin = val_start;
+      end = val_end;
+      return end > begin;
+    }
+    skip_ws(p);
+    if (p >= line.size() || line[p] != ',') return false;  // was the last member
+    ++p;
+  }
+}
+
+/// Integrity digest binding a record's key to its result bytes. Cache
+/// files live on disk between runs; a record whose result bytes were
+/// damaged (bit rot, concurrent writers, hand edits) but still parse as
+/// JSON would otherwise be spliced verbatim into campaign output — a
+/// silent wrong answer. A mismatch just invalidates the record, which
+/// costs one deterministic re-execution.
+std::string record_sum(std::string_view key, std::string_view result_json) {
+  FingerprintBuilder fp;
+  fp.mix(std::string_view("cache-record-sum"));
+  fp.mix(key);
+  fp.mix(result_json);
+  std::string sum;
+  sum.reserve(16);
+  append_hex64(sum, fp.digest());
+  return sum;
+}
+
 }  // namespace
 
 std::string task_cache_key(std::uint64_t network_fingerprint, std::uint64_t campaign_seed,
@@ -68,16 +168,17 @@ std::size_t ResultCache::load() {
     std::string key = doc->get_string("key", "");
     const JsonValue* result = doc->find("result");
     if (key.size() != 32 || result == nullptr || !result->is_object()) continue;
-    // Re-render the result through the writer so the stored document is
-    // byte-identical to what the emitter produced (it is spliced verbatim
-    // into campaign output). The parse→render round trip is the identity
-    // for our own emitters' output.
-    records_[key] = std::string(line.substr(line.find("\"result\":") + 9));
-    // The record line is {"key":...,"stage":...,"task":...,"result":{...}}
-    // with "result" last, so everything after the marker minus the
-    // closing brace is the document.
-    std::string& doc_text = records_[key];
-    if (!doc_text.empty() && doc_text.back() == '}') doc_text.pop_back();
+    // The stored document must be the exact bytes the emitter produced (it
+    // is spliced verbatim into campaign output), so extract the member's
+    // precise span from the already-validated line rather than re-rendering.
+    std::size_t rb = 0;
+    std::size_t re = 0;
+    if (!member_value_span(line, "result", rb, re)) continue;
+    std::string result_text(line.substr(rb, re - rb));
+    // Verify the record's integrity digest; records without one (older
+    // cache files) or with a stale one are invalidated, never served.
+    if (doc->get_string("sum", "") != record_sum(key, result_text)) continue;
+    records_[key] = std::move(result_text);
     ++loaded;
   }
   return loaded;
@@ -93,6 +194,7 @@ void ResultCache::put(const std::string& key, std::string_view stage,
   JsonWriter w;
   w.begin_object();
   w.key("key").value(key);
+  w.key("sum").value(record_sum(key, result_json));
   w.key("stage").value(stage);
   w.key("task").value(task_id);
   w.key("result").raw_value(result_json);

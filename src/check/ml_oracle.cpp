@@ -1,0 +1,305 @@
+// ML-oracle engine: the statistics and clustering code the paper's §7
+// analysis rests on, cross-checked against brute-force reference
+// implementations on randomized (and deliberately tie-heavy) inputs.
+// The production code is optimized (sorting ranks, spatial pruning,
+// impurity bookkeeping inside the tree builder); the references here are
+// the textbook O(n²) definitions — slow, obviously correct, and
+// independent enough that an agreement failure localizes a real bug.
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "check/engines.hpp"
+#include "ml/dbscan.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/stats.hpp"
+
+namespace cen::check {
+
+namespace {
+
+/// Tie-heavy random vector: values drawn from a small integer grid so
+/// average-rank tie handling is exercised on nearly every case.
+std::vector<double> random_grid_vector(Rng& rng, std::size_t n, int grid) {
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    x = static_cast<double>(rng.uniform(static_cast<std::uint64_t>(grid)));
+  }
+  return v;
+}
+
+/// O(n²) fractional ranks: 1 + (#strictly smaller) + (#equal - 1) / 2.
+std::vector<double> reference_ranks(const std::vector<double>& v) {
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::size_t less = 0;
+    std::size_t equal = 0;
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      if (v[j] < v[i]) ++less;
+      if (v[j] == v[i]) ++equal;
+    }
+    out[i] = 1.0 + static_cast<double>(less) +
+             (static_cast<double>(equal) - 1.0) / 2.0;
+  }
+  return out;
+}
+
+bool close(double a, double b, double tol = 1e-9) {
+  return std::abs(a - b) <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+void check_stats(CaseContext& ctx) {
+  Rng& rng = ctx.rng;
+  const std::size_t n = 3 + rng.uniform(40);
+  const std::vector<double> x = random_grid_vector(rng, n, 2 + static_cast<int>(rng.uniform(8)));
+
+  // mean / median / variance against the definitions.
+  {
+    double sum = 0.0;
+    for (double v : x) sum += v;
+    ctx.expect(close(ml::mean(x), sum / static_cast<double>(n)), "ml-oracle/mean",
+               "mean disagrees with the plain sum");
+    std::vector<double> sorted = x;
+    std::sort(sorted.begin(), sorted.end());
+    const double ref_median = n % 2 == 1
+                                  ? sorted[n / 2]
+                                  : (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0;
+    ctx.expect(close(ml::median(x), ref_median), "ml-oracle/median",
+               "median disagrees with sort-and-pick");
+    const double m = sum / static_cast<double>(n);
+    double ss = 0.0;
+    for (double v : x) ss += (v - m) * (v - m);
+    ctx.expect(close(ml::variance(x), ss / static_cast<double>(n)) ||
+                   close(ml::variance(x), n > 1 ? ss / static_cast<double>(n - 1) : 0.0),
+               "ml-oracle/variance",
+               "variance matches neither the population nor sample definition");
+  }
+
+  // ranks() against the O(n²) reference — the tie-averaging hot spot.
+  {
+    const std::vector<double> got = ml::ranks(x);
+    const std::vector<double> ref = reference_ranks(x);
+    bool same = got.size() == ref.size();
+    for (std::size_t i = 0; same && i < ref.size(); ++i) same = close(got[i], ref[i]);
+    ctx.expect(same, "ml-oracle/ranks",
+               "ranks() disagrees with the count-based definition on a tie-heavy vector");
+  }
+
+  // spearman == pearson over reference ranks (the defining identity).
+  {
+    const std::vector<double> y = random_grid_vector(rng, n, 2 + static_cast<int>(rng.uniform(8)));
+    const double ref_rho = ml::pearson(reference_ranks(x), reference_ranks(y));
+    const ml::Correlation c = ml::spearman(x, y);
+    ctx.expect(close(c.rho, ref_rho, 1e-9), "ml-oracle/spearman",
+               "spearman rho != pearson of the rank vectors");
+    ctx.expect(c.p_value >= 0.0 && c.p_value <= 1.0, "ml-oracle/spearman-p",
+               "p-value outside [0, 1]: " + std::to_string(c.p_value));
+  }
+
+  // kfold_assignment: a partition — every index gets a fold in [0, k),
+  // fold sizes differ by at most one.
+  {
+    const std::size_t k = 2 + rng.uniform(5);
+    Rng fold_rng = rng.fork();
+    const std::vector<std::size_t> folds = ml::kfold_assignment(n, k, fold_rng);
+    std::vector<std::size_t> sizes(k, 0);
+    bool in_range = folds.size() == n;
+    for (std::size_t f : folds) {
+      if (f >= k) {
+        in_range = false;
+        break;
+      }
+      ++sizes[f];
+    }
+    ctx.expect(in_range, "ml-oracle/kfold", "fold id out of range");
+    if (in_range) {
+      const auto [lo, hi] = std::minmax_element(sizes.begin(), sizes.end());
+      ctx.expect(*hi - *lo <= 1, "ml-oracle/kfold",
+                 "fold sizes differ by more than one");
+    }
+  }
+}
+
+/// Brute-force DBSCAN closure validation. Rather than re-implementing the
+/// expansion order, validate the defining properties of any correct
+/// labelling: core points connected within epsilon share a label, the
+/// number of clusters equals the number of core connected components,
+/// border points have a same-label core neighbour, and noise points have
+/// no core neighbour at all.
+void check_dbscan(CaseContext& ctx) {
+  Rng& rng = ctx.rng;
+  const std::size_t n = 4 + rng.uniform(30);
+  const std::size_t dims = 1 + rng.uniform(3);
+  ml::Matrix x(n);
+  for (auto& row : x) {
+    row.resize(dims);
+    // A small value grid makes exact-epsilon boundary ties common,
+    // which is exactly where <= vs < bugs live.
+    for (auto& v : row) v = static_cast<double>(rng.uniform(5));
+  }
+  const std::size_t min_points = 2 + rng.uniform(4);
+  // Draw epsilon from the exact pairwise distances half the time so the
+  // boundary case |a - b| == epsilon is hit deliberately.
+  double epsilon;
+  if (rng.chance(0.5) && n >= 2) {
+    const std::size_t a = rng.index(n);
+    std::size_t b = rng.index(n);
+    if (b == a) b = (b + 1) % n;
+    epsilon = ml::euclidean(x[a], x[b]);
+    if (epsilon == 0.0) epsilon = 1.0;
+  } else {
+    epsilon = 0.5 + rng.real() * 3.0;
+  }
+
+  const ml::DbscanResult got = ml::dbscan(x, epsilon, min_points);
+  if (got.labels.size() != n) {
+    ctx.fail("ml-oracle/dbscan", "labels.size() != n");
+    return;
+  }
+
+  // Neighbourhoods (inclusive distance, matching the production code).
+  std::vector<std::vector<std::size_t>> neigh(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (ml::euclidean(x[i], x[j]) <= epsilon) neigh[i].push_back(j);
+    }
+  }
+  std::vector<bool> core(n, false);
+  for (std::size_t i = 0; i < n; ++i) core[i] = neigh[i].size() >= min_points;
+
+  // Connected components over core points (within-epsilon core links).
+  std::vector<int> comp(n, -1);
+  int n_comp = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!core[i] || comp[i] != -1) continue;
+    std::vector<std::size_t> stack{i};
+    comp[i] = n_comp;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      for (std::size_t v : neigh[u]) {
+        if (core[v] && comp[v] == -1) {
+          comp[v] = n_comp;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++n_comp;
+  }
+
+  ctx.expect(got.n_clusters == n_comp, "ml-oracle/dbscan-clusters",
+             "dbscan found " + std::to_string(got.n_clusters) +
+                 " clusters; core connectivity gives " + std::to_string(n_comp));
+  bool labels_ok = true;
+  std::string why;
+  for (std::size_t i = 0; i < n && labels_ok; ++i) {
+    if (core[i]) {
+      if (got.labels[i] == ml::kNoise) {
+        labels_ok = false;
+        why = "core point labelled noise";
+        break;
+      }
+      // Two connected cores must share a label.
+      for (std::size_t v : neigh[i]) {
+        if (core[v] && got.labels[v] != got.labels[i]) {
+          labels_ok = false;
+          why = "connected core points carry different labels";
+          break;
+        }
+      }
+    } else if (got.labels[i] != ml::kNoise) {
+      // Border point: must have a core neighbour with the same label.
+      bool justified = false;
+      for (std::size_t v : neigh[i]) {
+        if (core[v] && got.labels[v] == got.labels[i]) {
+          justified = true;
+          break;
+        }
+      }
+      if (!justified) {
+        labels_ok = false;
+        why = "border point labelled without a same-label core neighbour";
+      }
+    } else {
+      // Noise: no core neighbour may exist.
+      for (std::size_t v : neigh[i]) {
+        if (core[v]) {
+          labels_ok = false;
+          why = "noise point inside a core neighbourhood";
+          break;
+        }
+      }
+    }
+  }
+  ctx.expect(labels_ok, "ml-oracle/dbscan-labels", why);
+
+  // estimate_epsilon must stay finite for every degenerate k.
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}, n - 1, n + 3}) {
+    const double e = ml::estimate_epsilon(x, k);
+    ctx.expect(std::isfinite(e) && e >= 0.0, "ml-oracle/estimate-epsilon",
+               "estimate_epsilon(k=" + std::to_string(k) + ") = " + std::to_string(e));
+  }
+}
+
+/// Forest MDI sanity on a small labelled set: constant features carry
+/// zero importance, the normalized vector sums to 1 (or is all zero when
+/// no split ever fired), and a same-seed refit is bit-identical.
+void check_forest(CaseContext& ctx) {
+  Rng& rng = ctx.rng;
+  const std::size_t n = 16 + rng.uniform(16);
+  const std::size_t dims = 3;
+  const std::size_t constant_feature = rng.uniform(dims);
+  ml::Matrix x(n);
+  std::vector<int> y(n);
+  std::vector<std::size_t> train(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i].resize(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      x[i][d] = d == constant_feature ? 3.25 : static_cast<double>(rng.uniform(10));
+    }
+    // The label depends on a real feature, so the forest has signal.
+    const std::size_t signal = (constant_feature + 1) % dims;
+    y[i] = x[i][signal] >= 5.0 ? 1 : 0;
+    train[i] = i;
+  }
+
+  ml::ForestOptions options;
+  options.n_trees = 8;
+  options.seed = mix64(ctx.case_seed ^ 0x666f72657374ull);
+  ml::RandomForest forest(options);
+  forest.fit(x, y, train, 2);
+  const std::vector<double> imp = forest.mdi_importance();
+  if (imp.size() != dims) {
+    ctx.fail("ml-oracle/mdi", "importance vector has wrong arity");
+    return;
+  }
+  ctx.expect(imp[constant_feature] == 0.0, "ml-oracle/mdi-constant",
+             "constant feature received importance " +
+                 std::to_string(imp[constant_feature]));
+  double sum = 0.0;
+  bool nonneg = true;
+  for (double v : imp) {
+    sum += v;
+    nonneg = nonneg && v >= 0.0;
+  }
+  ctx.expect(nonneg, "ml-oracle/mdi", "negative importance");
+  ctx.expect(close(sum, 1.0, 1e-9) || sum == 0.0, "ml-oracle/mdi",
+             "importances sum to " + std::to_string(sum) + ", want 1 (or all zero)");
+
+  ml::RandomForest again(options);
+  again.fit(x, y, train, 2);
+  ctx.expect(again.mdi_importance() == imp, "ml-oracle/mdi-determinism",
+             "same-seed refit produced different importances");
+}
+
+}  // namespace
+
+void run_ml_oracle_case(CaseContext& ctx) {
+  check_stats(ctx);
+  check_dbscan(ctx);
+  // Forest fits dominate the cost of a case; sample them.
+  if (ctx.case_seed % 4 == 0) check_forest(ctx);
+}
+
+}  // namespace cen::check

@@ -71,6 +71,10 @@ class ByteReader {
   std::size_t position() const { return pos_; }
   bool done() const { return pos_ == data_.size(); }
   BytesView rest() const { return data_.subspan(pos_); }
+  /// The full underlying span, independent of the cursor. Formats with
+  /// absolute intra-message offsets (DNS compression pointers) re-read
+  /// earlier bytes through this.
+  BytesView buffer() const { return data_; }
 
  private:
   void require(std::size_t n) const;

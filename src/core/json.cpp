@@ -4,30 +4,92 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace cen {
+
+namespace {
+
+/// Length of the well-formed UTF-8 sequence starting at s[i], or 0 when the
+/// bytes at i do not start one (overlong forms, surrogate code points and
+/// anything beyond U+10FFFF included). ASCII returns 1.
+std::size_t utf8_sequence_length(std::string_view s, std::size_t i) {
+  const unsigned char b0 = static_cast<unsigned char>(s[i]);
+  if (b0 < 0x80) return 1;
+  auto byte = [&](std::size_t k) -> int {
+    return i + k < s.size() ? static_cast<unsigned char>(s[i + k]) : -1;
+  };
+  auto cont = [](int b) { return b >= 0x80 && b <= 0xbf; };
+  const int b1 = byte(1);
+  if (b0 >= 0xc2 && b0 <= 0xdf) return cont(b1) ? 2 : 0;
+  if (b0 >= 0xe0 && b0 <= 0xef) {
+    const int lo = b0 == 0xe0 ? 0xa0 : 0x80;  // no overlong 3-byte forms
+    const int hi = b0 == 0xed ? 0x9f : 0xbf;  // no encoded surrogates
+    return b1 >= lo && b1 <= hi && cont(byte(2)) ? 3 : 0;
+  }
+  if (b0 >= 0xf0 && b0 <= 0xf4) {
+    const int lo = b0 == 0xf0 ? 0x90 : 0x80;  // no overlong 4-byte forms
+    const int hi = b0 == 0xf4 ? 0x8f : 0xbf;  // cap at U+10FFFF
+    return b1 >= lo && b1 <= hi && cont(byte(2)) && cont(byte(3)) ? 4 : 0;
+  }
+  return 0;  // bare continuation byte or invalid lead (0x80-0xc1, 0xf5-0xff)
+}
+
+/// Decode four hex digits at t[p..p+3]; -1 on bounds or non-hex.
+int hex4(std::string_view t, std::size_t p) {
+  int v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (p + i >= t.size()) return -1;
+    const char h = t[p + i];
+    if (!std::isxdigit(static_cast<unsigned char>(h))) return -1;
+    v = v * 16 + (h <= '9' ? h - '0' : (std::tolower(h) - 'a' + 10));
+  }
+  return v;
+}
+
+}  // namespace
+
+bool utf8_valid(std::string_view s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const std::size_t len = utf8_sequence_length(s, i);
+    if (len == 0) return false;
+    i += len;
+  }
+  return true;
+}
 
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);
-  for (unsigned char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
     }
+    if (c < 0x20 || c == 0x7f) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+      ++i;
+      continue;
+    }
+    const std::size_t len = utf8_sequence_length(s, i);
+    if (len == 0) {
+      // Invalid UTF-8 must not leak into a JSON document (RFC 8259 §8.1);
+      // substitute U+FFFD, one replacement per rejected byte.
+      out += "\xef\xbf\xbd";
+      ++i;
+      continue;
+    }
+    out.append(s.data() + i, len);
+    i += len;
   }
   return out;
 }
@@ -74,16 +136,31 @@ class JsonValidator {
         if (pos_ >= text_.size()) return false;
         char esc = text_[pos_];
         if (esc == 'u') {
-          for (int i = 1; i <= 4; ++i) {
-            if (pos_ + static_cast<std::size_t>(i) >= text_.size() ||
-                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+          const int unit = hex4(text_, pos_ + 1);
+          if (unit < 0) return false;
+          pos_ += 4;
+          if (unit >= 0xdc00 && unit <= 0xdfff) return false;  // lone low surrogate
+          if (unit >= 0xd800 && unit <= 0xdbff) {
+            // High surrogate must be followed by an escaped low surrogate.
+            if (pos_ + 2 >= text_.size() || text_[pos_ + 1] != '\\' ||
+                text_[pos_ + 2] != 'u') {
               return false;
             }
+            const int low = hex4(text_, pos_ + 3);
+            if (low < 0xdc00 || low > 0xdfff) return false;
+            pos_ += 6;
           }
-          pos_ += 4;
         } else if (std::string_view("\"\\/bfnrt").find(esc) == std::string_view::npos) {
           return false;
         }
+        ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) >= 0x80) {
+        const std::size_t len = utf8_sequence_length(text_, pos_);
+        if (len == 0) return false;  // raw invalid UTF-8
+        pos_ += len;
+        continue;
       }
       ++pos_;
     }
@@ -129,10 +206,15 @@ class JsonValidator {
     return true;
   }
   bool value() {
-    if (depth_ > 64) return false;  // bounded nesting
     skip_ws();
     if (pos_ >= text_.size()) return false;
     char c = text_[pos_];
+    // Bounded nesting: depth_ counts the brackets already open, so the
+    // 65th nested container is the first one rejected. Scalars do not
+    // nest — one at depth 64 is as legal as the empty container there.
+    if (c == '{' || c == '[') {
+      if (depth_ >= 64) return false;
+    }
     if (c == '{') return object();
     if (c == '[') return array();
     if (c == '"') return string();
@@ -233,8 +315,13 @@ class JsonParser {
     } else if (cp < 0x800) {
       out += static_cast<char>(0xc0 | (cp >> 6));
       out += static_cast<char>(0x80 | (cp & 0x3f));
-    } else {
+    } else if (cp < 0x10000) {
       out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
       out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
       out += static_cast<char>(0x80 | (cp & 0x3f));
     }
@@ -264,21 +351,37 @@ class JsonParser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            std::uint32_t cp = 0;
-            for (int i = 1; i <= 4; ++i) {
-              if (pos_ + static_cast<std::size_t>(i) >= text_.size()) return false;
-              char h = text_[pos_ + static_cast<std::size_t>(i)];
-              if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
-              cp = cp * 16 + static_cast<std::uint32_t>(
-                                 h <= '9' ? h - '0' : (std::tolower(h) - 'a' + 10));
-            }
+            const int unit = hex4(text_, pos_ + 1);
+            if (unit < 0) return false;
             pos_ += 4;
+            std::uint32_t cp = static_cast<std::uint32_t>(unit);
+            if (cp >= 0xdc00 && cp <= 0xdfff) return false;  // lone low surrogate
+            if (cp >= 0xd800 && cp <= 0xdbff) {
+              // Surrogate pair (RFC 8259 §7): combine into one code point
+              // so the decoded string is UTF-8, not CESU-8.
+              if (pos_ + 2 >= text_.size() || text_[pos_ + 1] != '\\' ||
+                  text_[pos_ + 2] != 'u') {
+                return false;
+              }
+              const int low = hex4(text_, pos_ + 3);
+              if (low < 0xdc00 || low > 0xdfff) return false;
+              pos_ += 6;
+              cp = 0x10000 + ((cp - 0xd800) << 10) +
+                   (static_cast<std::uint32_t>(low) - 0xdc00);
+            }
             append_utf8(out, cp);
             break;
           }
           default: return false;
         }
         ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) >= 0x80) {
+        const std::size_t len = utf8_sequence_length(text_, pos_);
+        if (len == 0) return false;  // raw invalid UTF-8
+        out.append(text_.data() + pos_, len);
+        pos_ += len;
         continue;
       }
       out += c;
@@ -326,10 +429,12 @@ class JsonParser {
     return true;
   }
   bool value(JsonValue& out) {
-    if (depth_ > 64) return false;
     skip_ws();
     if (pos_ >= text_.size()) return false;
     char c = text_[pos_];
+    if (c == '{' || c == '[') {
+      if (depth_ >= 64) return false;  // same bound as JsonValidator
+    }
     if (c == '{') return object(out);
     if (c == '[') return array(out);
     if (c == '"') {
@@ -445,7 +550,13 @@ double JsonValue::get_number(std::string_view key, double fallback) const {
 
 int JsonValue::get_int(std::string_view key, int fallback) const {
   const JsonValue* v = find(key);
-  return v != nullptr && v->is_number() ? static_cast<int>(v->number) : fallback;
+  if (v == nullptr || !v->is_number()) return fallback;
+  // Clamp before casting: double-to-int conversion outside int's range is
+  // undefined behaviour, and hostile documents reach this via from_json.
+  const double d = v->number;
+  if (d >= 2147483647.0) return std::numeric_limits<int>::max();
+  if (d <= -2147483648.0) return std::numeric_limits<int>::min();
+  return static_cast<int>(d);
 }
 
 std::string JsonValue::get_string(std::string_view key, std::string_view fallback) const {

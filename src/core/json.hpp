@@ -18,6 +18,11 @@ namespace cen {
 
 std::string json_escape(std::string_view s);
 
+/// Strict UTF-8 well-formedness check (rejects overlong forms, surrogate
+/// code points and sequences beyond U+10FFFF). Everything json_escape
+/// emits and json_parse decodes satisfies this.
+bool utf8_valid(std::string_view s);
+
 /// Strict syntax validation of one JSON document (RFC 8259 grammar, no
 /// trailing content). Used by tests to certify everything the report
 /// serializers and CLIs emit.

@@ -66,7 +66,9 @@ double estimate_epsilon(const Matrix& x, std::size_t k) {
     for (std::size_t j = 0; j < n; ++j) {
       if (j != i) dists.push_back(euclidean(x[i], x[j]));
     }
-    std::size_t kk = std::min(k, dists.size()) - 1;
+    // Clamp k into [1, n-1] before the -1: k == 0 would otherwise wrap the
+    // unsigned subtraction to SIZE_MAX and index far past the buffer.
+    std::size_t kk = std::min(std::max<std::size_t>(k, 1), dists.size()) - 1;
     std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(kk),
                      dists.end());
     sum += dists[kk];

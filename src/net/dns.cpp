@@ -1,5 +1,7 @@
 #include "net/dns.hpp"
 
+#include <memory>
+
 #include "core/strings.hpp"
 
 namespace cen::net {
@@ -17,13 +19,33 @@ Bytes encode_dns_name(const std::string& name) {
 }
 
 std::string decode_dns_name(ByteReader& r) {
+  // RFC 1035 §4.1.4 compression: a length octet with the top two bits set
+  // is a pointer to an absolute offset within the message (the start of
+  // r's underlying buffer). Jumps are capped so pointer cycles — self
+  // references or mutually pointing names — terminate with a ParseError
+  // instead of an infinite loop; `r` itself only ever advances past the
+  // first pointer, as the suffix it names was already encoded earlier.
   std::string out;
+  std::unique_ptr<ByteReader> jump;
+  ByteReader* cur = &r;
+  int jumps = 0;
   for (;;) {
-    std::uint8_t len = r.u8();
+    std::uint8_t len = cur->u8();
     if (len == 0) break;
-    if (len >= 0xc0) throw ParseError("DNS compression pointers unsupported");
+    if ((len & 0xc0) == 0xc0) {
+      const std::size_t offset =
+          static_cast<std::size_t>(len & 0x3f) << 8 | cur->u8();
+      if (++jumps > 32) throw ParseError("DNS compression pointer loop");
+      const BytesView all = r.buffer();
+      if (offset >= all.size()) throw ParseError("DNS compression pointer out of range");
+      jump = std::make_unique<ByteReader>(all.subspan(offset));
+      cur = jump.get();
+      continue;
+    }
+    if (len > 63) throw ParseError("DNS label length uses reserved bits");
     if (!out.empty()) out += '.';
-    out += r.str(len);
+    out += cur->str(len);
+    if (out.size() > 255) throw ParseError("DNS name too long");
   }
   return out;
 }
@@ -85,7 +107,10 @@ DnsMessage DnsMessage::parse(BytesView bytes) {
     a.klass = r.u16();
     a.ttl = r.u32();
     std::uint16_t rdlength = r.u16();
-    if (a.type == 1 && rdlength == 4) {
+    // serialize() writes every answer's rdata as the 4-byte address field,
+    // whatever the record type, so parse must accept it for every type too
+    // — restricting to type 1 broke parse∘serialize for CNAME/TXT answers.
+    if (rdlength == 4) {
       a.address = Ipv4Address(r.u32());
     } else {
       r.skip(rdlength);

@@ -75,8 +75,10 @@ bool looks_like_tcp_dns(BytesView payload);
 
 /// Encode a hostname as DNS labels ("www.x.com" -> \3www\1x\3com\0).
 Bytes encode_dns_name(const std::string& name);
-/// Decode labels at the reader's position (no compression-pointer support —
-/// the simulation never emits pointers).
+/// Decode labels at the reader's position. RFC 1035 compression pointers
+/// are followed (offsets are relative to the start of the reader's full
+/// underlying buffer); pointer chains are capped so cycles throw
+/// ParseError instead of looping.
 std::string decode_dns_name(ByteReader& r);
 
 }  // namespace cen::net

@@ -107,13 +107,23 @@ ParsedHttpRequest parse_http_request(std::string_view raw) {
       out.line_delims_valid = false;
     }
     if (hline.empty()) break;  // end of headers
+    pos = next + 1;
+    // A bare CR *inside* a field line is a line-delimiter violation, not
+    // header content: recognizing "Host: a\rX: b" as Host "a\rX: b" let
+    // smuggled bytes ride along inside the reported hostname.
+    if (hline.find('\r') != std::string_view::npos) {
+      out.line_delims_valid = false;
+      continue;
+    }
     std::size_t colon = hline.find(':');
     if (colon != std::string_view::npos) {
-      std::string_view name = trim(hline.substr(0, colon));
+      std::string_view name = hline.substr(0, colon);
+      // RFC 9112 §5.1: no whitespace between field name and colon; a
+      // padded name ("Host : x") must not be recognized as the header.
+      if (name != trim(name)) continue;
       std::string_view value = trim(hline.substr(colon + 1));
       if (iequals(name, "Host")) out.host = std::string(value);
     }
-    pos = next + 1;
   }
   return out;
 }

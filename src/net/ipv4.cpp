@@ -88,7 +88,15 @@ Ipv4Header Ipv4Header::parse(ByteReader& r) {
   r.skip(2);  // checksum (not verified on parse; simulation never corrupts)
   h.src = Ipv4Address(r.u32());
   h.dst = Ipv4Address(r.u32());
-  if (h.ihl > 5) r.skip(static_cast<std::size_t>(h.ihl - 5) * 4);
+  if (h.ihl > 5) {
+    // IP options are not modelled: skip them and normalize the parsed
+    // header to its 20-byte option-less equivalent. Keeping the original
+    // IHL would make serialize() emit a header that lies about its own
+    // length (20 bytes claiming ihl*4), which mis-parses everything
+    // behind it on the next decode.
+    r.skip(static_cast<std::size_t>(h.ihl - 5) * 4);
+    h.ihl = 5;
+  }
   return h;
 }
 

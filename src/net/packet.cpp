@@ -63,6 +63,15 @@ Packet Packet::parse_quoted(BytesView bytes, bool& tcp_complete) {
     p.tcp.src_port = r.u16();
     p.tcp.dst_port = r.u16();
     p.tcp.seq = r.u32();
+    // Recover the rest of the fixed header incrementally: quotes between
+    // the RFC 792 minimum and a full header still carry the ack (12),
+    // offset+flags (14) and window (16) bytes.
+    if (r.remaining() >= 4) p.tcp.ack = r.u32();
+    if (r.remaining() >= 2) {
+      r.skip(1);  // data offset / reserved
+      p.tcp.flags = r.u8();
+    }
+    if (r.remaining() >= 2) p.tcp.window = r.u16();
   }
   return p;
 }

@@ -44,6 +44,7 @@ void encode_options_into(const std::vector<TcpOption>& options, ByteWriter& w) {
   for (const TcpOption& o : options) {
     w.u8(o.kind);
     if (o.kind == 0 || o.kind == 1) continue;  // EOL / NOP have no length
+    if (o.data.size() > 253) throw ParseError("TCP option data too long");
     w.u8(static_cast<std::uint8_t>(o.data.size() + 2));
     w.raw(o.data);
   }
@@ -61,6 +62,12 @@ std::size_t TcpHeader::wire_size() const {
 }
 
 void TcpHeader::serialize_into(ByteWriter& w) const {
+  // The data offset is a 4-bit word count, so the whole header tops out at
+  // 60 bytes (40 bytes of options). An oversized option list would wrap
+  // the field and serialize a header that parses with the options cut off
+  // — reject it instead of emitting silent corruption. (Checked against
+  // the raw wire size: the uint8_t data_offset_words() can itself wrap.)
+  if (options_wire_size(options) > 40) throw ParseError("TCP options exceed 40 bytes");
   w.u16(src_port);
   w.u16(dst_port);
   w.u32(seq);

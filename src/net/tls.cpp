@@ -35,6 +35,7 @@ ClientHello ClientHello::make(const std::string& sni_host) {
 namespace {
 
 Bytes encode_sni(const std::string& hostname) {
+  if (hostname.size() > 0xfffc) throw ParseError("SNI hostname too long");
   ByteWriter w;
   w.u16(static_cast<std::uint16_t>(hostname.size() + 3));  // server_name_list length
   w.u8(0);                                                 // name_type = host_name
@@ -81,6 +82,9 @@ std::optional<std::string> ClientHello::sni() const {
 }
 
 void ClientHello::set_supported_versions(const std::vector<TlsVersion>& versions) {
+  // The list-length prefix is one byte of version *bytes*: more than 127
+  // versions would silently wrap it and corrupt the extension.
+  if (versions.size() > 127) throw ParseError("TLS supported-versions list too long");
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(versions.size() * 2));
   for (TlsVersion v : versions) w.u16(static_cast<std::uint16_t>(v));
@@ -95,20 +99,24 @@ void ClientHello::set_supported_versions(const std::vector<TlsVersion>& versions
 }
 
 std::vector<TlsVersion> ClientHello::supported_versions() const {
-  std::vector<TlsVersion> out;
   for (const TlsExtension& ext : extensions) {
     if (ext.type != TlsExtensionType::kSupportedVersions) continue;
+    // A malformed extension (truncated list, odd length, trailing bytes)
+    // must not yield a partial version list that misrepresents the offer;
+    // treat it as absent so legacy_version governs, as for no extension.
     try {
       ByteReader r(ext.data);
       std::uint8_t len = r.u8();
-      for (int i = 0; i + 1 < len; i += 2) out.push_back(static_cast<TlsVersion>(r.u16()));
+      if (len % 2 != 0 || len != r.remaining()) break;
+      std::vector<TlsVersion> out;
+      while (r.remaining() > 0) out.push_back(static_cast<TlsVersion>(r.u16()));
+      return out;
     } catch (const ParseError&) {
+      break;
     }
-    return out;
   }
-  // No extension: the legacy_version field governs.
-  out.push_back(legacy_version);
-  return out;
+  // No (usable) extension: the legacy_version field governs.
+  return {legacy_version};
 }
 
 void ClientHello::add_padding(std::size_t len) {
@@ -125,10 +133,21 @@ void ClientHello::serialize_into(Bytes& out) const {
   // All lengths are computable up front, so the record is written in one
   // pass with no intermediate body/extension buffers.
   std::size_t ext_total = 0;
-  for (const TlsExtension& ext : extensions) ext_total += 4 + ext.data.size();
+  for (const TlsExtension& ext : extensions) {
+    if (ext.data.size() > 0xffff) throw ParseError("TLS extension data too large");
+    ext_total += 4 + ext.data.size();
+  }
   std::size_t body_len = 2 + 32 + 1 + session_id.size() + 2 +
                          cipher_suites.size() * 2 + 1 + compression_methods.size() +
                          2 + ext_total;
+  // Every length field below is a truncating cast; reject anything that
+  // would wrap rather than emit a silently corrupt record. Thrown before
+  // the writer adopts `out`, so the caller's buffer survives intact.
+  if (session_id.size() > 0xff) throw ParseError("TLS session id too long");
+  if (cipher_suites.size() > 0x7fff) throw ParseError("TLS cipher-suite list too long");
+  if (compression_methods.size() > 0xff) throw ParseError("TLS compression list too long");
+  if (ext_total > 0xffff) throw ParseError("TLS extensions too large");
+  if (body_len + 4 > 0xffff) throw ParseError("TLS ClientHello too large");
 
   ByteWriter w(std::move(out));
   // Record header (type 22) + handshake header (type 1 = client_hello).

@@ -3,6 +3,7 @@
 // warm-cache zero-execution guarantee (docs/CAMPAIGN.md).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -270,4 +271,66 @@ TEST(Campaign, StageTogglesStarveDownstream) {
   EXPECT_EQ(r.fuzz.tasks, 0u);
   // Blocked endpoints are still identified (bundled without fuzz/banner).
   EXPECT_GT(r.blocked_endpoints, 0u);
+}
+
+TEST(Campaign, CorruptedResultBytesAreInvalidatedBySum) {
+  // Regression: every cache record carries an integrity digest ("sum")
+  // binding its key to its exact result bytes. A record whose result was
+  // damaged on disk but still parses as JSON must be re-executed, never
+  // spliced verbatim into campaign output.
+  const campaign::CampaignSpec spec = small_spec();
+  const std::string cache = temp_cache("sum");
+  campaign::RunControl control;
+  control.threads = 2;
+  control.cache_path = cache;
+
+  campaign::CampaignResult cold = campaign::run(spec, control);
+  ASSERT_TRUE(cold.complete);
+  const std::size_t total = cold.trace.tasks + cold.probe.tasks + cold.fuzz.tasks;
+
+  // Tamper with one record: change one digit inside its result value. The
+  // line still parses as JSON — only the digest can catch this.
+  std::string text;
+  {
+    std::FILE* f = std::fopen(cache.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  }
+  bool tampered = false;
+  std::size_t line_start = 0;
+  while (line_start < text.size() && !tampered) {
+    std::size_t eol = text.find('\n', line_start);
+    if (eol == std::string::npos) eol = text.size();
+    std::size_t result_pos = text.find("\"result\":", line_start);
+    if (result_pos != std::string::npos && result_pos < eol) {
+      for (std::size_t i = result_pos + 9; i < eol; ++i) {
+        if (text[i] >= '0' && text[i] <= '9') {
+          text[i] = text[i] == '1' ? '2' : '1';
+          tampered = true;
+          break;
+        }
+      }
+    }
+    line_start = eol + 1;
+  }
+  ASSERT_TRUE(tampered);
+  {
+    std::FILE* f = std::fopen(cache.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+
+  campaign::CampaignResult warm = campaign::run(spec, control);
+  ASSERT_TRUE(warm.complete);
+  // Exactly the damaged record re-executes; everything else still hits.
+  EXPECT_EQ(warm.tool_tasks_executed(), 1u);
+  EXPECT_EQ(warm.cache_hits(), total - 1);
+  // The re-executed task is deterministic, so output is unchanged.
+  EXPECT_EQ(warm.to_jsonl(), cold.to_jsonl());
+  EXPECT_EQ(warm.summary_json(), cold.summary_json());
+  std::remove(cache.c_str());
 }

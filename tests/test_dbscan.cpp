@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/rng.hpp"
 #include "ml/dbscan.hpp"
 
@@ -90,4 +92,27 @@ TEST(Dbscan, DeterministicLabels) {
   DbscanResult a = dbscan(x, 0.8, 3);
   DbscanResult b = dbscan(x, 0.8, 3);
   EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Dbscan, EpsilonBoundaryIsInclusive) {
+  // Two points at exactly distance epsilon are neighbours (<=, not <):
+  // with min_points=2 both are core and they form one cluster.
+  Matrix x = {{0.0}, {1.0}};
+  DbscanResult r = dbscan(x, 1.0, 2);
+  EXPECT_EQ(r.n_clusters, 1);
+  EXPECT_EQ(r.labels[0], r.labels[1]);
+  EXPECT_NE(r.labels[0], kNoise);
+  // Just beyond epsilon they separate into noise.
+  DbscanResult apart = dbscan({{0.0}, {1.0 + 1e-9}}, 1.0, 2);
+  EXPECT_EQ(apart.n_clusters, 0);
+  EXPECT_EQ(apart.labels[0], kNoise);
+}
+
+TEST(EstimateEpsilon, ExtremeKValuesStayFinite) {
+  Matrix x = two_blobs(10, 3);
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}, x.size() - 1, x.size() + 3}) {
+    double e = estimate_epsilon(x, k);
+    EXPECT_TRUE(std::isfinite(e)) << "k=" << k;
+    EXPECT_GT(e, 0.0) << "k=" << k;
+  }
 }

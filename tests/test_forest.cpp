@@ -159,3 +159,26 @@ TEST(TopKFeatures, OrderingAndTruncation) {
   EXPECT_EQ(top[1], 3u);
   EXPECT_EQ(top_k_features(imp, 10).size(), 4u);
 }
+
+TEST(RandomForest, MdiConstantFeatureIsExactlyZero) {
+  // A feature that never varies can never be chosen for a split, so its
+  // mean-decrease-in-impurity must be exactly 0.0 — not merely small —
+  // and the informative features still normalize to 1.
+  Matrix x;
+  std::vector<int> y;
+  make_dataset(x, y, 120, 13);
+  for (Row& r : x) r.push_back(7.5);  // constant fourth feature
+  ForestOptions opts;
+  opts.n_trees = 8;
+  RandomForest forest(opts);
+  forest.fit(x, y, all_indices(x.size()), 4);
+  std::vector<double> imp = forest.mdi_importance();
+  ASSERT_EQ(imp.size(), 4u);
+  EXPECT_EQ(imp[3], 0.0);
+  double sum = 0.0;
+  for (double v : imp) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 #include <cmath>
+#include <limits>
 
 #include "core/json.hpp"
 #include "report/from_json.hpp"
@@ -378,4 +379,57 @@ TEST(JsonReport, DecoderRejectsWrongTool) {
   EXPECT_FALSE(report::fuzz_report_from_json(probe_doc).has_value());
   EXPECT_FALSE(report::probe_report_from_json("{\"tool\":\"centrace\"}").has_value());
   EXPECT_FALSE(report::trace_report_from_json("not json").has_value());
+}
+
+TEST(JsonEscape, ControlBoundariesAndInvalidUtf8) {
+  // 0x7f (DEL) is a control character and must be escaped like 0x00–0x1f.
+  EXPECT_EQ(json_escape(std::string_view("\x7f", 1)), "\\u007f");
+  EXPECT_EQ(json_escape(std::string_view("\x1f", 1)), "\\u001f");
+  // An invalid UTF-8 byte is replaced with U+FFFD, one replacement per
+  // rejected byte, so the emitted document is always valid UTF-8.
+  EXPECT_EQ(json_escape(std::string_view("\xff", 1)), "\xef\xbf\xbd");
+  EXPECT_EQ(json_escape(std::string_view("a\xc3(z", 4)), "a\xef\xbf\xbd(z");
+  // Overlong encoding of '/' (0xc0 0xaf) is invalid: two replacements.
+  EXPECT_EQ(json_escape(std::string_view("\xc0\xaf", 2)),
+            "\xef\xbf\xbd\xef\xbf\xbd");
+  // The escaped form, quoted, is a valid JSON document.
+  EXPECT_TRUE(json_valid("\"" + json_escape(std::string_view("\xff\x7f\x01", 3)) + "\""));
+}
+
+TEST(JsonParse, SurrogatePairs) {
+  // U+1F600 as an escaped surrogate pair decodes to its 4-byte UTF-8 form.
+  auto doc = json_parse(R"("\ud83d\ude00")");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->string, "\xf0\x9f\x98\x80");
+  // Lone surrogates, either half, are rejected.
+  EXPECT_EQ(json_parse(R"("\ud83d")"), nullptr);
+  EXPECT_EQ(json_parse(R"("\ude00")"), nullptr);
+  EXPECT_FALSE(json_valid(R"("\ud83dxx")"));
+}
+
+TEST(JsonParse, NestingDepthBoundary) {
+  // Regression: the depth guard ran before the child level was counted, so
+  // the effective limit was 65, not the documented 64. Lock the boundary:
+  // 64 open brackets parse, 65 are rejected — by validator and parser both.
+  const std::string at_limit = std::string(64, '[') + std::string(64, ']');
+  const std::string over_limit = std::string(65, '[') + std::string(65, ']');
+  EXPECT_TRUE(json_valid(at_limit));
+  EXPECT_NE(json_parse(at_limit), nullptr);
+  EXPECT_FALSE(json_valid(over_limit));
+  EXPECT_EQ(json_parse(over_limit), nullptr);
+  // Mixed object/array nesting hits the same bound.
+  std::string mixed;
+  for (int i = 0; i < 32; ++i) mixed += "{\"k\":[";
+  mixed += "null";
+  for (int i = 0; i < 32; ++i) mixed += "]}";
+  EXPECT_TRUE(json_valid(mixed));  // 64 levels
+  EXPECT_FALSE(json_valid("[" + mixed + "]"));  // 65 levels
+}
+
+TEST(JsonParse, IntClampAtExtremes) {
+  auto doc = json_parse(R"({"big":1e300,"small":-1e300,"fit":42})");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->get_int("big", 0), std::numeric_limits<int>::max());
+  EXPECT_EQ(doc->get_int("small", 0), std::numeric_limits<int>::min());
+  EXPECT_EQ(doc->get_int("fit", 0), 42);
 }

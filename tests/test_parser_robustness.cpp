@@ -10,6 +10,7 @@
 #include "net/packet.hpp"
 #include "net/pcap.hpp"
 #include "net/tls.hpp"
+#include "net/udp.hpp"
 
 using namespace cen;
 
@@ -111,4 +112,155 @@ TEST(ParserRobustness, ServerHelloAndAlertOverGarbage) {
     net::ServerHello::parse(b);  // optional-returning: must not throw
     net::TlsAlert::parse(b);
   }
+}
+
+namespace {
+
+/// A response message whose single answer's name field is exactly the two
+/// bytes `name_hi name_lo` (a compression pointer under test).
+Bytes dns_response_with_answer_pointer(std::uint8_t name_hi, std::uint8_t name_lo) {
+  ByteWriter w;
+  w.u16(0x1234);  // id
+  w.u16(0x8180);  // response, RD+RA
+  w.u16(1);       // qdcount
+  w.u16(1);       // ancount
+  w.u16(0);       // nscount
+  w.u16(0);       // arcount
+  for (std::uint8_t b : net::encode_dns_name("www.example.com")) w.u8(b);
+  w.u16(1);  // qtype A
+  w.u16(1);  // qclass IN
+  w.u8(name_hi);
+  w.u8(name_lo);
+  w.u16(1);           // type A
+  w.u16(1);           // class IN
+  w.u32(300);         // ttl
+  w.u16(4);           // rdlength
+  w.u32(0x01020304);  // 1.2.3.4
+  return std::move(w).take();
+}
+
+}  // namespace
+
+TEST(ParserRobustness, DnsCompressionPointerResolvesAnswerName) {
+  // 0xc00c points at offset 12 — the question name right after the header.
+  net::DnsMessage m = net::DnsMessage::parse(dns_response_with_answer_pointer(0xc0, 0x0c));
+  ASSERT_EQ(m.answers.size(), 1u);
+  EXPECT_EQ(m.answers[0].name, "www.example.com");
+  EXPECT_EQ(m.answers[0].address.str(), "1.2.3.4");
+}
+
+TEST(ParserRobustness, DnsCompressionPointerCyclesThrow) {
+  // The answer name starts at header + encoded question name + qtype/qclass;
+  // a pointer to that very offset loops on itself and must not hang.
+  const std::size_t self = 12 + net::encode_dns_name("www.example.com").size() + 4;
+  Bytes looped = dns_response_with_answer_pointer(
+      static_cast<std::uint8_t>(0xc0 | (self >> 8)),
+      static_cast<std::uint8_t>(self & 0xff));
+  EXPECT_THROW(net::DnsMessage::parse(looped), ParseError);
+}
+
+TEST(ParserRobustness, DnsCompressionPointerOutOfRangeThrows) {
+  EXPECT_THROW(net::DnsMessage::parse(dns_response_with_answer_pointer(0xc3, 0xff)),
+               ParseError);
+}
+
+TEST(ParserRobustness, DnsReservedLabelBitsThrow) {
+  // Length octets 0x40–0xbf use the two RFC 1035 reserved label types.
+  for (std::uint8_t first : {std::uint8_t{0x40}, std::uint8_t{0x80}, std::uint8_t{0xbf}}) {
+    Bytes msg = net::make_dns_query("www.example.com").serialize();
+    msg[12] = first;  // first length octet of the question name
+    EXPECT_THROW(net::DnsMessage::parse(msg), ParseError) << int(first);
+  }
+}
+
+TEST(ParserRobustness, Ipv4OptionsNormalizedOnParse) {
+  // Regression: Ipv4Header::parse used to accept ihl > 5, skip the options,
+  // but keep the original IHL. The struct stores no options, so serialize()
+  // emitted a 20-byte header claiming ihl*4 bytes — and the next parse of a
+  // datagram skipped real payload bytes as phantom options. Parse must
+  // normalize to the option-less equivalent so parse∘serialize is a fixed
+  // point.
+  net::UdpDatagram d = net::make_udp_datagram(net::Ipv4Address(0x0a000001),
+                                              net::Ipv4Address(0x0a000002), 5353, 53,
+                                              Bytes{1, 2, 3, 4});
+  Bytes wire = d.serialize();
+  // Rewrite the IP header to ihl=7 with 8 bytes of options inserted.
+  Bytes with_options;
+  with_options.push_back(0x47);  // version 4, ihl 7
+  with_options.insert(with_options.end(), wire.begin() + 1, wire.begin() + 20);
+  for (int i = 0; i < 8; ++i) with_options.push_back(0x01);  // NOP options
+  with_options.insert(with_options.end(), wire.begin() + 20, wire.end());
+  with_options[3] = static_cast<std::uint8_t>(wire.size() + 8);  // total_length
+
+  net::UdpDatagram parsed = net::UdpDatagram::parse(with_options);
+  EXPECT_EQ(parsed.ip.ihl, 5);
+  EXPECT_EQ(parsed.udp.src_port, 5353);
+  EXPECT_EQ(parsed.udp.dst_port, 53);
+  EXPECT_EQ(parsed.payload, (Bytes{1, 2, 3, 4}));
+  // One more round: serialize ∘ parse is now idempotent.
+  Bytes second = parsed.serialize();
+  net::UdpDatagram again = net::UdpDatagram::parse(second);
+  EXPECT_EQ(again.serialize(), second);
+}
+
+TEST(ParserRobustness, TlsOversizeFieldsThrowOnSerialize) {
+  net::ClientHello hello = net::ClientHello::make("www.example.com");
+  hello.session_id.assign(300, 0xab);  // session_id length is one byte
+  EXPECT_THROW(hello.serialize(), ParseError);
+
+  net::ClientHello versions = net::ClientHello::make("www.example.com");
+  EXPECT_THROW(
+      versions.set_supported_versions(std::vector<net::TlsVersion>(200, net::TlsVersion::kTls13)),
+      ParseError);
+}
+
+TEST(ParserRobustness, TlsMalformedSupportedVersionsFallsBack) {
+  net::ClientHello hello = net::ClientHello::make("www.example.com");
+  hello.set_supported_versions({net::TlsVersion::kTls13, net::TlsVersion::kTls12});
+  ASSERT_EQ(hello.supported_versions().size(), 2u);
+  for (net::TlsExtension& ext : hello.extensions) {
+    if (ext.type == net::TlsExtensionType::kSupportedVersions) {
+      ext.data.pop_back();  // odd length: cannot hold u16 pairs
+    }
+  }
+  // Malformed extension decodes to the legacy version, never throws.
+  EXPECT_EQ(hello.supported_versions(),
+            std::vector<net::TlsVersion>{hello.legacy_version});
+}
+
+TEST(ParserRobustness, TcpOversizeOptionsThrowOnSerialize) {
+  net::TcpHeader h;
+  for (int i = 0; i < 12; ++i) h.options.push_back(net::TcpOption::mss(1460));
+  EXPECT_THROW(h.serialize(), ParseError);  // 48 option bytes > 40
+
+  net::TcpHeader huge;
+  huge.options.push_back(net::TcpOption{3, Bytes(254, 0)});
+  EXPECT_THROW(huge.serialize(), ParseError);  // option length field is one byte
+}
+
+TEST(ParserRobustness, QuotedPacketPartialRecovery) {
+  net::Packet p = net::make_tcp_packet(net::Ipv4Address(0x0a000001),
+                                       net::Ipv4Address(0x0a000002), 40000, 443,
+                                       net::TcpFlags::kSyn, 0x11223344, 0x55667788,
+                                       Bytes{9, 9, 9});
+  Bytes wire = p.serialize();
+  bool complete = false;
+  // RFC 792 quote: IP header + 8 bytes — ports and sequence number survive.
+  net::Packet q28 = net::Packet::parse_quoted(BytesView(wire).subspan(0, 28), complete);
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(q28.tcp.src_port, 40000);
+  EXPECT_EQ(q28.tcp.dst_port, 443);
+  EXPECT_EQ(q28.tcp.seq, 0x11223344u);
+  // 32 bytes adds the ack number; 34 the flags; 36 the window.
+  net::Packet q32 = net::Packet::parse_quoted(BytesView(wire).subspan(0, 32), complete);
+  EXPECT_EQ(q32.tcp.ack, 0x55667788u);
+  net::Packet q34 = net::Packet::parse_quoted(BytesView(wire).subspan(0, 34), complete);
+  EXPECT_TRUE(q34.tcp.has(net::TcpFlags::kSyn));
+  net::Packet q36 = net::Packet::parse_quoted(BytesView(wire).subspan(0, 36), complete);
+  EXPECT_EQ(q36.tcp.window, p.tcp.window);
+  EXPECT_FALSE(complete);
+  // The full quote parses completely, payload included.
+  net::Packet full = net::Packet::parse_quoted(wire, complete);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(full.payload, p.payload);
 }

@@ -91,3 +91,37 @@ TEST(Stats, KfoldShuffled) {
   }
   EXPECT_TRUE(deviates);
 }
+
+TEST(Stats, RanksMatchBruteForceOnTies) {
+  // Reference definition: rank(i) = 1 + |{j : v[j] < v[i]}| plus half the
+  // remaining tied positions. Heavy-tie inputs exercise the averaging path
+  // the sort-based implementation takes.
+  const std::vector<std::vector<double>> inputs = {
+      {3, 3, 3, 3},
+      {1, 2, 2, 3, 3, 3},
+      {5, 1, 5, 1, 5, 1},
+      {0},
+      {2, 2, 1, 1, 3, 3, 2},
+  };
+  for (const std::vector<double>& v : inputs) {
+    std::vector<double> got = ranks(v);
+    ASSERT_EQ(got.size(), v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      std::size_t less = 0;
+      std::size_t eq = 0;
+      for (double other : v) {
+        if (other < v[i]) ++less;
+        if (other == v[i]) ++eq;
+      }
+      const double expected = 1.0 + static_cast<double>(less) +
+                              static_cast<double>(eq - 1) / 2.0;
+      EXPECT_DOUBLE_EQ(got[i], expected) << "index " << i;
+    }
+  }
+}
+
+TEST(Stats, SpearmanIsPearsonOfRanks) {
+  const std::vector<double> x = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3};
+  const std::vector<double> y = {2, 7, 1, 8, 2, 8, 1, 8, 2, 8};
+  EXPECT_NEAR(spearman(x, y).rho, pearson(ranks(x), ranks(y)), 1e-12);
+}
