@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "campaign/cache.hpp"
+#include "centrace/degrade.hpp"
 #include "core/json.hpp"
 #include "ml/dbscan.hpp"
 #include "obs/observer.hpp"
@@ -15,6 +16,7 @@
 #include "report/json_report.hpp"
 #include "scenario/executor.hpp"
 #include "scenario/pipeline.hpp"
+#include "scenario/silent.hpp"
 
 namespace cen::campaign {
 
@@ -184,6 +186,17 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
     trace::CenTraceOptions https_opts = spec.trace;
     https_opts.protocol = trace::ProbeProtocol::kHttps;
 
+    // Degradation plan: escalate unlocalized blocked traces to tomography
+    // from the scenario's other clients. The plan fingerprint joins the
+    // cache key only when enabled so existing caches stay valid.
+    trace::DegradationPlan degrade_plan;
+    degrade_plan.tomography = spec.trace_tomography;
+    degrade_plan.vantages = scenario::tomography_vantages(sc, spec.trace_vantages);
+    const trace::DegradationPlan* plan =
+        spec.trace_tomography ? &degrade_plan : nullptr;
+    const std::uint64_t plan_fp =
+        spec.trace_tomography ? degrade_plan.fingerprint() : 0;
+
     struct TraceTask {
       net::Ipv4Address endpoint;
       const std::string* domain = nullptr;
@@ -203,7 +216,7 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
             t.endpoint.value(), *t.domain, static_cast<std::uint64_t>(t.opts->protocol)));
         trace_stage.cache_keys.push_back(task_cache_key(net_fp, spec.seed, fault_fp, "trace",
                                                         trace_stage.ids.back(),
-                                                        t.opts->fingerprint()));
+                                                        t.opts->fingerprint() ^ plan_fp));
       }
     }
     std::vector<std::string> trace_docs;
@@ -215,7 +228,7 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
               const TraceTask& t = trace_tasks[i];
               trace::CenTraceReport rep = trace::run(
                   worker, {sc.remote_client, t.endpoint, *t.domain,
-                           sc.control_domain, *t.opts});
+                           sc.control_domain, *t.opts, plan});
               return report::to_json(rep);
             },
             trace_docs)) {

@@ -85,6 +85,8 @@ std::uint64_t CampaignSpec::fingerprint() const {
   fp.mix(static_cast<std::uint64_t>(https_domains.size()));
   for (const std::string& d : https_domains) fp.mix(d);
   fp.mix(trace.fingerprint());
+  fp.mix(trace_tomography);
+  fp.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(trace_vantages)));
   fp.mix(fuzz.fingerprint());
   fp.mix(stages.trace);
   fp.mix(stages.probe);
@@ -129,6 +131,9 @@ std::string to_json(const CampaignSpec& spec) {
   w.key("protocol").value(trace::probe_protocol_name(spec.trace.protocol));
   w.key("retry_backoff_ms").value(static_cast<std::int64_t>(spec.trace.retry_backoff));
   w.key("adaptive_max_retries").value(spec.trace.adaptive_max_retries);
+  w.key("silent_channel_abort").value(spec.trace.silent_channel_abort);
+  w.key("tomography").value(spec.trace_tomography);
+  w.key("vantages").value(spec.trace_vantages);
   w.end_object();
   w.key("fuzz").begin_object();
   w.key("retries").value(spec.fuzz.retries);
@@ -218,6 +223,10 @@ std::optional<CampaignSpec> spec_from_json(std::string_view text, std::string* e
         "retry_backoff_ms", static_cast<double>(spec.trace.retry_backoff)));
     spec.trace.adaptive_max_retries =
         tr->get_int("adaptive_max_retries", spec.trace.adaptive_max_retries);
+    spec.trace.silent_channel_abort =
+        tr->get_int("silent_channel_abort", spec.trace.silent_channel_abort);
+    spec.trace_tomography = tr->get_bool("tomography", spec.trace_tomography);
+    spec.trace_vantages = tr->get_int("vantages", spec.trace_vantages);
     if (const JsonValue* p = tr->find("protocol"); p != nullptr) {
       auto proto = p->is_string() ? protocol_from_name(p->string) : std::nullopt;
       if (!proto) {

@@ -51,6 +51,13 @@ struct CampaignSpec {
   std::vector<std::string> https_domains;
 
   trace::CenTraceOptions trace;
+  /// Degradation-aware tracing: escalate unlocalized blocked verdicts to
+  /// multi-vantage boolean tomography (see docs/TOMOGRAPHY.md).
+  bool trace_tomography = false;
+  /// Vantage budget for the tomography escalation (the scenario's remote
+  /// and in-country clients, capped here; the task's own client is always
+  /// vantage 0).
+  int trace_vantages = 2;
   fuzz::CenFuzzOptions fuzz;
   StageToggles stages;
 

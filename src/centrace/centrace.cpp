@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "centrace/degrade.hpp"
+
 #include "censor/vendors.hpp"
 #include "core/fingerprint.hpp"
 #include "net/dns.hpp"
@@ -22,6 +24,7 @@ std::uint64_t CenTraceOptions::fingerprint() const {
   fp.mix(static_cast<std::uint64_t>(protocol));
   fp.mix(static_cast<std::uint64_t>(retry_backoff));
   fp.mix(static_cast<std::uint64_t>(adaptive_max_retries));
+  fp.mix(static_cast<std::uint64_t>(silent_channel_abort));
   return fp.digest();
 }
 
@@ -68,6 +71,16 @@ std::string_view device_placement_name(DevicePlacement p) {
   return "?";
 }
 
+std::string_view degradation_mode_name(DegradationMode m) {
+  switch (m) {
+    case DegradationMode::kFull: return "full";
+    case DegradationMode::kIcmpDegraded: return "icmp_degraded";
+    case DegradationMode::kTomography: return "tomography";
+    case DegradationMode::kUnlocalized: return "unlocalized";
+  }
+  return "?";
+}
+
 CenTrace::CenTrace(sim::Network& network, sim::NodeId client, CenTraceOptions options)
     : network_(network), client_(client), options_(options) {}
 
@@ -81,8 +94,8 @@ std::string_view probe_protocol_name(ProbeProtocol p) {
   return "?";
 }
 
-Bytes CenTrace::build_payload(const std::string& domain) const {
-  switch (options_.protocol) {
+Bytes CenTrace::make_payload(ProbeProtocol protocol, const std::string& domain) {
+  switch (protocol) {
     case ProbeProtocol::kHttps:
       return net::ClientHello::make(domain).serialize();
     case ProbeProtocol::kDns:
@@ -93,6 +106,10 @@ Bytes CenTrace::build_payload(const std::string& domain) const {
       break;
   }
   return net::HttpRequest::get(domain).serialize_bytes();
+}
+
+Bytes CenTrace::build_payload(const std::string& domain) const {
+  return make_payload(options_.protocol, domain);
 }
 
 const Bytes& CenTrace::payload_for(const std::string& domain) {
@@ -202,7 +219,7 @@ void CenTrace::backoff_wait(int attempt) {
 }
 
 HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, int ttl,
-                               const std::string& domain) {
+                               const std::string& domain, bool allow_retries) {
   HopObservation obs;
   obs.ttl = ttl;
   obs::Observer* o = network_.observer();
@@ -217,7 +234,7 @@ HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, 
 
   if (options_.protocol == ProbeProtocol::kDnsUdp) {
     // Connectionless probing: one datagram per attempt, fresh source port.
-    const int budget = retry_budget();
+    const int budget = allow_retries ? retry_budget() : 0;
     for (int attempt = 0; attempt <= budget; ++attempt) {
       backoff_wait(attempt);
       if (attempt > 0 && o != nullptr) o->tools().trace_retries->inc();
@@ -257,6 +274,7 @@ HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, 
           got_answer = true;
         }
       }
+      if (got_icmp) icmp_seen_ = true;
       if (got_icmp &&
           response_rank(obs.response) < response_rank(ProbeResponse::kIcmpTtlExceeded)) {
         obs.response = ProbeResponse::kIcmpTtlExceeded;
@@ -274,7 +292,7 @@ HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, 
                              : options_.protocol == ProbeProtocol::kDns ? 53
                                                                         : 80;
 
-  const int budget = retry_budget();
+  const int budget = allow_retries ? retry_budget() : 0;
   for (int attempt = 0; attempt <= budget; ++attempt) {
     backoff_wait(attempt);
     if (attempt > 0 && o != nullptr) o->tools().trace_retries->inc();
@@ -311,6 +329,7 @@ HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, 
         got_tcp = true;
       }
     }
+    if (got_icmp) icmp_seen_ = true;
     if (got_icmp && response_rank(obs.response) < response_rank(ProbeResponse::kIcmpTtlExceeded)) {
       obs.response = ProbeResponse::kIcmpTtlExceeded;
     }
@@ -334,7 +353,8 @@ SingleTrace CenTrace::sweep(net::Ipv4Address endpoint, const std::string& domain
 
   int consecutive_timeouts = 0;
   for (int ttl = 1; ttl <= options_.max_ttl; ++ttl) {
-    HopObservation obs = probe(endpoint, payload, ttl, domain);
+    HopObservation obs = probe(endpoint, payload, ttl, domain,
+                               /*allow_retries=*/!trace.channel_dead);
     trace.hops.push_back(obs);
     // Stateful censors track flows for a window; CenTrace spaces probes out
     // (the simulated clock makes the 120 s wait free).
@@ -343,6 +363,24 @@ SingleTrace CenTrace::sweep(net::Ipv4Address endpoint, const std::string& domain
     switch (obs.response) {
       case ProbeResponse::kTimeout:
         ++consecutive_timeouts;
+        // Early abort under total ICMP starvation (satellite fix): every
+        // hop so far silent, no ICMP anywhere in this measurement, and no
+        // retry ever recovered (so the silence cannot be transient loss)
+        // — the ICMP channel is dead; stop burning the retry/backoff
+        // budget on hops that can never answer. The sweep still walks on
+        // (single attempts) so the endpoint distance and the verdict are
+        // unchanged; only wasted retries are skipped.
+        if (!trace.channel_dead && options_.silent_channel_abort > 0 &&
+            consecutive_timeouts == ttl && ttl >= options_.silent_channel_abort &&
+            !icmp_seen_ && loss_recovered_probes_ == 0) {
+          trace.channel_dead = true;
+          ++dead_channel_sweeps_;
+          if (o != nullptr) {
+            o->tools().trace_channel_dead->inc();
+            o->journal().record(network_.now(), "channel_dead",
+                                domain + " silent through ttl=" + std::to_string(ttl));
+          }
+        }
         if (consecutive_timeouts >= options_.timeout_run_stop) {
           trace.terminating_ttl = ttl - consecutive_timeouts + 1;
           trace.terminating_response = ProbeResponse::kTimeout;
@@ -400,6 +438,8 @@ CenTraceReport CenTrace::measure(net::Ipv4Address endpoint, const std::string& t
   if (o != nullptr) o->tools().trace_measurements->inc();
 
   loss_recovered_probes_ = 0;
+  icmp_seen_ = false;
+  dead_channel_sweeps_ = 0;
   for (int rep = 0; rep < options_.repetitions; ++rep) {
     report.control_traces.push_back(sweep(endpoint, control_domain));
   }
@@ -408,6 +448,7 @@ CenTraceReport CenTrace::measure(net::Ipv4Address endpoint, const std::string& t
   }
   aggregate(report);
   score_confidence(report);
+  assess_degradation(report);
   if (o != nullptr) {
     if (report.blocked) o->tools().trace_blocked->inc();
     // Milli-units keep the histogram integral (determinism contract).
@@ -415,6 +456,50 @@ CenTraceReport CenTrace::measure(net::Ipv4Address endpoint, const std::string& t
         static_cast<std::uint64_t>(report.confidence.overall * 1000.0 + 0.5));
   }
   return report;
+}
+
+void CenTrace::assess_degradation(CenTraceReport& report) const {
+  DegradationInfo& d = report.degradation;
+
+  // Channel health: how often control-sweep hops that *could* have
+  // answered with an ICMP quote actually did. Terminating data/injection
+  // responses are neither answers nor timeouts.
+  std::uint64_t answers = 0;
+  std::uint64_t timeouts = 0;
+  for (const SingleTrace& t : report.control_traces) {
+    for (const HopObservation& h : t.hops) {
+      if (h.response == ProbeResponse::kIcmpTtlExceeded) {
+        ++answers;
+      } else if (h.response == ProbeResponse::kTimeout) {
+        ++timeouts;
+      }
+    }
+  }
+  d.icmp_answer_rate = (answers + timeouts) == 0
+                           ? 1.0
+                           : static_cast<double>(answers) /
+                                 static_cast<double>(answers + timeouts);
+  d.dead_channel_sweeps = dead_channel_sweeps_;
+  d.vantage_count = 1;
+
+  if (!report.blocked) {
+    d.mode = DegradationMode::kFull;
+    return;
+  }
+  const bool localized = report.blocking_hop_ip.has_value() &&
+                         report.location != BlockingLocation::kNoIcmp;
+  if (!localized) {
+    // Escalation candidate: measure_with_degradation may upgrade this to
+    // kTomography when the solver produces a candidate link set.
+    d.mode = DegradationMode::kUnlocalized;
+    return;
+  }
+  // Hop localised — but flag starvation when the quotes it rests on were
+  // visibly rationed (rate-limit signature, a mostly-silent control path,
+  // or sweeps the early-abort heuristic declared dead).
+  const bool starved = report.confidence.icmp_rate_limited ||
+                       d.icmp_answer_rate < 0.5 || d.dead_channel_sweeps > 0;
+  d.mode = starved ? DegradationMode::kIcmpDegraded : DegradationMode::kFull;
 }
 
 void CenTrace::score_confidence(CenTraceReport& report) const {
@@ -670,8 +755,9 @@ void CenTrace::aggregate(CenTraceReport& report) const {
 CenTraceReport run(sim::Network& network, const TraceRunOptions& options,
                    obs::Observer* observer) {
   sim::ScopedObserver guard(network, observer);
-  CenTrace tool(network, options.client, options.trace);
-  return tool.measure(options.endpoint, options.test_domain, options.control_domain);
+  return measure_with_degradation(network, options.client, options.endpoint,
+                                  options.test_domain, options.control_domain,
+                                  options.trace, options.degradation);
 }
 
 }  // namespace cen::trace

@@ -64,6 +64,10 @@ struct SingleTrace {
   ProbeResponse terminating_response = ProbeResponse::kTimeout;
   bool endpoint_reached = false;
   bool connect_failed = false;
+  /// The early-abort heuristic declared the ICMP channel dead during
+  /// this sweep (a run of all-silent hops with zero ICMP ever observed
+  /// and no live loss signal): remaining timeouts ran without retries.
+  bool channel_dead = false;
 };
 
 enum class BlockingType : std::uint8_t { kNone, kTimeout, kRst, kFin, kHttpBlockpage };
@@ -80,6 +84,53 @@ std::string_view blocking_location_name(BlockingLocation l);
 
 enum class DevicePlacement : std::uint8_t { kUnknown, kInPath, kOnPath };
 std::string_view device_placement_name(DevicePlacement p);
+
+/// The degradation ladder: how much localisation a measurement achieved
+/// given the ICMP conditions it found (ISSUE 6 tentpole).
+///   full          ICMP channel healthy, hop-level localisation stands;
+///   icmp_degraded hop localised, but the ICMP channel was visibly
+///                 starved (rate limiting / partial blackholing), so the
+///                 hop evidence rests on fewer quotes than usual;
+///   tomography    hop-level ICMP localisation failed, but multi-vantage
+///                 boolean tomography produced a candidate link set;
+///   unlocalized   blocking confirmed, no localisation of any kind.
+enum class DegradationMode : std::uint8_t {
+  kFull,
+  kIcmpDegraded,
+  kTomography,
+  kUnlocalized,
+};
+std::string_view degradation_mode_name(DegradationMode m);
+
+/// One candidate blocking link from the tomography solver, reported by
+/// the IPs of its endpoints (NodeIds are simulator-internal).
+struct BlamedLink {
+  net::Ipv4Address ip_a;
+  net::Ipv4Address ip_b;
+  double confidence = 0.0;
+  int blocked_paths = 0;
+  int clean_paths = 0;
+};
+
+/// Channel-health assessment + escalation outcome attached to every
+/// CenTrace report (degrade-don't-die: the report always says how much
+/// to trust its localisation instead of silently emitting garbage hops).
+struct DegradationInfo {
+  DegradationMode mode = DegradationMode::kFull;
+  /// ICMP answers / (answers + timeouts) over the control-sweep hops —
+  /// the blackhole/rate-limit starvation signal.
+  double icmp_answer_rate = 1.0;
+  /// Sweeps the early-abort heuristic declared ICMP-dead (see
+  /// CenTraceOptions::silent_channel_abort).
+  int dead_channel_sweeps = 0;
+  /// Vantage points that contributed observations (1 = the client alone).
+  int vantage_count = 1;
+  /// Path observations fed to the tomography solver (0 = not escalated).
+  int tomography_observations = 0;
+  bool tomography_solved = false;
+  /// Candidate blocking links, highest confidence first.
+  std::vector<BlamedLink> candidate_links;
+};
 
 /// Protocol the probes carry. HTTP GET and TLS ClientHello are the paper's
 /// subjects; DNS (over TCP, RFC 7766, and over UDP — the injector-race
@@ -106,6 +157,14 @@ struct CenTraceOptions {
   /// probes may spend up to this many retries instead of `retries`.
   /// Inert on clean networks, where no probe ever recovers via retry.
   int adaptive_max_retries = 6;
+  /// Early-abort heuristic for fully blackholed ICMP (satellite fix):
+  /// once a sweep has seen this many consecutive silent hops from TTL 1
+  /// with *zero* ICMP anywhere in the measurement so far and no
+  /// retry-recovered probe (i.e. the silence cannot be loss), the ICMP
+  /// channel is declared dead and later timeout probes in the sweep stop
+  /// burning the retry/backoff budget. Provably inert whenever any
+  /// router answers or any retry recovers. 0 disables.
+  int silent_channel_abort = 8;
 
   /// Digest over every option (campaign cache-key component).
   std::uint64_t fingerprint() const;
@@ -167,6 +226,9 @@ struct CenTraceReport {
   /// How trustworthy this verdict is given the observed conditions.
   TraceConfidence confidence;
 
+  /// Channel health + degradation-ladder outcome (always populated).
+  DegradationInfo degradation;
+
   /// Majority Control-path IP per hop (nullopt = silent hop).
   std::vector<std::optional<net::Ipv4Address>> control_path;
 
@@ -188,13 +250,20 @@ class CenTrace {
 
   const CenTraceOptions& options() const { return options_; }
 
+  /// Serialize the probe payload for `protocol` + `domain` (shared with
+  /// the tomography escalation, which sends the same wire bytes).
+  static Bytes make_payload(ProbeProtocol protocol, const std::string& domain);
+
  private:
   Bytes build_payload(const std::string& domain) const;
   /// Cached wire payload for `domain` (the protocol is fixed per instance,
   /// so one entry per domain serves every repetition of every sweep).
   const Bytes& payload_for(const std::string& domain);
   HopObservation probe(net::Ipv4Address endpoint, const Bytes& payload, int ttl,
-                       const std::string& domain);
+                       const std::string& domain, bool allow_retries = true);
+  /// Fill report.degradation from the channel-health evidence (mode is
+  /// assigned before any tomography escalation, which may upgrade it).
+  void assess_degradation(CenTraceReport& report) const;
   void aggregate(CenTraceReport& report) const;
   void score_confidence(CenTraceReport& report) const;
   /// Retry budget for the next probe (adaptive under observed loss) and
@@ -208,9 +277,17 @@ class CenTrace {
   /// Probes in the current measurement that answered only after retries —
   /// the live loss signal driving the adaptive retry budget.
   int loss_recovered_probes_ = 0;
+  /// Whether any ICMP arrived in the current measurement. While false
+  /// (and with no recovered loss) the silent-channel-abort heuristic may
+  /// declare the ICMP channel dead; one quote anywhere disables it.
+  bool icmp_seen_ = false;
+  /// Sweeps of the current measurement that hit the dead-channel abort.
+  int dead_channel_sweeps_ = 0;
   /// Serialized payloads by domain, built once instead of per sweep.
   std::map<std::string, Bytes> payload_cache_;
 };
+
+struct DegradationPlan;  // centrace/degrade.hpp
 
 /// One complete CenTrace invocation for the unified tool API: the
 /// measurement subject plus the tool's tuning options.
@@ -220,6 +297,9 @@ struct TraceRunOptions {
   std::string test_domain;
   std::string control_domain;
   CenTraceOptions trace;
+  /// Optional degradation/escalation plan (multi-vantage tomography when
+  /// ICMP localisation fails). Null = plain CenTrace, prior behaviour.
+  const DegradationPlan* degradation = nullptr;
 };
 
 /// Unified entry point (same shape as probe::run / fuzz::run): run one

@@ -1,0 +1,66 @@
+// Degradation-aware CenTrace: channel-health assessment + multi-vantage
+// boolean-tomography escalation (ISSUE 6 tentpole).
+//
+// `measure_with_degradation` runs a normal CenTrace measurement, reads
+// the ICMP channel health it observed (blackhole / rate-limit starvation
+// signatures), and walks the explicit ladder
+//
+//     full -> icmp_degraded -> tomography -> unlocalized
+//
+// instead of silently emitting garbage hops. When hop-level localisation
+// failed (the verdict is blocked but no blocking hop IP could be pinned)
+// and the plan enables tomography, the escalation probes the endpoint
+// end-to-end from every configured vantage over several jittered rounds
+// (fresh connections vary the ECMP flow hash; the jitter walks route-
+// flap epochs), builds a path-observation matrix from the boolean
+// outcomes alone — no ICMP needed — and hands it to the minimal-
+// blocking-link-set solver.
+//
+// Evidence semantics (see src/tomography/tomography.hpp): test-probe
+// success exonerates a path; test-probe injection (RST/FIN/blockpage)
+// blocks it; a test-probe timeout only counts as blocked when a control
+// probe over the *same* node path got through (otherwise the path itself
+// may be down and the row is discarded).
+//
+// Determinism: all scheduling randomness comes from per-vantage forked
+// substreams of the network seed, and all probes run on the caller's
+// (replica) network — results are byte-identical across --threads.
+#pragma once
+
+#include "centrace/centrace.hpp"
+#include "tomography/tomography.hpp"
+
+namespace cen::trace {
+
+/// How (and whether) a failed localisation escalates to tomography.
+struct DegradationPlan {
+  /// Master switch; false keeps plain CenTrace behaviour.
+  bool tomography = false;
+  /// Extra vantage clients probing the same endpoint (the measurement's
+  /// own client is always vantage 0 and need not be listed).
+  std::vector<sim::NodeId> vantages;
+  /// End-to-end probe rounds per vantage.
+  int rounds = 4;
+  /// Base spacing between rounds; each round adds deterministic jitter
+  /// in [0, spacing) from the vantage's substream.
+  SimTime round_spacing = 120 * kSecond;
+  /// Control-probe retries allowed when matching a timed-out test
+  /// probe's path (path liveness check).
+  int control_path_retries = 6;
+  tomo::SolverOptions solver;
+
+  /// Digest over every knob (campaign cache-key component).
+  std::uint64_t fingerprint() const;
+};
+
+/// Run one CenTrace measurement with channel-health assessment and, when
+/// the plan allows, tomography escalation. With a null/disabled plan the
+/// result is byte-identical to CenTrace::measure (mode counters aside).
+CenTraceReport measure_with_degradation(sim::Network& network, sim::NodeId client,
+                                        net::Ipv4Address endpoint,
+                                        const std::string& test_domain,
+                                        const std::string& control_domain,
+                                        const CenTraceOptions& options,
+                                        const DegradationPlan* plan);
+
+}  // namespace cen::trace

@@ -26,6 +26,7 @@
 #include "netsim/faults.hpp"
 #include "obs/observer.hpp"
 #include "scenario/country.hpp"
+#include "tomography/tomography.hpp"
 
 namespace cen::check {
 
@@ -259,6 +260,62 @@ void run_invariant_case(CaseContext& ctx) {
                    replay.duplicates == first.duplicates &&
                    replay.established == first.established,
                "invariant/replay", "same-seed replay produced different counters");
+  }
+
+  // Tomography solver law: the minimal-blocking-link-set output depends
+  // only on the observation SET — permuting row order and relabeling the
+  // vantage indices must not change the solution. (The solver backs the
+  // degradation ladder; order sensitivity here would break byte-identity
+  // across --threads.)
+  {
+    const int pool = 6 + static_cast<int>(ctx.rng.uniform(6));
+    const std::size_t n_rows = 6 + ctx.rng.uniform(9);
+    tomo::ObservationMatrix matrix;
+    for (std::size_t i = 0; i < n_rows; ++i) {
+      tomo::PathObservation row;
+      const int hops = 3 + static_cast<int>(ctx.rng.uniform(4));
+      sim::NodeId at = static_cast<sim::NodeId>(ctx.rng.uniform(
+          static_cast<std::uint64_t>(pool)));
+      row.path.push_back(at);
+      for (int h = 1; h < hops; ++h) {
+        // Step to a different node; repeats across the walk are fine
+        // (LinkId normalizes, duplicate links collapse in the solver).
+        sim::NodeId next = at;
+        while (next == at) {
+          next = static_cast<sim::NodeId>(ctx.rng.uniform(
+              static_cast<std::uint64_t>(pool)));
+        }
+        row.path.push_back(next);
+        at = next;
+      }
+      row.blocked = ctx.rng.chance(0.4);
+      row.vantage = static_cast<int>(i % 3);
+      matrix.add(std::move(row));
+    }
+    const tomo::TomographyResult base = tomo::solve(matrix);
+
+    tomo::ObservationMatrix shuffled;
+    for (std::size_t idx : ctx.rng.permutation(matrix.size())) {
+      tomo::PathObservation row = matrix.rows()[idx];
+      row.vantage = static_cast<int>(idx % 5);  // relabeled vantages
+      shuffled.add(std::move(row));
+    }
+    const tomo::TomographyResult perm = tomo::solve(shuffled);
+
+    ctx.expect(perm.solved == base.solved && perm.cover_size == base.cover_size &&
+                   perm.unexplained_observations == base.unexplained_observations,
+               "invariant/tomography",
+               "solver verdict changed under row permutation");
+    bool same_candidates = perm.candidates.size() == base.candidates.size();
+    for (std::size_t i = 0; same_candidates && i < base.candidates.size(); ++i) {
+      const tomo::LinkBlame& a = base.candidates[i];
+      const tomo::LinkBlame& b = perm.candidates[i];
+      same_candidates = a.link == b.link && a.confidence == b.confidence &&
+                        a.blocked_paths == b.blocked_paths;
+    }
+    ctx.expect(same_candidates, "invariant/tomography",
+               "candidate link set changed under vantage permutation");
+    ++ctx.checks;
   }
 }
 

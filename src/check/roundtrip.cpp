@@ -731,6 +731,22 @@ trace::CenTraceReport random_trace_report(CaseContext& ctx) {
                                  ? std::optional<Ipv4Address>(random_ip(ctx.rng))
                                  : std::nullopt);
   }
+  r.degradation.mode = static_cast<trace::DegradationMode>(ctx.rng.uniform(4));
+  r.degradation.icmp_answer_rate = grid();
+  r.degradation.dead_channel_sweeps = static_cast<int>(ctx.rng.uniform(8));
+  r.degradation.vantage_count = 1 + static_cast<int>(ctx.rng.uniform(4));
+  r.degradation.tomography_observations = static_cast<int>(ctx.rng.uniform(40));
+  r.degradation.tomography_solved = ctx.rng.chance(0.4);
+  const std::size_t links = ctx.rng.uniform(4);
+  for (std::size_t i = 0; i < links; ++i) {
+    trace::BlamedLink link;
+    link.ip_a = random_ip(ctx.rng);
+    link.ip_b = random_ip(ctx.rng);
+    link.confidence = grid();
+    link.blocked_paths = static_cast<int>(ctx.rng.uniform(20));
+    link.clean_paths = static_cast<int>(ctx.rng.uniform(20));
+    r.degradation.candidate_links.push_back(link);
+  }
   return r;
 }
 

@@ -29,6 +29,14 @@ Observer::Observer(Options options) : journal_(options.journal_cap) {
   tools_.trace_blocked = &metrics_.counter("centrace.blocked_verdicts");
   tools_.trace_confidence = &metrics_.histogram(
       "centrace.confidence_milli", {250, 500, 750, 900, 950, 1000});
+  tools_.trace_mode_full = &metrics_.counter("centrace.mode_full");
+  tools_.trace_mode_icmp_degraded = &metrics_.counter("centrace.mode_icmp_degraded");
+  tools_.trace_mode_tomography = &metrics_.counter("centrace.mode_tomography");
+  tools_.trace_mode_unlocalized = &metrics_.counter("centrace.mode_unlocalized");
+  tools_.trace_channel_dead = &metrics_.counter("centrace.dead_channel_sweeps");
+  tools_.tomo_probes = &metrics_.counter("tomography.probes");
+  tools_.tomo_observations = &metrics_.counter("tomography.observations");
+  tools_.tomo_solves = &metrics_.counter("tomography.solver_runs");
 
   tools_.banner_grabs = &metrics_.counter("cenprobe.banner_grabs");
   tools_.banner_retries = &metrics_.counter("cenprobe.banner_retries");
@@ -73,6 +81,13 @@ std::string Observer::summary() const {
       {"probes sent", "centrace.probes"},
       {"probe retries", "centrace.retries"},
       {"retry-recovered probes", "centrace.retry_recovered"},
+      {"trace mode: full", "centrace.mode_full"},
+      {"trace mode: icmp-degraded", "centrace.mode_icmp_degraded"},
+      {"trace mode: tomography", "centrace.mode_tomography"},
+      {"trace mode: unlocalized", "centrace.mode_unlocalized"},
+      {"dead-channel sweeps", "centrace.dead_channel_sweeps"},
+      {"tomography probes", "tomography.probes"},
+      {"tomography observations", "tomography.observations"},
       {"payload cache hits", "centrace.payload_cache_hits"},
       {"payload cache misses", "centrace.payload_cache_misses"},
       {"banner grabs", "cenprobe.banner_grabs"},

@@ -45,6 +45,16 @@ struct ToolCounters {
   Counter* trace_measurements = nullptr;  // centrace.measurements
   Counter* trace_blocked = nullptr;       // centrace.blocked_verdicts
   Histogram* trace_confidence = nullptr;  // centrace.confidence_milli
+  // CenTrace degradation ladder (see docs/TOMOGRAPHY.md)
+  Counter* trace_mode_full = nullptr;           // centrace.mode_full
+  Counter* trace_mode_icmp_degraded = nullptr;  // centrace.mode_icmp_degraded
+  Counter* trace_mode_tomography = nullptr;     // centrace.mode_tomography
+  Counter* trace_mode_unlocalized = nullptr;    // centrace.mode_unlocalized
+  Counter* trace_channel_dead = nullptr;        // centrace.dead_channel_sweeps
+  // Tomography escalation
+  Counter* tomo_probes = nullptr;        // tomography.probes
+  Counter* tomo_observations = nullptr;  // tomography.observations
+  Counter* tomo_solves = nullptr;        // tomography.solver_runs
   // CenProbe
   Counter* banner_grabs = nullptr;     // cenprobe.banner_grabs
   Counter* banner_retries = nullptr;   // cenprobe.banner_retries

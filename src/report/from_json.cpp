@@ -93,6 +93,32 @@ std::optional<trace::CenTraceReport> trace_report_from_json(const JsonValue& doc
       }
     }
   }
+  if (const JsonValue* deg = doc.find("degradation");
+      deg != nullptr && deg->is_object()) {
+    trace::DegradationInfo& d = r.degradation;
+    auto mode = enum_from_name<trace::DegradationMode>(deg->get_string("mode", ""), 4,
+                                                       trace::degradation_mode_name);
+    if (!mode) return std::nullopt;
+    d.mode = *mode;
+    d.icmp_answer_rate = deg->get_number("icmp_answer_rate", 1.0);
+    d.dead_channel_sweeps = deg->get_int("dead_channel_sweeps", 0);
+    d.vantage_count = deg->get_int("vantage_count", 1);
+    d.tomography_observations = deg->get_int("tomography_observations", 0);
+    d.tomography_solved = deg->get_bool("tomography_solved", false);
+    if (const JsonValue* links = deg->find("candidate_links");
+        links != nullptr && links->is_array()) {
+      for (const JsonValue& lv : links->array) {
+        if (!lv.is_object()) continue;
+        trace::BlamedLink link;
+        if (auto a = net::Ipv4Address::parse(lv.get_string("ip_a", ""))) link.ip_a = *a;
+        if (auto b = net::Ipv4Address::parse(lv.get_string("ip_b", ""))) link.ip_b = *b;
+        link.confidence = lv.get_number("confidence", 0.0);
+        link.blocked_paths = lv.get_int("blocked_paths", 0);
+        link.clean_paths = lv.get_int("clean_paths", 0);
+        d.candidate_links.push_back(link);
+      }
+    }
+  }
   if (const JsonValue* cp = doc.find("control_path"); cp != nullptr && cp->is_array()) {
     for (const JsonValue& hop : cp->array) {
       if (hop.is_string()) {

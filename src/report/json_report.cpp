@@ -103,6 +103,27 @@ std::string to_json(const trace::CenTraceReport& report, bool include_sweeps) {
   for (double hc : report.confidence.hop_confidence) w.value(hc);
   w.end_array();
   w.end_object();
+  w.key("degradation").begin_object();
+  w.key("mode").value(trace::degradation_mode_name(report.degradation.mode));
+  w.key("icmp_answer_rate").value(report.degradation.icmp_answer_rate);
+  w.key("dead_channel_sweeps")
+      .value(static_cast<std::int64_t>(report.degradation.dead_channel_sweeps));
+  w.key("vantage_count").value(static_cast<std::int64_t>(report.degradation.vantage_count));
+  w.key("tomography_observations")
+      .value(static_cast<std::int64_t>(report.degradation.tomography_observations));
+  w.key("tomography_solved").value(report.degradation.tomography_solved);
+  w.key("candidate_links").begin_array();
+  for (const trace::BlamedLink& link : report.degradation.candidate_links) {
+    w.begin_object();
+    w.key("ip_a").value(link.ip_a.str());
+    w.key("ip_b").value(link.ip_b.str());
+    w.key("confidence").value(link.confidence);
+    w.key("blocked_paths").value(static_cast<std::int64_t>(link.blocked_paths));
+    w.key("clean_paths").value(static_cast<std::int64_t>(link.clean_paths));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   w.key("control_path").begin_array();
   for (const auto& hop : report.control_path) {
     write_optional_ip(w, hop);

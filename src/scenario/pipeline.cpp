@@ -4,6 +4,7 @@
 #include <memory>
 #include <set>
 
+#include "centrace/degrade.hpp"
 #include "obs/observer.hpp"
 #include "scenario/executor.hpp"
 
@@ -498,7 +499,8 @@ std::vector<trace::CenTraceReport> run_trace_fanout(
     sim::Network& net, sim::NodeId client,
     const std::vector<net::Ipv4Address>& endpoints,
     const std::vector<std::string>& domains, const std::string& control_domain,
-    const trace::CenTraceOptions& trace_opts, int threads, obs::Observer* observer) {
+    const trace::CenTraceOptions& trace_opts, int threads, obs::Observer* observer,
+    const trace::DegradationPlan* plan) {
   struct Task {
     net::Ipv4Address endpoint;
     const std::string* domain;
@@ -526,8 +528,9 @@ std::vector<trace::CenTraceReport> run_trace_fanout(
   auto run_task = [&](sim::Network& replica, std::size_t i) {
     obs::Observer* shard = merger.shard(i);
     if (shard != nullptr) replica.set_observer(shard);
-    trace::CenTrace ct(replica, client, trace_opts);
-    reports[i] = ct.measure(tasks[i].endpoint, *tasks[i].domain, control_domain);
+    reports[i] = trace::measure_with_degradation(replica, client, tasks[i].endpoint,
+                                                 *tasks[i].domain, control_domain,
+                                                 trace_opts, plan);
     if (shard != nullptr) {
       merger.record_end(i, replica.now());
       replica.set_observer(nullptr);

@@ -112,12 +112,17 @@ ConsistencyStats localisation_consistency(const PipelineResult& result);
 /// Note threads = 0 here is NOT the pipeline's legacy shared-state serial
 /// path: fan-out tasks are independent by definition, so the inline path
 /// can afford full hermeticity and join the identity contract.
+/// `plan` (optional) enables degradation-aware measurement: every task
+/// runs through trace::measure_with_degradation, escalating unlocalized
+/// blocked verdicts to multi-vantage tomography. The plan participates in
+/// each task's work (not its seed), so identity across `threads` holds
+/// for any fixed plan.
 std::vector<trace::CenTraceReport> run_trace_fanout(
     sim::Network& net, sim::NodeId client,
     const std::vector<net::Ipv4Address>& endpoints,
     const std::vector<std::string>& domains, const std::string& control_domain,
     const trace::CenTraceOptions& trace_options, int threads,
-    obs::Observer* observer = nullptr);
+    obs::Observer* observer = nullptr, const trace::DegradationPlan* plan = nullptr);
 
 /// Indices of an even stride sample of `cap` items out of [0, n). Pure
 /// integer arithmetic — index i maps to (i*n)/cap — so the indices are

@@ -1,0 +1,69 @@
+// Silent-router scenario family (ISSUE 6): a multi-spine topology whose
+// censor sits behind routers that blackhole ICMP, built to exercise the
+// CenTrace degradation ladder and the boolean-tomography solver against
+// known ground truth.
+//
+// Shape (V vantages, K equal-cost spines):
+//
+//   v0 - acc0 ----------- s0a = s0b -.
+//   v1 - acc1 --+-------- s0a ...     :
+//        ...    |                     agg - server
+//   vi - acci --+-------- sKa - sKb -'
+//
+// The primary vantage v0 reaches the server only through spine 0, whose
+// inter-router link (s0a, s0b) carries a domain-selective censor: every
+// test-domain flow crossing it is blocked, control flows pass. The other
+// vantages load-balance over all K spines (fresh connections re-roll the
+// ECMP flow hash), which is what gives the tomography matrix clean rows
+// to exonerate with. A seeded fraction of the on-path routers never
+// answer TTL exhaustion (FaultPlan icmp_blackhole), starving classic
+// hop-by-hop localization.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/engine.hpp"
+#include "scenario/country.hpp"
+#include "tomography/tomography.hpp"
+
+namespace cen::scenario {
+
+struct SilentOptions {
+  int vantages = 3;  // >= 1; v0 is the primary (pinned to spine 0)
+  int spines = 3;    // >= 1 equal-cost spines
+  /// Per-router probability of blackholing ICMP (drawn with a seeded
+  /// substream over all on-path routers, order-stable).
+  double blackhole_probability = 0.9;
+  /// Censor drops instead of injecting RSTs: the total-silence variant
+  /// the early-abort heuristic is tested against.
+  bool drop_censor = false;
+  /// FaultPlan route-flap period (0 disables); flapping re-salts ECMP so
+  /// jittered tomography rounds sample different spines over time.
+  SimTime route_flap_period = 5 * kMinute;
+};
+
+struct SilentScenario {
+  std::unique_ptr<sim::Network> network;
+  /// vantages[0] is the primary measurement client.
+  std::vector<sim::NodeId> vantages;
+  net::Ipv4Address endpoint;
+  std::string test_domain = "www.blocked.example";
+  std::string control_domain = "www.example.org";
+
+  // Ground truth (never consumed by the tools themselves).
+  tomo::LinkId true_link;        // the censored inter-router link (s0a, s0b)
+  sim::NodeId censor_node = sim::kInvalidNode;  // s0b (device deployment)
+  std::vector<sim::NodeId> on_path_routers;     // acc*, s*, agg
+  std::vector<sim::NodeId> blackholed;          // subset that never answers
+};
+
+SilentScenario make_silent(const SilentOptions& options = {}, std::uint64_t seed = 7);
+
+/// Extra tomography vantages available in a country scenario: the remote
+/// and in-country clients (deduped, capped at n). The measurement's own
+/// client is always a vantage and need not appear here.
+std::vector<sim::NodeId> tomography_vantages(const CountryScenario& scenario, int n);
+
+}  // namespace cen::scenario

@@ -1,0 +1,217 @@
+#include "tomography/tomography.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/fingerprint.hpp"
+#include "core/rng.hpp"
+
+namespace cen::tomo {
+
+std::size_t ObservationMatrix::blocked_count() const {
+  std::size_t n = 0;
+  for (const PathObservation& row : rows_) {
+    if (row.blocked) ++n;
+  }
+  return n;
+}
+
+std::uint64_t SolverOptions::fingerprint() const {
+  FingerprintBuilder fp;
+  fp.mix(static_cast<std::uint64_t>(max_cover_size));
+  fp.mix(static_cast<std::uint64_t>(max_candidates));
+  fp.mix(static_cast<std::uint64_t>(max_suspects));
+  return fp.digest();
+}
+
+namespace {
+
+std::vector<LinkId> path_links(const std::vector<sim::NodeId>& path) {
+  std::vector<LinkId> links;
+  if (path.size() < 2) return links;
+  links.reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    links.emplace_back(path[i], path[i + 1]);
+  }
+  return links;
+}
+
+/// Does `cover` (indices into the suspect universe) hit every row?
+bool covers_all(const std::vector<std::vector<int>>& row_suspects,
+                const std::vector<int>& cover) {
+  for (const std::vector<int>& row : row_suspects) {
+    bool hit = false;
+    for (int link : row) {
+      if (std::binary_search(cover.begin(), cover.end(), link)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+/// Enumerate every k-subset of [0, n) in lexicographic order, collecting
+/// the ones that cover all rows. Branch-and-bound: a branch is cut when
+/// even taking every remaining index cannot reach cardinality k.
+void enumerate_covers(const std::vector<std::vector<int>>& row_suspects, int n, int k,
+                      std::vector<int>& prefix, int next,
+                      std::vector<std::vector<int>>& covers, std::uint64_t& iterations) {
+  if (static_cast<int>(prefix.size()) == k) {
+    ++iterations;
+    if (covers_all(row_suspects, prefix)) covers.push_back(prefix);
+    return;
+  }
+  const int needed = k - static_cast<int>(prefix.size());
+  for (int i = next; i <= n - needed; ++i) {
+    prefix.push_back(i);
+    enumerate_covers(row_suspects, n, k, prefix, i + 1, covers, iterations);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+TomographyResult solve(const ObservationMatrix& matrix, const SolverOptions& options) {
+  TomographyResult out;
+  out.observations = static_cast<int>(matrix.size());
+
+  // Exonerate every link a clean row traversed: a domain-selective
+  // censor on that link would have blocked the test probe.
+  std::set<LinkId> exonerated;
+  for (const PathObservation& row : matrix.rows()) {
+    if (row.blocked) continue;
+    for (const LinkId& link : path_links(row.path)) exonerated.insert(link);
+  }
+
+  // Per-blocked-row suspect sets and the global suspect tally.
+  std::map<LinkId, int> blocked_tally;  // link -> blocked rows traversing it
+  std::vector<std::vector<LinkId>> blocked_rows;
+  for (const PathObservation& row : matrix.rows()) {
+    if (!row.blocked) continue;
+    ++out.blocked_observations;
+    std::vector<LinkId> suspects;
+    for (const LinkId& link : path_links(row.path)) {
+      if (exonerated.count(link) != 0) continue;
+      if (std::find(suspects.begin(), suspects.end(), link) == suspects.end()) {
+        suspects.push_back(link);
+      }
+    }
+    if (suspects.empty()) {
+      // Every link on this path is exonerated: the blocking cause is not
+      // a link this matrix can see. Excluded from the cover requirement.
+      ++out.unexplained_observations;
+      continue;
+    }
+    for (const LinkId& link : suspects) ++blocked_tally[link];
+    blocked_rows.push_back(std::move(suspects));
+  }
+  if (blocked_rows.empty()) return out;  // nothing to explain
+
+  // Suspect universe, sorted by LinkId for a permutation-invariant
+  // enumeration order. Cap it by dropping the links implicated by the
+  // fewest blocked rows (ties broken by LinkId, still deterministic).
+  std::vector<LinkId> universe;
+  universe.reserve(blocked_tally.size());
+  for (const auto& [link, n] : blocked_tally) universe.push_back(link);
+  if (static_cast<int>(universe.size()) > options.max_suspects) {
+    std::stable_sort(universe.begin(), universe.end(),
+                     [&](const LinkId& x, const LinkId& y) {
+                       return blocked_tally[x] > blocked_tally[y];
+                     });
+    universe.resize(static_cast<std::size_t>(options.max_suspects));
+    std::sort(universe.begin(), universe.end());
+    // Rows whose every suspect was dropped cannot be covered any more;
+    // demote them to unexplained so the solver stays consistent.
+    std::vector<std::vector<LinkId>> kept;
+    for (std::vector<LinkId>& row : blocked_rows) {
+      std::vector<LinkId> filtered;
+      for (const LinkId& link : row) {
+        if (std::binary_search(universe.begin(), universe.end(), link)) {
+          filtered.push_back(link);
+        }
+      }
+      if (filtered.empty()) {
+        ++out.unexplained_observations;
+      } else {
+        kept.push_back(std::move(filtered));
+      }
+    }
+    blocked_rows = std::move(kept);
+    if (blocked_rows.empty()) return out;
+  }
+
+  std::map<LinkId, int> link_index;
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    link_index[universe[i]] = static_cast<int>(i);
+  }
+  std::vector<std::vector<int>> row_suspects;
+  row_suspects.reserve(blocked_rows.size());
+  for (const std::vector<LinkId>& row : blocked_rows) {
+    std::vector<int> indices;
+    for (const LinkId& link : row) indices.push_back(link_index[link]);
+    std::sort(indices.begin(), indices.end());
+    row_suspects.push_back(std::move(indices));
+  }
+
+  // Minimal hitting sets: the first cardinality k with any cover is the
+  // minimum, and (since no (k-1)-cover exists) every k-cover found is
+  // irredundant. Confidence = share of minimal covers containing a link.
+  const int n = static_cast<int>(universe.size());
+  std::vector<std::vector<int>> covers;
+  for (int k = 1; k <= options.max_cover_size && k <= n; ++k) {
+    std::vector<int> prefix;
+    enumerate_covers(row_suspects, n, k, prefix, 0, covers, out.solver_iterations);
+    if (!covers.empty()) {
+      out.cover_size = k;
+      break;
+    }
+  }
+  if (covers.empty()) return out;  // no cover within the size bound
+  out.solved = true;
+
+  std::vector<int> appearances(static_cast<std::size_t>(n), 0);
+  for (const std::vector<int>& cover : covers) {
+    for (int idx : cover) ++appearances[static_cast<std::size_t>(idx)];
+  }
+  for (int i = 0; i < n; ++i) {
+    if (appearances[static_cast<std::size_t>(i)] == 0) continue;
+    LinkBlame blame;
+    blame.link = universe[static_cast<std::size_t>(i)];
+    blame.confidence = static_cast<double>(appearances[static_cast<std::size_t>(i)]) /
+                       static_cast<double>(covers.size());
+    blame.blocked_paths = blocked_tally[blame.link];
+    blame.clean_paths = 0;
+    out.candidates.push_back(blame);
+  }
+  std::sort(out.candidates.begin(), out.candidates.end(),
+            [](const LinkBlame& x, const LinkBlame& y) {
+              if (x.confidence != y.confidence) return x.confidence > y.confidence;
+              return x.link < y.link;
+            });
+  if (static_cast<int>(out.candidates.size()) > options.max_candidates) {
+    out.candidates.resize(static_cast<std::size_t>(options.max_candidates));
+  }
+  return out;
+}
+
+std::vector<SimTime> probe_round_delays(std::uint64_t network_seed, std::uint64_t salt,
+                                        int vantage_index, int rounds,
+                                        SimTime base_spacing) {
+  // Substream derivation mirrors scenario::derive_task_seeds: the stream
+  // depends only on (seed, salt, vantage), never on execution order.
+  Rng rng(mix64(mix64(network_seed ^ salt) ^
+                (0x76616e74ull + static_cast<std::uint64_t>(vantage_index))));
+  std::vector<SimTime> delays;
+  delays.reserve(static_cast<std::size_t>(std::max(rounds, 0)));
+  for (int r = 0; r < rounds; ++r) {
+    const SimTime jitter =
+        base_spacing > 0 ? static_cast<SimTime>(rng.uniform(base_spacing)) : 0;
+    delays.push_back(base_spacing + jitter);
+  }
+  return delays;
+}
+
+}  // namespace cen::tomo

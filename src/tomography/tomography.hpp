@@ -1,0 +1,135 @@
+// Boolean network tomography — blocking-link localisation without ICMP.
+//
+// When on-path routers blackhole or rate-limit ICMP, CenTrace's TTL
+// ladder goes blind: no Time Exceeded quotes means no per-hop evidence.
+// "A Churn for the Better" (PAPERS.md) shows the measurement can degrade
+// instead of die: probe the *same* destination from several vantage
+// points (and across route churn, so ECMP spreads the flows over
+// different paths), record only the end-to-end boolean outcome per path
+// — blocked or clean — and solve for the smallest set of links whose
+// removal explains every blocked path while touching no clean one.
+//
+// The model is deliberately asymmetric, matching censorship semantics:
+//   - a CLEAN path (test probe elicited genuine endpoint data)
+//     exonerates every link it traverses — a domain-selective censor on
+//     any of them would have fired;
+//   - a BLOCKED path implicates *at least one* of its non-exonerated
+//     links;
+//   - control-probe success exonerates nothing (censors pass control
+//     traffic by design), so callers must only add rows whose verdict
+//     came from test-domain probes.
+//
+// The solver enumerates every minimal-cardinality hitting set over the
+// suspect links (branch-and-bound over sorted link indices) and blames
+// each link with the share of minimal covers containing it — per-link
+// confidence that is exactly 1.0 when the data pins a single link and
+// fractions toward 1/k across k indistinguishable candidates.
+//
+// Everything here is pure and deterministic: observation rows are value
+// types, link identities are normalised (a < b), and the enumeration
+// order is fixed by NodeId, so the result is invariant under permutation
+// of vantages or row insertion order (locked by a cencheck invariant).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/clock.hpp"
+#include "netsim/topology.hpp"
+
+namespace cen::tomo {
+
+/// Undirected link identity, normalised so (a, b) == (b, a).
+struct LinkId {
+  sim::NodeId a = sim::kInvalidNode;
+  sim::NodeId b = sim::kInvalidNode;
+
+  LinkId() = default;
+  LinkId(sim::NodeId x, sim::NodeId y) : a(x < y ? x : y), b(x < y ? y : x) {}
+
+  bool operator==(const LinkId& o) const { return a == o.a && b == o.b; }
+  bool operator!=(const LinkId& o) const { return !(*this == o); }
+  bool operator<(const LinkId& o) const {
+    return a != o.a ? a < o.a : b < o.b;
+  }
+};
+
+/// One end-to-end path measurement: the node path a probe took and the
+/// boolean verdict of its test-domain probe.
+struct PathObservation {
+  std::vector<sim::NodeId> path;  // client ... endpoint, in hop order
+  bool blocked = false;
+  int vantage = 0;  // informational label; never affects the solution
+};
+
+/// The path-observation matrix: rows are PathObservations, columns
+/// (implicitly) the links those paths traverse.
+class ObservationMatrix {
+ public:
+  void add(PathObservation obs) { rows_.push_back(std::move(obs)); }
+
+  const std::vector<PathObservation>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+  std::size_t blocked_count() const;
+
+ private:
+  std::vector<PathObservation> rows_;
+};
+
+/// A candidate blocking link with its blame evidence.
+struct LinkBlame {
+  LinkId link;
+  /// Share of minimal covers that include this link (1.0 = every
+  /// minimal explanation needs it).
+  double confidence = 0.0;
+  /// Blocked rows whose path traverses this link (rows it could explain).
+  int blocked_paths = 0;
+  /// Clean rows traversing it — always 0 for candidates (clean rows
+  /// exonerate), kept to make the invariant visible in reports.
+  int clean_paths = 0;
+};
+
+struct SolverOptions {
+  /// Largest hitting-set cardinality tried before giving up. Censorship
+  /// deployments have few devices; 4 already covers multi-device cases.
+  int max_cover_size = 4;
+  /// Candidates reported (highest confidence first).
+  int max_candidates = 16;
+  /// Suspect-universe cap: if more links survive exoneration, the ones
+  /// implicated by the fewest blocked rows are dropped first.
+  int max_suspects = 28;
+
+  std::uint64_t fingerprint() const;
+};
+
+struct TomographyResult {
+  /// True when at least one minimal cover explains every blocked row.
+  bool solved = false;
+  /// Candidate links, sorted by confidence descending then LinkId.
+  std::vector<LinkBlame> candidates;
+  /// Cardinality of the minimal covers found (0 when unsolved).
+  int cover_size = 0;
+  int observations = 0;
+  int blocked_observations = 0;
+  /// Blocked rows with every link exonerated — evidence of a non-link
+  /// cause (endpoint failure, vantage-local filtering); they are
+  /// excluded from the cover requirement but reported.
+  int unexplained_observations = 0;
+  /// Subset-evaluation count (work bound; deterministic).
+  std::uint64_t solver_iterations = 0;
+};
+
+/// Solve the minimal-blocking-link-set problem over `matrix`.
+TomographyResult solve(const ObservationMatrix& matrix, const SolverOptions& options = {});
+
+/// Deterministic per-vantage probe-round delays for the multi-vantage
+/// scheduler. Each vantage gets its own forked substream (seeded from
+/// the network seed + stage salt + vantage index alone), so the schedule
+/// is byte-identical regardless of thread interleaving, and the jittered
+/// spacing walks the probes across route-flap epochs instead of
+/// resampling one frozen path.
+std::vector<SimTime> probe_round_delays(std::uint64_t network_seed, std::uint64_t salt,
+                                        int vantage_index, int rounds,
+                                        SimTime base_spacing);
+
+}  // namespace cen::tomo

@@ -8,7 +8,9 @@
 
 #include "censor/vendors.hpp"
 #include "centrace/centrace.hpp"
+#include "obs/observer.hpp"
 #include "scenario/pipeline.hpp"
+#include "scenario/silent.hpp"
 
 using namespace cen;
 using namespace cen::trace;
@@ -159,6 +161,92 @@ TEST(Chaos, HeavyGridCellDegradesGracefully) {
   EXPECT_GT(r.blocked, 0);
   EXPECT_LT(r.confidence_sum, static_cast<double>(kTrials));
   EXPECT_GT(r.confidence_sum, 0.0);
+}
+
+TEST(Chaos, DeadChannelAbortBoundsProbesWithoutChangingVerdicts) {
+  // Drop-censor behind 100 % ICMP blackhole: every test probe times out
+  // and no router ever answers. The early-abort heuristic must declare
+  // the channel dead and stop burning the retry budget — with verdicts
+  // byte-equal to the unbounded run.
+  scenario::SilentOptions so;
+  so.drop_censor = true;
+  so.blackhole_probability = 1.0;
+  so.spines = 1;
+  so.vantages = 1;
+
+  struct Outcome {
+    CenTraceReport report;
+    std::uint64_t probes = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t dead = 0;
+  };
+  auto run = [&](int abort_after) {
+    scenario::SilentScenario s = scenario::make_silent(so, 7);
+    obs::Observer observer;
+    s.network->set_observer(&observer);
+    CenTraceOptions opts;
+    opts.repetitions = 3;
+    opts.silent_channel_abort = abort_after;
+    CenTrace tracer(*s.network, s.vantages[0], opts);
+    Outcome out;
+    out.report = tracer.measure(s.endpoint, s.test_domain, s.control_domain);
+    out.probes = observer.metrics().counter_value("centrace.probes");
+    out.retries = observer.metrics().counter_value("centrace.retries");
+    out.dead = observer.metrics().counter_value("centrace.dead_channel_sweeps");
+    return out;
+  };
+
+  const Outcome bounded = run(8);
+  const Outcome unbounded = run(0);
+
+  EXPECT_GT(bounded.dead, 0u);
+  EXPECT_EQ(unbounded.dead, 0u);
+  // Same verdict, strictly less probing.
+  EXPECT_EQ(bounded.report.blocked, unbounded.report.blocked);
+  EXPECT_EQ(bounded.report.blocking_type, unbounded.report.blocking_type);
+  EXPECT_EQ(bounded.report.location, unbounded.report.location);
+  EXPECT_EQ(bounded.report.blocking_hop_ttl, unbounded.report.blocking_hop_ttl);
+  EXPECT_EQ(bounded.report.blocking_hop_ip, unbounded.report.blocking_hop_ip);
+  EXPECT_LT(bounded.retries, unbounded.retries);
+  EXPECT_LE(bounded.probes, unbounded.probes);
+  // Bounded probe count: dead-channel sweeps stop retrying, so the total
+  // attempt count stays within the no-retry envelope plus the pre-abort
+  // warm-up, far under the unbounded run's budget.
+  EXPECT_LT(bounded.probes + bounded.retries,
+            (unbounded.probes + unbounded.retries) * 3 / 4);
+}
+
+TEST(Chaos, TokenBucketBurstBelowOneTokenIsClampedNotBlackholed) {
+  // Edge case: a burst cap under one token would make the limiter a
+  // blackhole in disguise; the sanitizer clamps it to one token exactly
+  // so "rate limited" stays distinguishable from "silent". A sub-token
+  // burst must therefore behave byte-identically to burst = 1.0, and the
+  // starvation must still be flagged as rate limiting.
+  sim::FaultPlan half;
+  half.default_node.icmp_rate_per_sec = 0.0005;
+  half.default_node.icmp_burst = 0.5;
+  sim::FaultPlan one = half;
+  one.default_node.icmp_burst = 1.0;
+  GridResult rh = run_grid_cell(half);
+  GridResult ro = run_grid_cell(one);
+  EXPECT_EQ(rh.blocked, ro.blocked);
+  EXPECT_EQ(rh.localized, ro.localized);
+  EXPECT_EQ(rh.confidence_sum, ro.confidence_sum);
+  EXPECT_EQ(rh.blocked, kTrials);  // the verdict itself never starves
+  EXPECT_TRUE(rh.any_rate_limit_flag);
+}
+
+TEST(Chaos, TokenBucketHighRateIsInert) {
+  // Edge case: a refill rate fast enough to replace every token between
+  // probes must behave exactly like an unlimited channel.
+  sim::FaultPlan plan;
+  plan.default_node.icmp_rate_per_sec = 1000.0;
+  plan.default_node.icmp_burst = 4.0;
+  GridResult r = run_grid_cell(plan);
+  EXPECT_EQ(r.blocked, kTrials);
+  EXPECT_EQ(r.localized, kTrials);
+  EXPECT_FALSE(r.any_rate_limit_flag);
+  EXPECT_EQ(r.confidence_sum, static_cast<double>(kTrials));
 }
 
 TEST(Chaos, CountryPipelineSurvivesFaultGrid) {

@@ -77,3 +77,49 @@ TEST(IcmpDiff, GarbageQuoteNotParsed) {
   QuoteDiff d = diff_quote(probe(), Bytes{0x01, 0x02}, net::Ipv4Address(1, 1, 1, 1));
   EXPECT_FALSE(d.parse_ok);
 }
+
+// Middleboxes and rate-limited routers are known to clip quotes at odd
+// offsets; the differ has to degrade field-by-field rather than all-or-nothing.
+
+TEST(IcmpDiff, TruncatedMidIpHeaderNotParsed) {
+  Bytes full = probe().serialize();
+  Bytes cut(full.begin(), full.begin() + 12);  // cut inside the IP header
+  QuoteDiff d = diff_quote(probe(), cut, net::Ipv4Address(10, 0, 3, 1));
+  EXPECT_FALSE(d.parse_ok);
+  EXPECT_TRUE(d.ports_match);  // stays at its benefit-of-the-doubt default
+}
+
+TEST(IcmpDiff, IpHeaderOnlyQuoteParsesWithoutPorts) {
+  net::Packet sent = probe();
+  Bytes full = sent.serialize();
+  Bytes cut(full.begin(), full.begin() + 20);  // IP header, zero transport bytes
+  QuoteDiff d = diff_quote(sent, cut, net::Ipv4Address(10, 0, 3, 1));
+  EXPECT_TRUE(d.parse_ok);
+  EXPECT_TRUE(d.rfc792_minimal);
+  EXPECT_FALSE(d.full_tcp_quoted);
+  EXPECT_FALSE(d.ports_match);  // no transport bytes survived the clip
+  EXPECT_FALSE(d.tos_changed);
+}
+
+TEST(IcmpDiff, TruncatedMidTcpHeaderStillMatchesPorts) {
+  net::Packet sent = probe();
+  Bytes full = sent.serialize();
+  Bytes cut(full.begin(), full.begin() + 32);  // ports + seq + ack, no flags
+  QuoteDiff d = diff_quote(sent, cut, net::Ipv4Address(10, 0, 3, 1));
+  EXPECT_TRUE(d.parse_ok);
+  EXPECT_FALSE(d.rfc792_minimal);  // longer than the RFC 792 minimum...
+  EXPECT_FALSE(d.full_tcp_quoted);  // ...but short of a full TCP header
+  EXPECT_TRUE(d.ports_match);
+  EXPECT_EQ(d.quoted_payload_bytes, 0u);
+}
+
+TEST(IcmpDiff, TruncatedAfterTcpHeaderDropsPayloadOnly) {
+  net::Packet sent = probe();
+  Bytes full = sent.serialize();
+  Bytes cut(full.begin(), full.begin() + 40);  // full headers, payload clipped
+  QuoteDiff d = diff_quote(sent, cut, net::Ipv4Address(10, 0, 3, 1));
+  EXPECT_TRUE(d.parse_ok);
+  EXPECT_TRUE(d.full_tcp_quoted);
+  EXPECT_TRUE(d.ports_match);
+  EXPECT_EQ(d.quoted_payload_bytes, 0u);
+}

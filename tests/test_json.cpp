@@ -268,7 +268,8 @@ TEST(JsonReport, CanonicalKeyOrderAcrossTools) {
                     "blocked", "blocking_type", "location", "placement",
                     "blocking_hop_ttl", "blocking_hop_ip", "blocking_as",
                     "endpoint_hop_distance", "ttl_copy_detected", "blockpage_vendor",
-                    "injected_packet", "confidence", "control_path", "quote_diffs"});
+                    "injected_packet", "confidence", "degradation", "control_path",
+                    "quote_diffs"});
 
   fuzz::CenFuzzReport fz;
   fz.endpoint = net::Ipv4Address(10, 0, 9, 1);
@@ -310,6 +311,19 @@ TEST(JsonReport, TraceDecodeEncodeIsIdentity) {
   r.injected_packet = inj;
   r.confidence.overall = 0.875;
   r.confidence.hop_confidence = {1.0, 0.5};
+  r.degradation.mode = trace::DegradationMode::kTomography;
+  r.degradation.icmp_answer_rate = 0.125;
+  r.degradation.dead_channel_sweeps = 3;
+  r.degradation.vantage_count = 3;
+  r.degradation.tomography_observations = 24;
+  r.degradation.tomography_solved = true;
+  trace::BlamedLink link;
+  link.ip_a = net::Ipv4Address(10, 0, 3, 1);
+  link.ip_b = net::Ipv4Address(10, 0, 4, 1);
+  link.confidence = 0.5;
+  link.blocked_paths = 9;
+  link.clean_paths = 0;
+  r.degradation.candidate_links.push_back(link);
   r.control_path = {net::Ipv4Address(10, 0, 1, 1), std::nullopt};
   trace::QuoteDiff qd;
   qd.router = net::Ipv4Address(10, 0, 1, 1);

@@ -3,7 +3,8 @@
 //
 //   cencampaign [--spec FILE] [--countries AZ,KZ] [--seed N]
 //               [--max-endpoints N] [--max-domains N] [--fuzz-cap N]
-//               [--reps N] [--batch N] [--max-batches N] [--cache FILE]
+//               [--reps N] [--tomography] [--vantages N]
+//               [--batch N] [--max-batches N] [--cache FILE]
 //               [--out records.jsonl] [--summary summary.json]
 //               [common flags: --scale/--threads/--json/--fault-*/...]
 //
@@ -29,7 +30,8 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: cencampaign [--spec FILE] [--countries AZ,BY,KZ,RU] [--seed N]\n"
         "                   [--max-endpoints N] [--max-domains N] [--fuzz-cap N]\n"
-        "                   [--reps N] [--batch N] [--max-batches N]\n"
+        "                   [--reps N] [--tomography] [--vantages N]\n"
+        "                   [--batch N] [--max-batches N]\n"
         "                   [--cache FILE] [--out FILE] [--summary FILE]\n"
         "                   [common flags]\n%s",
         cli::kCommonUsage);
@@ -65,6 +67,8 @@ int main(int argc, char** argv) {
     return cli::kExitUsage;
   }
   spec.trace.repetitions = args.get_int("reps", spec.trace.repetitions);
+  if (args.has("tomography")) spec.trace_tomography = true;
+  spec.trace_vantages = args.get_int("vantages", spec.trace_vantages);
   if (args.has("backoff")) spec.trace.retry_backoff = common.backoff;
   if (args.has("retries")) spec.trace.adaptive_max_retries = common.retries;
   if (cli::has_fault_flags(args)) spec.faults = common.faults;

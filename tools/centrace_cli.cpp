@@ -2,6 +2,7 @@
 //
 //   centrace --country KZ [--scale full|small] [--protocol http|https|dns]
 //            [--endpoint N] [--domain D] [--reps 11] [--json] [--sweeps]
+//            [--tomography] [--vantages N]
 //            [--pcap out.pcap] [--threads N] [--backoff MS] [--retries N]
 //            [--loss P] [--fault-loss P] [--fault-dup P] [--fault-reorder P]
 //            [--fault-icmp-rate R]
@@ -18,8 +19,16 @@
 // --threads value (0 = inline, N = pool of N workers) — including under
 // a non-inert fault plan. Without --threads the legacy shared-network
 // serial path runs (byte-compatible with earlier releases).
+//
+// --tomography enables the degradation ladder: blocked measurements that
+// cannot be hop-localized (e.g. every nearby router blackholes ICMP)
+// escalate to multi-vantage boolean tomography, reporting a candidate
+// blocking-link set instead of silently failing. When any measurement
+// ends degraded (tomography or unlocalized) the exit code is 4.
+#include "centrace/degrade.hpp"
 #include "cli_common.hpp"
 #include "net/pcap.hpp"
+#include "scenario/silent.hpp"
 
 using namespace cen;
 
@@ -41,6 +50,15 @@ void print_text(const trace::CenTraceReport& r) {
     }
     std::printf("]");
     if (r.ttl_copy_detected) std::printf(" [ttl-copy]");
+    if (r.degradation.mode != trace::DegradationMode::kFull) {
+      std::printf(" <%s", std::string(trace::degradation_mode_name(r.degradation.mode)).c_str());
+      if (!r.degradation.candidate_links.empty()) {
+        const trace::BlamedLink& top = r.degradation.candidate_links.front();
+        std::printf(" %s-%s p=%.2f", top.ip_a.str().c_str(), top.ip_b.str().c_str(),
+                    top.confidence);
+      }
+      std::printf(">");
+    }
   }
   std::printf("\n");
 }
@@ -54,7 +72,8 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: centrace --country AZ|BY|KZ|RU [--protocol http|https|dns]\n"
         "                [--endpoint N] [--domain D] [--reps N] [--sweeps]\n"
-        "                [--pcap FILE] [common flags]\n%s",
+        "                [--tomography] [--vantages N] [--pcap FILE]\n"
+        "                [common flags]\n%s",
         cli::kCommonUsage);
     return args.has("help") ? cli::kExitOk : cli::kExitUsage;
   }
@@ -91,19 +110,25 @@ int main(int argc, char** argv) {
   obs::Observer observer;
   obs::Observer* obs_ptr = cli::wants_observer(args) ? &observer : nullptr;
 
+  trace::DegradationPlan plan;
+  plan.tomography = args.has("tomography");
+  plan.vantages = scenario::tomography_vantages(s, args.get_int("vantages", 2));
+  const trace::DegradationPlan* plan_ptr = plan.tomography ? &plan : nullptr;
+
   std::vector<trace::CenTraceReport> reports;
   if (common.has_threads) {
     // Hermetic fan-out: identical output for every --threads value.
     reports = scenario::run_trace_fanout(*s.network, s.remote_client, endpoints,
                                          domains, s.control_domain, opts,
-                                         common.threads, obs_ptr);
+                                         common.threads, obs_ptr, plan_ptr);
   } else {
     // Legacy shared-network serial path.
     if (obs_ptr != nullptr) s.network->set_observer(obs_ptr);
-    trace::CenTrace tracer(*s.network, s.remote_client, opts);
     for (net::Ipv4Address endpoint : endpoints) {
       for (const std::string& domain : domains) {
-        reports.push_back(tracer.measure(endpoint, domain, s.control_domain));
+        reports.push_back(trace::measure_with_degradation(
+            *s.network, s.remote_client, endpoint, domain, s.control_domain, opts,
+            plan_ptr));
       }
     }
     if (obs_ptr != nullptr) s.network->set_observer(nullptr);
@@ -126,6 +151,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %zu packets to %s\n", capture.size(),
                  args.get("pcap").c_str());
   }
-  if (obs_ptr != nullptr) return cli::write_observability(args, observer);
-  return cli::kExitOk;
+  int rc = cli::kExitOk;
+  if (obs_ptr != nullptr) rc = cli::write_observability(args, observer);
+  if (rc == cli::kExitOk && plan.tomography) {
+    for (const trace::CenTraceReport& r : reports) {
+      if (r.blocked && (r.degradation.mode == trace::DegradationMode::kTomography ||
+                        r.degradation.mode == trace::DegradationMode::kUnlocalized)) {
+        rc = cli::kExitDegraded;
+        break;
+      }
+    }
+  }
+  return rc;
 }

@@ -21,12 +21,17 @@ namespace cli {
 ///   1  runtime / I/O failure (unwritable output, failed measurement);
 ///   2  usage error (unknown flag value, missing required argument);
 ///   3  campaign checkpoint incomplete (cencampaign only: the batch
-///      budget ran out — re-run with the same --cache to resume).
+///      budget ran out — re-run with the same --cache to resume);
+///   4  measurement degraded (--tomography runs only: at least one
+///      blocked measurement could not be hop-localized and fell back to
+///      tomography or stayed unlocalized — results are usable but carry
+///      link-level candidates instead of a pinned blocking hop).
 enum ExitCode : int {
   kExitOk = 0,
   kExitRuntime = 1,
   kExitUsage = 2,
   kExitIncomplete = 3,
+  kExitDegraded = 4,
 };
 
 class Args {
