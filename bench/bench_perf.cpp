@@ -2,9 +2,14 @@
 // full tool invocations — the costs behind every number in EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <map>
+
 #include "censor/dpi.hpp"
 #include "censor/vendors.hpp"
 #include "centrace/centrace.hpp"
+#include "core/arena.hpp"
+#include "core/flat_map.hpp"
 #include "ml/random_forest.hpp"
 #include "net/dns.hpp"
 #include "net/http.hpp"
@@ -218,6 +223,109 @@ static void BM_DeviceInspect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DeviceInspect);
+
+// ---- Hot-path container/allocator pairs (the flat-container and arena
+// swap behind Network::clone() and the DPI verdict cache). Each pair runs
+// the same operation mix against the replaced std:: implementation and
+// its cen::core replacement, so a regression in either direction is
+// visible as a ratio, not an absolute.
+
+static void BM_StdMapLookup(benchmark::State& state) {
+  std::map<std::uint32_t, int> m;
+  for (std::uint32_t k = 0; k < 48; ++k) m[k * 7919] = static_cast<int>(k);
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    probe = (probe + 7919) % (48 * 7919);
+    benchmark::DoNotOptimize(m.find(probe));
+  }
+}
+BENCHMARK(BM_StdMapLookup);
+
+static void BM_FlatMapLookup(benchmark::State& state) {
+  core::FlatMap<std::uint32_t, int> m;
+  for (std::uint32_t k = 0; k < 48; ++k) m[k * 7919] = static_cast<int>(k);
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    probe = (probe + 7919) % (48 * 7919);
+    benchmark::DoNotOptimize(m.find(probe));
+  }
+}
+BENCHMARK(BM_FlatMapLookup);
+
+static void BM_StdMapCopy(benchmark::State& state) {
+  // The clone() shape: copy a whole populated map per replica.
+  std::map<std::uint32_t, std::uint64_t> m;
+  for (std::uint32_t k = 0; k < 64; ++k) m[k * 33] = k;
+  for (auto _ : state) {
+    std::map<std::uint32_t, std::uint64_t> copy(m);
+    benchmark::DoNotOptimize(copy.size());
+  }
+}
+BENCHMARK(BM_StdMapCopy);
+
+static void BM_FlatMapCopy(benchmark::State& state) {
+  core::FlatMap<std::uint32_t, std::uint64_t> m;
+  for (std::uint32_t k = 0; k < 64; ++k) m[k * 33] = k;
+  for (auto _ : state) {
+    core::FlatMap<std::uint32_t, std::uint64_t> copy(m);
+    benchmark::DoNotOptimize(copy.size());
+  }
+}
+BENCHMARK(BM_FlatMapCopy);
+
+static void BM_HeapPacketAlloc(benchmark::State& state) {
+  // The DPI-cache shape on the heap: one fresh allocation per payload
+  // copy, freed at scope end.
+  const Bytes payload = net::HttpRequest::get("www.blocked.example").serialize_bytes();
+  for (auto _ : state) {
+    std::vector<std::uint8_t> copy(payload.begin(), payload.end());
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_HeapPacketAlloc);
+
+static void BM_ArenaPacketAlloc(benchmark::State& state) {
+  // Same copies from a bump arena, rewound in bulk — the epoch-rollback
+  // pattern Device::reset_state() and the DPI cache use.
+  const Bytes payload = net::HttpRequest::get("www.blocked.example").serialize_bytes();
+  core::Arena arena(64 * 1024);
+  int n = 0;
+  for (auto _ : state) {
+    auto* copy = arena.allocate_array<std::uint8_t>(payload.size());
+    std::memcpy(copy, payload.data(), payload.size());
+    benchmark::DoNotOptimize(copy);
+    if (++n == 256) {  // bounded arena growth: rewind like an epoch reset
+      arena.reset();
+      n = 0;
+    }
+  }
+}
+BENCHMARK(BM_ArenaPacketAlloc);
+
+static void BM_NetworkClone(benchmark::State& state) {
+  // The per-worker replica cost the flat/COW refactor attacks: shared
+  // topology + path cache + endpoints + configs, per-replica devices.
+  PerfNet pn;
+  // Warm the path cache so clones snapshot a frozen map (steady state).
+  sim::Connection conn = pn.net->open_connection(pn.client, net::Ipv4Address(10, 0, 9, 1));
+  conn.connect();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pn.net->clone());
+  }
+}
+BENCHMARK(BM_NetworkClone);
+
+static void BM_ResetEpoch(benchmark::State& state) {
+  // The per-task sub-epoch cost (batched-epochs hot loop): RNG re-seed +
+  // dirty-state rollback.
+  PerfNet pn;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    pn.net->reset_epoch(++seed);
+    benchmark::DoNotOptimize(pn.net->now());
+  }
+}
+BENCHMARK(BM_ResetEpoch);
 
 static void BM_RandomForestFit(benchmark::State& state) {
   Rng rng(5);

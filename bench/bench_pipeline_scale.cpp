@@ -5,6 +5,21 @@
 // guarantees every row computes the *same* result, so the speedup column
 // compares equal work.
 //
+// The run also acts as the scaling-regression guard: it reports a
+// `scaling_efficiency` figure (speedup at 4 threads, or at the largest
+// measured count when fewer than 4 hardware threads exist) and enforces a
+// hardware-aware floor on it. On a single-core host true parallel speedup
+// is physically impossible — threads time-slice one CPU and the pool adds
+// coordination overhead — so the floor adapts to what the machine can
+// express:
+//
+//   hw >= 4:  efficiency >= 1.60  (real parallel speedup required)
+//   hw >= 2:  efficiency >= 1.20
+//   hw == 1:  efficiency >= 0.85  (threading tax bounded at 15%)
+//
+// Exit code 1 on a determinism violation or a floor violation, so the
+// `perf`-labelled ctest entry fails loudly on regression.
+//
 //   ./bench_pipeline_scale [output.json]      (default BENCH_pipeline.json)
 #include <chrono>
 #include <cstdio>
@@ -46,6 +61,13 @@ Run run_once(int threads) {
   return out;
 }
 
+/// The floor `scaling_efficiency` must clear on this machine.
+double efficiency_floor(int hw) {
+  if (hw >= 4) return 1.60;
+  if (hw >= 2) return 1.20;
+  return 0.85;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,6 +94,19 @@ int main(int argc, char** argv) {
   std::printf("results identical across thread counts: %s\n",
               identical ? "yes" : "NO — DETERMINISM VIOLATION");
 
+  // Scaling efficiency: speedup at 4 workers when the machine has them,
+  // otherwise at the largest measured count that fits the hardware.
+  const int eff_threads = hw >= 4 ? 4 : hw;
+  double eff_ms = base_ms;
+  for (const Run& r : runs) {
+    if (r.threads == eff_threads) eff_ms = r.wall_ms;
+  }
+  const double efficiency = base_ms / eff_ms;
+  const double floor = efficiency_floor(hw);
+  const bool floor_ok = efficiency >= floor;
+  std::printf("scaling efficiency (x%d on %d hw threads): %.2fx (floor %.2fx) %s\n",
+              eff_threads, hw, efficiency, floor, floor_ok ? "ok" : "VIOLATION");
+
   JsonWriter w;
   w.begin_object();
   w.key("bench").value("pipeline_scale");
@@ -79,6 +114,10 @@ int main(int argc, char** argv) {
   w.key("centrace_repetitions").value(11);
   w.key("hardware_threads").value(hw);
   w.key("identical_results").value(identical);
+  w.key("scaling_efficiency").value(efficiency);
+  w.key("scaling_efficiency_threads").value(eff_threads);
+  w.key("scaling_floor").value(floor);
+  w.key("scaling_floor_ok").value(floor_ok);
   w.key("runs").begin_array();
   for (const Run& r : runs) {
     w.begin_object();
@@ -95,5 +134,6 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   out << w.str() << "\n";
   std::printf("wrote %s\n", out_path);
-  return identical ? 0 : 1;
+  if (!identical) return 1;
+  return floor_ok ? 0 : 1;
 }

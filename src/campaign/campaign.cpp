@@ -94,6 +94,10 @@ bool run_stage(sim::Network& net, const CampaignSpec& spec, const RunControl& co
     } else {
       if (exec == nullptr) {
         exec = std::make_unique<scenario::ParallelExecutor>(net, control.threads);
+        if (control.exec_batch > 0) {
+          exec->set_batch(static_cast<std::size_t>(control.exec_batch));
+        }
+        if (control.observer != nullptr) exec->set_perf_tracking(true);
       }
       std::vector<std::uint64_t> sub_seeds;
       sub_seeds.reserve(missing.size());
@@ -200,20 +204,36 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
     struct TraceTask {
       net::Ipv4Address endpoint;
       const std::string* domain = nullptr;
+      std::uint64_t dhash = 0;  // domain_hash(*domain), once per domain
       const trace::CenTraceOptions* opts = nullptr;
     };
     std::vector<TraceTask> trace_tasks;
     StageTasks trace_stage;
     if (spec.stages.trace) {
+      // Hash each domain once: the stage is endpoints x domains, so the
+      // per-task FNV pass would repeat per endpoint for the same string.
+      std::vector<std::uint64_t> http_hashes, https_hashes;
+      http_hashes.reserve(http_domains.size());
+      for (const std::string& d : http_domains) {
+        http_hashes.push_back(scenario::domain_hash(d));
+      }
+      https_hashes.reserve(https_domains.size());
+      for (const std::string& d : https_domains) {
+        https_hashes.push_back(scenario::domain_hash(d));
+      }
       for (const net::Ipv4Address& ep : endpoints) {
-        for (const std::string& d : http_domains) trace_tasks.push_back({ep, &d, &http_opts});
-        for (const std::string& d : https_domains) trace_tasks.push_back({ep, &d, &https_opts});
+        for (std::size_t d = 0; d < http_domains.size(); ++d) {
+          trace_tasks.push_back({ep, &http_domains[d], http_hashes[d], &http_opts});
+        }
+        for (std::size_t d = 0; d < https_domains.size(); ++d) {
+          trace_tasks.push_back({ep, &https_domains[d], https_hashes[d], &https_opts});
+        }
       }
       for (const TraceTask& t : trace_tasks) {
         trace_stage.ids.push_back(code + ":trace:" + t.endpoint.str() + ":" + *t.domain +
                                   ":" + std::string(trace::probe_protocol_name(t.opts->protocol)));
-        trace_stage.identity.push_back(scenario::task_key(
-            t.endpoint.value(), *t.domain, static_cast<std::uint64_t>(t.opts->protocol)));
+        trace_stage.identity.push_back(scenario::task_key_hashed(
+            t.endpoint.value(), t.dhash, static_cast<std::uint64_t>(t.opts->protocol)));
         trace_stage.cache_keys.push_back(task_cache_key(net_fp, spec.seed, fault_fp, "trace",
                                                         trace_stage.ids.back(),
                                                         t.opts->fingerprint() ^ plan_fp));
@@ -346,6 +366,23 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
         if (pb != device_probes.end()) m.banner = pb->second;
       }
       result.measurements.push_back(std::move(m));
+    }
+
+    // Executor overhead + replica path-cache stats for this country's
+    // pool (if one was created) — wall domain, --perf-report only.
+    if (observer != nullptr && exec != nullptr) {
+      obs::Registry& m = observer->metrics();
+      const scenario::ExecutorPerf& p = exec->perf();
+      m.counter("perf.clone_ns", obs::Domain::kWall)
+          .inc(p.clone_ns.load(std::memory_order_relaxed));
+      m.counter("perf.reset_ns", obs::Domain::kWall)
+          .inc(p.reset_ns.load(std::memory_order_relaxed));
+      m.counter("perf.tasks", obs::Domain::kWall)
+          .inc(p.tasks.load(std::memory_order_relaxed));
+      m.counter("perf.batches", obs::Domain::kWall)
+          .inc(p.batches.load(std::memory_order_relaxed));
+      m.counter("pathcache.hits", obs::Domain::kWall).inc(exec->path_cache_hits());
+      m.counter("pathcache.misses", obs::Domain::kWall).inc(exec->path_cache_misses());
     }
   }
 

@@ -1,5 +1,7 @@
 #include "censor/device.hpp"
 
+#include <cstring>
+
 #include "censor/dpi.hpp"
 #include "core/strings.hpp"
 #include "net/dns.hpp"
@@ -17,39 +19,72 @@ std::string_view block_action_name(BlockAction a) {
   return "?";
 }
 
-bool Device::payload_triggers(BytesView payload) const {
+bool Device::payload_triggers_uncached(BytesView payload) const {
   if (payload.empty()) return false;
   if (looks_like_tls(payload)) {
-    std::optional<std::string> sni = dpi_parse_sni(payload, config_.tls_quirks);
-    return sni && config_.sni_rules.matches(*sni);
+    std::optional<std::string> sni = dpi_parse_sni(payload, config_->tls_quirks);
+    return sni && config_->sni_rules.matches(*sni);
   }
   if (net::looks_like_tcp_dns(payload)) {
-    if (config_.dns_rules.empty()) return false;
+    if (config_->dns_rules.empty()) return false;
     try {
       net::DnsMessage query = net::DnsMessage::parse_tcp(payload);
       return !query.is_response && !query.questions.empty() &&
-             config_.dns_rules.matches(query.questions.front().qname);
+             config_->dns_rules.matches(query.questions.front().qname);
     } catch (const ParseError&) {
       return false;
     }
   }
   std::optional<HttpDpiResult> http =
-      dpi_parse_http(to_string(payload), config_.http_quirks);
+      dpi_parse_http(to_string(payload), config_->http_quirks);
   if (!http) return false;
-  const DomainRule* rule = config_.http_rules.first_match(http->host);
+  const DomainRule* rule = config_->http_rules.first_match(http->host);
   if (rule == nullptr) return false;
-  if (config_.http_quirks.url_includes_path && http->path != "/") return false;
+  if (config_->http_quirks.url_includes_path && http->path != "/") return false;
   return true;
 }
 
+namespace {
+std::uint64_t fnv1a(BytesView payload) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint8_t b : payload) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+bool Device::payload_triggers(BytesView payload) const {
+  if (payload.empty()) return false;
+  // The verdict is a pure function of (payload bytes, config): safe to
+  // memoize. Exact-bytes match — the hash only narrows the scan; memcmp
+  // decides, so fault-mangled payload variants can never alias.
+  const std::uint64_t hash = fnv1a(payload);
+  for (const DpiCacheEntry& e : dpi_cache_) {
+    if (e.hash == hash && e.len == payload.size() &&
+        std::memcmp(e.data, payload.data(), payload.size()) == 0) {
+      return e.triggers;
+    }
+  }
+  bool triggers = payload_triggers_uncached(payload);
+  if (dpi_cache_.size() < kDpiCacheCap) {
+    auto* copy = dpi_arena_.allocate_array<std::uint8_t>(payload.size());
+    std::memcpy(copy, payload.data(), payload.size());
+    dpi_cache_.push_back(
+        {hash, copy, static_cast<std::uint32_t>(payload.size()), triggers});
+  }
+  return triggers;
+}
+
 BlockAction Device::effective_action(const net::Packet& packet) const {
-  if (config_.tls_action && looks_like_tls(packet.payload)) return *config_.tls_action;
-  return config_.action;
+  if (config_->tls_action && looks_like_tls(packet.payload)) return *config_->tls_action;
+  return config_->action;
 }
 
 std::vector<net::Packet> Device::craft_injections(const net::Packet& trigger,
                                                   BlockAction action) const {
-  const InjectionProfile& prof = config_.injection;
+  const InjectionProfile& prof = config_->injection;
   std::vector<net::Packet> out;
 
   auto base = [&](std::uint8_t flags) {
@@ -87,8 +122,8 @@ std::vector<net::Packet> Device::craft_injections(const net::Packet& trigger,
         // or NXDOMAIN when no sinkhole is configured).
         try {
           net::DnsMessage query = net::DnsMessage::parse_tcp(trigger.payload);
-          net::DnsMessage forged = config_.dns_sinkhole
-                                       ? net::make_dns_response(query, *config_.dns_sinkhole)
+          net::DnsMessage forged = config_->dns_sinkhole
+                                       ? net::make_dns_response(query, *config_->dns_sinkhole)
                                        : net::make_dns_nxdomain(query);
           page.payload = forged.serialize_tcp();
           out.push_back(std::move(page));
@@ -97,7 +132,7 @@ std::vector<net::Packet> Device::craft_injections(const net::Packet& trigger,
         break;
       }
       net::HttpResponse resp = net::HttpResponse::make(403, "Forbidden",
-                                                       config_.blockpage_html);
+                                                       config_->blockpage_html);
       page.payload = to_bytes(resp.serialize());
       out.push_back(std::move(page));
       // Real blockpage injectors tear the connection down after the page.
@@ -123,8 +158,9 @@ Verdict Device::inspect(const net::Packet& packet, SimTime now) {
 
   v.triggered = true;
   ++trigger_count_;
-  if (config_.residual_block_ms > 0) {
-    residual_until_[pair] = now + config_.residual_block_ms;
+  dirty_ = true;
+  if (config_->residual_block_ms > 0) {
+    residual_until_[pair] = now + config_->residual_block_ms;
   }
 
   // Per-flow injection budget (§4.1: some middleboxes inject a limited
@@ -132,15 +168,15 @@ Verdict Device::inspect(const net::Packet& packet, SimTime now) {
   FlowKey flow{packet.ip.src.value(), packet.ip.dst.value(), packet.tcp.src_port,
                packet.tcp.dst_port};
   int& injected = flow_injections_[flow];
-  bool budget_ok = config_.injection.max_injections_per_flow < 0 ||
-                   injected < config_.injection.max_injections_per_flow;
+  bool budget_ok = config_->injection.max_injections_per_flow < 0 ||
+                   injected < config_->injection.max_injections_per_flow;
 
   BlockAction action = effective_action(packet);
   if (action == BlockAction::kDrop) {
     // Drop-based censorship: only inline devices can actually remove the
     // packet; an on-path tap configured to "drop" cannot and the packet
     // sails through (the paper notes on-path devices must inject).
-    v.drop = !config_.on_path;
+    v.drop = !config_->on_path;
     return v;
   }
 
@@ -149,16 +185,16 @@ Verdict Device::inspect(const net::Packet& packet, SimTime now) {
     ++injected;
   }
   // Inline injectors consume the original packet; taps cannot.
-  v.drop = !config_.on_path;
+  v.drop = !config_->on_path;
   return v;
 }
 
 bool Device::udp_payload_triggers(BytesView payload) const {
-  if (payload.empty() || config_.dns_rules.empty()) return false;
+  if (payload.empty() || config_->dns_rules.empty()) return false;
   try {
     net::DnsMessage query = net::DnsMessage::parse(payload);
     return !query.is_response && !query.questions.empty() &&
-           config_.dns_rules.matches(query.questions.front().qname);
+           config_->dns_rules.matches(query.questions.front().qname);
   } catch (const ParseError&) {
     return false;
   }
@@ -174,13 +210,14 @@ UdpVerdict Device::inspect_udp(const net::UdpDatagram& datagram, SimTime now) {
   if (!content_trigger && !(residual_active && !datagram.payload.empty())) return v;
   v.triggered = true;
   ++trigger_count_;
-  if (config_.residual_block_ms > 0) {
-    residual_until_[pair] = now + config_.residual_block_ms;
+  dirty_ = true;
+  if (config_->residual_block_ms > 0) {
+    residual_until_[pair] = now + config_->residual_block_ms;
   }
 
-  BlockAction action = config_.action;
+  BlockAction action = config_->action;
   if (action == BlockAction::kDrop) {
-    v.drop = !config_.on_path;
+    v.drop = !config_->on_path;
     return v;
   }
   // Any injecting action on UDP means forging an answer: there is no
@@ -189,16 +226,16 @@ UdpVerdict Device::inspect_udp(const net::UdpDatagram& datagram, SimTime now) {
   if (content_trigger) {
     try {
       net::DnsMessage query = net::DnsMessage::parse(datagram.payload);
-      net::DnsMessage forged = config_.dns_sinkhole
-                                   ? net::make_dns_response(query, *config_.dns_sinkhole)
+      net::DnsMessage forged = config_->dns_sinkhole
+                                   ? net::make_dns_response(query, *config_->dns_sinkhole)
                                    : net::make_dns_nxdomain(query);
       net::UdpDatagram reply;
       reply.ip.src = datagram.ip.dst;  // spoofed as the resolver
       reply.ip.dst = datagram.ip.src;
-      reply.ip.ttl = config_.injection.copy_ttl_from_trigger ? datagram.ip.ttl
-                                                             : config_.injection.init_ttl;
-      reply.ip.identification = config_.injection.ip_id;
-      reply.ip.flags = config_.injection.ip_flags;
+      reply.ip.ttl = config_->injection.copy_ttl_from_trigger ? datagram.ip.ttl
+                                                             : config_->injection.init_ttl;
+      reply.ip.identification = config_->injection.ip_id;
+      reply.ip.flags = config_->injection.ip_flags;
       reply.udp.src_port = datagram.udp.dst_port;
       reply.udp.dst_port = datagram.udp.src_port;
       reply.payload = forged.serialize();
@@ -206,13 +243,15 @@ UdpVerdict Device::inspect_udp(const net::UdpDatagram& datagram, SimTime now) {
     } catch (const ParseError&) {
     }
   }
-  v.drop = !config_.on_path;
+  v.drop = !config_->on_path;
   return v;
 }
 
 void Device::reset_state() {
+  if (!dirty_) return;  // nothing touched since the last reset
   flow_injections_.clear();
   residual_until_.clear();
+  dirty_ = false;
 }
 
 }  // namespace cen::censor

@@ -11,14 +11,16 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "censor/quirks.hpp"
 #include "censor/rules.hpp"
+#include "core/arena.hpp"
 #include "core/clock.hpp"
+#include "core/flat_map.hpp"
 #include "net/packet.hpp"
 #include "net/udp.hpp"
 
@@ -114,7 +116,13 @@ struct UdpVerdict {
 
 class Device {
  public:
-  explicit Device(DeviceConfig config) : config_(std::move(config)) {}
+  explicit Device(DeviceConfig config)
+      : config_(std::make_shared<const DeviceConfig>(std::move(config))) {}
+  /// Share an existing (immutable) configuration — the clone() path:
+  /// worker replicas get fresh runtime state but reference the same
+  /// config instead of deep-copying its rule sets and strings.
+  explicit Device(std::shared_ptr<const DeviceConfig> config)
+      : config_(std::move(config)) {}
 
   /// Inspect a client→endpoint packet seen at the device's deployment
   /// point. `now` drives residual-state expiry.
@@ -132,8 +140,13 @@ class Device {
   /// The UDP oracle: bare (unframed) DNS messages.
   bool udp_payload_triggers(BytesView payload) const;
 
-  const DeviceConfig& config() const { return config_; }
+  const DeviceConfig& config() const { return *config_; }
+  /// The shared configuration handle (clone() passes it to replicas).
+  const std::shared_ptr<const DeviceConfig>& config_ptr() const { return config_; }
   /// Clear all per-flow and residual state (fresh measurement epoch).
+  /// Cheap when the device never triggered since the last reset — the
+  /// dirty flag makes the per-task sub-epoch rollback a no-op for the
+  /// (common) devices a task's flow never touched.
   void reset_state();
   /// Number of times the device has triggered since construction/reset.
   std::size_t trigger_count() const { return trigger_count_; }
@@ -149,14 +162,34 @@ class Device {
     auto operator<=>(const PairKey&) const = default;
   };
 
+  /// Memoized DPI verdict. `payload_triggers` is a pure function of the
+  /// payload bytes and the (immutable) config: no RNG, no state. The
+  /// measurement loop re-sends the same handful of payloads hundreds of
+  /// times (11 sweep repetitions x hops x retries), so a tiny exact-bytes
+  /// cache removes the dominant parse cost. Entries store their bytes in
+  /// a per-device arena (contiguous, allocation-free on reuse); the cache
+  /// stops admitting entries at the cap so fuzz-stage payload diversity
+  /// cannot bloat it.
+  struct DpiCacheEntry {
+    std::uint64_t hash = 0;
+    const std::uint8_t* data = nullptr;
+    std::uint32_t len = 0;
+    bool triggers = false;
+  };
+  static constexpr std::size_t kDpiCacheCap = 48;
+
   BlockAction effective_action(const net::Packet& packet) const;
   std::vector<net::Packet> craft_injections(const net::Packet& trigger,
                                             BlockAction action) const;
+  bool payload_triggers_uncached(BytesView payload) const;
 
-  DeviceConfig config_;
-  std::map<FlowKey, int> flow_injections_;
-  std::map<PairKey, SimTime> residual_until_;
+  std::shared_ptr<const DeviceConfig> config_;
+  core::FlatMap<FlowKey, int> flow_injections_;
+  core::FlatMap<PairKey, SimTime> residual_until_;
   std::size_t trigger_count_ = 0;
+  bool dirty_ = false;
+  mutable std::vector<DpiCacheEntry> dpi_cache_;
+  mutable core::Arena dpi_arena_{4 * 1024};
 };
 
 }  // namespace cen::censor

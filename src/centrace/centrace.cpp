@@ -298,7 +298,11 @@ HopObservation CenTrace::probe(net::Ipv4Address endpoint, const Bytes& payload, 
     if (attempt > 0 && o != nullptr) o->tools().trace_retries->inc();
     sim::Connection conn = network_.open_connection(client_, endpoint, port);
     if (conn.connect() != sim::ConnectResult::kEstablished) continue;
-    std::vector<sim::Event> events = conn.send(payload, static_cast<std::uint8_t>(ttl));
+    // Reuse one event buffer across every probe of the instance: a sweep
+    // fires max_ttl x repetitions sends, and the per-send vector was a
+    // measurable slice of the malloc load.
+    std::vector<sim::Event>& events = events_scratch_;
+    conn.send_into(payload, static_cast<std::uint8_t>(ttl), events);
     if (events.empty()) continue;  // transient loss or genuine drop: retry
     if (attempt > 0) {
       ++loss_recovered_probes_;
@@ -353,9 +357,11 @@ SingleTrace CenTrace::sweep(net::Ipv4Address endpoint, const std::string& domain
 
   int consecutive_timeouts = 0;
   for (int ttl = 1; ttl <= options_.max_ttl; ++ttl) {
-    HopObservation obs = probe(endpoint, payload, ttl, domain,
-                               /*allow_retries=*/!trace.channel_dead);
-    trace.hops.push_back(obs);
+    trace.hops.push_back(probe(endpoint, payload, ttl, domain,
+                               /*allow_retries=*/!trace.channel_dead));
+    // Move-constructed in place above (a HopObservation carries whole
+    // packets); read it back by reference.
+    const HopObservation& obs = trace.hops.back();
     // Stateful censors track flows for a window; CenTrace spaces probes out
     // (the simulated clock makes the 120 s wait free).
     network_.clock().advance(options_.inter_probe_wait);

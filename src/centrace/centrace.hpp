@@ -20,12 +20,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "centrace/icmp_diff.hpp"
+#include "core/flat_map.hpp"
 #include "geo/asdb.hpp"
 #include "netsim/engine.hpp"
 
@@ -284,7 +284,14 @@ class CenTrace {
   /// Sweeps of the current measurement that hit the dead-channel abort.
   int dead_channel_sweeps_ = 0;
   /// Serialized payloads by domain, built once instead of per sweep.
-  std::map<std::string, Bytes> payload_cache_;
+  /// Flat storage: a measurement touches two domains (test + control), so
+  /// lookups are a short sorted-vector scan. References returned by
+  /// payload_for() are invalidated by the next insertion — callers hold
+  /// them for at most one sweep, and sweeps never insert.
+  core::FlatMap<std::string, Bytes> payload_cache_;
+  /// Reusable event buffer for probe() sends (cleared by send_into); keeps
+  /// the per-probe vector allocation out of the hot loop.
+  std::vector<sim::Event> events_scratch_;
 };
 
 struct DegradationPlan;  // centrace/degrade.hpp

@@ -118,12 +118,12 @@ struct SweepOutcome {
 /// One full sweep: install the plan, rebase the epoch, connect, walk the
 /// TTL ladder, optionally fire a UDP DNS probe. `verify` runs the
 /// per-event checks (only on the first pass; the replay pass just records
-/// the transcript).
+/// the transcript). `net` is normally the scenario's own network, but the
+/// clone-identity check passes a clone() replica instead.
 SweepOutcome run_sweep(CaseContext& ctx, scenario::CountryScenario& sc,
-                       const SweepConfig& cfg, bool verify) {
+                       sim::Network& net, const SweepConfig& cfg, bool verify) {
   SweepOutcome out;
   obs::Observer observer;
-  sim::Network& net = *sc.network;
   sim::ScopedObserver scoped(net, &observer);
   net.set_fault_plan(cfg.plan);
   net.reset_epoch(cfg.epoch_seed);
@@ -245,13 +245,13 @@ void run_invariant_case(CaseContext& ctx) {
   scenario::CountryScenario& sc = cached_scenario(country);
   const SweepConfig cfg = random_config(ctx, sc);
 
-  const SweepOutcome first = run_sweep(ctx, sc, cfg, true);
+  const SweepOutcome first = run_sweep(ctx, sc, *sc.network, cfg, true);
 
   // Hermetic-epoch replay: the same plan and epoch seed must reproduce
   // the exact capture and counters, byte for byte. Sampled (it doubles
   // the cost of a case), but across a run every country gets coverage.
   if (ctx.case_seed % 4 == 0) {
-    const SweepOutcome replay = run_sweep(ctx, sc, cfg, false);
+    const SweepOutcome replay = run_sweep(ctx, sc, *sc.network, cfg, false);
     ctx.expect(replay.transcript == first.transcript, "invariant/replay",
                "same-seed replay produced a different event transcript (" +
                    std::to_string(first.transcript.size()) + " vs " +
@@ -260,6 +260,25 @@ void run_invariant_case(CaseContext& ctx) {
                    replay.duplicates == first.duplicates &&
                    replay.established == first.established,
                "invariant/replay", "same-seed replay produced different counters");
+  }
+
+  // Clone identity: a clone() replica reset to the same epoch must emit a
+  // byte-identical transcript — the contract the parallel executor rests
+  // on. The replica shares the prototype's topology paths, endpoint map,
+  // geo database and device configs copy-on-write, so any state leaking
+  // through those shared structures (or any divergence in the rebuilt
+  // per-replica device/RNG state) shows up here as a transcript diff.
+  if (ctx.case_seed % 4 == 1) {
+    const std::unique_ptr<sim::Network> replica = sc.network->clone();
+    const SweepOutcome mirror = run_sweep(ctx, sc, *replica, cfg, false);
+    ctx.expect(mirror.transcript == first.transcript, "invariant/clone",
+               "clone() replica produced a different event transcript (" +
+                   std::to_string(first.transcript.size()) + " vs " +
+                   std::to_string(mirror.transcript.size()) + " bytes)");
+    ctx.expect(mirror.icmp_quotes == first.icmp_quotes &&
+                   mirror.duplicates == first.duplicates &&
+                   mirror.established == first.established,
+               "invariant/clone", "clone() replica produced different counters");
   }
 
   // Tomography solver law: the minimal-blocking-link-set output depends

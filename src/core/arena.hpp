@@ -1,0 +1,122 @@
+// Bump-pointer arena for short-lived simulation scratch.
+//
+// The measurement hot loop allocates the same shapes over and over:
+// payload copies, DPI cache entries, quoted-ICMP staging. A bump arena
+// turns each of those into a pointer increment; reset() rewinds the
+// cursor without returning memory to the OS, so a worker's steady state
+// performs zero heap traffic per batch. Blocks grow geometrically and are
+// retained across resets (the second batch never allocates again).
+//
+// Not thread-safe by design: every arena is owned by exactly one worker
+// (per-replica, per-device), matching the pipeline's share-nothing model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace cen::core {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Aligned raw allocation. Oversized requests get a dedicated block
+  /// (also retained and reused across resets in block order).
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    ++allocations_;
+    for (;;) {
+      if (current_ < blocks_.size()) {
+        Block& b = blocks_[current_];
+        std::size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+        if (aligned + bytes <= b.size) {
+          offset_ = aligned + bytes;
+          in_use_ += bytes;
+          return b.data.get() + aligned;
+        }
+        ++current_;
+        offset_ = 0;
+        continue;
+      }
+      std::size_t size = block_bytes_;
+      while (size < bytes + align) size *= 2;
+      blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+      reserved_ += size;
+      // Loop back: the fresh block is now blocks_[current_].
+    }
+  }
+
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewind to empty, keeping every block for reuse.
+  void reset() {
+    current_ = 0;
+    offset_ = 0;
+    in_use_ = 0;
+  }
+
+  /// Return all memory to the OS (blocks are dropped).
+  void release() {
+    blocks_.clear();
+    reset();
+    reserved_ = 0;
+  }
+
+  std::size_t bytes_in_use() const { return in_use_; }
+  std::size_t bytes_reserved() const { return reserved_; }
+  std::size_t block_count() const { return blocks_.size(); }
+  std::uint64_t allocations() const { return allocations_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;   // index of the block being bumped
+  std::size_t offset_ = 0;    // bump cursor within blocks_[current_]
+  std::size_t in_use_ = 0;
+  std::size_t reserved_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+/// Minimal std-compatible allocator over an Arena. Deallocation is a
+/// no-op — memory comes back at the owner's next Arena::reset(). Suitable
+/// for containers whose lifetime is bounded by a batch.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) { return arena_->allocate_array<T>(n); }
+  void deallocate(T*, std::size_t) {}  // reclaimed wholesale by reset()
+
+  Arena* arena() const { return arena_; }
+
+  bool operator==(const ArenaAllocator& other) const { return arena_ == other.arena_; }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace cen::core

@@ -1,0 +1,143 @@
+// Sorted-vector associative container for simulation hot paths.
+//
+// The engine's per-hop lookups (attachments, endpoints, fault overrides,
+// token buckets, IP index) previously lived in node-based std::map /
+// std::unordered_map: every insert a heap allocation, every lookup a
+// pointer chase, every Network::clone() a rebuild of the whole tree.
+// FlatMap stores its entries contiguously in key order, so lookups are a
+// cache-friendly binary search, iteration is a linear scan, and copying a
+// map (the clone path) is one vector memcpy.
+//
+// Semantics deliberately mirror the std::map subset the codebase uses —
+// key-sorted iteration (fingerprints and JSON exports depend on it),
+// first-wins emplace, overwriting operator[]/insert_or_assign, erase by
+// key or iterator — so swapping container types cannot change observable
+// behaviour. The equivalence is locked by tests/test_flat_containers.cpp,
+// which drives FlatMap and std::map with identical operation sequences.
+//
+// Trade-off: insert/erase are O(n) moves. The maps this replaces are
+// small (tens of entries, built once at scenario construction) and read
+// millions of times, which is exactly the shape that favours flat storage.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace cen::core {
+
+template <typename Key, typename T, typename Compare = std::less<Key>>
+class FlatMap {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+  using value_type = std::pair<Key, T>;
+  using storage_type = std::vector<value_type>;
+  using iterator = typename storage_type::iterator;
+  using const_iterator = typename storage_type::const_iterator;
+  using size_type = std::size_t;
+
+  FlatMap() = default;
+  explicit FlatMap(Compare cmp) : cmp_(std::move(cmp)) {}
+
+  iterator begin() { return data_.begin(); }
+  iterator end() { return data_.end(); }
+  const_iterator begin() const { return data_.begin(); }
+  const_iterator end() const { return data_.end(); }
+  const_iterator cbegin() const { return data_.cbegin(); }
+  const_iterator cend() const { return data_.cend(); }
+
+  bool empty() const { return data_.empty(); }
+  size_type size() const { return data_.size(); }
+  void clear() { data_.clear(); }
+  void reserve(size_type n) { data_.reserve(n); }
+
+  iterator lower_bound(const Key& key) {
+    return std::lower_bound(data_.begin(), data_.end(), key,
+                            [this](const value_type& v, const Key& k) {
+                              return cmp_(v.first, k);
+                            });
+  }
+  const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(data_.begin(), data_.end(), key,
+                            [this](const value_type& v, const Key& k) {
+                              return cmp_(v.first, k);
+                            });
+  }
+
+  iterator find(const Key& key) {
+    iterator it = lower_bound(key);
+    if (it != data_.end() && !cmp_(key, it->first)) return it;
+    return data_.end();
+  }
+  const_iterator find(const Key& key) const {
+    const_iterator it = lower_bound(key);
+    if (it != data_.end() && !cmp_(key, it->first)) return it;
+    return data_.end();
+  }
+
+  size_type count(const Key& key) const { return find(key) != end() ? 1 : 0; }
+  bool contains(const Key& key) const { return find(key) != end(); }
+
+  T& at(const Key& key) {
+    iterator it = find(key);
+    if (it == end()) throw std::out_of_range("FlatMap::at: key not found");
+    return it->second;
+  }
+  const T& at(const Key& key) const {
+    const_iterator it = find(key);
+    if (it == end()) throw std::out_of_range("FlatMap::at: key not found");
+    return it->second;
+  }
+
+  /// Default-constructs the mapped value on first access (std::map
+  /// operator[] semantics).
+  T& operator[](const Key& key) {
+    iterator it = lower_bound(key);
+    if (it != data_.end() && !cmp_(key, it->first)) return it->second;
+    it = data_.insert(it, value_type(key, T{}));
+    return it->second;
+  }
+
+  /// First-wins insertion: an existing key keeps its value (std::map
+  /// emplace/insert semantics).
+  template <typename K, typename V>
+  std::pair<iterator, bool> emplace(K&& key, V&& value) {
+    Key k(std::forward<K>(key));
+    iterator it = lower_bound(k);
+    if (it != data_.end() && !cmp_(k, it->first)) return {it, false};
+    it = data_.insert(it, value_type(std::move(k), T(std::forward<V>(value))));
+    return {it, true};
+  }
+
+  /// Insert-or-overwrite (std::map insert_or_assign semantics).
+  template <typename V>
+  std::pair<iterator, bool> insert_or_assign(const Key& key, V&& value) {
+    iterator it = lower_bound(key);
+    if (it != data_.end() && !cmp_(key, it->first)) {
+      it->second = std::forward<V>(value);
+      return {it, false};
+    }
+    it = data_.insert(it, value_type(key, T(std::forward<V>(value))));
+    return {it, true};
+  }
+
+  size_type erase(const Key& key) {
+    iterator it = find(key);
+    if (it == end()) return 0;
+    data_.erase(it);
+    return 1;
+  }
+  iterator erase(const_iterator it) { return data_.erase(it); }
+
+  bool operator==(const FlatMap& other) const { return data_ == other.data_; }
+
+ private:
+  storage_type data_;
+  Compare cmp_;
+};
+
+}  // namespace cen::core

@@ -43,13 +43,25 @@ int ThreadPool::hardware_threads() {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(int, std::size_t)>& fn) {
+  const std::function<void(int, std::size_t, std::size_t)> adapter =
+      [&fn](int worker, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(worker, i);
+      };
+  parallel_for_chunked(count, 1, adapter);
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t count, std::size_t chunk,
+    const std::function<void(int, std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
+  if (chunk == 0) chunk = 1;
   PoolStats* stats = nullptr;
   std::uint64_t t0 = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &fn;
     job_count_ = count;
+    job_chunk_ = chunk;
     cursor_.store(0, std::memory_order_relaxed);
     workers_running_ = workers_.size();
     error_ = nullptr;
@@ -82,8 +94,9 @@ void ThreadPool::parallel_for(std::size_t count,
 void ThreadPool::worker_loop(int id) {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    const std::function<void(int, std::size_t)>* job = nullptr;
+    const std::function<void(int, std::size_t, std::size_t)>* job = nullptr;
     std::size_t count = 0;
+    std::size_t chunk = 1;
     PoolStats* stats = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -93,14 +106,16 @@ void ThreadPool::worker_loop(int id) {
       seen_generation = generation_;
       job = job_;
       count = job_count_;
+      chunk = job_chunk_;
       stats = stats_;
     }
     for (;;) {
-      std::size_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
-      if (index >= count) break;
+      std::size_t begin = cursor_.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) break;
+      std::size_t end = std::min(count, begin + chunk);
       std::uint64_t t0 = stats != nullptr ? now_ns() : 0;
       try {
-        (*job)(id, index);
+        (*job)(id, begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);
         if (!error_) error_ = std::current_exception();

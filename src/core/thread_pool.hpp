@@ -61,6 +61,16 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(int, std::size_t)>& fn);
 
+  /// Chunked dispatch: fn(worker_id, begin, end) processes the contiguous
+  /// index range [begin, end), end - begin <= chunk. One atomic cursor
+  /// bump claims a whole chunk, so dispatch overhead (and cache-line
+  /// contention on the cursor) is paid once per `chunk` tasks instead of
+  /// once per task, and a worker's consecutive tasks share locality.
+  /// Determinism is unaffected: chunking changes only how indices are
+  /// *claimed*, never what any index computes.
+  void parallel_for_chunked(std::size_t count, std::size_t chunk,
+                            const std::function<void(int, std::size_t, std::size_t)>& fn);
+
   /// std::thread::hardware_concurrency with a sane floor of 1.
   static int hardware_threads();
 
@@ -73,8 +83,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   // Current job (guarded by mu_ for publication; cursor is atomic).
-  const std::function<void(int, std::size_t)>* job_ = nullptr;
+  const std::function<void(int, std::size_t, std::size_t)>* job_ = nullptr;
   std::size_t job_count_ = 0;
+  std::size_t job_chunk_ = 1;
   std::atomic<std::size_t> cursor_{0};
   std::size_t workers_running_ = 0;
   std::uint64_t generation_ = 0;

@@ -13,20 +13,42 @@ constexpr std::uint64_t kFaultSeedSalt = 0x66616c7453696dULL;
 
 Network::Network(Topology topology, geo::IpMetadataDb geodb, std::uint64_t seed)
     : topology_(std::move(topology)),
-      geodb_(std::move(geodb)),
+      geodb_(std::make_shared<const geo::IpMetadataDb>(std::move(geodb))),
       seed_(seed),
       rng_(seed),
       faults_(mix64(seed ^ kFaultSeedSalt)) {}
 
-std::unique_ptr<Network> Network::clone() const {
-  auto replica = std::make_unique<Network>(topology_, geodb_, seed_);
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
-    replica->attach_device(device_nodes_[i],
-                           std::make_shared<censor::Device>(devices_[i]->config()));
+Network::Network(const Network& other, CloneTag)
+    : topology_(other.topology_),  // shares the frozen ECMP path snapshot
+      geodb_(other.geodb_),        // immutable, shared by reference
+      seed_(other.seed_),
+      rng_(other.seed_),
+      faults_(mix64(other.seed_ ^ kFaultSeedSalt)),
+      endpoints_(other.endpoints_) {  // COW-shared (detached on mutation)
+  faults_.set_plan(other.faults_.plan());
+  attachments_.reserve(other.attachments_.size());
+  devices_.reserve(other.devices_.size());
+  device_nodes_.reserve(other.device_nodes_.size());
+  for (std::size_t i = 0; i < other.devices_.size(); ++i) {
+    // Fresh runtime state, shared immutable configuration.
+    attach_device(other.device_nodes_[i],
+                  std::make_shared<censor::Device>(other.devices_[i]->config_ptr()));
   }
-  replica->endpoints_ = endpoints_;
-  replica->faults_.set_plan(faults_.plan());
-  return replica;
+}
+
+std::unique_ptr<Network> Network::clone() const {
+  // Publish the prototype's computed ECMP paths as an immutable snapshot
+  // so every replica starts warm instead of deep-copying (or recomputing)
+  // the path cache — the dominant cost of the old clone().
+  topology_.freeze_paths();
+  return std::unique_ptr<Network>(new Network(*this, CloneTag{}));
+}
+
+Network::EndpointMap& Network::mutable_endpoints() {
+  if (endpoints_.use_count() > 1) {
+    endpoints_ = std::make_shared<EndpointMap>(*endpoints_);
+  }
+  return *endpoints_;
 }
 
 namespace {
@@ -120,8 +142,8 @@ std::uint64_t Network::fingerprint() const {
   FingerprintBuilder fp;
   fp.mix(topology_.fingerprint());
   fp.mix(seed_);
-  fp.mix(static_cast<std::uint64_t>(endpoints_.size()));
-  for (const auto& [ip, host] : endpoints_) {
+  fp.mix(static_cast<std::uint64_t>(endpoints_->size()));
+  for (const auto& [ip, host] : *endpoints_) {
     fp.mix(static_cast<std::uint64_t>(ip));
     mix_endpoint(fp, host.profile());
   }
@@ -158,7 +180,7 @@ void Network::attach_device(NodeId at, std::shared_ptr<censor::Device> device) {
 
 void Network::add_endpoint(NodeId node, EndpointProfile profile) {
   const Node& n = topology_.node(node);
-  endpoints_.emplace(n.ip.value(), EndpointHost(n.ip, std::move(profile)));
+  mutable_endpoints().emplace(n.ip.value(), EndpointHost(n.ip, std::move(profile)));
 }
 
 Connection Network::open_connection(NodeId client, net::Ipv4Address dst,
@@ -345,8 +367,8 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
       continue;
     }
 
-    auto ep_it = endpoints_.find(dgram.ip.dst.value());
-    if (ep_it == endpoints_.end()) return events;
+    auto ep_it = endpoints_->find(dgram.ip.dst.value());
+    if (ep_it == endpoints_->end()) return events;
     AppReply reply = ep_it->second.handle_udp_payload(dgram.payload, dst_port);
     if (reply.kind == AppReply::Kind::kData) {
       net::UdpDatagram answer = net::make_udp_datagram(
@@ -447,8 +469,8 @@ bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
     }
 
     // Final hop: the endpoint host.
-    auto ep_it = endpoints_.find(pkt.ip.dst.value());
-    if (ep_it == endpoints_.end()) return false;  // no listener: silence
+    auto ep_it = endpoints_->find(pkt.ip.dst.value());
+    if (ep_it == endpoints_->end()) return false;  // no listener: silence
     const EndpointHost& ep = ep_it->second;
 
     auto spoof_base = [&](std::uint8_t flags) {
@@ -554,16 +576,22 @@ ConnectResult Connection::connect() {
 
 std::vector<Event> Connection::send(Bytes payload, std::uint8_t ttl) {
   std::vector<Event> events;
-  if (!established_) return events;
+  send_into(payload, ttl, events);
+  return events;
+}
+
+void Connection::send_into(const Bytes& payload, std::uint8_t ttl,
+                           std::vector<Event>& events) {
+  events.clear();
+  if (!established_) return;
   const net::Ipv4Address src_ip = net_->topology_.node(client_).ip;
   net::Packet pkt = net::make_tcp_packet(
       src_ip, dst_, sport_, dport_, net::TcpFlags::kPsh | net::TcpFlags::kAck, next_seq_,
-      peer_seq_, std::move(payload), ttl);
+      peer_seq_, payload, ttl);
   next_seq_ += static_cast<std::uint32_t>(pkt.payload.size());
   last_sent_ = pkt;
   if (net_->capture_ != nullptr) net_->capture_->add(net_->now(), pkt.serialize());
   net_->forward_walk(std::move(pkt), path_, events, /*payload_phase=*/true);
-  return events;
 }
 
 }  // namespace cen::sim

@@ -16,11 +16,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <variant>
 #include <vector>
+
+#include "core/flat_map.hpp"
 
 #include "censor/device.hpp"
 #include "core/clock.hpp"
@@ -80,6 +81,11 @@ class Connection {
   /// packet the client receives back (empty = timeout).
   std::vector<Event> send(Bytes payload, std::uint8_t ttl = 64);
 
+  /// Allocation-free variant: clears `events` and fills it in place, so a
+  /// probe loop can reuse one vector (and its capacity) across attempts
+  /// instead of constructing a fresh one per send.
+  void send_into(const Bytes& payload, std::uint8_t ttl, std::vector<Event>& events);
+
   std::uint16_t source_port() const { return sport_; }
   const std::vector<NodeId>& path() const { return path_; }
   /// The exact packet most recently sent (pre-flight state) — the baseline
@@ -107,11 +113,16 @@ class Network {
  public:
   Network(Topology topology, geo::IpMetadataDb geodb, std::uint64_t seed = 1);
 
-  /// Deep-copy the network for a parallel worker: same topology, geo
-  /// metadata, endpoints, fault plan and construction seed, but *fresh*
-  /// device instances (no inherited flow/residual state), a rewound clock,
-  /// a reset ephemeral-port pool and no capture sink. Replicas are fully
-  /// independent — no state is shared with the original.
+  /// Copy the network for a parallel worker: same topology, geo metadata,
+  /// endpoints, fault plan and construction seed, but *fresh* device
+  /// instances (no inherited flow/residual state), a rewound clock, a
+  /// reset ephemeral-port pool and no capture sink. Replicas never share
+  /// *mutable* state with the original; immutable data — the geo DB, the
+  /// endpoint map, device configurations and the frozen ECMP path cache —
+  /// is shared by reference, which makes cloning cheap enough to pay per
+  /// worker without flattening the scaling curve. A replica that later
+  /// mutates shared structure (add_endpoint, topology edits) detaches its
+  /// own copy first (copy-on-write), so independence is preserved.
   std::unique_ptr<Network> clone() const;
 
   /// Reset all mutable simulation state to a deterministic epoch derived
@@ -134,7 +145,7 @@ class Network {
 
   Topology& topology() { return topology_; }
   const Topology& topology() const { return topology_; }
-  const geo::IpMetadataDb& geodb() const { return geodb_; }
+  const geo::IpMetadataDb& geodb() const { return *geodb_; }
   SimClock& clock() { return clock_; }
   const SimClock& clock() const { return clock_; }
   SimTime now() const { return clock_.now(); }
@@ -210,6 +221,16 @@ class Network {
     std::shared_ptr<censor::Device> device;
   };
 
+  /// Tag-dispatched replica constructor backing clone(): shares immutable
+  /// structure, re-creates mutable runtime state fresh.
+  struct CloneTag {};
+  Network(const Network& other, CloneTag);
+
+  using EndpointMap = core::FlatMap<std::uint32_t, EndpointHost>;
+  /// Copy-on-write access: detaches a private copy when the map is shared
+  /// with other replicas (endpoints added after cloning stay replica-local).
+  EndpointMap& mutable_endpoints();
+
   /// Walk a client→endpoint packet along `path`; fills `events` with
   /// everything delivered back to the client. Returns true if the packet
   /// reached the endpoint application.
@@ -239,7 +260,8 @@ class Network {
   std::uint16_t allocate_ephemeral_port();
 
   Topology topology_;
-  geo::IpMetadataDb geodb_;
+  /// Immutable after construction; shared across replicas.
+  std::shared_ptr<const geo::IpMetadataDb> geodb_;
   SimClock clock_;
   std::uint64_t seed_ = 1;
   Rng rng_;
@@ -250,8 +272,11 @@ class Network {
   /// test when observability is disabled.
   obs::EngineCounters* ec_ = nullptr;
   std::uint16_t next_ephemeral_port_ = kEphemeralPortFloor;
-  std::map<NodeId, std::vector<Attachment>> attachments_;
-  std::map<std::uint32_t, EndpointHost> endpoints_;  // by IP value
+  core::FlatMap<NodeId, std::vector<Attachment>> attachments_;
+  /// Endpoint hosts by IP value. Copy-on-write shared across replicas:
+  /// EndpointHost is stateless (all handlers const), so concurrent reads
+  /// of the shared map are race-free; any writer detaches first.
+  std::shared_ptr<EndpointMap> endpoints_ = std::make_shared<EndpointMap>();
   std::vector<std::shared_ptr<censor::Device>> devices_;
   /// Deployment node of devices_[i] (clone() rebuilds attachments in the
   /// original deployment order so device iteration order is preserved).

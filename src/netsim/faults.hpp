@@ -24,11 +24,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <utility>
 
 #include "core/bytes.hpp"
 #include "core/clock.hpp"
+#include "core/flat_map.hpp"
 #include "core/rng.hpp"
 #include "netsim/topology.hpp"
 
@@ -88,12 +88,14 @@ struct FaultPlan {
 
   /// Faults applied to every link without an override.
   FaultProfile default_link;
-  /// Per-link overrides, keyed by normalized (min, max) node pair.
-  std::map<std::pair<NodeId, NodeId>, FaultProfile> link_overrides;
+  /// Per-link overrides, keyed by normalized (min, max) node pair. Flat
+  /// sorted-vector maps: key-ordered iteration (fingerprint/inert depend
+  /// on it) with contiguous storage on the per-hop lookup path.
+  core::FlatMap<std::pair<NodeId, NodeId>, FaultProfile> link_overrides;
 
   /// ICMP faults applied to every router without an override.
   NodeFaultProfile default_node;
-  std::map<NodeId, NodeFaultProfile> node_overrides;
+  core::FlatMap<NodeId, NodeFaultProfile> node_overrides;
 
   /// Route flapping: every `route_flap_period` of simulated time the
   /// ECMP flow-hash salt changes, swapping flows onto different
@@ -187,7 +189,7 @@ class FaultInjector {
   FaultPlan plan_;
   std::uint64_t seed_;
   Rng rng_;
-  std::map<NodeId, TokenBucket> buckets_;
+  core::FlatMap<NodeId, TokenBucket> buckets_;
   bool active_ = false;
   obs::FaultCounters* counters_ = nullptr;
 };

@@ -18,7 +18,10 @@ NodeId Topology::add_node(std::string name, net::Ipv4Address ip, RouterProfile p
   nodes_.push_back(std::move(n));
   adjacency_.emplace_back();
   ip_index_.emplace(ip.value(), nodes_.back().id);
-  path_cache_.clear();
+  // Invalidate locally only: replicas sharing a frozen snapshot keep
+  // their own (still-valid-for-them) reference.
+  frozen_paths_.reset();
+  local_paths_.clear();
   return nodes_.back().id;
 }
 
@@ -26,7 +29,8 @@ void Topology::add_link(NodeId a, NodeId b) {
   if (a >= nodes_.size() || b >= nodes_.size()) throw std::out_of_range("bad node id");
   adjacency_[a].push_back(b);
   adjacency_[b].push_back(a);
-  path_cache_.clear();
+  frozen_paths_.reset();
+  local_paths_.clear();
 }
 
 std::optional<NodeId> Topology::find_by_ip(net::Ipv4Address ip) const {
@@ -35,11 +39,32 @@ std::optional<NodeId> Topology::find_by_ip(net::Ipv4Address ip) const {
   return it->second;
 }
 
+void Topology::freeze_paths() const {
+  if (local_paths_.empty() && frozen_paths_ != nullptr) return;
+  auto merged = std::make_shared<PathMap>();
+  if (frozen_paths_ != nullptr) *merged = *frozen_paths_;
+  merged->reserve(merged->size() + local_paths_.size());
+  for (const auto& [key, paths] : local_paths_) merged->insert_or_assign(key, paths);
+  frozen_paths_ = std::move(merged);
+  local_paths_.clear();
+}
+
 const std::vector<std::vector<NodeId>>& Topology::equal_cost_paths(NodeId src,
                                                                    NodeId dst) const {
-  auto key = std::make_pair(src, dst);
-  auto it = path_cache_.find(key);
-  if (it != path_cache_.end()) return it->second;
+  const PathKey key{src, dst};
+  if (frozen_paths_ != nullptr) {
+    auto it = frozen_paths_->find(key);
+    if (it != frozen_paths_->end()) {
+      ++path_cache_hits_;
+      return *it->second;
+    }
+  }
+  auto it = local_paths_.find(key);
+  if (it != local_paths_.end()) {
+    ++path_cache_hits_;
+    return *it->second;
+  }
+  ++path_cache_misses_;
 
   // BFS from src recording distances, then enumerate all shortest paths by
   // walking the BFS DAG from dst back to src.
@@ -86,9 +111,10 @@ const std::vector<std::vector<NodeId>>& Topology::equal_cost_paths(NodeId src,
     }
     std::sort(paths.begin(), paths.end());
   }
-  auto [ins, ok] = path_cache_.emplace(key, std::move(paths));
-  (void)ok;
-  return ins->second;
+  auto shared = std::make_shared<const EcmpPaths>(std::move(paths));
+  const EcmpPaths& ref = *shared;
+  local_paths_.emplace(key, std::move(shared));
+  return ref;
 }
 
 const std::vector<NodeId>& Topology::route(NodeId src, NodeId dst,

@@ -14,13 +14,14 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "censor/device.hpp"  // ServiceBanner, for router management planes
+#include "core/flat_map.hpp"
 #include "net/icmp.hpp"
 #include "net/ipv4.hpp"
 
@@ -83,11 +84,42 @@ class Topology {
   /// change it.
   std::uint64_t fingerprint() const;
 
+  /// Promote every locally cached (src, dst) path list into an immutable
+  /// shared snapshot. Copies of this topology (worker replicas) then share
+  /// the snapshot by reference instead of deep-copying the cache — the
+  /// dominant cost of the old Network::clone(). Logically const: the path
+  /// cache is memoization, not topology state. Safe to share across
+  /// threads because the snapshot is never mutated after creation; paths
+  /// computed *after* the freeze land in the instance-local cache.
+  void freeze_paths() const;
+
+  /// Path-cache effectiveness counters (host-scheduling dependent on
+  /// replicas — export them wall-domain only, never into deterministic
+  /// snapshots).
+  std::uint64_t path_cache_hits() const { return path_cache_hits_; }
+  std::uint64_t path_cache_misses() const { return path_cache_misses_; }
+  /// Entries in the shared frozen snapshot (0 before the first freeze).
+  std::size_t frozen_path_entries() const {
+    return frozen_paths_ ? frozen_paths_->size() : 0;
+  }
+
  private:
+  using EcmpPaths = std::vector<std::vector<NodeId>>;
+  using PathKey = std::pair<NodeId, NodeId>;
+  /// Values are shared_ptr so returned path references stay stable while
+  /// the flat map's backing vector grows, and so freezing/copying shares
+  /// the (immutable) path lists instead of duplicating them.
+  using PathMap = core::FlatMap<PathKey, std::shared_ptr<const EcmpPaths>>;
+
   std::vector<Node> nodes_;
   std::vector<std::vector<NodeId>> adjacency_;
-  std::unordered_map<std::uint32_t, NodeId> ip_index_;
-  mutable std::map<std::pair<NodeId, NodeId>, std::vector<std::vector<NodeId>>> path_cache_;
+  core::FlatMap<std::uint32_t, NodeId> ip_index_;
+  /// Immutable shared snapshot (read-only, shareable across replicas).
+  mutable std::shared_ptr<const PathMap> frozen_paths_;
+  /// Instance-local additions since the last freeze.
+  mutable PathMap local_paths_;
+  mutable std::uint64_t path_cache_hits_ = 0;
+  mutable std::uint64_t path_cache_misses_ = 0;
 };
 
 }  // namespace cen::sim

@@ -1,6 +1,17 @@
 #include "scenario/executor.hpp"
 
+#include <chrono>
+
 namespace cen::scenario {
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 int resolve_threads(int requested) {
   if (requested >= 1) return requested;
@@ -8,15 +19,24 @@ int resolve_threads(int requested) {
   return ThreadPool::hardware_threads();
 }
 
-std::uint64_t task_key(std::uint32_t endpoint, std::string_view domain,
-                       std::uint64_t tag) {
+std::uint64_t domain_hash(std::string_view domain) {
   std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
   for (char c : domain) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ULL;  // FNV-1a prime
   }
-  h ^= mix64((static_cast<std::uint64_t>(endpoint) << 16) ^ tag);
-  return mix64(h);
+  return h;
+}
+
+std::uint64_t task_key_hashed(std::uint32_t endpoint, std::uint64_t domain_hash,
+                              std::uint64_t tag) {
+  domain_hash ^= mix64((static_cast<std::uint64_t>(endpoint) << 16) ^ tag);
+  return mix64(domain_hash);
+}
+
+std::uint64_t task_key(std::uint32_t endpoint, std::string_view domain,
+                       std::uint64_t tag) {
+  return task_key_hashed(endpoint, domain_hash(domain), tag);
 }
 
 std::vector<std::uint64_t> derive_task_seeds(std::uint64_t network_seed,
@@ -34,19 +54,50 @@ std::vector<std::uint64_t> derive_task_seeds(std::uint64_t network_seed,
 
 ParallelExecutor::ParallelExecutor(const sim::Network& prototype, int threads)
     : pool_(resolve_threads(threads)) {
+  const std::uint64_t t0 = now_ns();
   replicas_.reserve(static_cast<std::size_t>(pool_.size()));
   for (int i = 0; i < pool_.size(); ++i) {
     replicas_.push_back(prototype.clone());
   }
+  perf_.clone_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+}
+
+std::uint64_t ParallelExecutor::path_cache_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& replica : replicas_) {
+    total += replica->topology().path_cache_hits();
+  }
+  return total;
+}
+
+std::uint64_t ParallelExecutor::path_cache_misses() const {
+  std::uint64_t total = 0;
+  for (const auto& replica : replicas_) {
+    total += replica->topology().path_cache_misses();
+  }
+  return total;
 }
 
 void ParallelExecutor::run(const std::vector<std::uint64_t>& seeds,
                            const std::function<void(sim::Network&, std::size_t)>& fn) {
-  pool_.parallel_for(seeds.size(), [&](int worker, std::size_t index) {
-    sim::Network& replica = *replicas_[static_cast<std::size_t>(worker)];
-    replica.reset_epoch(seeds[index]);
-    fn(replica, index);
-  });
+  const bool track = perf_tracking_;
+  pool_.parallel_for_chunked(
+      seeds.size(), batch_,
+      [&](int worker, std::size_t begin, std::size_t end) {
+        sim::Network& replica = *replicas_[static_cast<std::size_t>(worker)];
+        for (std::size_t i = begin; i < end; ++i) {
+          if (track) {
+            const std::uint64_t t0 = now_ns();
+            replica.reset_epoch(seeds[i]);
+            perf_.reset_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+          } else {
+            replica.reset_epoch(seeds[i]);
+          }
+          fn(replica, i);
+        }
+        perf_.tasks.fetch_add(end - begin, std::memory_order_relaxed);
+        perf_.batches.fetch_add(1, std::memory_order_relaxed);
+      });
 }
 
 }  // namespace cen::scenario

@@ -35,6 +35,18 @@ int resolve_threads(int requested);
 std::uint64_t task_key(std::uint32_t endpoint, std::string_view domain,
                        std::uint64_t tag);
 
+/// The domain-dependent half of task_key (FNV-1a over the bytes). Fan-outs
+/// iterate endpoints x domains, so hashing each domain once and combining
+/// with task_key_hashed() replaces O(endpoints x domains) string hashes
+/// with O(domains).
+std::uint64_t domain_hash(std::string_view domain);
+
+/// task_key() with the domain hash precomputed. Identity:
+/// task_key(e, d, t) == task_key_hashed(e, domain_hash(d), t) for all
+/// inputs — locked by tests/test_parallel.cpp.
+std::uint64_t task_key_hashed(std::uint32_t endpoint, std::uint64_t domain_hash,
+                              std::uint64_t tag);
+
 /// Substream seeds for an ordered task list. A base generator seeded from
 /// (network seed, stage salt) is forked once per slot — the fork chain
 /// encodes the task's position — and each fork's first draw is folded
@@ -44,8 +56,26 @@ std::vector<std::uint64_t> derive_task_seeds(std::uint64_t network_seed,
                                              std::uint64_t stage_salt,
                                              const std::vector<std::uint64_t>& keys);
 
+/// Executor overhead accounting (host-clock — wall domain only). clone_ns
+/// is always measured (one-time, construction); reset_ns is only sampled
+/// when perf tracking is enabled, so the default hot loop takes no
+/// per-task timestamps.
+struct ExecutorPerf {
+  std::atomic<std::uint64_t> clone_ns{0};  // replica construction (total)
+  std::atomic<std::uint64_t> reset_ns{0};  // summed reset_epoch time
+  std::atomic<std::uint64_t> tasks{0};     // tasks executed
+  std::atomic<std::uint64_t> batches{0};   // chunks dispatched
+};
+
 class ParallelExecutor {
  public:
+  /// Tasks claimed per dispatch (batched epochs): one cursor bump and one
+  /// replica-pointer load per batch instead of per task. Purely a
+  /// scheduling granularity — every task still gets its own hermetic
+  /// sub-epoch (reset_epoch is a cheap RNG re-seed + dirty-state
+  /// rollback), so results are byte-identical for ANY batch size.
+  static constexpr std::size_t kDefaultBatch = 16;
+
   /// Clone one replica of `prototype` per worker. The prototype is only
   /// read during construction; afterwards workers touch only their own
   /// replica.
@@ -57,6 +87,21 @@ class ParallelExecutor {
   /// pool. Must not be called while a run() is in flight.
   void set_stats(PoolStats* stats) { pool_.set_stats(stats); }
 
+  /// Override the batch size (0 is clamped to 1). Affects scheduling
+  /// only, never results.
+  void set_batch(std::size_t batch) { batch_ = batch == 0 ? 1 : batch; }
+  std::size_t batch() const { return batch_; }
+
+  /// Enable per-task reset_epoch timing (disabled by default; the
+  /// --perf-report path turns it on).
+  void set_perf_tracking(bool enabled) { perf_tracking_ = enabled; }
+  const ExecutorPerf& perf() const { return perf_; }
+
+  /// Aggregate ECMP path-cache statistics over all worker replicas
+  /// (scheduling-dependent — wall-domain reporting only).
+  std::uint64_t path_cache_hits() const;
+  std::uint64_t path_cache_misses() const;
+
   /// Run one hermetic task per seed: task i executes fn(replica, i) on a
   /// worker-private replica freshly reset_epoch(seeds[i]). fn must write
   /// its result into a caller-owned per-index slot (no shared mutable
@@ -67,6 +112,9 @@ class ParallelExecutor {
  private:
   ThreadPool pool_;
   std::vector<std::unique_ptr<sim::Network>> replicas_;
+  std::size_t batch_ = kDefaultBatch;
+  bool perf_tracking_ = false;
+  ExecutorPerf perf_;
 };
 
 }  // namespace cen::scenario

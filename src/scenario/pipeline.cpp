@@ -146,6 +146,27 @@ void export_pool_stats(obs::Observer& o, const PoolStats& ps, int workers) {
       .set_max(static_cast<std::int64_t>(ps.wall_ns.load(std::memory_order_relaxed)));
 }
 
+/// Export executor overhead accounting and the replicas' aggregate ECMP
+/// path-cache statistics. Everything here depends on scheduling and the
+/// host clock, so it is wall-domain only — excluded from deterministic
+/// snapshots, surfaced by `--perf-report`.
+void export_exec_perf(obs::Observer& o, const ParallelExecutor& exec) {
+  obs::Registry& m = o.metrics();
+  const ExecutorPerf& p = exec.perf();
+  m.gauge("perf.clone_ns", obs::Domain::kWall)
+      .set_max(static_cast<std::int64_t>(p.clone_ns.load(std::memory_order_relaxed)));
+  m.gauge("perf.reset_ns", obs::Domain::kWall)
+      .set_max(static_cast<std::int64_t>(p.reset_ns.load(std::memory_order_relaxed)));
+  m.gauge("perf.tasks", obs::Domain::kWall)
+      .set_max(static_cast<std::int64_t>(p.tasks.load(std::memory_order_relaxed)));
+  m.gauge("perf.batches", obs::Domain::kWall)
+      .set_max(static_cast<std::int64_t>(p.batches.load(std::memory_order_relaxed)));
+  m.gauge("pathcache.hits", obs::Domain::kWall)
+      .set_max(static_cast<std::int64_t>(exec.path_cache_hits()));
+  m.gauge("pathcache.misses", obs::Domain::kWall)
+      .set_max(static_cast<std::int64_t>(exec.path_cache_misses()));
+}
+
 trace::CenTraceOptions trace_options(const PipelineOptions& options,
                                      trace::ProbeProtocol protocol) {
   trace::CenTraceOptions o;
@@ -281,9 +302,13 @@ PipelineResult run_hermetic(const PipelineInput& in, const PipelineOptions& opti
   if (options.transient_loss > 0.0) net.set_transient_loss(options.transient_loss);
 
   ParallelExecutor exec(net, options.threads);
+  if (options.batch > 0) exec.set_batch(static_cast<std::size_t>(options.batch));
   ShardMerger merger(options.observer);
   PoolStats pool_stats;
-  if (options.observer != nullptr) exec.set_stats(&pool_stats);
+  if (options.observer != nullptr) {
+    exec.set_stats(&pool_stats);
+    exec.set_perf_tracking(true);
+  }
 
   const trace::CenTraceOptions http_opts =
       trace_options(options, trace::ProbeProtocol::kHttp);
@@ -298,16 +323,28 @@ PipelineResult run_hermetic(const PipelineInput& in, const PipelineOptions& opti
     sim::NodeId client;
     net::Ipv4Address endpoint;
     const std::string* domain;
+    std::uint64_t dhash;  // domain_hash(*domain), computed once per domain
     const trace::CenTraceOptions* opts;
     bool incountry;
   };
+  // Hash each domain once up front: the remote fan-out is endpoints x
+  // domains, so re-hashing the string per task would cost O(E x D) FNV
+  // passes for O(D) distinct strings.
+  std::vector<std::uint64_t> http_hashes, https_hashes;
+  http_hashes.reserve(http_domains.size());
+  for (const std::string& d : http_domains) http_hashes.push_back(domain_hash(d));
+  https_hashes.reserve(https_domains.size());
+  for (const std::string& d : https_domains) https_hashes.push_back(domain_hash(d));
+
   std::vector<TraceTask> tasks;
   for (net::Ipv4Address endpoint : sample(in.remote_endpoints, options.max_endpoints)) {
-    for (const std::string& domain : http_domains) {
-      tasks.push_back({in.remote_client, endpoint, &domain, &http_opts, false});
+    for (std::size_t d = 0; d < http_domains.size(); ++d) {
+      tasks.push_back({in.remote_client, endpoint, &http_domains[d], http_hashes[d],
+                       &http_opts, false});
     }
-    for (const std::string& domain : https_domains) {
-      tasks.push_back({in.remote_client, endpoint, &domain, &https_opts, false});
+    for (std::size_t d = 0; d < https_domains.size(); ++d) {
+      tasks.push_back({in.remote_client, endpoint, &https_domains[d], https_hashes[d],
+                       &https_opts, false});
     }
   }
   const std::size_t n_remote = tasks.size();
@@ -315,13 +352,13 @@ PipelineResult run_hermetic(const PipelineInput& in, const PipelineOptions& opti
     std::size_t idx = 0;
     for (const std::string& domain : in.http_domains) {
       if (idx >= in.foreign_endpoints.size()) break;
-      tasks.push_back(
-          {in.incountry_client, in.foreign_endpoints[idx++], &domain, &http_opts, true});
+      tasks.push_back({in.incountry_client, in.foreign_endpoints[idx++], &domain,
+                       domain_hash(domain), &http_opts, true});
     }
     for (const std::string& domain : in.https_domains) {
       if (idx >= in.foreign_endpoints.size()) break;
-      tasks.push_back(
-          {in.incountry_client, in.foreign_endpoints[idx++], &domain, &https_opts, true});
+      tasks.push_back({in.incountry_client, in.foreign_endpoints[idx++], &domain,
+                       domain_hash(domain), &https_opts, true});
     }
   }
 
@@ -330,7 +367,7 @@ PipelineResult run_hermetic(const PipelineInput& in, const PipelineOptions& opti
   for (const TraceTask& t : tasks) {
     std::uint64_t tag = static_cast<std::uint64_t>(t.opts->protocol) |
                         (t.incountry ? 0x8u : 0x0u);
-    trace_keys.push_back(task_key(t.endpoint.value(), *t.domain, tag));
+    trace_keys.push_back(task_key_hashed(t.endpoint.value(), t.dhash, tag));
   }
   std::vector<trace::CenTraceReport> reports(tasks.size());
   merger.begin_stage(tasks.size());
@@ -433,6 +470,7 @@ PipelineResult run_hermetic(const PipelineInput& in, const PipelineOptions& opti
   bundle(result, in.country, blocked_by_endpoint, fuzz_by_endpoint);
   if (options.observer != nullptr) {
     export_pool_stats(*options.observer, pool_stats, exec.threads());
+    export_exec_perf(*options.observer, exec);
     exec.set_stats(nullptr);
   }
   return result;
@@ -500,15 +538,23 @@ std::vector<trace::CenTraceReport> run_trace_fanout(
     const std::vector<net::Ipv4Address>& endpoints,
     const std::vector<std::string>& domains, const std::string& control_domain,
     const trace::CenTraceOptions& trace_opts, int threads, obs::Observer* observer,
-    const trace::DegradationPlan* plan) {
+    const trace::DegradationPlan* plan, int batch) {
   struct Task {
     net::Ipv4Address endpoint;
     const std::string* domain;
+    std::uint64_t dhash;
   };
+  // One FNV pass per distinct domain, not per (endpoint, domain) pair.
+  std::vector<std::uint64_t> dhashes;
+  dhashes.reserve(domains.size());
+  for (const std::string& d : domains) dhashes.push_back(domain_hash(d));
+
   std::vector<Task> tasks;
   tasks.reserve(endpoints.size() * domains.size());
   for (net::Ipv4Address endpoint : endpoints) {
-    for (const std::string& domain : domains) tasks.push_back({endpoint, &domain});
+    for (std::size_t d = 0; d < domains.size(); ++d) {
+      tasks.push_back({endpoint, &domains[d], dhashes[d]});
+    }
   }
 
   // Same key/salt scheme as the pipeline's stage 1, so a fan-out of the
@@ -516,8 +562,8 @@ std::vector<trace::CenTraceReport> run_trace_fanout(
   std::vector<std::uint64_t> keys;
   keys.reserve(tasks.size());
   for (const Task& t : tasks) {
-    keys.push_back(task_key(t.endpoint.value(), *t.domain,
-                            static_cast<std::uint64_t>(trace_opts.protocol)));
+    keys.push_back(task_key_hashed(t.endpoint.value(), t.dhash,
+                                   static_cast<std::uint64_t>(trace_opts.protocol)));
   }
   const std::vector<std::uint64_t> seeds =
       derive_task_seeds(net.seed(), kTraceStageSalt, keys);
@@ -551,8 +597,12 @@ std::vector<trace::CenTraceReport> run_trace_fanout(
     net.set_observer(prev);
   } else {
     ParallelExecutor exec(net, threads);
+    if (batch > 0) exec.set_batch(static_cast<std::size_t>(batch));
     PoolStats pool_stats;
-    if (observer != nullptr) exec.set_stats(&pool_stats);
+    if (observer != nullptr) {
+      exec.set_stats(&pool_stats);
+      exec.set_perf_tracking(true);
+    }
     exec.run(seeds, run_task);
     if (observer != nullptr) {
       // Deliberately NOT exported into sim-domain metrics here: the
@@ -567,6 +617,7 @@ std::vector<trace::CenTraceReport> run_trace_fanout(
       m.gauge("pool.wall_ns", obs::Domain::kWall)
           .set_max(static_cast<std::int64_t>(
               pool_stats.wall_ns.load(std::memory_order_relaxed)));
+      export_exec_perf(*observer, exec);
       exec.set_stats(nullptr);
     }
   }

@@ -5,6 +5,7 @@
 // integer stride sampler. This suite is the one the TSan preset runs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <stdexcept>
@@ -69,6 +70,46 @@ TEST(ThreadPool, HardwareThreadsAtLeastOne) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1);
 }
 
+TEST(ThreadPool, ChunkedDispatchCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{16},
+                            std::size_t{1000}, std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for_chunked(hits.size(), chunk,
+                              [&](int worker, std::size_t begin, std::size_t end) {
+                                EXPECT_GE(worker, 0);
+                                EXPECT_LT(worker, 4);
+                                EXPECT_LT(begin, end);
+                                EXPECT_LE(end - begin, chunk == 0 ? 1 : chunk);
+                                for (std::size_t i = begin; i < end; ++i) {
+                                  hits[i].fetch_add(1);
+                                }
+                              });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  // chunk = 0 is clamped to 1 rather than spinning forever.
+  std::atomic<int> count{0};
+  pool.parallel_for_chunked(10, 0, [&](int, std::size_t begin, std::size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ChunkedPropagatesExceptionsAndDrains) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_chunked(
+                   64, 8,
+                   [&](int, std::size_t begin, std::size_t) {
+                     if (begin == 16) throw std::runtime_error("chunk failed");
+                   }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for_chunked(5, 2, [&](int, std::size_t begin, std::size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 5);
+}
+
 // ------------------------------------------------------------ stride sampler
 
 TEST(StrideSample, CapAtLeastSizeReturnsAll) {
@@ -92,7 +133,9 @@ TEST(StrideSample, NoDuplicatesStrictlyIncreasingInRange) {
       EXPECT_EQ(idx.front(), 0u);
       for (std::size_t i = 0; i < idx.size(); ++i) {
         ASSERT_LT(idx[i], n);
-        if (i > 0) ASSERT_GT(idx[i], idx[i - 1]);
+        if (i > 0) {
+          ASSERT_GT(idx[i], idx[i - 1]);
+        }
       }
     }
   }
@@ -130,6 +173,19 @@ TEST(Executor, KeyDependsOnEveryComponent) {
   EXPECT_NE(base, task_key(43, "a.example", 1));
   EXPECT_NE(base, task_key(42, "b.example", 1));
   EXPECT_NE(base, task_key(42, "a.example", 2));
+}
+
+TEST(Executor, HashedKeyFormIsBitIdentical) {
+  // The fan-outs precompute domain_hash once per domain; the decomposed
+  // form must reproduce task_key exactly or every substream seed shifts.
+  for (const char* domain : {"", "a.example", "blocked.example.org"}) {
+    const std::uint64_t dh = domain_hash(domain);
+    for (std::uint32_t ep : {0u, 42u, 0xffffffffu}) {
+      for (std::uint64_t tag : {0ull, 1ull, 0x20ull}) {
+        EXPECT_EQ(task_key(ep, domain, tag), task_key_hashed(ep, dh, tag));
+      }
+    }
+  }
 }
 
 // ------------------------------------------------- pipeline determinism
@@ -194,6 +250,52 @@ TEST(ParallelPipeline, SerialLegacyPathIsStableAndFlagged) {
 
 TEST(ParallelPipeline, HermeticResultIsValidJson) {
   EXPECT_TRUE(json_valid(pipeline_json(Country::kKZ, parallel_opts(2))));
+}
+
+TEST(ParallelPipeline, BatchSizeNeverChangesResults) {
+  // Batched epochs are a dispatch-granularity knob only: every task still
+  // runs in its own hermetic sub-epoch, so any batch size must reproduce
+  // the single-task-dispatch reference byte for byte.
+  const std::string reference = pipeline_json(Country::kKZ, parallel_opts(1));
+  for (int batch : {1, 3, 16, 1000}) {
+    PipelineOptions o = parallel_opts(4);
+    o.batch = batch;
+    EXPECT_EQ(reference, pipeline_json(Country::kKZ, o))
+        << "batch size " << batch << " changed the result";
+  }
+}
+
+TEST(TraceFanout, ByteIdenticalAcrossThreadsAndBatches) {
+  // The fan-out contract includes threads = 0 (inline-hermetic on the
+  // prototype network itself — no pool, no replicas): every thread count
+  // and every batch size must produce the same reports.
+  auto fanout_json = [](int threads, int batch) {
+    CountryScenario s = make_country(Country::kKZ, Scale::kSmall);
+    std::vector<net::Ipv4Address> endpoints(
+        s.remote_endpoints.begin(),
+        s.remote_endpoints.begin() + std::min<std::size_t>(3, s.remote_endpoints.size()));
+    std::vector<std::string> domains(
+        s.http_test_domains.begin(),
+        s.http_test_domains.begin() + std::min<std::size_t>(2, s.http_test_domains.size()));
+    trace::CenTraceOptions opts;
+    opts.repetitions = 3;
+    std::vector<trace::CenTraceReport> reports =
+        run_trace_fanout(*s.network, s.remote_client, endpoints, domains,
+                         s.control_domain, opts, threads, nullptr, nullptr, batch);
+    std::string out;
+    for (const trace::CenTraceReport& r : reports) out += report::to_json(r);
+    return out;
+  };
+  const std::string reference = fanout_json(1, 0);
+  EXPECT_FALSE(reference.empty());
+  for (int threads : {0, 2, 8}) {
+    EXPECT_EQ(reference, fanout_json(threads, 0))
+        << "fan-out thread count " << threads << " changed the result";
+  }
+  for (int batch : {1, 4, 1000}) {
+    EXPECT_EQ(reference, fanout_json(2, batch))
+        << "fan-out batch size " << batch << " changed the result";
+  }
 }
 
 TEST(ParallelPipeline, WorldPipelineIdenticalAcrossThreadCounts) {

@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   obs::Observer observer;
   campaign::RunControl control;
   control.threads = common.threads;
+  control.exec_batch = args.get_int("exec-batch", 0);
   control.cache_path = args.get("cache");
   control.max_batches = args.get_int("max-batches", -1);
   control.observer = cli::wants_observer(args) ? &observer : nullptr;
@@ -89,8 +90,9 @@ int main(int argc, char** argv) {
   if (args.has("summary") && !cli::write_file(args.get("summary"), result.summary_json())) {
     rc = cli::kExitRuntime;
   }
-  if (control.observer != nullptr && cli::write_observability(args, observer) != 0) {
-    rc = cli::kExitRuntime;
+  if (control.observer != nullptr) {
+    if (cli::write_observability(args, observer) != 0) rc = cli::kExitRuntime;
+    if (cli::write_perf_report(args, observer) != 0) rc = cli::kExitRuntime;
   }
 
   if (common.json) {

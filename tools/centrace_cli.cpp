@@ -3,10 +3,12 @@
 //   centrace --country KZ [--scale full|small] [--protocol http|https|dns]
 //            [--endpoint N] [--domain D] [--reps 11] [--json] [--sweeps]
 //            [--tomography] [--vantages N]
-//            [--pcap out.pcap] [--threads N] [--backoff MS] [--retries N]
+//            [--pcap out.pcap] [--threads N] [--exec-batch N]
+//            [--backoff MS] [--retries N]
 //            [--loss P] [--fault-loss P] [--fault-dup P] [--fault-reorder P]
 //            [--fault-icmp-rate R]
 //            [--metrics FILE] [--trace FILE] [--journal FILE]
+//            [--perf-report [FILE]]
 //
 // Measures every (endpoint, test domain) pair by default; --endpoint
 // restricts to one endpoint index and --domain to one test domain. With
@@ -120,7 +122,8 @@ int main(int argc, char** argv) {
     // Hermetic fan-out: identical output for every --threads value.
     reports = scenario::run_trace_fanout(*s.network, s.remote_client, endpoints,
                                          domains, s.control_domain, opts,
-                                         common.threads, obs_ptr, plan_ptr);
+                                         common.threads, obs_ptr, plan_ptr,
+                                         args.get_int("exec-batch", 0));
   } else {
     // Legacy shared-network serial path.
     if (obs_ptr != nullptr) s.network->set_observer(obs_ptr);
@@ -152,7 +155,10 @@ int main(int argc, char** argv) {
                  args.get("pcap").c_str());
   }
   int rc = cli::kExitOk;
-  if (obs_ptr != nullptr) rc = cli::write_observability(args, observer);
+  if (obs_ptr != nullptr) {
+    rc = cli::write_observability(args, observer);
+    if (rc == cli::kExitOk) rc = cli::write_perf_report(args, observer);
+  }
   if (rc == cli::kExitOk && plan.tomography) {
     for (const trace::CenTraceReport& r : reports) {
       if (r.blocked && (r.degradation.mode == trace::DegradationMode::kTomography ||

@@ -89,7 +89,8 @@ inline bool write_file(const std::string& path, const std::string& contents) {
 ///                    or https://ui.perfetto.dev);
 ///   --journal FILE   the structured measurement journal alone (JSON).
 inline bool wants_observer(const Args& args) {
-  return args.has("metrics") || args.has("trace") || args.has("journal");
+  return args.has("metrics") || args.has("trace") || args.has("journal") ||
+         args.has("perf-report");
 }
 
 /// Write every requested observability sink; returns 0, or 1 on I/O error.
@@ -109,6 +110,25 @@ inline int write_observability(const Args& args, const cen::obs::Observer& obs) 
     rc = 1;
   }
   return rc;
+}
+
+/// --perf-report [FILE]: metrics snapshot INCLUDING the wall-domain
+/// gauges the deterministic sinks exclude (perf.clone_ns / perf.reset_ns
+/// / perf.tasks / perf.batches, pathcache.hits / pathcache.misses,
+/// pool.workers / pool.busy_ns / pool.wall_ns). Host-clock and
+/// scheduling-dependent by design — never byte-stable across runs, so it
+/// lives in its own sink. Written to FILE, or stdout when the flag is
+/// passed bare. Returns 0, or 1 on I/O error.
+inline int write_perf_report(const Args& args, const cen::obs::Observer& obs) {
+  if (!args.has("perf-report")) return 0;
+  const std::string body = obs.metrics().to_json(/*include_wall=*/true);
+  const std::string path = args.get("perf-report");
+  if (path.empty()) {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  return write_file(path, body) ? 0 : 1;
 }
 
 /// Fault-plan knobs shared by the CLIs (inert unless a flag is passed):
@@ -196,7 +216,8 @@ inline constexpr const char* kCommonUsage =
     "  --loss P --fault-loss P --fault-dup P --fault-reorder P\n"
     "  --fault-icmp-rate R   fault-plan knobs (inert by default)\n"
     "  --metrics FILE --trace FILE --journal FILE\n"
-    "                        observability sinks (.prom for Prometheus text)\n";
+    "                        observability sinks (.prom for Prometheus text)\n"
+    "  --perf-report [FILE]  wall-domain perf counters JSON (stdout if bare)\n";
 
 inline CommonOptions parse_common(const Args& args) {
   CommonOptions o;
