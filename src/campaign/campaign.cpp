@@ -17,6 +17,7 @@
 #include "scenario/executor.hpp"
 #include "scenario/pipeline.hpp"
 #include "scenario/silent.hpp"
+#include "scenario/world.hpp"
 
 namespace cen::campaign {
 
@@ -130,6 +131,51 @@ std::vector<std::string> sampled(const std::vector<std::string>& all, int cap) {
   return out;
 }
 
+/// One measurement site: the per-network slice of campaign state the
+/// stage loop runs against. Country campaigns build one site per country;
+/// a world campaign (spec.world) builds a single worldgen-backed site.
+/// Both reach the stage loop through this shape, so the task DAG, cache
+/// keys and seed substreams are computed identically.
+struct Site {
+  std::string code;  ///< country code, or the world spec's name
+  std::unique_ptr<sim::Network> network;
+  sim::NodeId client = sim::kInvalidNode;
+  std::vector<net::Ipv4Address> endpoints;
+  std::vector<std::string> http_domains;
+  std::vector<std::string> https_domains;
+  std::string control_domain;
+  /// Extra tomography vantages (world sites have none: the generated
+  /// world hosts a single measurement client).
+  std::vector<sim::NodeId> vantages;
+};
+
+Site build_country_site(scenario::Country c, const CampaignSpec& spec) {
+  scenario::CountryScenario sc = scenario::make_country(c, spec.scale, spec.seed);
+  Site site;
+  site.code = std::string(scenario::country_code(c));
+  site.client = sc.remote_client;
+  site.endpoints = std::move(sc.remote_endpoints);
+  site.http_domains = std::move(sc.http_test_domains);
+  site.https_domains = std::move(sc.https_test_domains);
+  site.control_domain = std::move(sc.control_domain);
+  site.vantages = scenario::tomography_vantages(sc, spec.trace_vantages);
+  site.network = std::move(sc.network);
+  return site;
+}
+
+Site build_world_site(const CampaignSpec& spec) {
+  scenario::WorldScenario ws = scenario::make_world(*spec.world, spec.seed);
+  Site site;
+  site.code = spec.world->name;
+  site.client = ws.client;
+  site.endpoints = std::move(ws.endpoints);
+  site.http_domains = std::move(ws.http_test_domains);
+  site.https_domains = std::move(ws.https_test_domains);
+  site.control_domain = std::move(ws.control_domain);
+  site.network = std::move(ws.network);
+  return site;
+}
+
 void stage_span(obs::Observer* observer, const std::string& country,
                 std::string_view stage, std::size_t task_count) {
   if (observer == nullptr) return;
@@ -145,9 +191,15 @@ void stage_span(obs::Observer* observer, const std::string& country,
 CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
   CampaignResult result;
   result.name = spec.name;
-  const std::vector<scenario::Country> countries = spec.effective_countries();
-  for (scenario::Country c : countries) {
-    result.countries.emplace_back(scenario::country_code(c));
+  const bool world_mode = spec.world.has_value();
+  const std::vector<scenario::Country> countries =
+      world_mode ? std::vector<scenario::Country>{} : spec.effective_countries();
+  if (world_mode) {
+    result.countries.push_back(spec.world->name);
+  } else {
+    for (scenario::Country c : countries) {
+      result.countries.emplace_back(scenario::country_code(c));
+    }
   }
 
   ResultCache cache(control.cache_path);
@@ -164,25 +216,29 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
 
   const std::uint64_t fault_fp = spec.faults.fingerprint();
 
-  for (scenario::Country c : countries) {
-    scenario::CountryScenario sc = scenario::make_country(c, spec.scale, spec.seed);
-    sim::Network& net = *sc.network;
+  const std::size_t site_count = world_mode ? 1 : countries.size();
+  for (std::size_t site_index = 0; site_index < site_count; ++site_index) {
+    // Sites are built one at a time, so at most one scenario network is
+    // resident (matters for 1M-endpoint worlds).
+    Site site = world_mode ? build_world_site(spec)
+                           : build_country_site(countries[site_index], spec);
+    sim::Network& net = *site.network;
     net.set_fault_plan(spec.faults);
     const std::uint64_t net_fp = net.fingerprint();
-    const std::string code(scenario::country_code(c));
+    const std::string& code = site.code;
     std::unique_ptr<scenario::ParallelExecutor> exec;  // lazy, shared by stages
 
     // ---- Stage 1: CenTrace over (endpoint × domain × protocol). ----
     std::vector<net::Ipv4Address> endpoints;
-    for (std::size_t idx : scenario::stride_sample_indices(sc.remote_endpoints.size(),
+    for (std::size_t idx : scenario::stride_sample_indices(site.endpoints.size(),
                                                            spec.max_endpoints)) {
-      endpoints.push_back(sc.remote_endpoints[idx]);
+      endpoints.push_back(site.endpoints[idx]);
     }
     const std::vector<std::string> http_domains = sampled(
-        spec.http_domains.empty() ? sc.http_test_domains : spec.http_domains,
+        spec.http_domains.empty() ? site.http_domains : spec.http_domains,
         spec.max_domains);
     const std::vector<std::string> https_domains = sampled(
-        spec.https_domains.empty() ? sc.https_test_domains : spec.https_domains,
+        spec.https_domains.empty() ? site.https_domains : spec.https_domains,
         spec.max_domains);
 
     trace::CenTraceOptions http_opts = spec.trace;
@@ -195,7 +251,7 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
     // cache key only when enabled so existing caches stay valid.
     trace::DegradationPlan degrade_plan;
     degrade_plan.tomography = spec.trace_tomography;
-    degrade_plan.vantages = scenario::tomography_vantages(sc, spec.trace_vantages);
+    degrade_plan.vantages = site.vantages;
     const trace::DegradationPlan* plan =
         spec.trace_tomography ? &degrade_plan : nullptr;
     const std::uint64_t plan_fp =
@@ -247,8 +303,8 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
             [&](sim::Network& worker, std::size_t i) {
               const TraceTask& t = trace_tasks[i];
               trace::CenTraceReport rep = trace::run(
-                  worker, {sc.remote_client, t.endpoint, *t.domain,
-                           sc.control_domain, *t.opts, plan});
+                  worker, {site.client, t.endpoint, *t.domain,
+                           site.control_domain, *t.opts, plan});
               return report::to_json(rep);
             },
             trace_docs)) {
@@ -339,8 +395,8 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
             [&](sim::Network& worker, std::size_t i) {
               const trace::CenTraceReport* rep = blocked_by_endpoint.at(fuzz_targets[i]);
               fuzz::CenFuzzReport fz = fuzz::run(
-                  worker, {sc.remote_client, net::Ipv4Address(fuzz_targets[i]),
-                           rep->test_domain, sc.control_domain, spec.fuzz});
+                  worker, {site.client, net::Ipv4Address(fuzz_targets[i]),
+                           rep->test_domain, site.control_domain, spec.fuzz});
               return report::to_json(fz);
             },
             fuzz_docs)) {

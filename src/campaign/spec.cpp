@@ -93,6 +93,10 @@ std::uint64_t CampaignSpec::fingerprint() const {
   fp.mix(stages.fuzz);
   fp.mix(stages.cluster);
   fp.mix(faults.fingerprint());
+  if (world) {
+    fp.mix(true);
+    fp.mix(world->fingerprint());
+  }
   return fp.digest();
 }
 
@@ -156,6 +160,9 @@ std::string to_json(const CampaignSpec& spec) {
   w.key("mgmt_drop").value(spec.faults.mgmt_drop);
   w.key("banner_truncate").value(spec.faults.banner_truncate);
   w.end_object();
+  if (spec.world) {
+    w.key("world").raw_value(worldgen::to_json(*spec.world));
+  }
   w.end_object();
   return w.str();
 }
@@ -245,6 +252,16 @@ std::optional<CampaignSpec> spec_from_json(std::string_view text, std::string* e
   }
 
   if (!parse_faults(*doc, spec.faults, error)) return std::nullopt;
+
+  if (const JsonValue* wd = doc->find("world"); wd != nullptr) {
+    std::string world_error;
+    std::optional<worldgen::WorldSpec> world = worldgen::spec_from_doc(*wd, &world_error);
+    if (!world) {
+      fail(error, "world: " + world_error);
+      return std::nullopt;
+    }
+    spec.world = std::move(*world);
+  }
   return spec;
 }
 

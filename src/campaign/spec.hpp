@@ -20,6 +20,7 @@
 #include "centrace/centrace.hpp"
 #include "netsim/faults.hpp"
 #include "scenario/country.hpp"
+#include "worldgen/spec.hpp"
 
 namespace cen::campaign {
 
@@ -64,6 +65,13 @@ struct CampaignSpec {
   /// Fault plan installed on every country network before measuring
   /// (default = inert).
   sim::FaultPlan faults;
+
+  /// Synthetic-world campaign: when set, the campaign measures one
+  /// worldgen world (generated from this spec + `seed`) instead of the
+  /// hand-built country scenarios — `countries` and `scale` are ignored.
+  /// The world's fingerprint joins the spec digest only when present, so
+  /// existing country-campaign cache keys are unaffected.
+  std::optional<worldgen::WorldSpec> world;
 
   /// Tool tasks per execution batch. The result cache is flushed after
   /// every batch, so this is also the crash-checkpoint granularity.

@@ -144,8 +144,8 @@ void escalate_tomography(sim::Network& network, sim::NodeId client,
   const sim::Topology& topo = network.topology();
   for (const tomo::LinkBlame& lb : result.candidates) {
     BlamedLink link;
-    link.ip_a = topo.node(lb.link.a).ip;
-    link.ip_b = topo.node(lb.link.b).ip;
+    link.ip_a = topo.node_ip(lb.link.a);
+    link.ip_b = topo.node_ip(lb.link.b);
     link.confidence = lb.confidence;
     link.blocked_paths = lb.blocked_paths;
     link.clean_paths = lb.clean_paths;

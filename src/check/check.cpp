@@ -14,7 +14,8 @@ namespace cen::check {
 namespace {
 
 constexpr Engine kAllEngines[] = {Engine::kRoundTrip, Engine::kInvariant,
-                                  Engine::kCacheReplay, Engine::kMlOracle};
+                                  Engine::kCacheReplay, Engine::kMlOracle,
+                                  Engine::kWorldGen};
 
 struct CaseResult {
   std::vector<CheckFailure> failures;
@@ -34,6 +35,7 @@ CaseResult execute_case(Engine engine, std::uint64_t case_seed, int budget) {
     case Engine::kInvariant: run_invariant_case(ctx); break;
     case Engine::kCacheReplay: run_cache_replay_case(ctx); break;
     case Engine::kMlOracle: run_ml_oracle_case(ctx); break;
+    case Engine::kWorldGen: run_worldgen_case(ctx); break;
     case Engine::kSelfTest: run_selftest_case(ctx); break;
   }
   out.checks = ctx.checks;
@@ -70,6 +72,7 @@ std::string_view engine_name(Engine e) {
     case Engine::kInvariant: return "invariant";
     case Engine::kCacheReplay: return "cache-replay";
     case Engine::kMlOracle: return "ml-oracle";
+    case Engine::kWorldGen: return "worldgen";
     case Engine::kSelfTest: return "self-test";
   }
   return "unknown";
@@ -80,6 +83,7 @@ std::optional<Engine> engine_from_name(std::string_view name) {
   if (name == "invariant") return Engine::kInvariant;
   if (name == "cache-replay" || name == "cache") return Engine::kCacheReplay;
   if (name == "ml-oracle" || name == "ml") return Engine::kMlOracle;
+  if (name == "worldgen" || name == "world") return Engine::kWorldGen;
   if (name == "self-test" || name == "selftest") return Engine::kSelfTest;
   return std::nullopt;
 }
@@ -109,6 +113,8 @@ std::uint64_t engine_case_count(Engine engine, std::uint64_t iterations) {
     case Engine::kMlOracle: return at_least_one(iterations / 10);
     // A cache-replay case is a whole warm campaign run.
     case Engine::kCacheReplay: return std::clamp<std::uint64_t>(iterations / 500, 1, 24);
+    // A worldgen case generates (and re-generates) a small synthetic world.
+    case Engine::kWorldGen: return at_least_one(iterations / 50);
     case Engine::kSelfTest: return at_least_one(iterations);
   }
   return at_least_one(iterations);
@@ -249,6 +255,7 @@ std::uint64_t engine_salt(Engine e) {
     case Engine::kInvariant: return 0x696e76617269616eull;   // "invarian"
     case Engine::kCacheReplay: return 0x6361636865727031ull; // "cacherp1"
     case Engine::kMlOracle: return 0x6d6c6f7261636c65ull;    // "mloracle"
+    case Engine::kWorldGen: return 0x776f726c6467656eull;    // "worldgen"
     case Engine::kSelfTest: return 0x73656c6674657374ull;    // "selftest"
   }
   return 0;

@@ -38,6 +38,10 @@ enum class Engine : std::uint8_t {
   kInvariant,
   kCacheReplay,
   kMlOracle,
+  /// Worldgen invariants: prefix pools disjoint, AS graph connected,
+  /// endpoint→AS membership consistent, and the same (spec, seed) pair
+  /// regenerates a byte-identical world at any thread count.
+  kWorldGen,
   /// Hidden engine with a deliberately planted failure (fails whenever
   /// the mutation budget is >= 3). Excluded from all_engines(); exists so
   /// tests can prove the harness catches, reproduces and minimizes a bug.

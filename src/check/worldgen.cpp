@@ -1,0 +1,174 @@
+// Worldgen engine: invariants of the synthetic world generator. Each case
+// draws a small randomized WorldSpec, generates the world, and asserts the
+// structural laws instantiation and the campaign cache rely on:
+//
+//   prefix-pools   per-AS IPv4 pools are pow2-sized, aligned, and pairwise
+//                  disjoint (the allocation plan's defining guarantee);
+//   connectivity   the AS graph is one component — every node is reachable
+//                  from the measurement client (preferential attachment
+//                  always attaches new ASes to earlier ones);
+//   membership     every endpoint's IP falls inside its AS's pool, its
+//                  index inside the AS's [first, first+count) slice, its
+//                  host node carries that IP, and template ids are valid;
+//   determinism    regenerating from the same (spec, seed) reproduces an
+//                  identical fingerprint (thread count cannot matter:
+//                  generate() is single-threaded by contract), and the
+//                  spec survives a JSON round-trip with equal fingerprint.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "check/engines.hpp"
+#include "netsim/compact.hpp"
+#include "worldgen/generate.hpp"
+#include "worldgen/spec.hpp"
+
+namespace cen::check {
+
+namespace {
+
+worldgen::WorldSpec draw_spec(Rng& rng) {
+  worldgen::WorldSpec spec;
+  spec.name = "check-world";
+  spec.transit_ases = static_cast<std::uint32_t>(rng.range(1, 4));
+  spec.regional_ases = static_cast<std::uint32_t>(rng.range(1, 6));
+  spec.stub_ases = static_cast<std::uint32_t>(rng.range(2, 10));
+  spec.routers_per_transit = static_cast<std::uint32_t>(rng.range(1, 3));
+  spec.routers_per_regional = static_cast<std::uint32_t>(rng.range(1, 2));
+  spec.routers_per_stub = 1;
+  spec.endpoints = static_cast<std::uint64_t>(rng.range(10, 120));
+  spec.endpoint_zipf = 0.8 + 0.1 * static_cast<double>(rng.range(0, 6));
+  spec.profile_templates = static_cast<std::uint32_t>(rng.range(1, 6));
+  if (rng.chance(0.5)) {
+    // Exercise the explicit-regime path half the time; the other half
+    // uses the built-in default mixture.
+    worldgen::CountryRegimeSpec censored;
+    censored.code = "XQ";
+    censored.weight = 2.0;
+    censored.censored = true;
+    censored.vendors = {"Fortinet", "MikroTik"};
+    censored.deploy_coverage = 0.25 * static_cast<double>(rng.range(1, 4));
+    censored.on_path_share = rng.chance(0.5) ? 0.0 : 0.3;
+    worldgen::CountryRegimeSpec open;
+    open.code = "XR";
+    open.weight = 1.0;
+    spec.countries = {censored, open};
+  }
+  return spec;
+}
+
+}  // namespace
+
+void run_worldgen_case(CaseContext& ctx) {
+  worldgen::WorldSpec spec = draw_spec(ctx.rng);
+  const std::uint64_t world_seed = ctx.rng.next();
+  worldgen::World world = worldgen::generate(spec, world_seed);
+  const sim::CompactTopology& topo = *world.topology;
+  const std::string tag = "seed=" + std::to_string(world_seed);
+
+  // Prefix pools: pow2-sized, aligned, pairwise disjoint.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pools;  // [base, end)
+  bool pools_ok = true;
+  for (const worldgen::GeneratedAs& as : world.ases) {
+    const std::uint64_t size = 1ull << (32 - as.prefix_len);
+    if (as.prefix_len > 32 || (as.prefix_base & (size - 1)) != 0) pools_ok = false;
+    pools.emplace_back(as.prefix_base, as.prefix_base + size);
+  }
+  ctx.expect(pools_ok, "worldgen/prefix-aligned",
+             "unaligned or invalid prefix pool, " + tag);
+  std::sort(pools.begin(), pools.end());
+  bool disjoint = true;
+  for (std::size_t i = 1; i < pools.size(); ++i) {
+    if (pools[i].first < pools[i - 1].second) disjoint = false;
+  }
+  ctx.expect(disjoint, "worldgen/prefix-disjoint",
+             "overlapping AS prefix pools, " + tag);
+
+  // Connectivity: BFS from the client reaches every node.
+  std::vector<char> seen(topo.node_count(), 0);
+  std::vector<sim::NodeId> frontier{world.client};
+  seen[world.client] = 1;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    sim::NodeId at = frontier.back();
+    frontier.pop_back();
+    for (sim::NodeId next : topo.neighbors(at)) {
+      if (!seen[next]) {
+        seen[next] = 1;
+        ++reached;
+        frontier.push_back(next);
+      }
+    }
+  }
+  ctx.expect(reached == topo.node_count(), "worldgen/connected",
+             "AS graph not connected: reached " + std::to_string(reached) + " of " +
+                 std::to_string(topo.node_count()) + " nodes, " + tag);
+
+  // Endpoint membership: IP inside the owning AS pool, index inside the
+  // AS slice, host node carries the IP, template id valid.
+  bool member_ok = true;
+  std::string member_detail;
+  for (std::size_t i = 0; i < world.endpoint_ips.size() && member_ok; ++i) {
+    const std::uint32_t as_index = world.endpoint_as[i];
+    if (as_index >= world.ases.size()) {
+      member_ok = false;
+      member_detail = "endpoint " + std::to_string(i) + " has bad AS index";
+      break;
+    }
+    const worldgen::GeneratedAs& as = world.ases[as_index];
+    const std::uint64_t size = 1ull << (32 - as.prefix_len);
+    const std::uint32_t ip = world.endpoint_ips[i];
+    if (ip < as.prefix_base || static_cast<std::uint64_t>(ip) >= as.prefix_base + size) {
+      member_ok = false;
+      member_detail = "endpoint " + std::to_string(i) + " IP outside its AS pool";
+    } else if (i < as.first_endpoint || i >= as.first_endpoint + as.endpoint_count) {
+      member_ok = false;
+      member_detail = "endpoint " + std::to_string(i) + " outside its AS slice";
+    } else if (world.endpoint_nodes[i] >= topo.node_count() ||
+               topo.ip(world.endpoint_nodes[i]).value() != ip) {
+      member_ok = false;
+      member_detail = "endpoint " + std::to_string(i) + " node/IP mismatch";
+    } else if (world.endpoint_template[i] >= world.templates.size()) {
+      member_ok = false;
+      member_detail = "endpoint " + std::to_string(i) + " has bad template id";
+    }
+  }
+  ctx.expect(member_ok, "worldgen/endpoint-membership",
+             member_ok ? "" : member_detail + ", " + tag);
+  ctx.expect(std::is_sorted(world.endpoint_ips.begin(), world.endpoint_ips.end()),
+             "worldgen/endpoint-order", "endpoint IPs not ascending, " + tag);
+
+  // Device plans target valid border routers inside their AS.
+  bool devices_ok = true;
+  for (const worldgen::DevicePlan& d : world.devices) {
+    if (d.as_index >= world.ases.size() || d.node >= topo.node_count()) {
+      devices_ok = false;
+      break;
+    }
+    const worldgen::GeneratedAs& as = world.ases[d.as_index];
+    if (d.node < as.first_router || d.node >= as.first_router + as.router_count) {
+      devices_ok = false;
+      break;
+    }
+  }
+  ctx.expect(devices_ok, "worldgen/device-placement",
+             "device plan outside its AS router range, " + tag);
+
+  // Determinism: same (spec, seed) ⇒ identical fingerprint.
+  worldgen::World replay = worldgen::generate(spec, world_seed);
+  ctx.expect(replay.fingerprint() == world.fingerprint(), "worldgen/determinism",
+             "regeneration changed the world fingerprint, " + tag);
+
+  // Spec JSON round-trip preserves the structural digest.
+  std::string error;
+  std::optional<worldgen::WorldSpec> parsed =
+      worldgen::spec_from_json(worldgen::to_json(spec), &error);
+  ctx.expect(parsed.has_value(), "worldgen/spec-roundtrip",
+             "spec JSON failed to re-parse: " + error + ", " + tag);
+  if (parsed) {
+    ctx.expect(parsed->fingerprint() == spec.fingerprint(), "worldgen/spec-roundtrip",
+               "spec fingerprint changed across JSON round-trip, " + tag);
+  }
+}
+
+}  // namespace cen::check

@@ -15,18 +15,24 @@ std::string legitimate_content_for(std::string_view domain) {
   return "<html><body>legitimate content for " + std::string(domain) + "</body></html>";
 }
 
+const std::shared_ptr<const EndpointProfile>& EndpointHost::empty_profile() {
+  static const std::shared_ptr<const EndpointProfile> kEmpty =
+      std::make_shared<const EndpointProfile>();
+  return kEmpty;
+}
+
 bool EndpointHost::hosts(std::string_view host) const {
   std::string h = ascii_lower(host);
-  for (const std::string& d : profile_.hosted_domains) {
+  for (const std::string& d : profile_->hosted_domains) {
     std::string dom = ascii_lower(d);
     if (h == dom) return true;
-    if (profile_.serves_subdomains && ends_with(h, "." + dom)) return true;
+    if (profile_->serves_subdomains && ends_with(h, "." + dom)) return true;
   }
   return false;
 }
 
 LocalFilterAction EndpointHost::local_filter_verdict(BytesView payload) const {
-  if (profile_.local_filter == LocalFilterAction::kNone || payload.empty()) {
+  if (profile_->local_filter == LocalFilterAction::kNone || payload.empty()) {
     return LocalFilterAction::kNone;
   }
   std::optional<std::string> name;
@@ -37,21 +43,21 @@ LocalFilterAction EndpointHost::local_filter_verdict(BytesView payload) const {
     net::ParsedHttpRequest req = net::parse_http_request(to_string(payload));
     if (req.host) name = req.host;
   }
-  if (name && profile_.local_filter_rules.matches(*name)) return profile_.local_filter;
+  if (name && profile_->local_filter_rules.matches(*name)) return profile_->local_filter;
   return LocalFilterAction::kNone;
 }
 
 AppReply EndpointHost::handle_payload(BytesView payload) const {
   if (payload.empty()) return {};
-  if (profile_.static_payload) {
+  if (profile_->static_payload) {
     AppReply r;
     r.kind = AppReply::Kind::kData;
     r.data = to_bytes(
-        net::HttpResponse::make(200, "OK", *profile_.static_payload).serialize());
+        net::HttpResponse::make(200, "OK", *profile_->static_payload).serialize());
     return r;
   }
   if (censor::looks_like_tls(payload)) return handle_tls(payload);
-  if (profile_.is_dns_resolver && net::looks_like_tcp_dns(payload)) {
+  if (profile_->is_dns_resolver && net::looks_like_tcp_dns(payload)) {
     return handle_dns(payload);
   }
   return handle_http(to_string(payload));
@@ -59,7 +65,7 @@ AppReply EndpointHost::handle_payload(BytesView payload) const {
 
 AppReply EndpointHost::handle_udp_payload(BytesView payload, std::uint16_t dst_port) const {
   AppReply r;
-  if (!profile_.is_dns_resolver || dst_port != 53 || payload.empty()) return r;
+  if (!profile_->is_dns_resolver || dst_port != 53 || payload.empty()) return r;
   net::DnsMessage query;
   try {
     query = net::DnsMessage::parse(payload);  // bare DNS, no TCP framing
@@ -89,7 +95,7 @@ AppReply EndpointHost::handle_dns(BytesView raw) const {
   const std::string& qname = query.questions.front().qname;
   net::Ipv4Address address;
   bool found = false;
-  for (const auto& [name, ip] : profile_.dns_zone) {
+  for (const auto& [name, ip] : profile_->dns_zone) {
     if (iequals(name, qname)) {
       address = ip;
       found = true;
@@ -118,7 +124,7 @@ AppReply http_reply(int status, const std::string& body) {
 AppReply EndpointHost::handle_http(std::string_view raw) const {
   net::ParsedHttpRequest req = net::parse_http_request(raw);
   if (!req.parse_ok) return http_reply(400, "<html>Bad Request</html>");
-  if (profile_.strict_http) {
+  if (profile_->strict_http) {
     if (!req.line_delims_valid) return http_reply(400, "<html>Bad Request</html>");
     if (!req.method_valid) return http_reply(501, "<html>Not Implemented</html>");
     if (!req.version_valid) return http_reply(505, "<html>HTTP Version Not Supported</html>");
@@ -128,20 +134,20 @@ AppReply EndpointHost::handle_http(std::string_view raw) const {
   }
   if (!req.host) {
     // HTTP/1.1 requires Host; lenient servers fall back to the default vhost.
-    if (profile_.strict_http) return http_reply(400, "<html>Bad Request: missing Host</html>");
-    return http_reply(200, legitimate_content_for(profile_.hosted_domains.front()));
+    if (profile_->strict_http) return http_reply(400, "<html>Bad Request: missing Host</html>");
+    return http_reply(200, legitimate_content_for(profile_->hosted_domains.front()));
   }
   if (hosts(*req.host)) {
     // A non-root path still serves content (distinct page, same marker).
     return http_reply(200, legitimate_content_for(*req.host));
   }
-  if (profile_.reject_unknown_host) return http_reply(403, "<html>Forbidden</html>");
-  if (profile_.default_vhost_for_unknown) {
-    return http_reply(200, legitimate_content_for(profile_.hosted_domains.front()));
+  if (profile_->reject_unknown_host) return http_reply(403, "<html>Forbidden</html>");
+  if (profile_->default_vhost_for_unknown) {
+    return http_reply(200, legitimate_content_for(profile_->hosted_domains.front()));
   }
   // Default-vhost servers answer 301 to their canonical name, a behaviour
   // the paper observed defeating hostname-mutation circumvention.
-  return http_reply(301, "<html>Moved to " + profile_.hosted_domains.front() + "</html>");
+  return http_reply(301, "<html>Moved to " + profile_->hosted_domains.front() + "</html>");
 }
 
 AppReply EndpointHost::handle_tls(BytesView raw) const {
@@ -194,11 +200,11 @@ AppReply EndpointHost::handle_tls(BytesView raw) const {
   }
 
   std::optional<std::string> sni = ch.sni();
-  std::string cert_domain = profile_.hosted_domains.front();
+  std::string cert_domain = profile_->hosted_domains.front();
   if (sni && !sni->empty()) {
     if (hosts(*sni)) {
       cert_domain = *sni;
-    } else if (profile_.reject_unknown_sni) {
+    } else if (profile_->reject_unknown_sni) {
       r.data = net::TlsAlert{net::TlsAlert::kUnrecognizedName}.serialize();
       return r;
     }

@@ -179,9 +179,16 @@ void Network::attach_device(NodeId at, std::shared_ptr<censor::Device> device) {
 }
 
 void Network::add_endpoint(NodeId node, EndpointProfile profile) {
-  const Node& n = topology_.node(node);
-  mutable_endpoints().emplace(n.ip.value(), EndpointHost(n.ip, std::move(profile)));
+  add_endpoint_shared(node, std::make_shared<const EndpointProfile>(std::move(profile)));
 }
+
+void Network::add_endpoint_shared(NodeId node,
+                                  std::shared_ptr<const EndpointProfile> profile) {
+  const net::Ipv4Address ip = topology_.node_ip(node);
+  mutable_endpoints().emplace(ip.value(), EndpointHost(ip, std::move(profile)));
+}
+
+void Network::reserve_endpoints(std::size_t n) { mutable_endpoints().reserve(n); }
 
 Connection Network::open_connection(NodeId client, net::Ipv4Address dst,
                                     std::uint16_t dst_port) {
@@ -197,7 +204,7 @@ std::vector<censor::ServiceBanner> Network::scan_services(net::Ipv4Address ip) c
   // No device owns this IP: a plain router may still expose management
   // services with generic (unfingerprideable) banners.
   if (std::optional<NodeId> node = topology_.find_by_ip(ip)) {
-    return topology_.node(*node).services;
+    return topology_.node_services(*node);
   }
   return {};
 }
@@ -300,7 +307,7 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
   std::uint16_t sport = allocate_ephemeral_port();
   std::optional<NodeId> dst_node = topology_.find_by_ip(dst);
   if (!dst_node) return events;
-  const net::Ipv4Address src_ip = topology_.node(client).ip;
+  const net::Ipv4Address src_ip = topology_.node_ip(client);
   std::uint64_t flow_hash =
       mix64(static_cast<std::uint64_t>(src_ip.value()) << 32 | dst.value()) ^
       mix64(static_cast<std::uint64_t>(sport) << 16 | dst_port);
@@ -339,20 +346,21 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
       }
     }
 
-    const Node& n = topology_.node(nid);
+    const RouterProfile& np = topology_.node_profile(nid);
+    const net::Ipv4Address nip = topology_.node_ip(nid);
     bool is_endpoint_hop = (i + 1 == path.size());
     if (!is_endpoint_hop) {
       dgram.ip.ttl -= 1;
       if (dgram.ip.ttl == 0) {
-        if (n.profile.responds_icmp &&
+        if (np.responds_icmp &&
             (!faulty || faults_.allow_icmp(nid, clock_.now()))) {
           IcmpDelivery d;
           if (faulty) d = icmp_delivery(path, i);
           if (d.delivered) {
             if (ec_ != nullptr) ec_->icmp_quotes->inc();
             net::IcmpTimeExceeded icmp = net::IcmpTimeExceeded::make(
-                n.ip, dgram.serialize(), n.profile.quote_policy);
-            IcmpEvent ev{n.ip, std::move(icmp.quoted)};
+                nip, dgram.serialize(), np.quote_policy);
+            IcmpEvent ev{nip, std::move(icmp.quoted)};
             if (d.late && !events.empty()) {
               events.insert(events.begin(), ev);
             } else {
@@ -363,7 +371,7 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
         }
         return events;
       }
-      if (n.profile.rewrite_tos) dgram.ip.tos = *n.profile.rewrite_tos;
+      if (np.rewrite_tos) dgram.ip.tos = *np.rewrite_tos;
       continue;
     }
 
@@ -418,7 +426,8 @@ bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
       }
     }
 
-    const Node& n = topology_.node(nid);
+    const RouterProfile& np = topology_.node_profile(nid);
+    const net::Ipv4Address nip = topology_.node_ip(nid);
     bool is_endpoint_hop = (i + 1 == path.size());
 
     if (!is_endpoint_hop) {
@@ -428,7 +437,7 @@ bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
         // Emission (rate limit consumes a token even if the reply later
         // dies on a return link), then return-trip delivery faults.
         IcmpDelivery d;
-        if (n.profile.responds_icmp &&
+        if (np.responds_icmp &&
             (!faulty || faults_.allow_icmp(nid, clock_.now())) &&
             (!faulty || (d = icmp_delivery(path, i)).delivered)) {
           if (ec_ != nullptr) ec_->icmp_quotes->inc();
@@ -436,15 +445,15 @@ bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
           // bytes is serialized — into a reused scratch buffer, not a
           // fresh full-packet Bytes per expiring hop.
           pkt.serialize_prefix(quote_scratch_,
-                               net::quote_limit(n.profile.quote_policy));
+                               net::quote_limit(np.quote_policy));
           net::IcmpTimeExceeded icmp;
-          icmp.router = n.ip;
+          icmp.router = nip;
           icmp.quoted.assign(quote_scratch_.begin(), quote_scratch_.end());
           if (capture_ != nullptr) {
             // Reconstruct the full ICMP datagram for the capture file.
             net::Ipv4Header ip;
             ip.protocol = net::IpProto::kIcmp;
-            ip.src = n.ip;
+            ip.src = nip;
             ip.dst = pkt.ip.src;
             Bytes icmp_bytes = icmp.serialize();
             ip.total_length = static_cast<std::uint16_t>(20 + icmp_bytes.size());
@@ -453,7 +462,7 @@ bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
             w.raw(icmp_bytes);
             capture_->add(clock_.now(), std::move(w).take());
           }
-          IcmpEvent ev{n.ip, std::move(icmp.quoted)};
+          IcmpEvent ev{nip, std::move(icmp.quoted)};
           if (d.late && !events.empty()) {
             events.insert(events.begin(), ev);
           } else {
@@ -463,8 +472,8 @@ bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
         }
         return false;
       }
-      if (n.profile.rewrite_tos) pkt.ip.tos = *n.profile.rewrite_tos;
-      if (n.profile.clears_df_flag) pkt.ip.flags &= static_cast<std::uint8_t>(~0x2u);
+      if (np.rewrite_tos) pkt.ip.tos = *np.rewrite_tos;
+      if (np.clears_df_flag) pkt.ip.flags &= static_cast<std::uint8_t>(~0x2u);
       continue;
     }
 
@@ -540,7 +549,7 @@ Connection::Connection(Network* net, NodeId client, net::Ipv4Address dst,
     : net_(net), client_(client), dst_(dst), dport_(dport), sport_(sport) {
   std::optional<NodeId> dst_node = net_->topology_.find_by_ip(dst);
   if (dst_node) {
-    const net::Ipv4Address src_ip = net_->topology_.node(client_).ip;
+    const net::Ipv4Address src_ip = net_->topology_.node_ip(client_);
     std::uint64_t flow_hash =
         mix64(static_cast<std::uint64_t>(src_ip.value()) << 32 | dst.value()) ^
         mix64(static_cast<std::uint64_t>(sport_) << 16 | dport_);
@@ -553,7 +562,7 @@ Connection::Connection(Network* net, NodeId client, net::Ipv4Address dst,
 
 ConnectResult Connection::connect() {
   if (path_.empty()) return ConnectResult::kTimeout;
-  const net::Ipv4Address src_ip = net_->topology_.node(client_).ip;
+  const net::Ipv4Address src_ip = net_->topology_.node_ip(client_);
   next_seq_ = 1000;
   net::Packet syn = net::make_tcp_packet(src_ip, dst_, sport_, dport_,
                                          net::TcpFlags::kSyn, next_seq_, 0, {}, 64);
@@ -584,7 +593,7 @@ void Connection::send_into(const Bytes& payload, std::uint8_t ttl,
                            std::vector<Event>& events) {
   events.clear();
   if (!established_) return;
-  const net::Ipv4Address src_ip = net_->topology_.node(client_).ip;
+  const net::Ipv4Address src_ip = net_->topology_.node_ip(client_);
   net::Packet pkt = net::make_tcp_packet(
       src_ip, dst_, sport_, dport_, net::TcpFlags::kPsh | net::TcpFlags::kAck, next_seq_,
       peer_seq_, payload, ttl);

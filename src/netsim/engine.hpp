@@ -155,6 +155,11 @@ class Network {
   void attach_device(NodeId at, std::shared_ptr<censor::Device> device);
   /// Register a web-server endpoint at a topology node.
   void add_endpoint(NodeId node, EndpointProfile profile);
+  /// Shared-profile variant: worldgen populations register a million hosts
+  /// against a handful of shared profile templates (no per-host deep copy).
+  void add_endpoint_shared(NodeId node, std::shared_ptr<const EndpointProfile> profile);
+  /// Pre-size the endpoint map before a bulk registration pass.
+  void reserve_endpoints(std::size_t n);
 
   /// Open a TCP connection; a fresh ephemeral source port is assigned.
   Connection open_connection(NodeId client, net::Ipv4Address dst,

@@ -6,10 +6,21 @@
 
 #include "core/fingerprint.hpp"
 #include "core/rng.hpp"
+#include "netsim/compact.hpp"
 
 namespace cen::sim {
 
+Topology Topology::from_compact(std::shared_ptr<const CompactTopology> compact) {
+  if (compact == nullptr) throw std::invalid_argument("from_compact: null backend");
+  Topology t;
+  t.compact_ = std::move(compact);
+  return t;
+}
+
 NodeId Topology::add_node(std::string name, net::Ipv4Address ip, RouterProfile profile) {
+  if (compact_ != nullptr) {
+    throw std::logic_error("Topology::add_node: compact backend is immutable");
+  }
   Node n;
   n.id = static_cast<NodeId>(nodes_.size());
   n.name = std::move(name);
@@ -26,6 +37,9 @@ NodeId Topology::add_node(std::string name, net::Ipv4Address ip, RouterProfile p
 }
 
 void Topology::add_link(NodeId a, NodeId b) {
+  if (compact_ != nullptr) {
+    throw std::logic_error("Topology::add_link: compact backend is immutable");
+  }
   if (a >= nodes_.size() || b >= nodes_.size()) throw std::out_of_range("bad node id");
   adjacency_[a].push_back(b);
   adjacency_[b].push_back(a);
@@ -33,10 +47,55 @@ void Topology::add_link(NodeId a, NodeId b) {
   local_paths_.clear();
 }
 
+const Node& Topology::node(NodeId id) const {
+  if (compact_ != nullptr) {
+    throw std::logic_error("Topology::node: not available on a compact backend");
+  }
+  return nodes_.at(id);
+}
+
+Node& Topology::node(NodeId id) {
+  if (compact_ != nullptr) {
+    throw std::logic_error("Topology::node: not available on a compact backend");
+  }
+  return nodes_.at(id);
+}
+
+net::Ipv4Address Topology::node_ip(NodeId id) const {
+  if (compact_ != nullptr) return compact_->ip(id);
+  return nodes_.at(id).ip;
+}
+
+const RouterProfile& Topology::node_profile(NodeId id) const {
+  if (compact_ != nullptr) return compact_->profile(id);
+  return nodes_.at(id).profile;
+}
+
+std::string_view Topology::node_name(NodeId id) const {
+  if (compact_ != nullptr) return compact_->name(id);
+  return nodes_.at(id).name;
+}
+
+const std::vector<censor::ServiceBanner>& Topology::node_services(NodeId id) const {
+  if (compact_ != nullptr) return compact_->services(id);
+  return nodes_.at(id).services;
+}
+
+std::size_t Topology::node_count() const {
+  return compact_ != nullptr ? compact_->node_count() : nodes_.size();
+}
+
 std::optional<NodeId> Topology::find_by_ip(net::Ipv4Address ip) const {
+  if (compact_ != nullptr) return compact_->find_by_ip(ip);
   auto it = ip_index_.find(ip.value());
   if (it == ip_index_.end()) return std::nullopt;
   return it->second;
+}
+
+std::span<const NodeId> Topology::neighbors(NodeId id) const {
+  if (compact_ != nullptr) return compact_->neighbors(id);
+  const std::vector<NodeId>& nbrs = adjacency_.at(id);
+  return std::span<const NodeId>(nbrs.data(), nbrs.size());
 }
 
 void Topology::freeze_paths() const {
@@ -68,14 +127,14 @@ const std::vector<std::vector<NodeId>>& Topology::equal_cost_paths(NodeId src,
 
   // BFS from src recording distances, then enumerate all shortest paths by
   // walking the BFS DAG from dst back to src.
-  std::vector<int> dist(nodes_.size(), -1);
+  std::vector<int> dist(node_count(), -1);
   std::deque<NodeId> queue;
   dist[src] = 0;
   queue.push_back(src);
   while (!queue.empty()) {
     NodeId u = queue.front();
     queue.pop_front();
-    for (NodeId v : adjacency_[u]) {
+    for (NodeId v : neighbors(u)) {
       if (dist[v] == -1) {
         dist[v] = dist[u] + 1;
         queue.push_back(v);
@@ -99,7 +158,7 @@ const std::vector<std::vector<NodeId>>& Topology::equal_cost_paths(NodeId src,
       }
       // Deterministic order: ascending neighbour id.
       std::vector<NodeId> preds;
-      for (NodeId v : adjacency_[head]) {
+      for (NodeId v : neighbors(head)) {
         if (dist[v] == dist[head] - 1) preds.push_back(v);
       }
       std::sort(preds.begin(), preds.end(), std::greater<NodeId>());
@@ -134,6 +193,7 @@ const std::vector<NodeId>& Topology::route(NodeId src, NodeId dst,
 }
 
 std::uint64_t Topology::fingerprint() const {
+  if (compact_ != nullptr) return compact_->fingerprint();
   FingerprintBuilder fp;
   fp.mix(static_cast<std::uint64_t>(nodes_.size()));
   for (const Node& n : nodes_) {

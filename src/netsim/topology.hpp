@@ -11,12 +11,26 @@
 // original datagram it quotes (RFC 792 vs RFC 1812), and whether it
 // rewrites the IP TOS / flags of transiting packets (§4.3 observes TOS
 // deltas in 32% of quoted packets).
+//
+// Two storage backends share this interface:
+//   classic  mutable per-node `Node` structs (hand-built scenarios,
+//            tests that edit profiles in place);
+//   compact  an immutable shared CompactTopology (structure-of-arrays,
+//            CSR adjacency — see netsim/compact.hpp), used by worldgen
+//            for million-node networks. Copying a compact-backed
+//            Topology is a refcount bump.
+// The narrow accessors (node_ip / node_profile / node_name /
+// node_services, span-returning neighbors) work on both; the mutable
+// node() reference and add_node/add_link are classic-only and throw
+// std::logic_error on a compact backend.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -50,21 +64,41 @@ struct Node {
   std::vector<censor::ServiceBanner> services;
 };
 
+class CompactTopology;
+
 /// Maximum number of equal-cost paths enumerated per (src, dst) pair.
 constexpr std::size_t kMaxEcmpPaths = 128;
 
 class Topology {
  public:
+  Topology() = default;
+  /// Wrap an immutable compact topology (shared, zero-copy).
+  static Topology from_compact(std::shared_ptr<const CompactTopology> compact);
+
+  /// Classic-backend mutation; throws std::logic_error on a compact backend.
   NodeId add_node(std::string name, net::Ipv4Address ip, RouterProfile profile = {});
-  /// Undirected link between two existing nodes.
+  /// Undirected link between two existing nodes (classic backend only).
   void add_link(NodeId a, NodeId b);
 
-  const Node& node(NodeId id) const { return nodes_.at(id); }
-  Node& node(NodeId id) { return nodes_.at(id); }
-  std::size_t node_count() const { return nodes_.size(); }
+  /// Whole-node access (classic backend only — compact nodes have no
+  /// materialized Node struct; use the narrow accessors below).
+  const Node& node(NodeId id) const;
+  Node& node(NodeId id);
+
+  /// Narrow per-field accessors, valid on both backends. These are what
+  /// the engine's hot paths use.
+  net::Ipv4Address node_ip(NodeId id) const;
+  const RouterProfile& node_profile(NodeId id) const;
+  std::string_view node_name(NodeId id) const;
+  const std::vector<censor::ServiceBanner>& node_services(NodeId id) const;
+
+  bool compact() const { return compact_ != nullptr; }
+  const std::shared_ptr<const CompactTopology>& compact_backend() const { return compact_; }
+
+  std::size_t node_count() const;
   std::optional<NodeId> find_by_ip(net::Ipv4Address ip) const;
   /// Direct neighbours of a node (link adjacency).
-  const std::vector<NodeId>& neighbors(NodeId id) const { return adjacency_.at(id); }
+  std::span<const NodeId> neighbors(NodeId id) const;
 
   /// All shortest paths src→dst (inclusive of both), capped at
   /// kMaxEcmpPaths, in a deterministic order. Cached; the cache is
@@ -81,7 +115,8 @@ class Topology {
 
   /// Structural digest over nodes (name, IP, router profile, services)
   /// and links — a campaign cache-key component: any topology edit must
-  /// change it.
+  /// change it. Backend-independent: a compact topology and its classic
+  /// inflation digest identically.
   std::uint64_t fingerprint() const;
 
   /// Promote every locally cached (src, dst) path list into an immutable
@@ -114,6 +149,8 @@ class Topology {
   std::vector<Node> nodes_;
   std::vector<std::vector<NodeId>> adjacency_;
   core::FlatMap<std::uint32_t, NodeId> ip_index_;
+  /// Compact backend; when set, nodes_/adjacency_/ip_index_ stay empty.
+  std::shared_ptr<const CompactTopology> compact_;
   /// Immutable shared snapshot (read-only, shareable across replicas).
   mutable std::shared_ptr<const PathMap> frozen_paths_;
   /// Instance-local additions since the last freeze.

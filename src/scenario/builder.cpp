@@ -94,6 +94,16 @@ sim::NodeId Builder::host(AsHandle& as, const std::string& name) {
   return topo_.add_node(as.name + ":" + name, next_ip(as), profile);
 }
 
+Builder::PlacedEndpoint Builder::org_host(AsHandle& as, sim::NodeId attach_to,
+                                          const std::string& name,
+                                          const std::string& org_domain) {
+  PlacedEndpoint placed;
+  placed.node = host(as, name);
+  link(attach_to, placed.node);
+  placed.profile = org_endpoint_profile(org_domain, rng_);
+  return placed;
+}
+
 std::unique_ptr<sim::Network> Builder::finish(std::uint64_t seed) {
   return std::make_unique<sim::Network>(std::move(topo_), std::move(geodb_), seed);
 }
@@ -103,7 +113,7 @@ std::shared_ptr<censor::Device> deploy(sim::Network& network, sim::NodeId at,
   if (!config.on_path && !config.mgmt_ip) {
     // In-path devices surface the IP of the router whose link they occupy
     // (what CenTrace can actually recover, §4.1).
-    config.mgmt_ip = network.topology().node(at).ip;
+    config.mgmt_ip = network.topology().node_ip(at);
   }
   auto device = std::make_shared<censor::Device>(std::move(config));
   network.attach_device(at, device);

@@ -55,6 +55,17 @@ class Builder {
   /// Endpoint host node (no ICMP generation is ever needed from it).
   sim::NodeId host(AsHandle& as, const std::string& name);
 
+  /// One org-hosted infrastructure endpoint: a host node linked behind
+  /// `attach_to` plus a randomized org web profile — the single
+  /// endpoint-placement path shared by the country, world and worldgen
+  /// scenario builders (draw order: host, link, then profile).
+  struct PlacedEndpoint {
+    sim::NodeId node = sim::kInvalidNode;
+    sim::EndpointProfile profile;
+  };
+  PlacedEndpoint org_host(AsHandle& as, sim::NodeId attach_to, const std::string& name,
+                          const std::string& org_domain);
+
   void link(sim::NodeId a, sim::NodeId b) { topo_.add_link(a, b); }
 
   sim::Topology& topology() { return topo_; }

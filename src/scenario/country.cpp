@@ -87,9 +87,10 @@ struct Ctx {
     std::string org = "host" + std::to_string(index) + "." + slug(as.name) + "." +
                       (as.country == "RU" ? "ru" : as.country == "BY" ? "by"
                                                 : as.country == "KZ" ? "kz" : "az");
-    sim::NodeId node = b.host(as, "ep" + std::to_string(index));
-    b.link(attach_to, node);
-    sim::EndpointProfile profile = org_endpoint_profile(org, b.rng());
+    Builder::PlacedEndpoint placed =
+        b.org_host(as, attach_to, "ep" + std::to_string(index), org);
+    sim::NodeId node = placed.node;
+    sim::EndpointProfile profile = std::move(placed.profile);
     if (b.rng().chance(0.05) && !filter_domains.empty()) {
       profile.local_filter = b.rng().chance(0.5) ? sim::LocalFilterAction::kDrop
                                                  : sim::LocalFilterAction::kRst;

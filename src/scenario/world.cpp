@@ -1,15 +1,11 @@
 #include "scenario/world.hpp"
 
 #include "scenario/builder.hpp"
+#include "worldgen/generate.hpp"
 
 namespace cen::scenario {
 
-namespace {
-
-/// Blockpage variant of a vendor profile: same DPI quirks and injection
-/// fingerprint, but the action is an identifiable blockpage (these are the
-/// deployments Censored Planet's blockpage fingerprints can see).
-censor::DeviceConfig blockpage_variant(const std::string& vendor, const std::string& id) {
+censor::DeviceConfig world_device_config(const std::string& vendor, const std::string& id) {
   censor::DeviceConfig cfg = censor::make_vendor_device(vendor, id);
   cfg.action = censor::BlockAction::kBlockpage;
   cfg.tls_action = censor::BlockAction::kRstInject;
@@ -31,8 +27,6 @@ censor::DeviceConfig blockpage_variant(const std::string& vendor, const std::str
   }
   return cfg;
 }
-
-}  // namespace
 
 WorldScenario make_world(Scale scale, std::uint64_t seed) {
   WorldScenario s;
@@ -73,15 +67,14 @@ WorldScenario make_world(Scale scale, std::uint64_t seed) {
     sim::NodeId r = b.router(h, "r1");
     b.topology().node(r).profile.responds_icmp = true;  // devices stay localizable
     b.link(transit_r2, r);
-    sim::NodeId ep = b.host(h, "ep");
-    b.link(r, ep);
     std::string org = "host" + std::to_string(i) + ".org-" + std::to_string(i) + ".net";
-    pending_endpoints.emplace_back(ep, org_endpoint_profile(org, b.rng()));
-    s.endpoints.push_back(b.topology().node(ep).ip);
+    Builder::PlacedEndpoint placed = b.org_host(h, r, "ep", org);
+    pending_endpoints.emplace_back(placed.node, std::move(placed.profile));
+    s.endpoints.push_back(b.topology().node(placed.node).ip);
 
     const std::string vendor = kVendors[i % 7];
     censor::DeviceConfig cfg =
-        blockpage_variant(vendor, "world-" + std::to_string(i) + "-" + vendor);
+        world_device_config(vendor, "world-" + std::to_string(i) + "-" + vendor);
     cfg.http_rules = make_rules(vendor, all_domains);
     cfg.sni_rules = make_rules(vendor, all_domains);
 
@@ -115,6 +108,20 @@ WorldScenario make_world(Scale scale, std::uint64_t seed) {
     s.devices.push_back(std::move(truth));
   }
   s.client = client;
+  return s;
+}
+
+WorldScenario make_world(const worldgen::WorldSpec& spec, std::uint64_t seed) {
+  worldgen::World world = worldgen::generate(spec, seed);
+  worldgen::GeneratedScenario gen = worldgen::instantiate(world);
+  WorldScenario s;
+  s.network = std::move(gen.network);
+  s.client = gen.client;
+  s.endpoints = std::move(gen.endpoints);
+  s.http_test_domains = std::move(gen.http_test_domains);
+  s.https_test_domains = std::move(gen.https_test_domains);
+  s.control_domain = std::move(gen.control_domain);
+  s.devices = std::move(gen.devices);
   return s;
 }
 

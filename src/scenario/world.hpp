@@ -10,6 +10,7 @@
 #pragma once
 
 #include "scenario/country.hpp"
+#include "worldgen/spec.hpp"
 
 namespace cen::scenario {
 
@@ -24,5 +25,17 @@ struct WorldScenario {
 };
 
 WorldScenario make_world(Scale scale = Scale::kFull, std::uint64_t seed = 11);
+
+/// WorldSpec-backed path: generate a synthetic world (worldgen::generate)
+/// and instantiate it into the same WorldScenario shape the hand-built
+/// world produces, so campaign/pipeline consumers treat both identically.
+WorldScenario make_world(const worldgen::WorldSpec& spec, std::uint64_t seed);
+
+/// Blockpage variant of a vendor profile: same DPI quirks and injection
+/// fingerprint, but the action is an identifiable blockpage (these are
+/// the deployments Censored Planet's blockpage fingerprints can see).
+/// Shared by the hand-built world scenario and worldgen's regime devices.
+censor::DeviceConfig world_device_config(const std::string& vendor,
+                                         const std::string& id);
 
 }  // namespace cen::scenario

@@ -20,6 +20,7 @@
 #include "campaign/campaign.hpp"
 #include "cli_common.hpp"
 #include "core/strings.hpp"
+#include "worldgen/spec.hpp"
 
 using namespace cen;
 
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
   if (args.has("help")) {
     std::printf(
         "usage: cencampaign [--spec FILE] [--countries AZ,BY,KZ,RU] [--seed N]\n"
+        "                   [--world 1k|100k|1m|FILE]\n"
         "                   [--max-endpoints N] [--max-domains N] [--fuzz-cap N]\n"
         "                   [--reps N] [--tomography] [--vantages N]\n"
         "                   [--batch N] [--max-batches N]\n"
@@ -50,6 +52,21 @@ int main(int argc, char** argv) {
   }
 
   // CLI flags override the spec (or the defaults when no spec was given).
+  if (args.has("world")) {
+    // Synthetic-world campaign: a built-in tier name or a WorldSpec file.
+    const std::string arg = args.get("world");
+    std::optional<worldgen::WorldSpec> world = worldgen::WorldSpec::tier(arg);
+    if (!world) {
+      std::string error;
+      world = worldgen::load_spec_file(arg, &error);
+      if (!world) {
+        std::fprintf(stderr, "bad --world '%s': not a built-in tier (1k, 100k, 1m) "
+                     "and not a spec file: %s\n", arg.c_str(), error.c_str());
+        return cli::kExitUsage;
+      }
+    }
+    spec.world = std::move(*world);
+  }
   if (args.has("countries")) {
     spec.countries.clear();
     for (const std::string& code : split(args.get("countries"), ',')) {

@@ -1,0 +1,165 @@
+// cenworld — generate and inspect synthetic worlds (docs/WORLDGEN.md).
+//
+//   cenworld [--tier 1k|100k|1m] [--spec FILE] [--seed N]
+//            [--stats] [--dump FILE] [--spec-json FILE]
+//            [--json] [--metrics FILE] [--trace FILE] [--journal FILE]
+//
+// Generates the world described by the built-in tier (default 1k) or a
+// WorldSpec JSON file, then:
+//   (default / --stats)  prints generation stats + the world fingerprint;
+//   --dump FILE          writes a JSON dump (spec, stats, per-AS table,
+//                        device plans) for offline inspection;
+//   --spec-json FILE     writes the canonical spec JSON (the file
+//                        cencampaign --world and --spec accept back).
+//
+// The same (spec, seed) always prints the same fingerprint — that digest
+// is what campaign caches key on.
+//
+// Exit codes: 0 ok, 1 I/O failure, 2 usage error.
+#include <cinttypes>
+
+#include "cli_common.hpp"
+#include "core/json.hpp"
+#include "worldgen/generate.hpp"
+#include "worldgen/spec.hpp"
+
+using namespace cen;
+
+namespace {
+
+const char* tier_name(worldgen::AsTier tier) {
+  switch (tier) {
+    case worldgen::AsTier::kTransit: return "transit";
+    case worldgen::AsTier::kRegional: return "regional";
+    case worldgen::AsTier::kStub: return "stub";
+  }
+  return "unknown";
+}
+
+std::string stats_json(const worldgen::World& world) {
+  const worldgen::World::Stats st = world.stats();
+  JsonWriter w;
+  w.begin_object();
+  w.key("tool").value("cenworld");
+  w.key("world").value(world.spec.name);
+  w.key("seed").value(world.seed);
+  w.key("fingerprint").value(world.fingerprint());
+  w.key("nodes").value(static_cast<std::uint64_t>(st.nodes));
+  w.key("links").value(static_cast<std::uint64_t>(st.links));
+  w.key("endpoints").value(static_cast<std::uint64_t>(st.endpoints));
+  w.key("ases").value(static_cast<std::uint64_t>(st.ases));
+  w.key("devices").value(static_cast<std::uint64_t>(st.devices));
+  w.key("bytes").value(static_cast<std::uint64_t>(st.bytes));
+  w.key("bytes_per_endpoint")
+      .value(st.endpoints == 0
+                 ? 0.0
+                 : static_cast<double>(st.bytes) / static_cast<double>(st.endpoints));
+  w.end_object();
+  return w.str();
+}
+
+std::string dump_json(const worldgen::World& world) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("tool").value("cenworld");
+  w.key("seed").value(world.seed);
+  w.key("fingerprint").value(world.fingerprint());
+  w.key("spec").raw_value(worldgen::to_json(world.spec));
+  w.key("stats").raw_value(stats_json(world));
+  w.key("ases").begin_array();
+  for (const worldgen::GeneratedAs& as : world.ases) {
+    w.begin_object();
+    w.key("asn").value(static_cast<std::uint64_t>(as.asn));
+    w.key("tier").value(tier_name(as.tier));
+    if (as.country != worldgen::kNoCountry) {
+      w.key("country").value(world.regimes[as.country].code);
+    }
+    w.key("prefix").value(net::Ipv4Address(as.prefix_base).str() + "/" +
+                          std::to_string(as.prefix_len));
+    w.key("routers").value(static_cast<std::uint64_t>(as.router_count));
+    w.key("endpoints").value(as.endpoint_count);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("devices").begin_array();
+  for (const worldgen::DevicePlan& d : world.devices) {
+    w.begin_object();
+    w.key("vendor").value(d.vendor);
+    w.key("on_path").value(d.on_path);
+    w.key("service_mode").value(static_cast<int>(d.service_mode));
+    w.key("asn").value(static_cast<std::uint64_t>(world.ases[d.as_index].asn));
+    if (d.country != worldgen::kNoCountry) {
+      w.key("country").value(world.regimes[d.country].code);
+    }
+    w.key("node_ip").value(world.topology->ip(d.node).str());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv);
+  if (args.has("help")) {
+    std::printf(
+        "usage: cenworld [--tier 1k|100k|1m] [--spec FILE] [--seed N]\n"
+        "                [--stats] [--dump FILE] [--spec-json FILE] [--json]\n"
+        "                [--metrics FILE --trace FILE --journal FILE]\n");
+    return cli::kExitOk;
+  }
+
+  worldgen::WorldSpec spec;
+  if (args.has("spec")) {
+    std::string error;
+    auto loaded = worldgen::load_spec_file(args.get("spec"), &error);
+    if (!loaded) {
+      std::fprintf(stderr, "bad spec %s: %s\n", args.get("spec").c_str(), error.c_str());
+      return cli::kExitUsage;
+    }
+    spec = std::move(*loaded);
+  } else {
+    const std::string tier = args.get("tier", "1k");
+    auto built_in = worldgen::WorldSpec::tier(tier);
+    if (!built_in) {
+      std::fprintf(stderr, "unknown tier '%s' (expected 1k, 100k or 1m)\n", tier.c_str());
+      return cli::kExitUsage;
+    }
+    spec = std::move(*built_in);
+  }
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  obs::Observer observer;
+  obs::Observer* obs_ptr = cli::wants_observer(args) ? &observer : nullptr;
+  worldgen::World world = worldgen::generate(spec, seed, obs_ptr);
+
+  int rc = cli::kExitOk;
+  if (args.has("dump") && !cli::write_file(args.get("dump"), dump_json(world))) {
+    rc = cli::kExitRuntime;
+  }
+  if (args.has("spec-json") &&
+      !cli::write_file(args.get("spec-json"), worldgen::to_json(world.spec))) {
+    rc = cli::kExitRuntime;
+  }
+  if (obs_ptr != nullptr && cli::write_observability(args, observer) != 0) {
+    rc = cli::kExitRuntime;
+  }
+
+  if (args.has("json")) {
+    std::printf("%s\n", stats_json(world).c_str());
+  } else {
+    const worldgen::World::Stats st = world.stats();
+    std::printf("world '%s' seed %" PRIu64 " fingerprint %016" PRIx64 "\n",
+                world.spec.name.c_str(), world.seed, world.fingerprint());
+    std::printf("  %zu nodes, %zu links, %zu endpoints across %zu ASes\n",
+                st.nodes, st.links, st.endpoints, st.ases);
+    std::printf("  %zu censorship devices; %zu bytes (%.1f bytes/endpoint)\n",
+                st.devices, st.bytes,
+                st.endpoints == 0 ? 0.0
+                                  : static_cast<double>(st.bytes) /
+                                        static_cast<double>(st.endpoints));
+  }
+  return rc;
+}
