@@ -30,6 +30,7 @@ namespace {
 constexpr std::uint64_t kTraceStageSalt = 0x747261636531ULL;  // "trace1"
 constexpr std::uint64_t kProbeStageSalt = 0x70726f626532ULL;  // "probe2"
 constexpr std::uint64_t kFuzzStageSalt = 0x66757a7a33ULL;     // "fuzz3"
+constexpr std::uint64_t kAmbigStageSalt = 0x616d62696734ULL;  // "ambig4"
 
 /// Campaign-wide executed-batch budget (RunControl::max_batches).
 struct Budget {
@@ -302,9 +303,14 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
             [](std::string_view doc) { return report::trace_report_from_json(doc).has_value(); },
             [&](sim::Network& worker, std::size_t i) {
               const TraceTask& t = trace_tasks[i];
-              trace::CenTraceReport rep = trace::run(
-                  worker, {site.client, t.endpoint, *t.domain,
-                           site.control_domain, *t.opts, plan});
+              trace::TraceRunOptions ropts;
+              ropts.client = site.client;
+              ropts.endpoint = t.endpoint;
+              ropts.test_domain = *t.domain;
+              ropts.control_domain = site.control_domain;
+              ropts.trace = *t.opts;
+              ropts.degradation = plan;
+              trace::CenTraceReport rep = trace::run(worker, ropts);
               return report::to_json(rep);
             },
             trace_docs)) {
@@ -394,9 +400,13 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
             [](std::string_view doc) { return report::fuzz_report_from_json(doc).has_value(); },
             [&](sim::Network& worker, std::size_t i) {
               const trace::CenTraceReport* rep = blocked_by_endpoint.at(fuzz_targets[i]);
-              fuzz::CenFuzzReport fz = fuzz::run(
-                  worker, {site.client, net::Ipv4Address(fuzz_targets[i]),
-                           rep->test_domain, site.control_domain, spec.fuzz});
+              fuzz::FuzzRunOptions ropts;
+              ropts.client = site.client;
+              ropts.endpoint = net::Ipv4Address(fuzz_targets[i]);
+              ropts.test_domain = rep->test_domain;
+              ropts.control_domain = site.control_domain;
+              ropts.fuzz = spec.fuzz;
+              fuzz::CenFuzzReport fz = fuzz::run(worker, ropts);
               return report::to_json(fz);
             },
             fuzz_docs)) {
@@ -409,6 +419,49 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
     }
     stage_span(observer, code, "fuzz", fuzz_stage.ids.size());
 
+    // ---- Stage 3b: CenAmbig the blocked endpoints — reassembly-ambiguity
+    // fingerprinting for deployments whose banners are dark. ----
+    StageTasks ambig_stage;
+    std::vector<std::uint32_t> ambig_targets;
+    if (spec.stages.ambig) {
+      for (std::size_t idx :
+           scenario::stride_sample_indices(blocked_eps.size(), spec.ambig_max_endpoints)) {
+        ambig_targets.push_back(blocked_eps[idx]);
+      }
+      for (std::uint32_t ep : ambig_targets) {
+        const std::string& domain = blocked_by_endpoint.at(ep)->test_domain;
+        ambig_stage.ids.push_back(code + ":ambig:" + net::Ipv4Address(ep).str() + ":" + domain);
+        ambig_stage.identity.push_back(scenario::task_key(ep, domain, 0x30));
+        ambig_stage.cache_keys.push_back(task_cache_key(
+            net_fp, spec.seed, fault_fp, "ambig", ambig_stage.ids.back(),
+            spec.ambig.fingerprint()));
+      }
+    }
+    std::vector<std::string> ambig_docs;
+    if (!run_stage(
+            net, spec, control, cache, budget, result.ambig, exec, "ambig", ambig_stage,
+            kAmbigStageSalt,
+            [](std::string_view doc) { return report::ambig_report_from_json(doc).has_value(); },
+            [&](sim::Network& worker, std::size_t i) {
+              ambig::AmbigRunOptions ropts;
+              ropts.client = site.client;
+              ropts.endpoint = net::Ipv4Address(ambig_targets[i]);
+              ropts.test_domain = blocked_by_endpoint.at(ambig_targets[i])->test_domain;
+              ropts.control_domain = site.control_domain;
+              ropts.ambig = spec.ambig;
+              ambig::AmbigReport rep = ambig::run(worker, ropts);
+              return report::to_json(rep);
+            },
+            ambig_docs)) {
+      return result;
+    }
+    std::map<std::uint32_t, ambig::AmbigReport> ambig_by_endpoint;
+    for (std::size_t i = 0; i < ambig_docs.size(); ++i) {
+      ambig_by_endpoint.emplace(ambig_targets[i], *report::ambig_report_from_json(ambig_docs[i]));
+      result.records.push_back({"ambig", ambig_stage.ids[i], code, ambig_docs[i]});
+    }
+    stage_span(observer, code, "ambig", ambig_stage.ids.size());
+
     // ---- Stage 4: bundle one measurement per blocked endpoint. ----
     for (const auto& [ep, rep] : blocked_by_endpoint) {
       ml::EndpointMeasurement m;
@@ -417,6 +470,8 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
       m.trace = *rep;
       auto fz = fuzz_by_endpoint.find(ep);
       if (fz != fuzz_by_endpoint.end()) m.fuzz = fz->second;
+      auto am = ambig_by_endpoint.find(ep);
+      if (am != ambig_by_endpoint.end()) m.ambig = am->second;
       if (rep->blocking_hop_ip) {
         auto pb = device_probes.find(rep->blocking_hop_ip->value());
         if (pb != device_probes.end()) m.banner = pb->second;
@@ -472,6 +527,7 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
     m.counter("campaign.trace_tasks").inc(result.trace.tasks);
     m.counter("campaign.probe_tasks").inc(result.probe.tasks);
     m.counter("campaign.fuzz_tasks").inc(result.fuzz.tasks);
+    m.counter("campaign.ambig_tasks").inc(result.ambig.tasks);
     m.counter("campaign.blocked_endpoints").inc(result.blocked_endpoints);
     m.counter("campaign.measurements").inc(result.measurements.size());
     m.gauge("campaign.clusters").set_max(result.n_clusters);
@@ -512,6 +568,7 @@ std::string CampaignResult::summary_json() const {
   w.key("trace_tasks").value(static_cast<std::uint64_t>(trace.tasks));
   w.key("probe_tasks").value(static_cast<std::uint64_t>(probe.tasks));
   w.key("fuzz_tasks").value(static_cast<std::uint64_t>(fuzz.tasks));
+  w.key("ambig_tasks").value(static_cast<std::uint64_t>(ambig.tasks));
   w.key("blocked_endpoints").value(static_cast<std::uint64_t>(blocked_endpoints));
   w.key("measurements").value(static_cast<std::uint64_t>(measurements.size()));
   w.key("clusters").value(n_clusters);

@@ -95,6 +95,7 @@ struct CampaignResult {
   StageStats trace;
   StageStats probe;
   StageStats fuzz;
+  StageStats ambig;
   /// Endpoints whose representative trace observed blocking.
   std::size_t blocked_endpoints = 0;
 
@@ -107,10 +108,10 @@ struct CampaignResult {
   std::size_t noise_rows = 0;
 
   std::size_t tool_tasks_executed() const {
-    return trace.executed + probe.executed + fuzz.executed;
+    return trace.executed + probe.executed + fuzz.executed + ambig.executed;
   }
   std::size_t cache_hits() const {
-    return trace.cache_hits + probe.cache_hits + fuzz.cache_hits;
+    return trace.cache_hits + probe.cache_hits + fuzz.cache_hits + ambig.cache_hits;
   }
 
   /// One line per record, task-identity order — byte-identical across

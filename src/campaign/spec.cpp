@@ -80,6 +80,7 @@ std::uint64_t CampaignSpec::fingerprint() const {
   fp.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(max_endpoints)));
   fp.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(max_domains)));
   fp.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(fuzz_max_endpoints)));
+  fp.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(ambig_max_endpoints)));
   fp.mix(static_cast<std::uint64_t>(http_domains.size()));
   for (const std::string& d : http_domains) fp.mix(d);
   fp.mix(static_cast<std::uint64_t>(https_domains.size()));
@@ -88,9 +89,11 @@ std::uint64_t CampaignSpec::fingerprint() const {
   fp.mix(trace_tomography);
   fp.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(trace_vantages)));
   fp.mix(fuzz.fingerprint());
+  fp.mix(ambig.fingerprint());
   fp.mix(stages.trace);
   fp.mix(stages.probe);
   fp.mix(stages.fuzz);
+  fp.mix(stages.ambig);
   fp.mix(stages.cluster);
   fp.mix(faults.fingerprint());
   if (world) {
@@ -114,6 +117,7 @@ std::string to_json(const CampaignSpec& spec) {
   w.key("max_endpoints").value(spec.max_endpoints);
   w.key("max_domains").value(spec.max_domains);
   w.key("fuzz_max_endpoints").value(spec.fuzz_max_endpoints);
+  w.key("ambig_max_endpoints").value(spec.ambig_max_endpoints);
   w.key("batch_size").value(spec.batch_size);
   w.key("http_domains").begin_array();
   for (const std::string& d : spec.http_domains) w.value(d);
@@ -125,6 +129,7 @@ std::string to_json(const CampaignSpec& spec) {
   w.key("trace").value(spec.stages.trace);
   w.key("probe").value(spec.stages.probe);
   w.key("fuzz").value(spec.stages.fuzz);
+  w.key("ambig").value(spec.stages.ambig);
   w.key("cluster").value(spec.stages.cluster);
   w.end_object();
   w.key("trace").begin_object();
@@ -144,6 +149,15 @@ std::string to_json(const CampaignSpec& spec) {
   w.key("run_http").value(spec.fuzz.run_http);
   w.key("run_tls").value(spec.fuzz.run_tls);
   w.key("baseline_attempts").value(spec.fuzz.baseline_attempts);
+  w.end_object();
+  w.key("ambig").begin_object();
+  w.key("repetitions").value(spec.ambig.repetitions);
+  w.key("retries").value(spec.ambig.retries);
+  w.key("wait_after_blocked_ms").value(static_cast<std::int64_t>(spec.ambig.wait_after_blocked));
+  w.key("wait_after_ok_ms").value(static_cast<std::int64_t>(spec.ambig.wait_after_ok));
+  w.key("retry_backoff_ms").value(static_cast<std::int64_t>(spec.ambig.retry_backoff));
+  w.key("max_distance_ttl").value(spec.ambig.max_distance_ttl);
+  w.key("order_salt").value(static_cast<std::uint64_t>(spec.ambig.order_salt));
   w.end_object();
   w.key("faults").begin_object();
   w.key("transient_loss").value(spec.faults.transient_loss);
@@ -205,6 +219,7 @@ std::optional<CampaignSpec> spec_from_json(std::string_view text, std::string* e
   spec.max_endpoints = doc->get_int("max_endpoints", spec.max_endpoints);
   spec.max_domains = doc->get_int("max_domains", spec.max_domains);
   spec.fuzz_max_endpoints = doc->get_int("fuzz_max_endpoints", spec.fuzz_max_endpoints);
+  spec.ambig_max_endpoints = doc->get_int("ambig_max_endpoints", spec.ambig_max_endpoints);
   spec.batch_size = doc->get_int("batch_size", spec.batch_size);
   if (spec.batch_size < 1) {
     fail(error, "batch_size must be >= 1");
@@ -218,6 +233,7 @@ std::optional<CampaignSpec> spec_from_json(std::string_view text, std::string* e
     spec.stages.trace = st->get_bool("trace", spec.stages.trace);
     spec.stages.probe = st->get_bool("probe", spec.stages.probe);
     spec.stages.fuzz = st->get_bool("fuzz", spec.stages.fuzz);
+    spec.stages.ambig = st->get_bool("ambig", spec.stages.ambig);
     spec.stages.cluster = st->get_bool("cluster", spec.stages.cluster);
   }
 
@@ -249,6 +265,20 @@ std::optional<CampaignSpec> spec_from_json(std::string_view text, std::string* e
     spec.fuzz.run_http = fz->get_bool("run_http", spec.fuzz.run_http);
     spec.fuzz.run_tls = fz->get_bool("run_tls", spec.fuzz.run_tls);
     spec.fuzz.baseline_attempts = fz->get_int("baseline_attempts", spec.fuzz.baseline_attempts);
+  }
+
+  if (const JsonValue* am = doc->find("ambig"); am != nullptr && am->is_object()) {
+    spec.ambig.repetitions = am->get_int("repetitions", spec.ambig.repetitions);
+    spec.ambig.retries = am->get_int("retries", spec.ambig.retries);
+    spec.ambig.wait_after_blocked = static_cast<SimTime>(
+        am->get_number("wait_after_blocked_ms", static_cast<double>(spec.ambig.wait_after_blocked)));
+    spec.ambig.wait_after_ok = static_cast<SimTime>(
+        am->get_number("wait_after_ok_ms", static_cast<double>(spec.ambig.wait_after_ok)));
+    spec.ambig.retry_backoff = static_cast<SimTime>(
+        am->get_number("retry_backoff_ms", static_cast<double>(spec.ambig.retry_backoff)));
+    spec.ambig.max_distance_ttl = am->get_int("max_distance_ttl", spec.ambig.max_distance_ttl);
+    spec.ambig.order_salt = static_cast<std::uint64_t>(
+        am->get_number("order_salt", static_cast<double>(spec.ambig.order_salt)));
   }
 
   if (!parse_faults(*doc, spec.faults, error)) return std::nullopt;

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cenambig/cenambig.hpp"
 #include "cenfuzz/cenfuzz.hpp"
 #include "centrace/centrace.hpp"
 #include "netsim/faults.hpp"
@@ -30,6 +31,9 @@ struct StageToggles {
   bool trace = true;
   bool probe = true;
   bool fuzz = true;
+  /// Ambiguity fingerprinting of blocked endpoints (off by default: it is
+  /// the most probe-hungry stage and only pays off when banners are dark).
+  bool ambig = false;
   bool cluster = true;
 };
 
@@ -46,6 +50,7 @@ struct CampaignSpec {
   int max_endpoints = -1;
   int max_domains = -1;
   int fuzz_max_endpoints = -1;
+  int ambig_max_endpoints = -1;
 
   /// Domain overrides; empty = the scenario's own Citizen-Lab-style lists.
   std::vector<std::string> http_domains;
@@ -60,6 +65,7 @@ struct CampaignSpec {
   /// vantage 0).
   int trace_vantages = 2;
   fuzz::CenFuzzOptions fuzz;
+  ambig::AmbigOptions ambig;
   StageToggles stages;
 
   /// Fault plan installed on every country network before measuring

@@ -233,7 +233,10 @@ CenFuzzReport CenFuzz::run(net::Ipv4Address endpoint, const std::string& test_do
 CenFuzzReport run(sim::Network& network, const FuzzRunOptions& options,
                   obs::Observer* observer) {
   sim::ScopedObserver guard(network, observer);
-  CenFuzz tool(network, options.client, options.fuzz);
+  if (options.common.seed) network.reset_epoch(*options.common.seed);
+  CenFuzzOptions fuzz = options.fuzz;
+  fuzz.apply(options.common);
+  CenFuzz tool(network, options.client, fuzz);
   return tool.run(options.endpoint, options.test_domain, options.control_domain);
 }
 

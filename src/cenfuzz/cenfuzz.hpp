@@ -23,6 +23,7 @@
 #include "cenfuzz/strategies.hpp"
 #include "core/clock.hpp"
 #include "netsim/engine.hpp"
+#include "tool/options.hpp"
 
 namespace cen::fuzz {
 
@@ -66,6 +67,12 @@ struct CenFuzzOptions {
 
   /// Digest over every option (campaign cache-key component).
   std::uint64_t fingerprint() const;
+
+  /// Apply the shared run fields: `retries` sets the per-request retry
+  /// budget (CenFuzz has no backoff notion). Inert when unset.
+  void apply(const tool::CommonRunOptions& common) {
+    if (common.retries) retries = *common.retries;
+  }
 };
 
 struct CenFuzzReport {
@@ -112,6 +119,8 @@ struct FuzzRunOptions {
   std::string test_domain;
   std::string control_domain;
   CenFuzzOptions fuzz;
+  /// Shared run fields, applied by run() on top of `fuzz`.
+  tool::CommonRunOptions common;
 };
 
 /// Unified entry point (same shape as trace::run / probe::run): run one

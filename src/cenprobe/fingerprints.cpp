@@ -71,11 +71,8 @@ DeviceProbeReport probe_device_impl(const sim::Network& network, net::Ipv4Addres
 DeviceProbeReport run(sim::Network& network, const ProbeRunOptions& options,
                       obs::Observer* observer) {
   sim::ScopedObserver guard(network, observer);
+  if (options.common.seed) network.reset_epoch(*options.common.seed);
   return probe_device_impl(network, options.ip);
-}
-
-DeviceProbeReport probe_device(const sim::Network& network, net::Ipv4Address ip) {
-  return probe_device_impl(network, ip);
 }
 
 }  // namespace cen::probe

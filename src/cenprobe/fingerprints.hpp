@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cenprobe/bannergrab.hpp"
+#include "tool/options.hpp"
 
 namespace cen::probe {
 
@@ -42,6 +43,9 @@ struct DeviceProbeReport {
 /// subject is just the device IP.
 struct ProbeRunOptions {
   net::Ipv4Address ip;
+  /// Shared run fields. Probing is a stateless management-plane scan, so
+  /// only `seed` (epoch reset before the scan) applies here.
+  tool::CommonRunOptions common;
 };
 
 /// Unified entry point (same shape as trace::run / fuzz::run): probe one
@@ -49,9 +53,5 @@ struct ProbeRunOptions {
 /// previous observer is restored on return, exception-safe).
 DeviceProbeReport run(sim::Network& network, const ProbeRunOptions& options,
                       obs::Observer* observer = nullptr);
-
-/// Run the CenProbe pipeline against one IP.
-[[deprecated("use probe::run(network, ProbeRunOptions{ip})")]] DeviceProbeReport
-probe_device(const sim::Network& network, net::Ipv4Address ip);
 
 }  // namespace cen::probe

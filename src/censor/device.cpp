@@ -77,6 +77,124 @@ bool Device::payload_triggers(BytesView payload) const {
   return triggers;
 }
 
+bool Device::message_complete(BytesView data) {
+  if (data.empty()) return false;
+  if (looks_like_tls(data)) {
+    if (data.size() < 5) return false;
+    const std::size_t record_len =
+        static_cast<std::size_t>(data[3]) << 8 | static_cast<std::size_t>(data[4]);
+    return data.size() >= 5 + record_len;
+  }
+  // A DNS-over-TCP message is complete exactly when its length prefix is
+  // satisfied (looks_like_tcp_dns requires len == size - 2); a still-growing
+  // one falls through to the plaintext rule and stays incomplete.
+  if (net::looks_like_tcp_dns(data)) return true;
+  // Plaintext/HTTP: the blank line ends the header block. Every payload the
+  // request serializer emits carries one, so unsegmented traffic always
+  // classifies inline (the historical behaviour).
+  std::string_view s(reinterpret_cast<const char*>(data.data()), data.size());
+  return s.find("\r\n\r\n") != std::string_view::npos ||
+         s.find("\n\n") != std::string_view::npos;
+}
+
+namespace {
+
+/// Length of the gap-free prefix of a window's coverage bitmap.
+std::size_t contiguous_prefix(const std::vector<bool>& filled) {
+  std::size_t n = 0;
+  while (n < filled.size() && filled[n]) ++n;
+  return n;
+}
+
+}  // namespace
+
+bool Device::classify_segment(const net::Packet& packet) {
+  if (assembled_bypass_) return payload_triggers(packet.payload);
+  if (packet.payload.empty()) return false;
+
+  const ReassemblyQuirks& rq = config_->reassembly;
+  if (!packet.checksum_ok && rq.validates_checksum) return false;  // decoy discarded
+  // No reassembly buffer: every segment is classified in isolation.
+  if (!rq.reassembles) return payload_triggers(packet.payload);
+
+  FlowKey flow{packet.ip.src.value(), packet.ip.dst.value(), packet.tcp.src_port,
+               packet.tcp.dst_port};
+  auto it = windows_.find(flow);
+  if (it == windows_.end()) {
+    // Hot path: a lone segment carrying a whole message is classified
+    // inline and never touches member state (so the dirty_-gated reset
+    // stays a no-op for unsegmented traffic).
+    if (message_complete(packet.payload)) return payload_triggers(packet.payload);
+    dirty_ = true;
+    FlowWindow w;
+    w.base_seq = packet.tcp.seq;
+    w.base_ttl = packet.ip.ttl;
+    w.data = packet.payload;
+    w.filled.assign(packet.payload.size(), true);
+    windows_.emplace(flow, std::move(w));
+    return false;
+  }
+
+  FlowWindow& w = it->second;
+  // TTL plausibility: a segment whose arriving TTL deviates from the
+  // window opener's is discarded as a suspected insertion packet.
+  if (rq.ttl_consistency_check) {
+    const int diff = static_cast<int>(packet.ip.ttl) - static_cast<int>(w.base_ttl);
+    if (diff > rq.ttl_slack || diff < -static_cast<int>(rq.ttl_slack)) return false;
+  }
+
+  const auto raw_off = static_cast<std::int64_t>(
+      static_cast<std::int32_t>(packet.tcp.seq - w.base_seq));
+  const std::size_t contig = contiguous_prefix(w.filled);
+  // A device without an out-of-order buffer accepts only the segment that
+  // lands exactly on the window edge; anything else desynchronizes it.
+  if (!rq.buffers_out_of_order &&
+      raw_off != static_cast<std::int64_t>(contig)) {
+    return false;
+  }
+  std::int64_t off = raw_off;
+  if (off < 0) {
+    // Earlier bytes than any seen so far: re-anchor the window.
+    const auto shift = static_cast<std::size_t>(-off);
+    if (w.data.size() + shift > kMaxWindowBytes) {
+      windows_.erase(it);
+      return payload_triggers(packet.payload);
+    }
+    w.data.insert(w.data.begin(), shift, 0);
+    w.filled.insert(w.filled.begin(), shift, false);
+    w.base_seq = packet.tcp.seq;
+    off = 0;
+  }
+  const std::size_t begin = static_cast<std::size_t>(off);
+  const std::size_t end = begin + packet.payload.size();
+  if (end > kMaxWindowBytes) {
+    // Pathological growth: give up on the window, classify in isolation.
+    windows_.erase(it);
+    return payload_triggers(packet.payload);
+  }
+  if (end > w.data.size()) {
+    w.data.resize(end, 0);
+    w.filled.resize(end, false);
+  }
+  for (std::size_t i = 0; i < packet.payload.size(); ++i) {
+    const std::size_t idx = begin + i;
+    if (!w.filled[idx] || rq.overlap == OverlapPolicy::kLastWins) {
+      w.data[idx] = packet.payload[i];
+      w.filled[idx] = true;
+    }
+    // kFirstWins keeps the byte already buffered.
+  }
+
+  const std::size_t assembled = contiguous_prefix(w.filled);
+  BytesView view(w.data.data(), assembled);
+  if (!message_complete(view)) return false;
+  // The message concluded: classify it and retire the window so the next
+  // message on this flow starts fresh.
+  const bool triggers = payload_triggers(view);
+  windows_.erase(it);
+  return triggers;
+}
+
 BlockAction Device::effective_action(const net::Packet& packet) const {
   if (config_->tls_action && looks_like_tls(packet.payload)) return *config_->tls_action;
   return config_->action;
@@ -152,7 +270,7 @@ Verdict Device::inspect(const net::Packet& packet, SimTime now) {
   auto residual = residual_until_.find(pair);
   bool residual_active = residual != residual_until_.end() && residual->second > now;
 
-  bool content_trigger = payload_triggers(packet.payload);
+  bool content_trigger = classify_segment(packet);
   bool trigger = content_trigger || (residual_active && !packet.payload.empty());
   if (!trigger) return v;
 
@@ -251,6 +369,7 @@ void Device::reset_state() {
   if (!dirty_) return;  // nothing touched since the last reset
   flow_injections_.clear();
   residual_until_.clear();
+  windows_.clear();
   dirty_ = false;
 }
 

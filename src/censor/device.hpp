@@ -90,6 +90,10 @@ struct DeviceConfig {
   std::optional<net::Ipv4Address> dns_sinkhole;
   HttpQuirks http_quirks;
   TlsQuirks tls_quirks;
+  /// How the device reassembles TCP segments before classification. The
+  /// default is the inert (endpoint-equivalent) profile; vendors differ
+  /// here, and cenambig fingerprints exactly these differences.
+  ReassemblyQuirks reassembly;
   InjectionProfile injection;
   std::string blockpage_html;  // body injected when action == kBlockpage
   /// Management address — for in-path devices this is typically the IP of
@@ -137,6 +141,18 @@ class Device {
   /// by tests and the fuzzer's ground-truth checks.)
   bool payload_triggers(BytesView payload) const;
 
+  /// Legacy inspection mode: classify every packet's payload in isolation,
+  /// exactly as before the segment-reassembly path existed. Only the
+  /// cencheck `ambig` engine uses this, to prove that inert
+  /// ReassemblyQuirks are byte-identical to the historical behaviour.
+  void set_assembled_bypass(bool on) { assembled_bypass_ = on; }
+
+  /// Would this contiguous byte prefix still grow, or is it a complete
+  /// classifiable message (full TLS record, length-satisfied DNS message,
+  /// blank-line-terminated HTTP header block)? Exposed for the probe
+  /// crafters and tests.
+  static bool message_complete(BytesView data);
+
   /// The UDP oracle: bare (unframed) DNS messages.
   bool udp_payload_triggers(BytesView payload) const;
 
@@ -178,16 +194,33 @@ class Device {
   };
   static constexpr std::size_t kDpiCacheCap = 48;
 
+  /// Per-flow reassembly window. Only *partial* messages ever allocate one:
+  /// a segment that alone forms a complete message is classified inline and
+  /// never touches member state, keeping the historical hot path (and the
+  /// cheap dirty_-gated reset) intact for unsegmented traffic.
+  struct FlowWindow {
+    std::uint32_t base_seq = 0;  // TCP seq of data_[0]
+    std::uint8_t base_ttl = 0;   // arriving TTL of the segment that opened it
+    Bytes data;
+    std::vector<bool> filled;    // per-byte coverage (holes from OOO arrival)
+  };
+  static constexpr std::size_t kMaxWindowBytes = 8 * 1024;
+
   BlockAction effective_action(const net::Packet& packet) const;
   std::vector<net::Packet> craft_injections(const net::Packet& trigger,
                                             BlockAction action) const;
   bool payload_triggers_uncached(BytesView payload) const;
+  /// Segment-level classification: feeds the packet through the device's
+  /// ReassemblyQuirks and classifies whatever message (if any) concludes.
+  bool classify_segment(const net::Packet& packet);
 
   std::shared_ptr<const DeviceConfig> config_;
   core::FlatMap<FlowKey, int> flow_injections_;
   core::FlatMap<PairKey, SimTime> residual_until_;
+  core::FlatMap<FlowKey, FlowWindow> windows_;
   std::size_t trigger_count_ = 0;
   bool dirty_ = false;
+  bool assembled_bypass_ = false;
   mutable std::vector<DpiCacheEntry> dpi_cache_;
   mutable core::Arena dpi_arena_{4 * 1024};
 };

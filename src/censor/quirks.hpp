@@ -47,6 +47,44 @@ struct HttpQuirks {
   bool url_includes_path = false;
 };
 
+/// How the reassembler resolves two segments covering the same byte range.
+enum class OverlapPolicy : std::uint8_t {
+  kFirstWins,  // bytes already buffered are never overwritten (BSD-style)
+  kLastWins,   // later data replaces earlier data (Linux-style)
+};
+
+/// Per-vendor TCP segment-reassembly semantics ("Fingerprinting DPI Devices
+/// by Their Ambiguities"). On-path devices see *segments*, not messages; how
+/// they stitch segments back together — overlap resolution, out-of-order
+/// buffering, checksum validation, TTL plausibility checks — differs per
+/// vendor and is observable even when every banner is blocked. The defaults
+/// below are the *inert* profile: they reproduce exactly what a correct
+/// endpoint stack reconstructs, so a device with default ReassemblyQuirks
+/// is byte-identical to the historical assembled-payload behaviour (the
+/// cencheck `ambig` engine asserts this).
+struct ReassemblyQuirks {
+  /// False = no reassembly buffer at all: each segment is classified in
+  /// isolation (split requests are never seen whole).
+  bool reassembles = true;
+  OverlapPolicy overlap = OverlapPolicy::kFirstWins;
+  /// False = only the in-order segment at the window edge is accepted;
+  /// anything else while a message is buffering is discarded (desync).
+  bool buffers_out_of_order = true;
+  /// False = segments with bad TCP checksums are fed to the classifier
+  /// even though no endpoint will ever accept them (insertion decoys).
+  bool validates_checksum = true;
+  /// True = segments whose arriving TTL deviates from the flow's SYN TTL
+  /// by more than `ttl_slack` are discarded as insertion attempts.
+  bool ttl_consistency_check = false;
+  std::uint8_t ttl_slack = 2;
+
+  bool operator==(const ReassemblyQuirks&) const = default;
+};
+
+/// The endpoint-equivalent reassembly profile (what a correct TCP stack
+/// reconstructs). Identical to a default-constructed ReassemblyQuirks.
+inline ReassemblyQuirks inert_reassembly() { return ReassemblyQuirks{}; }
+
 struct TlsQuirks {
   /// Legacy/record versions the DPI's TLS parser understands. A ClientHello
   /// advertising only versions outside this set is not inspected.

@@ -28,6 +28,7 @@
 #include "core/flat_map.hpp"
 #include "geo/asdb.hpp"
 #include "netsim/engine.hpp"
+#include "tool/options.hpp"
 
 namespace cen::trace {
 
@@ -168,6 +169,13 @@ struct CenTraceOptions {
 
   /// Digest over every option (campaign cache-key component).
   std::uint64_t fingerprint() const;
+
+  /// Apply the shared run fields: `retries` caps the adaptive budget,
+  /// `backoff` sets the retry backoff. Inert when the fields are unset.
+  void apply(const tool::CommonRunOptions& common) {
+    if (common.retries) adaptive_max_retries = *common.retries;
+    if (common.backoff) retry_backoff = *common.backoff;
+  }
 };
 
 /// Reliability annotations for a CenTrace verdict, computed from the
@@ -304,6 +312,9 @@ struct TraceRunOptions {
   std::string test_domain;
   std::string control_domain;
   CenTraceOptions trace;
+  /// Shared run fields (retry budget, backoff, epoch seed), applied by
+  /// run() on top of `trace`. Unset fields keep the tool defaults.
+  tool::CommonRunOptions common;
   /// Optional degradation/escalation plan (multi-vantage tomography when
   /// ICMP localisation fails). Null = plain CenTrace, prior behaviour.
   const DegradationPlan* degradation = nullptr;

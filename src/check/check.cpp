@@ -15,7 +15,7 @@ namespace {
 
 constexpr Engine kAllEngines[] = {Engine::kRoundTrip, Engine::kInvariant,
                                   Engine::kCacheReplay, Engine::kMlOracle,
-                                  Engine::kWorldGen};
+                                  Engine::kWorldGen, Engine::kAmbig};
 
 struct CaseResult {
   std::vector<CheckFailure> failures;
@@ -36,6 +36,7 @@ CaseResult execute_case(Engine engine, std::uint64_t case_seed, int budget) {
     case Engine::kCacheReplay: run_cache_replay_case(ctx); break;
     case Engine::kMlOracle: run_ml_oracle_case(ctx); break;
     case Engine::kWorldGen: run_worldgen_case(ctx); break;
+    case Engine::kAmbig: run_ambig_case(ctx); break;
     case Engine::kSelfTest: run_selftest_case(ctx); break;
   }
   out.checks = ctx.checks;
@@ -73,6 +74,7 @@ std::string_view engine_name(Engine e) {
     case Engine::kCacheReplay: return "cache-replay";
     case Engine::kMlOracle: return "ml-oracle";
     case Engine::kWorldGen: return "worldgen";
+    case Engine::kAmbig: return "ambig";
     case Engine::kSelfTest: return "self-test";
   }
   return "unknown";
@@ -84,6 +86,7 @@ std::optional<Engine> engine_from_name(std::string_view name) {
   if (name == "cache-replay" || name == "cache") return Engine::kCacheReplay;
   if (name == "ml-oracle" || name == "ml") return Engine::kMlOracle;
   if (name == "worldgen" || name == "world") return Engine::kWorldGen;
+  if (name == "ambig" || name == "cenambig") return Engine::kAmbig;
   if (name == "self-test" || name == "selftest") return Engine::kSelfTest;
   return std::nullopt;
 }
@@ -115,6 +118,8 @@ std::uint64_t engine_case_count(Engine engine, std::uint64_t iterations) {
     case Engine::kCacheReplay: return std::clamp<std::uint64_t>(iterations / 500, 1, 24);
     // A worldgen case generates (and re-generates) a small synthetic world.
     case Engine::kWorldGen: return at_least_one(iterations / 50);
+    // An ambig case replays three full cenambig measurements.
+    case Engine::kAmbig: return std::clamp<std::uint64_t>(iterations / 250, 1, 12);
     case Engine::kSelfTest: return at_least_one(iterations);
   }
   return at_least_one(iterations);
@@ -256,6 +261,7 @@ std::uint64_t engine_salt(Engine e) {
     case Engine::kCacheReplay: return 0x6361636865727031ull; // "cacherp1"
     case Engine::kMlOracle: return 0x6d6c6f7261636c65ull;    // "mloracle"
     case Engine::kWorldGen: return 0x776f726c6467656eull;    // "worldgen"
+    case Engine::kAmbig: return 0x616d626967666e67ull;       // "ambigfng"
     case Engine::kSelfTest: return 0x73656c6674657374ull;    // "selftest"
   }
   return 0;

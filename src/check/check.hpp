@@ -42,6 +42,11 @@ enum class Engine : std::uint8_t {
   /// endpoint→AS membership consistent, and the same (spec, seed) pair
   /// regenerates a byte-identical world at any thread count.
   kWorldGen,
+  /// Ambiguity-fingerprinting invariants: inert ReassemblyQuirks are
+  /// byte-identical to the pre-reassembly per-packet path, same-seed
+  /// cenambig replays are byte-identical, and the discrepancy vector is
+  /// stable under a permuted probe execution order.
+  kAmbig,
   /// Hidden engine with a deliberately planted failure (fails whenever
   /// the mutation budget is >= 3). Excluded from all_engines(); exists so
   /// tests can prove the harness catches, reproduces and minimizes a bug.

@@ -49,6 +49,7 @@ void run_invariant_case(CaseContext& ctx);
 void run_cache_replay_case(CaseContext& ctx);
 void run_ml_oracle_case(CaseContext& ctx);
 void run_worldgen_case(CaseContext& ctx);
+void run_ambig_case(CaseContext& ctx);
 void run_selftest_case(CaseContext& ctx);
 
 }  // namespace cen::check

@@ -68,6 +68,11 @@ FeatureMatrix extract_features(const std::vector<EndpointMeasurement>& measureme
   m.feature_names.emplace_back("NmapWindow");
   m.feature_names.emplace_back("NmapMss");
   m.feature_names.emplace_back("NmapSack");
+  // Ambiguity discrepancy bits, one per catalogue probe (appended last so
+  // every pre-existing column keeps its index).
+  for (const ambig::ProbeSpec& p : ambig::probe_catalogue()) {
+    m.feature_names.push_back("Ambig:" + std::string(p.name));
+  }
 
   for (const EndpointMeasurement& em : measurements) {
     Row row;
@@ -134,6 +139,14 @@ FeatureMatrix extract_features(const std::vector<EndpointMeasurement>& measureme
       row.push_back(st.sack_permitted ? 1.0 : 0.0);
     } else {
       for (int i = 0; i < 4; ++i) row.push_back(kMissing);
+    }
+
+    if (em.ambig && em.ambig->probes.size() == ambig::probe_catalogue().size()) {
+      for (double bit : em.ambig->discrepancy_vector()) row.push_back(bit);
+    } else {
+      for (std::size_t i = 0; i < ambig::probe_catalogue().size(); ++i) {
+        row.push_back(kMissing);
+      }
     }
 
     m.rows.push_back(std::move(row));

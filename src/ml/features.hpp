@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "cenambig/cenambig.hpp"
 #include "cenfuzz/cenfuzz.hpp"
 #include "cenprobe/fingerprints.hpp"
 #include "centrace/centrace.hpp"
@@ -31,6 +32,10 @@ struct EndpointMeasurement {
   trace::CenTraceReport trace;
   std::optional<fuzz::CenFuzzReport> fuzz;
   std::optional<probe::DeviceProbeReport> banner;
+  /// CenAmbig discrepancy vector — the banner-free vendor signal. Its
+  /// per-probe bits land in "Ambig:<probe-name>" columns at the end of
+  /// the feature layout (missing report = all-NaN, like fuzz/banner).
+  std::optional<ambig::AmbigReport> ambig;
 };
 
 struct FeatureMatrix {

@@ -18,6 +18,13 @@ struct Packet {
   Ipv4Header ip;
   TcpHeader tcp;
   Bytes payload;
+  /// Whether the TCP checksum verifies. The simulation does not carry real
+  /// checksums; probes craft deliberately-corrupt segments by clearing this
+  /// flag. A correct endpoint stack discards such a segment, while a DPI
+  /// model with ReassemblyQuirks::validates_checksum == false still feeds
+  /// it to the classifier. Not part of the serialized wire bytes; parse()
+  /// yields the default (valid).
+  bool checksum_ok = true;
 
   /// Serialize IP + TCP + payload, fixing up ip.total_length.
   Bytes serialize() const;

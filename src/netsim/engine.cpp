@@ -9,6 +9,21 @@ namespace cen::sim {
 namespace {
 /// Salt folded into a seed to derive the fault-layer RNG stream.
 constexpr std::uint64_t kFaultSeedSalt = 0x66616c7453696dULL;
+
+/// Reply packet from the endpoint toward the client, acking `pkt`.
+net::Packet endpoint_reply(const net::Packet& pkt, std::uint8_t flags) {
+  net::Packet r;
+  r.ip.src = pkt.ip.dst;
+  r.ip.dst = pkt.ip.src;
+  r.ip.ttl = 64;
+  r.tcp.src_port = pkt.tcp.dst_port;
+  r.tcp.dst_port = pkt.tcp.src_port;
+  r.tcp.flags = flags;
+  r.tcp.seq = pkt.tcp.ack;
+  r.tcp.ack = pkt.tcp.seq + static_cast<std::uint32_t>(pkt.payload.size());
+  r.tcp.window = 65535;
+  return r;
+}
 }  // namespace
 
 Network::Network(Topology topology, geo::IpMetadataDb geodb, std::uint64_t seed)
@@ -90,6 +105,12 @@ void mix_device(FingerprintBuilder& fp, const censor::DeviceConfig& c) {
   }
   fp.mix(c.tls_quirks.breaks_on_padding_extension);
   fp.mix(c.tls_quirks.inspects_client_certificate);
+  fp.mix(c.reassembly.reassembles);
+  fp.mix(static_cast<std::uint64_t>(c.reassembly.overlap));
+  fp.mix(c.reassembly.buffers_out_of_order);
+  fp.mix(c.reassembly.validates_checksum);
+  fp.mix(c.reassembly.ttl_consistency_check);
+  fp.mix(static_cast<std::uint64_t>(c.reassembly.ttl_slack));
   fp.mix(static_cast<std::uint64_t>(c.injection.init_ttl));
   fp.mix(c.injection.copy_ttl_from_trigger);
   fp.mix(static_cast<std::uint64_t>(c.injection.ip_id));
@@ -388,8 +409,52 @@ std::vector<Event> Network::send_udp(NodeId client, net::Ipv4Address dst,
   return events;
 }
 
+bool Network::endpoint_payload_reply(const EndpointHost& ep, const net::Packet& pkt,
+                                     const std::vector<NodeId>& path, std::size_t i,
+                                     std::vector<Event>& events) {
+  switch (ep.local_filter_verdict(pkt.payload)) {
+    case LocalFilterAction::kDrop:
+      return false;
+    case LocalFilterAction::kRst: {
+      reverse_deliver(endpoint_reply(pkt, net::TcpFlags::kRst | net::TcpFlags::kAck),
+                      path, i, events);
+      return false;
+    }
+    case LocalFilterAction::kNone:
+      break;
+  }
+
+  AppReply reply = ep.handle_payload(pkt.payload);
+  switch (reply.kind) {
+    case AppReply::Kind::kNone:
+      break;
+    case AppReply::Kind::kData: {
+      net::Packet data = endpoint_reply(pkt, net::TcpFlags::kPsh | net::TcpFlags::kAck);
+      data.payload = std::move(reply.data);
+      reverse_deliver(std::move(data), path, i, events);
+      break;
+    }
+    case AppReply::Kind::kRst:
+      reverse_deliver(endpoint_reply(pkt, net::TcpFlags::kRst | net::TcpFlags::kAck),
+                      path, i, events);
+      break;
+  }
+  return true;
+}
+
+void Network::deliver_assembled(net::Packet proto, Bytes assembled,
+                                const std::vector<NodeId>& path,
+                                std::vector<Event>& events) {
+  if (path.size() < 2) return;
+  auto ep_it = endpoints_->find(proto.ip.dst.value());
+  if (ep_it == endpoints_->end()) return;
+  proto.payload = std::move(assembled);
+  endpoint_payload_reply(ep_it->second, proto, path, path.size() - 1, events);
+}
+
 bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
-                           std::vector<Event>& events, bool payload_phase) {
+                           std::vector<Event>& events, bool payload_phase,
+                           net::Packet* delivered) {
   if (path.size() < 2) return false;
   if (ec_ != nullptr) ec_->forward_walks->inc();
   const double transient_loss = faults_.plan().transient_loss;
@@ -482,64 +547,32 @@ bool Network::forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
     if (ep_it == endpoints_->end()) return false;  // no listener: silence
     const EndpointHost& ep = ep_it->second;
 
-    auto spoof_base = [&](std::uint8_t flags) {
-      net::Packet r;
-      r.ip.src = pkt.ip.dst;
-      r.ip.dst = pkt.ip.src;
-      r.ip.ttl = 64;
-      r.tcp.src_port = pkt.tcp.dst_port;
-      r.tcp.dst_port = pkt.tcp.src_port;
-      r.tcp.flags = flags;
-      r.tcp.seq = pkt.tcp.ack;
-      r.tcp.ack = pkt.tcp.seq + static_cast<std::uint32_t>(pkt.payload.size());
-      r.tcp.window = 65535;
-      return r;
-    };
-
     if (!payload_phase) {
       // Handshake: SYN → SYN/ACK on open ports, RST on closed ones.
       const auto& ports = ep.profile().open_ports;
       bool open = std::find(ports.begin(), ports.end(), pkt.tcp.dst_port) != ports.end();
       if (!open) {
-        net::Packet rst = spoof_base(net::TcpFlags::kRst | net::TcpFlags::kAck);
+        net::Packet rst = endpoint_reply(pkt, net::TcpFlags::kRst | net::TcpFlags::kAck);
         rst.tcp.ack = pkt.tcp.seq + 1;
         reverse_deliver(std::move(rst), path, i, events);
         return false;
       }
-      net::Packet synack = spoof_base(net::TcpFlags::kSyn | net::TcpFlags::kAck);
+      net::Packet synack = endpoint_reply(pkt, net::TcpFlags::kSyn | net::TcpFlags::kAck);
       synack.tcp.ack = pkt.tcp.seq + 1;
       reverse_deliver(std::move(synack), path, i, events);
       return true;
     }
 
-    switch (ep.local_filter_verdict(pkt.payload)) {
-      case LocalFilterAction::kDrop:
-        return false;
-      case LocalFilterAction::kRst: {
-        reverse_deliver(spoof_base(net::TcpFlags::kRst | net::TcpFlags::kAck), path, i,
-                        events);
-        return false;
-      }
-      case LocalFilterAction::kNone:
-        break;
+    if (delivered != nullptr) {
+      // Segment mode: the receiving TCP stack takes delivery; a segment
+      // with a corrupt checksum never makes it past the stack, no matter
+      // what any middlebox made of it en route.
+      if (!pkt.checksum_ok) return false;
+      *delivered = std::move(pkt);
+      return true;
     }
 
-    AppReply reply = ep.handle_payload(pkt.payload);
-    switch (reply.kind) {
-      case AppReply::Kind::kNone:
-        break;
-      case AppReply::Kind::kData: {
-        net::Packet data = spoof_base(net::TcpFlags::kPsh | net::TcpFlags::kAck);
-        data.payload = std::move(reply.data);
-        reverse_deliver(std::move(data), path, i, events);
-        break;
-      }
-      case AppReply::Kind::kRst:
-        reverse_deliver(spoof_base(net::TcpFlags::kRst | net::TcpFlags::kAck), path, i,
-                        events);
-        break;
-    }
-    return true;
+    return endpoint_payload_reply(ep, pkt, path, i, events);
   }
   return false;
 }
@@ -601,6 +634,54 @@ void Connection::send_into(const Bytes& payload, std::uint8_t ttl,
   last_sent_ = pkt;
   if (net_->capture_ != nullptr) net_->capture_->add(net_->now(), pkt.serialize());
   net_->forward_walk(std::move(pkt), path_, events, /*payload_phase=*/true);
+}
+
+std::vector<Event> Connection::send_segments(const std::vector<SegmentSpec>& segments) {
+  std::vector<Event> events;
+  if (!established_ || segments.empty()) return events;
+  const net::Ipv4Address src_ip = net_->topology_.node_ip(client_);
+
+  // Total sequence span the probe covers (segments may overlap).
+  std::uint32_t span = 0;
+  for (const SegmentSpec& seg : segments) {
+    span = std::max(span, seg.offset + static_cast<std::uint32_t>(seg.bytes.size()));
+  }
+
+  // Canonical receiver-stack reassembly: out-of-order segments buffer,
+  // already-received bytes are never overwritten (first-wins), and the
+  // application sees the message only once the whole span is contiguous.
+  Bytes assembled(span, 0);
+  std::vector<bool> filled(span, false);
+  bool concluded = false;
+
+  for (const SegmentSpec& seg : segments) {
+    net::Packet pkt = net::make_tcp_packet(
+        src_ip, dst_, sport_, dport_, net::TcpFlags::kPsh | net::TcpFlags::kAck,
+        next_seq_ + seg.offset, peer_seq_, seg.bytes, seg.ttl);
+    pkt.checksum_ok = !seg.bad_checksum;
+    last_sent_ = pkt;
+    if (net_->capture_ != nullptr) net_->capture_->add(net_->now(), pkt.serialize());
+    net::Packet delivered;
+    bool reached = net_->forward_walk(std::move(pkt), path_, events,
+                                      /*payload_phase=*/true, &delivered);
+    if (!reached || concluded) continue;
+    // Fill with the bytes that actually arrived (faults may have mangled
+    // them in flight), never overwriting data already accepted.
+    for (std::size_t b = 0; b < delivered.payload.size(); ++b) {
+      std::size_t idx = seg.offset + b;
+      if (idx < span && !filled[idx]) {
+        assembled[idx] = delivered.payload[b];
+        filled[idx] = true;
+      }
+    }
+    if (std::find(filled.begin(), filled.end(), false) == filled.end()) {
+      delivered.tcp.seq = next_seq_;  // message base for the reply's ack
+      net_->deliver_assembled(std::move(delivered), assembled, path_, events);
+      concluded = true;
+    }
+  }
+  next_seq_ += span;
+  return events;
 }
 
 }  // namespace cen::sim

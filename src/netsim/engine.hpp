@@ -61,6 +61,18 @@ struct UdpEvent {
 
 using Event = std::variant<IcmpEvent, TcpEvent, UdpEvent>;
 
+/// One TCP segment of a deliberately-crafted (possibly ambiguous) probe
+/// sequence: raw bytes at an offset relative to the message start, with its
+/// own IP TTL and an optionally-corrupt TCP checksum. Segments may overlap,
+/// arrive out of order, or expire before the endpoint — exactly the
+/// ambiguities cenambig uses to tell reassembly implementations apart.
+struct SegmentSpec {
+  std::uint32_t offset = 0;
+  Bytes bytes;
+  std::uint8_t ttl = 64;
+  bool bad_checksum = false;
+};
+
 /// Ephemeral source-port pool [floor, ceiling): fresh connections draw
 /// from it and wrap back to the floor, never entering reserved ranges.
 constexpr std::uint16_t kEphemeralPortFloor = 40000;
@@ -85,6 +97,15 @@ class Connection {
   /// probe loop can reuse one vector (and its capacity) across attempts
   /// instead of constructing a fresh one per send.
   void send_into(const Bytes& payload, std::uint8_t ttl, std::vector<Event>& events);
+
+  /// Send one application message as individually-crafted TCP segments, in
+  /// the given (possibly out-of-order) send order. Devices along the path
+  /// inspect each *segment* through their ReassemblyQuirks; the endpoint
+  /// TCP stack performs canonical reassembly (first-wins, out-of-order
+  /// buffered, bad-checksum segments discarded, TTL-expired segments never
+  /// arriving) and hands the application the assembled message only if the
+  /// whole span was covered. Returns everything the client receives back.
+  std::vector<Event> send_segments(const std::vector<SegmentSpec>& segments);
 
   std::uint16_t source_port() const { return sport_; }
   const std::vector<NodeId>& path() const { return path_; }
@@ -238,9 +259,30 @@ class Network {
 
   /// Walk a client→endpoint packet along `path`; fills `events` with
   /// everything delivered back to the client. Returns true if the packet
-  /// reached the endpoint application.
+  /// reached the endpoint application. With `delivered` non-null the walk
+  /// runs in segment mode: the endpoint TCP stack takes delivery of the
+  /// packet (bad-checksum segments are discarded) without invoking the
+  /// application — the caller models reassembly and hands the assembled
+  /// message back through deliver_assembled().
   bool forward_walk(net::Packet pkt, const std::vector<NodeId>& path,
-                    std::vector<Event>& events, bool payload_phase);
+                    std::vector<Event>& events, bool payload_phase,
+                    net::Packet* delivered = nullptr);
+
+  /// Deliver a reassembled message to the endpoint application exactly
+  /// once (local filter + web-server model + reply), as a real receiver
+  /// does after stitching segments back together. `proto` carries the
+  /// flow's headers with tcp.seq at the message base; its payload is
+  /// replaced by `assembled`.
+  void deliver_assembled(net::Packet proto, Bytes assembled,
+                         const std::vector<NodeId>& path,
+                         std::vector<Event>& events);
+
+  /// The endpoint-application half of the final hop: local filter verdict,
+  /// web-server handling and the spoofed reply. Returns true if the
+  /// payload reached the application.
+  bool endpoint_payload_reply(const EndpointHost& ep, const net::Packet& pkt,
+                              const std::vector<NodeId>& path, std::size_t i,
+                              std::vector<Event>& events);
 
   /// Deliver a packet travelling from path index `from_index` back to the
   /// client at path[0], decrementing TTL per router hop.

@@ -50,6 +50,9 @@ Observer::Observer(Options options) : journal_(options.journal_cap) {
   tools_.fuzz_untestable = &metrics_.counter("cenfuzz.untestable");
   tools_.fuzz_baseline_failed = &metrics_.counter("cenfuzz.baseline_failed");
   tools_.fuzz_skipped = &metrics_.counter("cenfuzz.skipped_strategies");
+  tools_.ambig_runs = &metrics_.counter("cenambig.runs");
+  tools_.ambig_probes = &metrics_.counter("cenambig.probes");
+  tools_.ambig_discrepant = &metrics_.counter("cenambig.discrepant");
 }
 
 void Observer::merge_from(const Observer& other, std::uint32_t tid,

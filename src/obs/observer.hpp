@@ -68,6 +68,10 @@ struct ToolCounters {
   Counter* fuzz_untestable = nullptr;       // cenfuzz.untestable
   Counter* fuzz_baseline_failed = nullptr;  // cenfuzz.baseline_failed
   Counter* fuzz_skipped = nullptr;          // cenfuzz.skipped_strategies
+  // CenAmbig
+  Counter* ambig_runs = nullptr;        // cenambig.runs
+  Counter* ambig_probes = nullptr;      // cenambig.probes
+  Counter* ambig_discrepant = nullptr;  // cenambig.discrepant
 };
 
 /// Per-fault-type fire counters for the fault-injection layer.

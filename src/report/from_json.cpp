@@ -215,6 +215,41 @@ std::optional<fuzz::CenFuzzReport> fuzz_report_from_json(const JsonValue& doc) {
   return r;
 }
 
+std::optional<ambig::AmbigReport> ambig_report_from_json(const JsonValue& doc) {
+  if (!doc.is_object() || doc.get_string("tool", "") != "cenambig") return std::nullopt;
+  ambig::AmbigReport r;
+  auto endpoint = ip_field(doc, "endpoint");
+  if (!endpoint) return std::nullopt;
+  r.endpoint = *endpoint;
+  r.test_domain = doc.get_string("test_domain", "");
+  r.control_domain = doc.get_string("control_domain", "");
+  r.baseline_blocked = doc.get_bool("baseline_blocked", false);
+  r.endpoint_distance = static_cast<int>(doc.get_number("endpoint_distance", -1));
+  r.insertion_ttl = static_cast<int>(doc.get_number("insertion_ttl", -1));
+  r.total_probes_sent = static_cast<std::size_t>(doc.get_number("total_probes_sent", 0));
+  if (const JsonValue* ps = doc.find("probes"); ps != nullptr && ps->is_array()) {
+    for (const JsonValue& p : ps->array) {
+      if (!p.is_object()) continue;
+      ambig::AmbigProbeResult pr;
+      pr.name = p.get_string("name", "");
+      auto test = enum_from_name<ambig::ProbeOutcome>(p.get_string("test_outcome", ""),
+                                                      5, ambig::probe_outcome_name);
+      auto control = enum_from_name<ambig::ProbeOutcome>(
+          p.get_string("control_outcome", ""), 5, ambig::probe_outcome_name);
+      if (!test || !control) return std::nullopt;
+      pr.test_outcome = *test;
+      pr.control_outcome = *control;
+      pr.test_blocked_votes = static_cast<int>(p.get_number("test_blocked_votes", 0));
+      pr.control_clean_votes = static_cast<int>(p.get_number("control_clean_votes", 0));
+      pr.repetitions = static_cast<int>(p.get_number("repetitions", 0));
+      pr.discrepant = p.get_bool("discrepant", false);
+      pr.testable = p.get_bool("testable", true);
+      r.probes.push_back(std::move(pr));
+    }
+  }
+  return r;
+}
+
 namespace {
 
 template <typename Fn>
@@ -237,6 +272,10 @@ std::optional<probe::DeviceProbeReport> probe_report_from_json(std::string_view 
 
 std::optional<fuzz::CenFuzzReport> fuzz_report_from_json(std::string_view text) {
   return parse_then(text, [](const JsonValue& d) { return fuzz_report_from_json(d); });
+}
+
+std::optional<ambig::AmbigReport> ambig_report_from_json(std::string_view text) {
+  return parse_then(text, [](const JsonValue& d) { return ambig_report_from_json(d); });
 }
 
 }  // namespace cen::report

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string_view>
 
+#include "cenambig/cenambig.hpp"
 #include "cenfuzz/cenfuzz.hpp"
 #include "cenprobe/fingerprints.hpp"
 #include "centrace/centrace.hpp"
@@ -32,9 +33,13 @@ std::optional<probe::DeviceProbeReport> probe_report_from_json(const JsonValue& 
 /// the wire format; only the classification fields round-trip.
 std::optional<fuzz::CenFuzzReport> fuzz_report_from_json(const JsonValue& doc);
 
+/// Decode a CenAmbig report document.
+std::optional<ambig::AmbigReport> ambig_report_from_json(const JsonValue& doc);
+
 /// Convenience wrappers parsing from text.
 std::optional<trace::CenTraceReport> trace_report_from_json(std::string_view text);
 std::optional<probe::DeviceProbeReport> probe_report_from_json(std::string_view text);
 std::optional<fuzz::CenFuzzReport> fuzz_report_from_json(std::string_view text);
+std::optional<ambig::AmbigReport> ambig_report_from_json(std::string_view text);
 
 }  // namespace cen::report

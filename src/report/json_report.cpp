@@ -181,6 +181,35 @@ std::string to_json(const fuzz::CenFuzzReport& report) {
   return w.str();
 }
 
+std::string to_json(const ambig::AmbigReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("tool").value("cenambig");
+  w.key("endpoint").value(report.endpoint.str());
+  w.key("test_domain").value(report.test_domain);
+  w.key("control_domain").value(report.control_domain);
+  w.key("baseline_blocked").value(report.baseline_blocked);
+  w.key("endpoint_distance").value(static_cast<std::int64_t>(report.endpoint_distance));
+  w.key("insertion_ttl").value(static_cast<std::int64_t>(report.insertion_ttl));
+  w.key("total_probes_sent").value(static_cast<std::uint64_t>(report.total_probes_sent));
+  w.key("probes").begin_array();
+  for (const ambig::AmbigProbeResult& p : report.probes) {
+    w.begin_object();
+    w.key("name").value(p.name);
+    w.key("test_outcome").value(ambig::probe_outcome_name(p.test_outcome));
+    w.key("control_outcome").value(ambig::probe_outcome_name(p.control_outcome));
+    w.key("test_blocked_votes").value(static_cast<std::int64_t>(p.test_blocked_votes));
+    w.key("control_clean_votes").value(static_cast<std::int64_t>(p.control_clean_votes));
+    w.key("repetitions").value(static_cast<std::int64_t>(p.repetitions));
+    w.key("discrepant").value(p.discrepant);
+    w.key("testable").value(p.testable);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
 std::string to_json(const probe::DeviceProbeReport& report) {
   JsonWriter w;
   w.begin_object();

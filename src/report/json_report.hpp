@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "cenambig/cenambig.hpp"
 #include "cenfuzz/cenfuzz.hpp"
 #include "cenprobe/fingerprints.hpp"
 #include "centrace/centrace.hpp"
@@ -21,6 +22,9 @@ std::string to_json(const fuzz::CenFuzzReport& report);
 
 /// CenProbe device report: ports, banners, vendor label.
 std::string to_json(const probe::DeviceProbeReport& report);
+
+/// CenAmbig report: endpoint distance, per-probe verdicts and votes.
+std::string to_json(const ambig::AmbigReport& report);
 
 /// Whole pipeline result: country, every remote/in-country trace (with
 /// per-sweep hop logs), device probes keyed by IP and the per-endpoint

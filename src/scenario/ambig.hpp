@@ -1,0 +1,76 @@
+// Ambiguity-fingerprinting scenario (ISSUE 9): N synthetic vendors whose
+// deployments share an IDENTICAL rule set, an identical blocking action
+// (silent drop) and fully dark management planes (no banners, no
+// blockpage), differing ONLY in their ReassemblyQuirks. Every signal the
+// banner/blockpage pipeline clusters on is absent by construction — the
+// discrepancy vectors CenAmbig measures are the only thing that separates
+// the vendors, which is exactly the situation the ambiguity-
+// fingerprinting method is for.
+//
+// Shape (one branch per deployment, all behind one access router):
+//
+//   client - acc -+- rA0 - rB0* - server0      * = inline device on the
+//                 +- rA1 - rB1* - server1          link into rBi
+//                 +- ...
+//
+// Deployments are assigned round-robin over the vendor profiles, so
+// deployment i carries vendor (i % vendors). The endpoint sits one hop
+// behind the device: an insertion TTL of (distance - 1) reaches the
+// device but never the server.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "censor/quirks.hpp"
+#include "netsim/engine.hpp"
+
+namespace cen::scenario {
+
+/// One synthetic vendor: a name plus the reassembly behaviour that is its
+/// only observable difference from the others.
+struct AmbigVendor {
+  std::string name;
+  censor::ReassemblyQuirks reassembly;
+};
+
+/// The built-in vendor set (3 profiles chosen to differ along independent
+/// quirk axes, so their discrepancy vectors are pairwise distinct):
+///   QuirkTTL    first-wins, TTL-consistency check (rejects insertion);
+///   QuirkLast   last-wins, accepts bad checksums;
+///   QuirkStrict first-wins, no out-of-order buffer.
+const std::vector<AmbigVendor>& ambig_vendors();
+
+struct AmbigScenarioOptions {
+  /// Deployments per vendor (total devices = vendors * this).
+  int deployments_per_vendor = 3;
+  /// Vendor profiles; empty = ambig_vendors().
+  std::vector<AmbigVendor> vendors;
+  /// Residual (client, endpoint)-pair blocking after a trigger. Must be
+  /// non-zero for insertion probes to surface as a blocked outcome (the
+  /// dropped decoy itself never reaches the endpoint; it is the residual
+  /// window that kills the benign completion that follows).
+  SimTime residual_block = 60 * kSecond;
+};
+
+struct AmbigDeployment {
+  std::string device_id;
+  std::string vendor;  // ground truth (never consumed by the tools)
+  net::Ipv4Address endpoint;
+};
+
+struct AmbigScenario {
+  std::unique_ptr<sim::Network> network;
+  sim::NodeId client = sim::kInvalidNode;
+  std::string test_domain = "www.blocked.example";
+  std::string control_domain = "www.example.org";
+  /// One entry per deployment; vendors are assigned round-robin, so
+  /// deployment i carries vendor (i % vendors.size()).
+  std::vector<AmbigDeployment> deployments;
+};
+
+AmbigScenario make_ambig(const AmbigScenarioOptions& options = {},
+                         std::uint64_t seed = 9);
+
+}  // namespace cen::scenario

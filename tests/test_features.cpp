@@ -69,8 +69,8 @@ TEST(Features, ShapeAndNames) {
   FeatureMatrix m = extract_features({sample_measurement(trace::BlockingType::kRst, true, true)});
   EXPECT_EQ(m.n_rows(), 1u);
   // 11 trace features + 25 strategy features (Normal + 24) + 8 ports +
-  // count + 4 Nmap stack-fingerprint features.
-  EXPECT_EQ(m.n_features(), 11u + 25u + 9u + 4u);
+  // count + 4 Nmap stack-fingerprint features + 9 ambiguity bits.
+  EXPECT_EQ(m.n_features(), 11u + 25u + 9u + 4u + 9u);
   EXPECT_EQ(m.rows[0].size(), m.n_features());
   EXPECT_EQ(m.labels[0], "Fortinet");
   EXPECT_EQ(m.countries[0], "KZ");

@@ -1,0 +1,125 @@
+// cenambig — fingerprint a DPI device by its reassembly ambiguities.
+//
+//   cenambig --country AZ|BY|KZ|RU [--endpoint N] [--domain D]
+//            [--reps N] [--order-salt N] [common flags]
+//   cenambig --vendor-lab [--per-vendor N] [--reps N] [common flags]
+//
+// Country mode probes one blocked endpoint of a built-in scenario and
+// prints the per-probe discrepancy table (or JSON). --vendor-lab runs
+// the seeded three-vendor laboratory (identical rules, distinct
+// ReassemblyQuirks) and prints every deployment's discrepancy vector —
+// the banner-free vendor signal.
+#include "cli_common.hpp"
+
+#include "scenario/ambig.hpp"
+
+using namespace cen;
+
+namespace {
+
+const char* outcome_name(ambig::ProbeOutcome o) {
+  switch (o) {
+    case ambig::ProbeOutcome::kData: return "data";
+    case ambig::ProbeOutcome::kRst: return "rst";
+    case ambig::ProbeOutcome::kFin: return "fin";
+    case ambig::ProbeOutcome::kBlockpage: return "blockpage";
+    case ambig::ProbeOutcome::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+void print_report(const ambig::AmbigReport& report) {
+  std::printf("endpoint %s, test domain %s (distance %d, insertion ttl %d)\n",
+              report.endpoint.str().c_str(), report.test_domain.c_str(),
+              report.endpoint_distance, report.insertion_ttl);
+  std::printf("baseline blocked: %s (%zu probes total)\n",
+              report.baseline_blocked ? "yes" : "no", report.total_probes_sent);
+  std::printf("%-20s %10s %10s %6s\n", "probe", "test", "control", "bit");
+  for (const ambig::AmbigProbeResult& p : report.probes) {
+    const char* bit = !p.testable ? "n/a" : (p.discrepant ? "1" : "0");
+    std::printf("%-20s %10s %10s %6s\n", std::string(p.name).c_str(),
+                outcome_name(p.test_outcome), outcome_name(p.control_outcome), bit);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv);
+  const cli::CommonOptions common = cli::parse_common(args);
+  if (args.has("help") || (!args.has("country") && !args.has("vendor-lab"))) {
+    std::printf(
+        "usage: cenambig --country AZ|BY|KZ|RU [--endpoint N] [--domain D]\n"
+        "                [--reps N] [--order-salt N] [common flags]\n"
+        "       cenambig --vendor-lab [--per-vendor N] [--reps N] [common flags]\n%s",
+        cli::kCommonUsage);
+    return args.has("help") ? cli::kExitOk : cli::kExitUsage;
+  }
+
+  obs::Observer observer;
+  obs::Observer* obs_ptr = cli::wants_observer(args) ? &observer : nullptr;
+
+  if (args.has("vendor-lab")) {
+    scenario::AmbigScenarioOptions sopts;
+    sopts.deployments_per_vendor = args.get_int("per-vendor", 2);
+    scenario::AmbigScenario s = scenario::make_ambig(sopts);
+    s.network->set_fault_plan(common.faults);
+
+    bool first = true;
+    for (const scenario::AmbigDeployment& d : s.deployments) {
+      ambig::AmbigRunOptions ropts;
+      ropts.client = s.client;
+      ropts.endpoint = d.endpoint;
+      ropts.test_domain = s.test_domain;
+      ropts.control_domain = s.control_domain;
+      ropts.common = common.run;
+      ropts.ambig.repetitions = args.get_int("reps", ropts.ambig.repetitions);
+      if (args.has("order-salt")) {
+        ropts.ambig.order_salt =
+            static_cast<std::uint64_t>(args.get_int("order-salt", 0));
+      }
+      ambig::AmbigReport report = ambig::run(*s.network, ropts, obs_ptr);
+      if (common.json) {
+        std::printf("%s\n", report::to_json(report).c_str());
+        continue;
+      }
+      if (!first) std::printf("\n");
+      first = false;
+      std::printf("== %s (%s) ==\n", d.device_id.c_str(), d.vendor.c_str());
+      print_report(report);
+    }
+    return obs_ptr != nullptr ? cli::write_observability(args, observer) : 0;
+  }
+
+  scenario::CountryScenario s =
+      scenario::make_country(cli::parse_country(args.get("country")), common.scale);
+  s.network->set_fault_plan(common.faults);
+
+  int index = args.get_int("endpoint", 0);
+  if (index < 0 || index >= static_cast<int>(s.remote_endpoints.size())) {
+    std::fprintf(stderr, "endpoint index out of range (0..%zu)\n",
+                 s.remote_endpoints.size() - 1);
+    return cli::kExitUsage;
+  }
+
+  ambig::AmbigRunOptions ropts;
+  ropts.client = s.remote_client;
+  ropts.endpoint = s.remote_endpoints[static_cast<std::size_t>(index)];
+  ropts.test_domain = args.get("domain", s.http_test_domains.front());
+  ropts.control_domain = s.control_domain;
+  ropts.common = common.run;
+  ropts.ambig.repetitions = args.get_int("reps", ropts.ambig.repetitions);
+  if (args.has("order-salt")) {
+    ropts.ambig.order_salt = static_cast<std::uint64_t>(args.get_int("order-salt", 0));
+  }
+  ambig::AmbigReport report = ambig::run(*s.network, ropts, obs_ptr);
+
+  int obs_rc = obs_ptr != nullptr ? cli::write_observability(args, observer) : 0;
+
+  if (common.json) {
+    std::printf("%s\n", report::to_json(report).c_str());
+    return obs_rc;
+  }
+  print_report(report);
+  return obs_rc;
+}

@@ -3,6 +3,7 @@
 //
 //   cencampaign [--spec FILE] [--countries AZ,KZ] [--seed N]
 //               [--max-endpoints N] [--max-domains N] [--fuzz-cap N]
+//               [--ambig] [--ambig-cap N] [--ambig-reps N]
 //               [--reps N] [--tomography] [--vantages N]
 //               [--batch N] [--max-batches N] [--cache FILE]
 //               [--out records.jsonl] [--summary summary.json]
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
         "usage: cencampaign [--spec FILE] [--countries AZ,BY,KZ,RU] [--seed N]\n"
         "                   [--world 1k|100k|1m|FILE]\n"
         "                   [--max-endpoints N] [--max-domains N] [--fuzz-cap N]\n"
+        "                   [--ambig] [--ambig-cap N] [--ambig-reps N]\n"
         "                   [--reps N] [--tomography] [--vantages N]\n"
         "                   [--batch N] [--max-batches N]\n"
         "                   [--cache FILE] [--out FILE] [--summary FILE]\n"
@@ -78,6 +80,9 @@ int main(int argc, char** argv) {
   spec.max_endpoints = args.get_int("max-endpoints", spec.max_endpoints);
   spec.max_domains = args.get_int("max-domains", spec.max_domains);
   spec.fuzz_max_endpoints = args.get_int("fuzz-cap", spec.fuzz_max_endpoints);
+  if (args.has("ambig")) spec.stages.ambig = true;
+  spec.ambig_max_endpoints = args.get_int("ambig-cap", spec.ambig_max_endpoints);
+  spec.ambig.repetitions = args.get_int("ambig-reps", spec.ambig.repetitions);
   spec.batch_size = args.get_int("batch", spec.batch_size);
   if (spec.batch_size < 1) {
     std::fprintf(stderr, "--batch must be >= 1\n");
@@ -116,9 +121,10 @@ int main(int argc, char** argv) {
     std::printf("%s", result.to_jsonl().c_str());
     std::printf("%s\n", result.summary_json().c_str());
   } else {
-    std::printf("campaign '%s' (%s): %zu trace / %zu probe / %zu fuzz tasks\n",
+    std::printf("campaign '%s' (%s): %zu trace / %zu probe / %zu fuzz / %zu ambig tasks\n",
                 result.name.c_str(), join(result.countries, ",").c_str(),
-                result.trace.tasks, result.probe.tasks, result.fuzz.tasks);
+                result.trace.tasks, result.probe.tasks, result.fuzz.tasks,
+                result.ambig.tasks);
     std::printf("  executed %zu, cache hits %zu; %zu blocked endpoints, "
                 "%zu measurements, %d clusters (%zu noise)\n",
                 result.tool_tasks_executed(), result.cache_hits(),

@@ -34,13 +34,15 @@ int main(int argc, char** argv) {
 
   obs::Observer observer;
   obs::Observer* obs_ptr = cli::wants_observer(args) ? &observer : nullptr;
-  if (obs_ptr != nullptr) s.network->set_observer(obs_ptr);
 
-  fuzz::CenFuzz fuzzer(*s.network, s.remote_client);
-  fuzz::CenFuzzReport report = fuzzer.run(
-      s.remote_endpoints[static_cast<std::size_t>(index)], domain, s.control_domain);
+  fuzz::FuzzRunOptions ropts;
+  ropts.client = s.remote_client;
+  ropts.endpoint = s.remote_endpoints[static_cast<std::size_t>(index)];
+  ropts.test_domain = domain;
+  ropts.control_domain = s.control_domain;
+  ropts.common = common.run;
+  fuzz::CenFuzzReport report = fuzz::run(*s.network, ropts, obs_ptr);
 
-  if (obs_ptr != nullptr) s.network->set_observer(nullptr);
   int obs_rc = obs_ptr != nullptr ? cli::write_observability(args, observer) : 0;
 
   if (common.json) {

@@ -87,8 +87,7 @@ int main(int argc, char** argv) {
   trace::CenTraceOptions opts;
   opts.repetitions = args.get_int("reps", 11);
   opts.protocol = cli::parse_protocol(args.get("protocol"));
-  opts.retry_backoff = common.backoff;
-  opts.adaptive_max_retries = common.retries;
+  opts.apply(common.run);
 
   net::PcapWriter capture;
   if (args.has("pcap")) s.network->set_capture(&capture);

@@ -13,6 +13,7 @@
 #include "obs/observer.hpp"
 #include "report/json_report.hpp"
 #include "scenario/pipeline.hpp"
+#include "tool/options.hpp"
 
 namespace cli {
 
@@ -199,6 +200,11 @@ struct CommonOptions {
   /// simulated-time retry backoff for runs under faults.
   int retries = 6;
   cen::SimTime backoff = 0;
+  /// The shared run fields of the unified tool API, populated here once
+  /// (--retries / --backoff / --seed) so every CLI maps the same flags to
+  /// every tool the same way: `opts.apply(common.run)` or
+  /// `run_options.common = common.run`.
+  cen::tool::CommonRunOptions run;
   bool json = false;
   /// Fault plan assembled from the --loss / --fault-* knobs; inert when
   /// none was passed (see has_fault_flags).
@@ -212,6 +218,7 @@ inline constexpr const char* kCommonUsage =
     "  --threads N           workers: -1 hardware, 0 serial, N pool\n"
     "  --retries N           adaptive retry budget under faults (default 6)\n"
     "  --backoff MS          simulated retry backoff (default 0)\n"
+    "  --seed N              deterministic measurement-epoch seed\n"
     "  --json                machine-readable JSON output\n"
     "  --loss P --fault-loss P --fault-dup P --fault-reorder P\n"
     "  --fault-icmp-rate R   fault-plan knobs (inert by default)\n"
@@ -226,6 +233,14 @@ inline CommonOptions parse_common(const Args& args) {
   o.threads = args.get_int("threads", -1);
   o.retries = args.get_int("retries", 6);
   o.backoff = static_cast<cen::SimTime>(args.get_int("backoff", 0));
+  // Only explicitly-passed flags reach the shared run options: an unset
+  // field means "keep the tool's own default", so tools whose defaults
+  // differ from the CLI fallback values are not silently reconfigured.
+  if (args.has("retries")) o.run.retries = o.retries;
+  if (args.has("backoff")) o.run.backoff = o.backoff;
+  if (args.has("seed")) {
+    o.run.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  }
   o.json = args.has("json");
   o.faults = parse_fault_plan(args);
   return o;
