@@ -1,0 +1,143 @@
+// Longitudinal epoch-loop effectiveness: cold vs warm wall time across a
+// multi-epoch run with a churn schedule that leaves half the epochs
+// unchanged, plus the two guards the longitudinal cache contract
+// promises — an epoch whose ground-truth churn is empty must execute
+// ZERO tool tasks (its site fingerprints are unchanged, so every task
+// splices from the shared JSONL cache) and report an empty diff; and a
+// fully warm re-run must execute zero tasks in every epoch and produce
+// byte-identical output. Exit 1 when a guard fails.
+//
+//   ./bench_longit [output.json]      (default BENCH_longit.json)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "core/json.hpp"
+#include "longit/longit.hpp"
+
+using namespace cen;
+
+namespace {
+
+double run_ms(const longit::LongitSpec& spec, const std::string& cache,
+              longit::LongitResult& out) {
+  campaign::RunControl control;
+  control.threads = -1;
+  control.cache_path = cache;
+  auto t0 = std::chrono::steady_clock::now();
+  out = longit::run(spec, control);
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_longit.json";
+
+  longit::LongitSpec spec;
+  spec.base.name = "bench";
+  spec.base.countries = {scenario::Country::kAZ, scenario::Country::kKZ};
+  spec.base.scale = scenario::Scale::kSmall;
+  spec.base.trace.repetitions = 3;
+  spec.base.max_endpoints = 4;
+  spec.base.max_domains = 2;
+  spec.base.fuzz_max_endpoints = 3;
+  spec.epochs = 6;
+  longit::EvolutionPlan plan;
+  plan.seed = 11;
+  plan.period = 2;  // churn at 1, 3, 5 only: 2 and 4 must be free
+  plan.rule_add_prob = 0.5;
+  plan.rule_remove_prob = 0.25;
+  plan.vendor_upgrade_prob = 0.25;
+  plan.blockpage_swap_prob = 0.25;
+  plan.coverage_drift_prob = 0.5;
+  spec.base.evolution = plan;
+
+  const std::string cache = "BENCH_longit_cache.jsonl";
+  std::remove(cache.c_str());
+
+  longit::LongitResult cold, warm;
+  const double cold_ms = run_ms(spec, cache, cold);
+  const double warm_ms = run_ms(spec, cache, warm);
+  std::remove(cache.c_str());
+
+  // Epochs whose ground truth says nothing churned anywhere.
+  std::set<int> churned;
+  for (const longit::EpochSummary& e : cold.epochs) {
+    for (const longit::EpochChurn& ec : e.churn) {
+      if (ec.any()) churned.insert(ec.epoch);
+    }
+  }
+
+  bool zero_churn_guard = cold.complete && warm.complete;
+  std::size_t quiet_epochs = 0;
+  std::size_t detected = 0;  // churn epochs whose diff shows a change
+  for (const longit::EpochSummary& e : cold.epochs) {
+    if (e.epoch == 0) continue;
+    if (churned.count(e.epoch)) {
+      if (e.diff.any()) ++detected;
+    } else {
+      ++quiet_epochs;
+      if (e.executed != 0 || e.diff.any()) zero_churn_guard = false;
+    }
+  }
+  std::size_t warm_executed = 0;
+  for (const longit::EpochSummary& e : warm.epochs) warm_executed += e.executed;
+  const bool identical = warm.to_json() == cold.to_json();
+  const bool warm_guard = warm_executed == 0 && identical;
+  const bool guard_pass = zero_churn_guard && warm_guard;
+
+  const double epochs_per_sec =
+      cold_ms > 0 ? 1000.0 * static_cast<double>(spec.epochs) / cold_ms : 0.0;
+  std::printf("longit bench (%d epochs, %zu churned, %zu quiet)\n", spec.epochs,
+              churned.size(), quiet_epochs);
+  std::printf("  cold run: %8.1f ms  (%.2f epochs/s)\n", cold_ms, epochs_per_sec);
+  std::printf("  warm run: %8.1f ms  (speedup %.1fx, %zu executed)\n", warm_ms,
+              warm_ms > 0 ? cold_ms / warm_ms : 0.0, warm_executed);
+  for (const longit::EpochSummary& e : cold.epochs) {
+    std::printf("  epoch %d: executed %4zu, hits %4zu, diff %s, churn %s\n",
+                e.epoch, e.executed, e.cache_hits,
+                e.diff.any() ? "yes" : "no ",
+                churned.count(e.epoch) ? "yes" : "no");
+  }
+  std::printf("  diff detected %zu of %zu churn epochs\n", detected, churned.size());
+  std::printf("zero-churn guard (quiet epochs execute nothing, empty diff): %s\n",
+              zero_churn_guard ? "PASS" : "FAIL");
+  std::printf("warm-run guard (zero executions, identical output): %s\n",
+              warm_guard ? "PASS" : "FAIL");
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("longit_epochs");
+  w.key("epochs").value(spec.epochs);
+  w.key("churn_epochs").value(static_cast<std::uint64_t>(churned.size()));
+  w.key("quiet_epochs").value(static_cast<std::uint64_t>(quiet_epochs));
+  w.key("cold_ms").value(cold_ms);
+  w.key("warm_ms").value(warm_ms);
+  w.key("epochs_per_sec").value(epochs_per_sec);
+  w.key("warm_executed").value(static_cast<std::uint64_t>(warm_executed));
+  w.key("diff_detected_churn_epochs").value(static_cast<std::uint64_t>(detected));
+  w.key("per_epoch").begin_array();
+  for (const longit::EpochSummary& e : cold.epochs) {
+    w.begin_object();
+    w.key("epoch").value(e.epoch);
+    w.key("executed").value(static_cast<std::uint64_t>(e.executed));
+    w.key("cache_hits").value(static_cast<std::uint64_t>(e.cache_hits));
+    w.key("records").value(static_cast<std::uint64_t>(e.records));
+    w.key("diff_any").value(e.diff.any());
+    w.key("churned").value(churned.count(e.epoch) != 0);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("hop_ttl_p50").value(cold.hop_ttl.query(50));
+  w.key("hop_ttl_p99").value(cold.hop_ttl.query(99));
+  w.key("outputs_identical").value(identical);
+  w.key("guard_pass").value(guard_pass);
+  w.end_object();
+  std::ofstream(out_path) << w.str() << "\n";
+  std::printf("wrote %s\n", out_path);
+  return guard_pass ? 0 : 1;
+}

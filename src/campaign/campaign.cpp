@@ -224,6 +224,20 @@ CampaignResult run(const CampaignSpec& spec, const RunControl& control) {
     Site site = world_mode ? build_world_site(spec)
                            : build_country_site(countries[site_index], spec);
     sim::Network& net = *site.network;
+    if (spec.evolution && spec.evolution_epoch > 0) {
+      // Replay censor evolution up to the spec's epoch on the fresh
+      // baseline. Device mutations land in the network fingerprint below,
+      // so churned sites (and only churned sites) miss the result cache.
+      // Rule adds draw from the *measured* domain lists (spec overrides
+      // win, as in the trace stage) so churn is observable in the diffs.
+      std::vector<std::string> pool =
+          spec.http_domains.empty() ? site.http_domains : spec.http_domains;
+      const std::vector<std::string>& https =
+          spec.https_domains.empty() ? site.https_domains : spec.https_domains;
+      pool.insert(pool.end(), https.begin(), https.end());
+      longit::apply_evolution(net, site.code, *spec.evolution,
+                              spec.evolution_epoch, pool);
+    }
     net.set_fault_plan(spec.faults);
     const std::uint64_t net_fp = net.fingerprint();
     const std::string& code = site.code;

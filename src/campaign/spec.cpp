@@ -100,6 +100,11 @@ std::uint64_t CampaignSpec::fingerprint() const {
     fp.mix(true);
     fp.mix(world->fingerprint());
   }
+  if (evolution) {
+    fp.mix(true);
+    fp.mix(evolution->fingerprint());
+    fp.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(evolution_epoch)));
+  }
   return fp.digest();
 }
 
@@ -176,6 +181,10 @@ std::string to_json(const CampaignSpec& spec) {
   w.end_object();
   if (spec.world) {
     w.key("world").raw_value(worldgen::to_json(*spec.world));
+  }
+  if (spec.evolution) {
+    w.key("evolution").raw_value(longit::to_json(*spec.evolution));
+    w.key("evolution_epoch").value(spec.evolution_epoch);
   }
   w.end_object();
   return w.str();
@@ -291,6 +300,21 @@ std::optional<CampaignSpec> spec_from_json(std::string_view text, std::string* e
       return std::nullopt;
     }
     spec.world = std::move(*world);
+  }
+
+  if (const JsonValue* ev = doc->find("evolution"); ev != nullptr) {
+    std::string ev_error;
+    std::optional<longit::EvolutionPlan> plan = longit::evolution_from_doc(*ev, &ev_error);
+    if (!plan) {
+      fail(error, ev_error);
+      return std::nullopt;
+    }
+    spec.evolution = std::move(*plan);
+    spec.evolution_epoch = doc->get_int("evolution_epoch", spec.evolution_epoch);
+    if (spec.evolution_epoch < 0) {
+      fail(error, "evolution_epoch must be >= 0");
+      return std::nullopt;
+    }
   }
   return spec;
 }

@@ -19,6 +19,7 @@
 #include "cenambig/cenambig.hpp"
 #include "cenfuzz/cenfuzz.hpp"
 #include "centrace/centrace.hpp"
+#include "longit/evolve.hpp"
 #include "netsim/faults.hpp"
 #include "scenario/country.hpp"
 #include "worldgen/spec.hpp"
@@ -78,6 +79,17 @@ struct CampaignSpec {
   /// The world's fingerprint joins the spec digest only when present, so
   /// existing country-campaign cache keys are unaffected.
   std::optional<worldgen::WorldSpec> world;
+
+  /// Censor-policy evolution (see longit/evolve.hpp): when set, every
+  /// site's devices are mutated through `evolution_epoch` churn epochs
+  /// after the scenario is built and before anything is measured. The
+  /// mutations flow into each site's network fingerprint, so the
+  /// incremental cache re-executes exactly the churned sites; the plan
+  /// fingerprint and epoch join the spec digest only when present, so
+  /// existing cache keys are unaffected.
+  std::optional<longit::EvolutionPlan> evolution;
+  /// Which epoch this campaign measures (0 = untouched baseline).
+  int evolution_epoch = 0;
 
   /// Tool tasks per execution batch. The result cache is flushed after
   /// every batch, so this is also the crash-checkpoint granularity.

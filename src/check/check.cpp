@@ -15,7 +15,8 @@ namespace {
 
 constexpr Engine kAllEngines[] = {Engine::kRoundTrip, Engine::kInvariant,
                                   Engine::kCacheReplay, Engine::kMlOracle,
-                                  Engine::kWorldGen, Engine::kAmbig};
+                                  Engine::kWorldGen, Engine::kAmbig,
+                                  Engine::kLongit};
 
 struct CaseResult {
   std::vector<CheckFailure> failures;
@@ -37,6 +38,7 @@ CaseResult execute_case(Engine engine, std::uint64_t case_seed, int budget) {
     case Engine::kMlOracle: run_ml_oracle_case(ctx); break;
     case Engine::kWorldGen: run_worldgen_case(ctx); break;
     case Engine::kAmbig: run_ambig_case(ctx); break;
+    case Engine::kLongit: run_longit_case(ctx); break;
     case Engine::kSelfTest: run_selftest_case(ctx); break;
   }
   out.checks = ctx.checks;
@@ -75,6 +77,7 @@ std::string_view engine_name(Engine e) {
     case Engine::kMlOracle: return "ml-oracle";
     case Engine::kWorldGen: return "worldgen";
     case Engine::kAmbig: return "ambig";
+    case Engine::kLongit: return "longit";
     case Engine::kSelfTest: return "self-test";
   }
   return "unknown";
@@ -87,6 +90,7 @@ std::optional<Engine> engine_from_name(std::string_view name) {
   if (name == "ml-oracle" || name == "ml") return Engine::kMlOracle;
   if (name == "worldgen" || name == "world") return Engine::kWorldGen;
   if (name == "ambig" || name == "cenambig") return Engine::kAmbig;
+  if (name == "longit" || name == "longitudinal") return Engine::kLongit;
   if (name == "self-test" || name == "selftest") return Engine::kSelfTest;
   return std::nullopt;
 }
@@ -120,6 +124,8 @@ std::uint64_t engine_case_count(Engine engine, std::uint64_t iterations) {
     case Engine::kWorldGen: return at_least_one(iterations / 50);
     // An ambig case replays three full cenambig measurements.
     case Engine::kAmbig: return std::clamp<std::uint64_t>(iterations / 250, 1, 12);
+    // A longit case builds (and evolves) two scenario networks.
+    case Engine::kLongit: return std::clamp<std::uint64_t>(iterations / 100, 1, 16);
     case Engine::kSelfTest: return at_least_one(iterations);
   }
   return at_least_one(iterations);
@@ -262,6 +268,7 @@ std::uint64_t engine_salt(Engine e) {
     case Engine::kMlOracle: return 0x6d6c6f7261636c65ull;    // "mloracle"
     case Engine::kWorldGen: return 0x776f726c6467656eull;    // "worldgen"
     case Engine::kAmbig: return 0x616d626967666e67ull;       // "ambigfng"
+    case Engine::kLongit: return 0x6c6f6e6769747564ull;      // "longitud"
     case Engine::kSelfTest: return 0x73656c6674657374ull;    // "selftest"
   }
   return 0;

@@ -47,6 +47,12 @@ enum class Engine : std::uint8_t {
   /// cenambig replays are byte-identical, and the discrepancy vector is
   /// stable under a permuted probe execution order.
   kAmbig,
+  /// Longitudinal invariants: evolution replay identity (same plan + seed
+  /// + epoch on independent builds gives identical network fingerprints
+  /// and churn), inert plans and epoch 0 leave the baseline untouched,
+  /// EvolutionPlan/EpochDiff JSON round-trips, and CKMS quantile sketches
+  /// stay inside their rank-error bounds (solo and shard-merged).
+  kLongit,
   /// Hidden engine with a deliberately planted failure (fails whenever
   /// the mutation budget is >= 3). Excluded from all_engines(); exists so
   /// tests can prove the harness catches, reproduces and minimizes a bug.

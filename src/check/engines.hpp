@@ -50,6 +50,7 @@ void run_cache_replay_case(CaseContext& ctx);
 void run_ml_oracle_case(CaseContext& ctx);
 void run_worldgen_case(CaseContext& ctx);
 void run_ambig_case(CaseContext& ctx);
+void run_longit_case(CaseContext& ctx);
 void run_selftest_case(CaseContext& ctx);
 
 }  // namespace cen::check

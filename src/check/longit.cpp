@@ -1,0 +1,209 @@
+// Longitudinal engine: invariants of the evolution replay, the epoch
+// differ and the CKMS quantile sketch. Each case draws a randomized
+// EvolutionPlan and asserts the laws the longitudinal service relies on:
+//
+//   replay-identity   replaying the same (plan, site, epoch) on two
+//                     independently built networks yields identical
+//                     per-epoch network fingerprints and identical
+//                     ground-truth churn — the contract that makes warm
+//                     epochs pure cache hits;
+//   baseline          epoch 0 (and an inert plan at any epoch) leaves the
+//                     baseline fingerprint untouched;
+//   plan-roundtrip    an EvolutionPlan survives JSON round-trip equal;
+//   diff-roundtrip    a randomized EpochDiff survives JSON round-trip
+//                     equal, and diffing an epoch against itself is empty;
+//   ckms              the sketch answers within its configured rank error
+//                     against a brute-force exact quantile, is bit-stable
+//                     across a replay, and a two-way shard merge stays
+//                     within the summed error bound.
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/engines.hpp"
+#include "core/fingerprint.hpp"
+#include "longit/evolve.hpp"
+#include "obs/ckms.hpp"
+#include "report/epoch_diff.hpp"
+#include "scenario/country.hpp"
+
+namespace cen::check {
+
+namespace {
+
+longit::EvolutionPlan draw_plan(Rng& rng) {
+  longit::EvolutionPlan plan;
+  // Seeds live in JSON numbers (doubles), exact only up to 2^53 — the
+  // same contract as the campaign spec's seed.
+  plan.seed = rng.uniform(1ull << 53);
+  plan.start_epoch = static_cast<int>(rng.range(1, 2));
+  plan.period = static_cast<int>(rng.range(1, 2));
+  // Sixteenths: exact in binary and in the writer's %.6g rendering, so
+  // the plan JSON round-trips bit-equal.
+  plan.rule_add_prob = static_cast<double>(rng.range(0, 13)) / 16.0;
+  plan.rule_remove_prob = static_cast<double>(rng.range(0, 10)) / 16.0;
+  plan.vendor_upgrade_prob = static_cast<double>(rng.range(0, 8)) / 16.0;
+  plan.blockpage_swap_prob = static_cast<double>(rng.range(0, 8)) / 16.0;
+  plan.coverage_drift_prob = static_cast<double>(rng.range(0, 6)) / 16.0;
+  if (rng.chance(0.3)) plan.rule_pool = {"alpha.example", "beta.example"};
+  return plan;
+}
+
+std::uint64_t churn_digest(const std::vector<longit::EpochChurn>& history) {
+  FingerprintBuilder fp;
+  fp.mix(static_cast<std::uint64_t>(history.size()));
+  for (const longit::EpochChurn& ec : history) {
+    fp.mix(static_cast<std::uint64_t>(ec.epoch));
+    fp.mix(ec.site);
+    fp.mix(static_cast<std::uint64_t>(ec.devices.size()));
+    for (const longit::DeviceChurn& d : ec.devices) {
+      fp.mix(d.device_id);
+      for (const std::string& r : d.rules_added) fp.mix(r);
+      for (const std::string& r : d.rules_removed) fp.mix(r);
+      fp.mix(d.vendor_upgraded);
+      fp.mix(d.blockpage_swapped);
+      fp.mix(d.coverage_dropped);
+      fp.mix(d.coverage_restored);
+    }
+  }
+  return fp.digest();
+}
+
+report::EndpointEpochState draw_state(Rng& rng, int i) {
+  report::EndpointEpochState s;
+  s.site = rng.chance(0.5) ? "KZ" : "RU";
+  s.endpoint = "10.0.0." + std::to_string(i);
+  s.domain = "d" + std::to_string(rng.range(0, 5)) + ".example";
+  s.protocol = rng.chance(0.5) ? "http" : "https_sni";
+  s.blocked = rng.chance(0.5);
+  if (s.blocked) {
+    s.blocking_type = rng.chance(0.5) ? "rst" : "blockpage";
+    s.vendor = rng.chance(0.4) ? "Fortinet" : "";
+    s.blocking_hop_ttl = static_cast<int>(rng.range(2, 12));
+  }
+  s.endpoint_hop_distance = static_cast<int>(rng.range(4, 16));
+  return s;
+}
+
+void check_replay_identity(CaseContext& ctx) {
+  Rng& rng = ctx.rng;
+  const longit::EvolutionPlan plan = draw_plan(rng);
+  const auto countries = scenario::all_countries();
+  const scenario::Country country = countries[rng.index(countries.size())];
+  const std::uint64_t scenario_seed = rng.range(1, 1000);
+  const int max_epoch = 1 + static_cast<int>(rng.range(1, std::max(1, ctx.budget)));
+
+  scenario::CountryScenario a =
+      scenario::make_country(country, scenario::Scale::kSmall, scenario_seed);
+  scenario::CountryScenario b =
+      scenario::make_country(country, scenario::Scale::kSmall, scenario_seed);
+  const std::string code(scenario::country_code(country));
+
+  const std::uint64_t baseline = a.network->fingerprint();
+  ctx.expect(baseline == b.network->fingerprint(), "longit/baseline-build",
+             "same (country, seed) scenario builds differ");
+
+  // Epoch 0 / inert plans leave the baseline untouched.
+  longit::EvolutionPlan inert;  // all probabilities zero
+  auto none = longit::apply_evolution(*a.network, code, inert, max_epoch);
+  ctx.expect(none.empty() && a.network->fingerprint() == baseline,
+             "longit/inert-plan", "inert plan mutated the network");
+  auto zero = longit::apply_evolution(*a.network, code, plan, 0);
+  ctx.expect(zero.empty() && a.network->fingerprint() == baseline,
+             "longit/epoch-zero", "epoch 0 replay mutated the network");
+
+  // Same (plan, site, epoch) on independent builds: identical fingerprint
+  // and identical ground truth.
+  auto ha = longit::apply_evolution(*a.network, code, plan, max_epoch);
+  auto hb = longit::apply_evolution(*b.network, code, plan, max_epoch);
+  ctx.expect(a.network->fingerprint() == b.network->fingerprint(),
+             "longit/replay-fingerprint",
+             "same plan+seed+epoch produced different network fingerprints");
+  ctx.expect(churn_digest(ha) == churn_digest(hb), "longit/replay-churn",
+             "same plan+seed+epoch produced different churn ground truth");
+
+  // Any epoch that churned must move the fingerprint off the baseline.
+  if (!ha.empty()) {
+    ctx.expect(a.network->fingerprint() != baseline, "longit/churn-visible",
+               "churn reported but network fingerprint unchanged");
+  }
+
+  // Plan JSON round-trip.
+  auto round = longit::evolution_from_json(longit::to_json(plan));
+  ctx.expect(round.has_value() && *round == plan, "longit/plan-roundtrip",
+             "EvolutionPlan JSON round-trip not equal");
+}
+
+void check_diff(CaseContext& ctx) {
+  Rng& rng = ctx.rng;
+  std::vector<report::EndpointEpochState> prev, next;
+  const int n = 4 + static_cast<int>(rng.range(0, 8));
+  for (int i = 0; i < n; ++i) prev.push_back(draw_state(rng, i));
+  for (int i = 0; i < n; ++i) next.push_back(draw_state(rng, i));
+
+  const report::EpochDiff self = report::diff_epochs(prev, prev, 0, 1);
+  ctx.expect(!self.any(), "longit/diff-self", "diffing an epoch against itself non-empty");
+
+  const report::EpochDiff diff = report::diff_epochs(prev, next, 0, 1);
+  auto round = report::epoch_diff_from_json(report::to_json(diff));
+  ctx.expect(round.has_value() && *round == diff, "longit/diff-roundtrip",
+             "EpochDiff JSON round-trip not equal");
+}
+
+void check_ckms(CaseContext& ctx) {
+  Rng& rng = ctx.rng;
+  const std::size_t n = 500 + static_cast<std::size_t>(rng.range(0, 1500));
+  std::vector<std::uint64_t> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) samples.push_back(rng.uniform(10'000));
+
+  obs::CkmsQuantiles sketch, replay, lo, hi;
+  for (std::size_t i = 0; i < n; ++i) {
+    sketch.observe(samples[i]);
+    replay.observe(samples[i]);
+    (i < n / 2 ? lo : hi).observe(samples[i]);
+  }
+  std::vector<std::uint64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+
+  auto exact_rank = [&](std::uint64_t v) {
+    // Rank range covered by value v in the sorted stream: [first, last].
+    auto first = std::lower_bound(sorted.begin(), sorted.end(), v);
+    auto last = std::upper_bound(sorted.begin(), sorted.end(), v);
+    return std::pair<double, double>(
+        static_cast<double>(first - sorted.begin()) + 1.0,
+        static_cast<double>(last - sorted.begin()));
+  };
+  // Shard merge: the bound degrades to at most the sum of operand errors.
+  lo.merge_from(hi);
+  for (const obs::QuantileTarget& t : sketch.targets()) {
+    const double target_rank =
+        std::max(1.0, std::ceil(t.percent / 100.0 * static_cast<double>(n)));
+    const double tol = t.rank_error * static_cast<double>(n) + 1.0;
+    auto [rank_lo, rank_hi] = exact_rank(sketch.query(t.percent));
+    ctx.expect(rank_lo <= target_rank + tol && rank_hi >= target_rank - tol,
+               "longit/ckms-error",
+               "p" + std::to_string(t.percent) + " outside rank-error bound");
+    ctx.expect(sketch.query(t.percent) == replay.query(t.percent),
+               "longit/ckms-replay", "same stream, different answer");
+    const double merged_tol = 2.0 * t.rank_error * static_cast<double>(n) + 1.0;
+    auto [m_lo, m_hi] = exact_rank(lo.query(t.percent));
+    ctx.expect(m_lo <= target_rank + merged_tol && m_hi >= target_rank - merged_tol,
+               "longit/ckms-merge",
+               "merged p" + std::to_string(t.percent) + " outside 2x bound");
+  }
+  ctx.expect(sketch.count() == n && lo.count() == n, "longit/ckms-count",
+             "sketch count does not match stream length");
+}
+
+}  // namespace
+
+void run_longit_case(CaseContext& ctx) {
+  check_replay_identity(ctx);
+  check_diff(ctx);
+  check_ckms(ctx);
+}
+
+}  // namespace cen::check

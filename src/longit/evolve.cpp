@@ -1,0 +1,274 @@
+#include "longit/evolve.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "censor/vendors.hpp"
+#include "core/fingerprint.hpp"
+#include "core/json.hpp"
+#include "core/rng.hpp"
+
+namespace cen::longit {
+
+namespace {
+
+std::uint64_t hash_str(std::string_view s) {
+  FingerprintBuilder fp;
+  fp.mix(s);
+  return fp.digest();
+}
+
+/// Seed of the (plan, site, epoch, device) churn substream. Chained mixes
+/// so flipping any one component decorrelates every draw.
+std::uint64_t churn_seed(const EvolutionPlan& plan, std::string_view site,
+                         int epoch, std::string_view device_id) {
+  std::uint64_t h = mix64(plan.seed ^ 0x6c6f6e676974ull);  // "longit"
+  h = mix64(h ^ hash_str(site));
+  h = mix64(h ^ static_cast<std::uint64_t>(epoch));
+  h = mix64(h ^ hash_str(device_id));
+  return h;
+}
+
+/// The post-upgrade reassembly profile: strict validation everywhere —
+/// the observable signature of a firmware generation that closes the
+/// insertion/evasion holes cenambig fingerprints.
+censor::ReassemblyQuirks strict_reassembly() {
+  censor::ReassemblyQuirks q;
+  q.reassembles = true;
+  q.overlap = censor::OverlapPolicy::kLastWins;
+  q.buffers_out_of_order = true;
+  q.validates_checksum = true;
+  q.ttl_consistency_check = true;
+  q.ttl_slack = 1;
+  return q;
+}
+
+bool has_rule(const censor::RuleSet& rules, std::string_view domain) {
+  for (const censor::DomainRule& r : rules.rules()) {
+    if (r.domain == domain) return true;
+  }
+  return false;
+}
+
+censor::RuleSet without_rule(const censor::RuleSet& rules, std::size_t index) {
+  std::vector<censor::DomainRule> kept = rules.rules();
+  kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(index));
+  return censor::RuleSet(std::move(kept), rules.case_insensitive());
+}
+
+censor::RuleSet without_domain(const censor::RuleSet& rules, std::string_view domain) {
+  std::vector<censor::DomainRule> kept;
+  kept.reserve(rules.size());
+  for (const censor::DomainRule& r : rules.rules()) {
+    if (r.domain != domain) kept.push_back(r);
+  }
+  return censor::RuleSet(std::move(kept), rules.case_insensitive());
+}
+
+/// Stashed rule sets of a device that has gone dark.
+struct RuleStash {
+  censor::RuleSet http, sni, dns;
+};
+
+}  // namespace
+
+bool EvolutionPlan::inert() const {
+  const bool no_prob = rule_add_prob <= 0.0 && rule_remove_prob <= 0.0 &&
+                       vendor_upgrade_prob <= 0.0 && blockpage_swap_prob <= 0.0 &&
+                       coverage_drift_prob <= 0.0;
+  return no_prob || period <= 0;
+}
+
+bool EvolutionPlan::churn_epoch(int epoch) const {
+  if (inert()) return false;
+  if (epoch < start_epoch) return false;
+  return (epoch - start_epoch) % period == 0;
+}
+
+std::uint64_t EvolutionPlan::fingerprint() const {
+  FingerprintBuilder fp;
+  fp.mix(seed);
+  fp.mix(static_cast<std::uint64_t>(start_epoch));
+  fp.mix(static_cast<std::uint64_t>(period));
+  fp.mix(rule_add_prob);
+  fp.mix(rule_remove_prob);
+  fp.mix(vendor_upgrade_prob);
+  fp.mix(blockpage_swap_prob);
+  fp.mix(coverage_drift_prob);
+  fp.mix(static_cast<std::uint64_t>(rule_pool.size()));
+  for (const std::string& d : rule_pool) fp.mix(d);
+  return fp.digest();
+}
+
+std::string to_json(const EvolutionPlan& plan) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("seed").value(plan.seed);
+  w.key("start_epoch").value(plan.start_epoch);
+  w.key("period").value(plan.period);
+  w.key("rule_add_prob").value(plan.rule_add_prob);
+  w.key("rule_remove_prob").value(plan.rule_remove_prob);
+  w.key("vendor_upgrade_prob").value(plan.vendor_upgrade_prob);
+  w.key("blockpage_swap_prob").value(plan.blockpage_swap_prob);
+  w.key("coverage_drift_prob").value(plan.coverage_drift_prob);
+  w.key("rule_pool").begin_array();
+  for (const std::string& d : plan.rule_pool) w.value(d);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::optional<EvolutionPlan> evolution_from_doc(const JsonValue& doc,
+                                                std::string* error) {
+  auto fail = [&](std::string_view why) -> std::optional<EvolutionPlan> {
+    if (error != nullptr) *error = std::string(why);
+    return std::nullopt;
+  };
+  if (!doc.is_object()) return fail("evolution: not a JSON object");
+  EvolutionPlan plan;
+  plan.seed = static_cast<std::uint64_t>(doc.get_number("seed", 1.0));
+  plan.start_epoch = doc.get_int("start_epoch", 1);
+  plan.period = doc.get_int("period", 1);
+  plan.rule_add_prob = doc.get_number("rule_add_prob", 0.0);
+  plan.rule_remove_prob = doc.get_number("rule_remove_prob", 0.0);
+  plan.vendor_upgrade_prob = doc.get_number("vendor_upgrade_prob", 0.0);
+  plan.blockpage_swap_prob = doc.get_number("blockpage_swap_prob", 0.0);
+  plan.coverage_drift_prob = doc.get_number("coverage_drift_prob", 0.0);
+  for (double p : {plan.rule_add_prob, plan.rule_remove_prob,
+                   plan.vendor_upgrade_prob, plan.blockpage_swap_prob,
+                   plan.coverage_drift_prob}) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return fail("evolution: probability outside [0, 1]");
+    }
+  }
+  if (plan.start_epoch < 0) return fail("evolution: start_epoch < 0");
+  if (const JsonValue* pool = doc.find("rule_pool")) {
+    if (!pool->is_array()) return fail("evolution: rule_pool not an array");
+    for (const JsonValue& d : pool->array) {
+      if (!d.is_string()) return fail("evolution: rule_pool entry not a string");
+      plan.rule_pool.push_back(d.string);
+    }
+  }
+  return plan;
+}
+
+std::optional<EvolutionPlan> evolution_from_json(std::string_view text,
+                                                 std::string* error) {
+  auto doc = json_parse(text);
+  if (doc == nullptr) {
+    if (error != nullptr) *error = "evolution: not a JSON object";
+    return std::nullopt;
+  }
+  return evolution_from_doc(*doc, error);
+}
+
+const std::vector<std::string>& builtin_rule_pool() {
+  static const std::vector<std::string> kPool = {
+      "newly-banned.example",  "forbidden-news.net", "proxy-mirror.org",
+      "vpn-gateway.io",        "leaked-docs.info",   "opposition-blog.net",
+      "streaming-mirror.tv",   "messenger-alt.app",
+  };
+  return kPool;
+}
+
+std::vector<EpochChurn> apply_evolution(sim::Network& net, std::string_view site,
+                                        const EvolutionPlan& plan, int epoch,
+                                        const std::vector<std::string>& domain_pool) {
+  std::vector<EpochChurn> history;
+  if (plan.inert() || epoch <= 0) return history;
+
+  const std::vector<std::string>& pool =
+      !plan.rule_pool.empty() ? plan.rule_pool
+      : !domain_pool.empty()  ? domain_pool
+                              : builtin_rule_pool();
+
+  // Dark devices' stashed rules, keyed by device id; local because each
+  // call replays the full history from the baseline network.
+  std::map<std::string, RuleStash, std::less<>> stash;
+
+  for (int e = 1; e <= epoch; ++e) {
+    if (!plan.churn_epoch(e)) continue;
+    EpochChurn ec;
+    ec.epoch = e;
+    ec.site = std::string(site);
+    const auto& devices = net.devices();
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      censor::DeviceConfig cfg = devices[i]->config();
+      Rng rng(churn_seed(plan, site, e, cfg.id));
+      // Draw every decision up front, in a fixed order, so the stream a
+      // device consumes never depends on which mutations applied.
+      const bool drift = rng.chance(plan.coverage_drift_prob);
+      const bool add = rng.chance(plan.rule_add_prob);
+      const bool remove = rng.chance(plan.rule_remove_prob);
+      const bool upgrade = rng.chance(plan.vendor_upgrade_prob);
+      const bool swap = rng.chance(plan.blockpage_swap_prob);
+      const std::size_t add_pick = rng.index(pool.size());
+      const std::uint64_t remove_pick = rng.next();
+      const std::size_t swap_pick = rng.index(
+          std::max<std::size_t>(censor::commercial_vendors().size(), 1));
+
+      DeviceChurn churn;
+      churn.device_id = cfg.id;
+      auto stash_it = stash.find(cfg.id);
+      const bool dark = stash_it != stash.end();
+
+      if (drift) {
+        if (dark) {
+          cfg.http_rules = stash_it->second.http;
+          cfg.sni_rules = stash_it->second.sni;
+          cfg.dns_rules = stash_it->second.dns;
+          stash.erase(stash_it);
+          stash_it = stash.end();
+          churn.coverage_restored = true;
+        } else {
+          stash.emplace(cfg.id, RuleStash{cfg.http_rules, cfg.sni_rules, cfg.dns_rules});
+          cfg.http_rules = censor::RuleSet({}, cfg.http_rules.case_insensitive());
+          cfg.sni_rules = censor::RuleSet({}, cfg.sni_rules.case_insensitive());
+          cfg.dns_rules = censor::RuleSet({}, cfg.dns_rules.case_insensitive());
+          churn.coverage_dropped = true;
+        }
+      }
+      const bool now_dark = churn.coverage_dropped || (dark && !churn.coverage_restored);
+
+      if (add && !now_dark) {
+        const std::string& domain = pool[add_pick];
+        if (!has_rule(cfg.http_rules, domain)) {
+          cfg.http_rules.add(domain);
+          cfg.sni_rules.add(domain);
+          churn.rules_added.push_back(domain);
+        }
+      }
+      if (remove && !now_dark && !cfg.http_rules.empty()) {
+        const std::size_t idx = static_cast<std::size_t>(
+            remove_pick % cfg.http_rules.size());
+        const std::string domain = cfg.http_rules.rules()[idx].domain;
+        cfg.http_rules = without_rule(cfg.http_rules, idx);
+        cfg.sni_rules = without_domain(cfg.sni_rules, domain);
+        churn.rules_removed.push_back(domain);
+      }
+      if (upgrade && cfg.reassembly != strict_reassembly()) {
+        cfg.reassembly = strict_reassembly();
+        churn.vendor_upgraded = true;
+      }
+      if (swap && cfg.action == censor::BlockAction::kBlockpage &&
+          !censor::commercial_vendors().empty()) {
+        const std::string& vendor = censor::commercial_vendors()[swap_pick];
+        std::string html =
+            censor::make_vendor_device(vendor, cfg.id).blockpage_html;
+        if (!html.empty() && html != cfg.blockpage_html) {
+          cfg.blockpage_html = std::move(html);
+          churn.blockpage_swapped = true;
+        }
+      }
+
+      if (churn.changed()) {
+        net.replace_device_config(i, std::move(cfg));
+        ec.devices.push_back(std::move(churn));
+      }
+    }
+    if (ec.any()) history.push_back(std::move(ec));
+  }
+  return history;
+}
+
+}  // namespace cen::longit

@@ -1,0 +1,101 @@
+// The longitudinal measurement service (docs/LONGITUDINAL.md).
+//
+// longit::run() measures the same campaign spec across N epochs, applying
+// the spec's EvolutionPlan between epochs and re-running the campaign DAG
+// each time against one shared incremental JSONL cache. Because every
+// task's cache key contains the site's network fingerprint — which the
+// evolution mutations flow into — an epoch in which nothing churned
+// executes zero tool tasks, and a churned epoch re-executes exactly the
+// churned sites. The loop is resumable mid-epoch (the campaign engine's
+// batch checkpoints), and the full result is byte-identical for any
+// worker count:
+//
+//  * campaign records are already thread-identical per epoch;
+//  * epoch diffs are computed from per-endpoint state rows extracted from
+//    records in task-identity order;
+//  * the CKMS quantile sketches are fed from that same merged, ordered
+//    stream (never from per-worker shards), so their state is a pure
+//    function of the record sequence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "longit/evolve.hpp"
+#include "obs/ckms.hpp"
+#include "report/epoch_diff.hpp"
+
+namespace cen::longit {
+
+struct LongitSpec {
+  /// The campaign measured every epoch. `base.evolution` drives the
+  /// churn; `base.evolution_epoch` is overwritten by the loop.
+  campaign::CampaignSpec base;
+  /// Epochs measured: 0 (baseline) .. epochs - 1.
+  int epochs = 3;
+  /// Also replay the evolution plan on throwaway site builds to collect
+  /// per-epoch ground-truth churn (diff-accuracy scoring; costs one extra
+  /// scenario build per site).
+  bool collect_churn = true;
+};
+
+/// One epoch's outcome.
+struct EpochSummary {
+  int epoch = 0;
+  /// Digest of every campaign record (stage, task id, document) in
+  /// task-identity order — the replay-identity fingerprint the cencheck
+  /// `longit` engine and the cross-thread tests compare.
+  std::uint64_t records_fingerprint = 0;
+  std::size_t records = 0;
+  std::size_t blocked = 0;  // blocked state rows this epoch
+  /// Wall-domain bookkeeping (cache-state dependent; excluded from
+  /// deterministic serializations).
+  std::size_t executed = 0;
+  std::size_t cache_hits = 0;
+  /// Diff against the previous epoch (empty for epoch 0).
+  report::EpochDiff diff;
+  /// Ground-truth churn applied at this epoch (collect_churn only).
+  std::vector<EpochChurn> churn;
+};
+
+struct LongitResult {
+  /// False when the per-epoch batch budget stopped the run early;
+  /// re-running with the same cache resumes from the checkpoint.
+  bool complete = false;
+  int epochs_completed = 0;
+  std::string name;
+  std::vector<EpochSummary> epochs;
+
+  /// Streaming quantiles over the full multi-epoch record stream, in
+  /// bounded memory: blocking-hop TTLs of every blocked row, and per-epoch
+  /// newly-blocked counts. Deterministic for any worker count (fed from
+  /// the merged ordered stream).
+  obs::CkmsQuantiles hop_ttl;
+  obs::CkmsQuantiles newly_blocked_per_epoch;
+
+  /// Deterministic JSON summary: epochs (fingerprints, diffs, churn) and
+  /// quantiles. Excludes executed/cache-hit counts (wall domain).
+  std::string to_json() const;
+};
+
+/// Extract the per-endpoint state rows of one epoch's campaign records
+/// (task-identity order preserved). Vendor resolution: the trace's
+/// blockpage fingerprint when present, else the probe-stage vendor of the
+/// blocking hop IP. Exposed for tests and the cencheck engine.
+std::vector<report::EndpointEpochState> extract_epoch_states(
+    const campaign::CampaignResult& result);
+
+/// Ground-truth churn for epochs 1..max_epoch of a spec, per site —
+/// replays the evolution plan on throwaway site builds, exactly as
+/// campaign::run applies it. Empty when the spec has no evolution.
+std::vector<EpochChurn> ground_truth_churn(const campaign::CampaignSpec& spec,
+                                           int max_epoch);
+
+/// Run the epoch loop. `control` applies to every epoch's campaign run
+/// (max_batches is a per-epoch budget; the cache path is shared across
+/// epochs — leave it set for warm-epoch reuse and resume).
+LongitResult run(const LongitSpec& spec, const campaign::RunControl& control = {});
+
+}  // namespace cen::longit

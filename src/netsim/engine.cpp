@@ -199,6 +199,27 @@ void Network::attach_device(NodeId at, std::shared_ptr<censor::Device> device) {
   device_nodes_.push_back(at);
 }
 
+void Network::replace_device_config(std::size_t index, censor::DeviceConfig config) {
+  if (index >= devices_.size()) {
+    throw std::out_of_range("replace_device_config: no such device");
+  }
+  auto replacement =
+      std::make_shared<censor::Device>(std::move(config));
+  // Swap the attachment entry at the device's deployment node so the
+  // packet walk sees the new behaviour; deployment order (and therefore
+  // devices() iteration order) is preserved.
+  auto it = attachments_.find(device_nodes_[index]);
+  if (it != attachments_.end()) {
+    for (Attachment& a : it->second) {
+      if (a.device == devices_[index]) {
+        a.device = replacement;
+        break;
+      }
+    }
+  }
+  devices_[index] = std::move(replacement);
+}
+
 void Network::add_endpoint(NodeId node, EndpointProfile profile) {
   add_endpoint_shared(node, std::make_shared<const EndpointProfile>(std::move(profile)));
 }

@@ -174,6 +174,12 @@ class Network {
   /// Deploy a device on the link entering `at` (in-path) or as a tap on
   /// that link (on-path — taken from the device's config).
   void attach_device(NodeId at, std::shared_ptr<censor::Device> device);
+  /// Swap the configuration of an already-deployed device (by devices()
+  /// index) in place: same deployment node, fresh runtime state, new
+  /// behaviour. The longitudinal evolution engine mutates censor policy
+  /// between epochs through this, which flows straight into fingerprint().
+  /// Throws std::out_of_range on a bad index.
+  void replace_device_config(std::size_t index, censor::DeviceConfig config);
   /// Register a web-server endpoint at a topology node.
   void add_endpoint(NodeId node, EndpointProfile profile);
   /// Shared-profile variant: worldgen populations register a million hosts

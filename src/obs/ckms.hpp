@@ -1,0 +1,97 @@
+// CKMS-style streaming quantiles (Cormode–Korn–Muthukrishnan–Srivastava,
+// "Effective Computation of Biased Quantiles over Data Streams"): targeted
+// quantile summaries over unbounded uint64 streams in bounded memory.
+//
+// A sketch keeps a compressed list of (value, g, delta) tuples whose size
+// is a function of the configured rank-error targets, not of the stream
+// length — which is what lets the longitudinal service export p50/p90/p99
+// over millions of epoch measurements in O(1) memory. Samples are uint64
+// (like obs::Histogram), so queries return actual observed values and
+// every export path stays in integer formatting: no float reassociation,
+// no shortest-round-trip printing, byte-identical output everywhere.
+//
+// Determinism contract: the sketch has no RNG and no clock. Feeding the
+// same sample sequence (observe order matters) produces bit-identical
+// sketch state, and merge_from is deterministic in (receiver, donor)
+// order. Unlike counters, the *state* after merging shards depends on the
+// shard partition (each within its rank-error bound), so code that needs
+// byte-identical quantiles across worker counts must feed one sketch from
+// the merged, task-identity-ordered stream — the longitudinal epoch loop
+// does exactly that (see docs/LONGITUDINAL.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cen::obs {
+
+/// One targeted quantile: φ = percent / 100 tracked within `rank_error`
+/// (a fraction of the stream length n — the returned value's rank is
+/// within rank_error * n of ceil(φ * n)). Percent is an integer so target
+/// identity and export labels never touch float formatting.
+struct QuantileTarget {
+  int percent = 50;
+  double rank_error = 0.01;
+  bool operator==(const QuantileTarget&) const = default;
+};
+
+/// The default export targets: p50/p90 at 1% rank error, p99 at 0.5%.
+const std::vector<QuantileTarget>& default_quantile_targets();
+
+class CkmsQuantiles {
+ public:
+  CkmsQuantiles() : CkmsQuantiles(default_quantile_targets()) {}
+  explicit CkmsQuantiles(std::vector<QuantileTarget> targets);
+
+  void observe(std::uint64_t v);
+
+  /// The value whose rank is within the configured error of
+  /// ceil(percent/100 * n). Most accurate at the configured targets;
+  /// 0 on an empty sketch.
+  std::uint64_t query(int percent) const;
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  const std::vector<QuantileTarget>& targets() const { return targets_; }
+
+  /// Fold another sketch in (same targets required — std::logic_error
+  /// otherwise). The merged sketch covers both streams; the rank-error
+  /// bound degrades to at most the sum of the operands' bounds, so a
+  /// one-level shard merge stays within 2x the configured error.
+  void merge_from(const CkmsQuantiles& other);
+
+  /// Compressed tuples currently held (memory-bound inspection; excludes
+  /// the constant-size insertion buffer).
+  std::size_t tuple_count() const;
+
+ private:
+  struct Tuple {
+    std::uint64_t v = 0;      // sample value
+    std::uint64_t g = 0;      // gap: r(i) - r(i-1) in ranks
+    std::uint64_t delta = 0;  // rank uncertainty of this tuple
+  };
+
+  /// The CKMS biased-quantile invariant f(r) = max(1, 2 * bias_ * r): how
+  /// much combined g + delta a tuple at rank r may carry while every
+  /// target stays within its error (bias_ = min over targets of
+  /// rank_error / phi).
+  double invariant(double rank, std::uint64_t n) const;
+  /// Drain the insertion buffer into the tuple list and compress.
+  void flush() const;
+  /// Fold tuples into successors where the invariant allows it.
+  void compress() const;
+
+  std::vector<QuantileTarget> targets_;
+  double bias_ = 0.01;  // invariant slope, derived from targets_
+  // Buffer/tuple state is mutable so const queries can flush: buffering
+  // is an amortization detail, not logical state.
+  mutable std::vector<Tuple> sample_;
+  mutable std::vector<std::uint64_t> buffer_;
+  mutable std::uint64_t inserted_ = 0;  // samples represented in sample_
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+
+  static constexpr std::size_t kBufferCap = 128;
+};
+
+}  // namespace cen::obs

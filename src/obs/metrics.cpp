@@ -21,6 +21,15 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+/// Prometheus `quantile` label for an integer percent, without touching
+/// float formatting: 50 -> "0.5", 99 -> "0.99", 5 -> "0.05".
+std::string quantile_label(int percent) {
+  if (percent <= 0) return "0";
+  if (percent >= 100) return "1";
+  if (percent % 10 == 0) return "0." + std::to_string(percent / 10);
+  return (percent < 10 ? "0.0" : "0.") + std::to_string(percent);
+}
+
 }  // namespace
 
 void Histogram::observe(std::uint64_t v) {
@@ -32,7 +41,7 @@ void Histogram::observe(std::uint64_t v) {
 }
 
 Counter& Registry::counter(const std::string& name, Domain domain) {
-  if (gauges_.count(name) || histograms_.count(name)) {
+  if (gauges_.count(name) || histograms_.count(name) || quantiles_.count(name)) {
     throw std::logic_error("metric kind mismatch: " + name);
   }
   auto [it, inserted] = counters_.try_emplace(name);
@@ -45,7 +54,7 @@ Counter& Registry::counter(const std::string& name, Domain domain) {
 }
 
 Gauge& Registry::gauge(const std::string& name, Domain domain) {
-  if (counters_.count(name) || histograms_.count(name)) {
+  if (counters_.count(name) || histograms_.count(name) || quantiles_.count(name)) {
     throw std::logic_error("metric kind mismatch: " + name);
   }
   auto [it, inserted] = gauges_.try_emplace(name);
@@ -60,7 +69,7 @@ Gauge& Registry::gauge(const std::string& name, Domain domain) {
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<std::uint64_t> bounds,
                                Domain domain) {
-  if (counters_.count(name) || gauges_.count(name)) {
+  if (counters_.count(name) || gauges_.count(name) || quantiles_.count(name)) {
     throw std::logic_error("metric kind mismatch: " + name);
   }
   for (std::size_t i = 1; i < bounds.size(); ++i) {
@@ -85,6 +94,27 @@ Histogram& Registry::histogram(const std::string& name,
   return h;
 }
 
+CkmsQuantiles& Registry::quantiles(const std::string& name,
+                                   std::vector<QuantileTarget> targets,
+                                   Domain domain) {
+  if (counters_.count(name) || gauges_.count(name) || histograms_.count(name)) {
+    throw std::logic_error("metric kind mismatch: " + name);
+  }
+  auto it = quantiles_.find(name);
+  if (it == quantiles_.end()) {
+    Entry<CkmsQuantiles> entry{CkmsQuantiles(std::move(targets)), domain};
+    it = quantiles_.emplace(name, std::move(entry)).first;
+  } else {
+    if (it->second.domain != domain) {
+      throw std::logic_error("metric domain mismatch: " + name);
+    }
+    if (it->second.metric.targets() != targets) {
+      throw std::logic_error("quantile targets mismatch: " + name);
+    }
+  }
+  return it->second.metric;
+}
+
 std::uint64_t Registry::counter_value(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.metric.value();
@@ -95,12 +125,21 @@ const Histogram* Registry::find_histogram(const std::string& name) const {
   return it == histograms_.end() ? nullptr : &it->second.metric;
 }
 
+const CkmsQuantiles* Registry::find_quantiles(const std::string& name) const {
+  auto it = quantiles_.find(name);
+  return it == quantiles_.end() ? nullptr : &it->second.metric;
+}
+
 void Registry::merge_from(const Registry& other) {
   for (const auto& [name, entry] : other.counters_) {
     counter(name, entry.domain).inc(entry.metric.value());
   }
   for (const auto& [name, entry] : other.gauges_) {
-    gauge(name, entry.domain).set_max(entry.metric.value());
+    // Only gauges the donor actually set participate in the max; a gauge
+    // that merely exists (created but never touched) must not inject a
+    // default 0 — that would silently clobber negative values.
+    Gauge& g = gauge(name, entry.domain);
+    if (entry.metric.touched()) g.set_max(entry.metric.value());
   }
   for (const auto& [name, entry] : other.histograms_) {
     Histogram& h = histogram(name, entry.metric.bounds(), entry.domain);
@@ -110,16 +149,22 @@ void Registry::merge_from(const Registry& other) {
     h.count_ += entry.metric.count_;
     h.sum_ += entry.metric.sum_;
   }
+  for (const auto& [name, entry] : other.quantiles_) {
+    quantiles(name, entry.metric.targets(), entry.domain)
+        .merge_from(entry.metric);
+  }
 }
 
 bool Registry::empty() const {
-  return counters_.empty() && gauges_.empty() && histograms_.empty();
+  return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+         quantiles_.empty();
 }
 
 void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  quantiles_.clear();
 }
 
 std::string Registry::to_prometheus(bool include_wall) const {
@@ -151,6 +196,18 @@ std::string Registry::to_prometheus(bool include_wall) const {
     out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) + "\n";
     out += p + "_sum " + std::to_string(h.sum()) + "\n";
     out += p + "_count " + std::to_string(h.count()) + "\n";
+  }
+  for (const auto& [name, entry] : quantiles_) {
+    if (!keep(entry.domain)) continue;
+    const CkmsQuantiles& q = entry.metric;
+    std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " summary\n";
+    for (const QuantileTarget& t : q.targets()) {
+      out += p + "{quantile=\"" + quantile_label(t.percent) + "\"} " +
+             std::to_string(q.query(t.percent)) + "\n";
+    }
+    out += p + "_sum " + std::to_string(q.sum()) + "\n";
+    out += p + "_count " + std::to_string(q.count()) + "\n";
   }
   return out;
 }
@@ -184,6 +241,19 @@ std::string Registry::to_json(bool include_wall) const {
     w.end_array();
     w.key("count").value(h.count());
     w.key("sum").value(h.sum());
+    w.end_object();
+  }
+  w.end_object();
+  w.key("quantiles").begin_object();
+  for (const auto& [name, entry] : quantiles_) {
+    if (!keep(entry.domain)) continue;
+    const CkmsQuantiles& q = entry.metric;
+    w.key(name).begin_object();
+    for (const QuantileTarget& t : q.targets()) {
+      w.key("p" + std::to_string(t.percent)).value(q.query(t.percent));
+    }
+    w.key("count").value(q.count());
+    w.key("sum").value(q.sum());
     w.end_object();
   }
   w.end_object();

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/ckms.hpp"
+
 namespace cen::obs {
 
 enum class Domain : std::uint8_t { kSim, kWall };
@@ -38,20 +40,30 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
-/// Point-in-time value. Merges by max (the only order-free combination for
-/// last-write semantics), so keep gauges to high-water marks and
-/// end-of-run summaries.
+/// Point-in-time value. Merges by max over *touched* gauges (the only
+/// order-free combination for last-write semantics), so keep gauges to
+/// high-water marks and end-of-run summaries. A gauge tracks whether it
+/// has ever been set: an untouched gauge reads 0 but never participates
+/// in a max — without that, a shard that never touched a (legitimately
+/// negative) gauge would clobber it to 0 during merge_from.
 class Gauge {
  public:
-  void set(std::int64_t v) { value_ = v; }
+  void set(std::int64_t v) {
+    value_ = v;
+    set_ = true;
+  }
   void set_max(std::int64_t v) {
-    if (v > value_) value_ = v;
+    if (!set_ || v > value_) value_ = v;
+    set_ = true;
   }
   std::int64_t value() const { return value_; }
+  /// True once set()/set_max() has recorded a value.
+  bool touched() const { return set_; }
 
  private:
   friend class Registry;
   std::int64_t value_ = 0;
+  bool set_ = false;
 };
 
 /// Fixed-bucket histogram over uint64 samples. Bucket `i` counts samples
@@ -85,13 +97,21 @@ class Registry {
   Gauge& gauge(const std::string& name, Domain domain = Domain::kSim);
   Histogram& histogram(const std::string& name, std::vector<std::uint64_t> bounds,
                        Domain domain = Domain::kSim);
+  /// CKMS streaming-quantile sketch (see obs/ckms.hpp). Re-requesting with
+  /// different targets throws std::logic_error, like histogram bounds.
+  CkmsQuantiles& quantiles(const std::string& name,
+                           std::vector<QuantileTarget> targets =
+                               default_quantile_targets(),
+                           Domain domain = Domain::kSim);
 
   /// Value lookups for summaries and tests; 0 / nullptr when absent.
   std::uint64_t counter_value(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
+  const CkmsQuantiles* find_quantiles(const std::string& name) const;
 
   /// Fold another registry in: counters and histograms add (bucket bounds
-  /// must match; throws std::logic_error otherwise), gauges take the max.
+  /// must match; throws std::logic_error otherwise), gauges take the max
+  /// over *touched* donors, quantile sketches merge (targets must match).
   /// Metrics absent here are created with the donor's domain.
   void merge_from(const Registry& other);
 
@@ -113,6 +133,7 @@ class Registry {
   std::map<std::string, Entry<Counter>> counters_;
   std::map<std::string, Entry<Gauge>> gauges_;
   std::map<std::string, Entry<Histogram>> histograms_;
+  std::map<std::string, Entry<CkmsQuantiles>> quantiles_;
 };
 
 }  // namespace cen::obs

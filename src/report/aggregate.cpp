@@ -1,8 +1,19 @@
 #include "report/aggregate.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace cen::report {
+
+std::size_t quantile_index(double f, std::size_t n) {
+  if (n == 0) return 0;
+  // NaN fails both comparisons; treat it as 0 (the minimum).
+  if (!(f > 0.0)) return 0;
+  if (f >= 1.0) return n - 1;
+  const double rank = std::ceil(f * static_cast<double>(n));
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return std::min(idx, n - 1);
+}
 
 int BlockingDistribution::type_total(const std::string& type) const {
   auto it = counts.find(type);
@@ -37,7 +48,11 @@ int PlacementDistribution::hops_quantile(double f) const {
   if (hops_from_endpoint.empty()) return 0;
   std::vector<int> sorted = hops_from_endpoint;
   std::sort(sorted.begin(), sorted.end());
-  return sorted[static_cast<std::size_t>(f * (sorted.size() - 1))];
+  // Nearest-rank convention via the shared clamped helper: the old
+  // unclamped `f * (size - 1)` truncation biased every quantile low and
+  // turned an out-of-range fraction into an out-of-bounds index (a
+  // negative double casts to a huge size_t).
+  return sorted[quantile_index(f, sorted.size())];
 }
 
 double PlacementDistribution::share_within(int k) const {

@@ -11,6 +11,14 @@
 
 namespace cen::report {
 
+/// Nearest-rank quantile index over `n` sorted samples: the smallest
+/// index i with (i + 1) / n >= f, i.e. ceil(f * n) - 1, clamped to
+/// [0, n - 1]. `f` itself is clamped to [0, 1] first (NaN reads as 0), so
+/// a caller-computed fraction that drifts outside the unit interval can
+/// never index out of bounds. Shared by every percentile the report layer
+/// computes (hops_quantile, the epoch-diff percentiles).
+std::size_t quantile_index(double f, std::size_t n);
+
 /// Figure 3's matrix: blocked CT counts by terminating-response type and
 /// blocking location.
 struct BlockingDistribution {
@@ -32,7 +40,8 @@ struct PlacementDistribution {
   int on_path = 0;
   std::vector<int> hops_from_endpoint;  // unsorted samples
 
-  /// Quantile over the samples (f in [0,1]); 0 when empty.
+  /// Nearest-rank quantile over the samples (see quantile_index; f is
+  /// clamped to [0, 1]); 0 when empty.
   int hops_quantile(double f) const;
   /// Fraction of samples within `k` hops of the endpoint.
   double share_within(int k) const;

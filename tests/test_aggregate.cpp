@@ -77,6 +77,18 @@ TEST(PlacementDistributionAgg, Empty) {
   EXPECT_EQ(d.share_within(2), 0.0);
 }
 
+// Named regression: hops_quantile indexed with floor(f * (size - 1)),
+// which under-reports interior quantiles (f=0.34 over three samples gave
+// the minimum instead of the second-smallest) and had no clamp for f
+// outside [0, 1]. It now uses the shared nearest-rank quantile_index.
+TEST(PlacementDistributionAgg, Regression_QuantileTruncationAndClamp) {
+  PlacementDistribution d;
+  d.hops_from_endpoint = {3, 1, 2};  // sorted view: 1, 2, 3
+  EXPECT_EQ(d.hops_quantile(0.34), 2);   // nearest rank ceil(1.02) = 2nd
+  EXPECT_EQ(d.hops_quantile(2.0), 3);    // clamped to the maximum
+  EXPECT_EQ(d.hops_quantile(-0.5), 1);   // clamped to the minimum
+}
+
 TEST(BlockedByAsAgg, Keys) {
   std::vector<trace::CenTraceReport> traces = {
       make_trace(true, trace::BlockingType::kRst,

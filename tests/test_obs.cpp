@@ -100,6 +100,66 @@ TEST(Registry, MergeAddsCountersMaxesGaugesSumsHistograms) {
   EXPECT_EQ(h->counts()[1], 1u);
 }
 
+// Named regression: merge_from used set_max(donor.value()) even for donor
+// gauges that were created but never set, so a default 0 clobbered a
+// legitimately negative receiver value. Only touched donors may now
+// participate in the max.
+TEST(Registry, Regression_MergeUntouchedGaugeKeepsNegativeValue) {
+  Registry a, b;
+  a.gauge("depth").set(-5);
+  b.gauge("depth");  // exists in the donor but was never set
+  a.merge_from(b);
+  EXPECT_EQ(a.gauge("depth").value(), -5);
+
+  // A genuinely-set donor still wins the max, even at a negative value.
+  Registry c;
+  c.gauge("depth").set(-2);
+  a.merge_from(c);
+  EXPECT_EQ(a.gauge("depth").value(), -2);
+}
+
+TEST(Registry, HistogramBoundsMismatchThrows) {
+  Registry r;
+  r.histogram("h", {10, 20});
+  EXPECT_THROW(r.histogram("h", {10, 30}), std::logic_error);
+  EXPECT_THROW(r.histogram("bad", {20, 10}), std::logic_error);
+
+  // The merge path creates missing histograms with the donor's bounds and
+  // must hit the same check when the receiver's bounds differ.
+  Registry donor;
+  donor.histogram("h", {10, 30}).observe(5);
+  EXPECT_THROW(r.merge_from(donor), std::logic_error);
+  Registry ok;
+  ok.histogram("h", {10, 20}).observe(5);
+  r.merge_from(ok);
+  EXPECT_EQ(r.find_histogram("h")->count(), 1u);
+}
+
+TEST(Registry, QuantilesRegisterMergeAndExport) {
+  Registry r;
+  CkmsQuantiles& q = r.quantiles("ttl");
+  for (std::uint64_t v = 1; v <= 100; ++v) q.observe(v);
+  // Cross-kind and target mismatches are configuration bugs.
+  EXPECT_THROW(r.counter("ttl"), std::logic_error);
+  EXPECT_THROW(r.quantiles("ttl", {{75, 0.01}}), std::logic_error);
+  EXPECT_EQ(r.find_quantiles("missing"), nullptr);
+
+  Registry shard;
+  for (std::uint64_t v = 101; v <= 200; ++v) shard.quantiles("ttl").observe(v);
+  r.merge_from(shard);
+  ASSERT_NE(r.find_quantiles("ttl"), nullptr);
+  EXPECT_EQ(r.find_quantiles("ttl")->count(), 200u);
+
+  const std::string prom = r.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE cen_ttl summary"), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(prom.find("cen_ttl_count 200"), std::string::npos);
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"quantiles\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_TRUE(json_valid(json));
+}
+
 TEST(Registry, WallDomainExcludedFromDefaultExports) {
   Registry r;
   r.counter("sim_metric").inc();
